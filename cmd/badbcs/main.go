@@ -1,0 +1,36 @@
+// Command badbcs runs the Broker Coordination Service: brokers register
+// and heartbeat here; subscribers ask it for a suitable broker.
+//
+// Usage:
+//
+//	badbcs -addr :18000 -liveness 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"gobad/internal/bcs"
+)
+
+func main() {
+	addr := flag.String("addr", ":18000", "listen address")
+	liveness := flag.Duration("liveness", 30*time.Second, "heartbeat staleness bound")
+	flag.Parse()
+
+	svc := bcs.NewService(bcs.WithLiveness(*liveness))
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           bcs.NewServer(svc).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("badbcs listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "badbcs:", err)
+		os.Exit(1)
+	}
+}

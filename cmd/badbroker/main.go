@@ -1,0 +1,113 @@
+// Command badbroker runs a BAD broker node: it subscribes to the data
+// cluster on its clients' behalf, caches channel results under the chosen
+// policy, serves the client-facing REST+WebSocket API and (optionally)
+// registers with a Broker Coordination Service.
+//
+// Usage:
+//
+//	badbroker -addr :18080 -cluster http://127.0.0.1:19002 \
+//	          -policy lsc -budget 64MB \
+//	          [-bcs http://127.0.0.1:18000] [-public http://myhost:18080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"gobad/internal/bcs"
+	"gobad/internal/bdms"
+	"gobad/internal/broker"
+	"gobad/internal/cliutil"
+	"gobad/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", ":18080", "listen address")
+	public := flag.String("public", "", "public base URL (default http://127.0.0.1<addr>)")
+	clusterURL := flag.String("cluster", "http://127.0.0.1:19002", "data cluster base URL")
+	bcsURL := flag.String("bcs", "", "BCS base URL (optional)")
+	id := flag.String("id", "broker-1", "broker id")
+	policyName := flag.String("policy", "lsc", "caching policy: lru|lsc|lscz|lsd|exp|ttl|nc")
+	budgetStr := flag.String("budget", "64MB", "cache budget")
+	ttlInterval := flag.Duration("ttl-interval", time.Minute, "TTL recompute interval")
+	flag.Parse()
+
+	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval); err != nil {
+		fmt.Fprintln(os.Stderr, "badbroker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration) error {
+	policy, err := core.PolicyByName(policyName)
+	if err != nil {
+		return err
+	}
+	budget, err := cliutil.ParseBytes(budgetStr)
+	if err != nil {
+		return err
+	}
+	if public == "" {
+		public = "http://127.0.0.1" + addr
+		if !strings.HasPrefix(addr, ":") {
+			public = "http://" + addr
+		}
+	}
+
+	b, err := broker.New(broker.Config{
+		ID:          id,
+		Backend:     bdms.NewClient(clusterURL, nil),
+		CallbackURL: public + "/callbacks/results",
+		Policy:      policy,
+		CacheBudget: budget,
+		TTL:         core.TTLConfig{RecomputeInterval: ttlInterval},
+	})
+	if err != nil {
+		return err
+	}
+
+	// TTL machinery (no-op for non-TTL policies).
+	if policy.StampTTL() {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			ticker := time.NewTicker(ttlInterval)
+			defer ticker.Stop()
+			expire := time.NewTicker(time.Second)
+			defer expire.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					b.DriveTTL()
+				case <-expire.C:
+					b.ExpireDue()
+				}
+			}
+		}()
+	}
+
+	if bcsURL != "" {
+		reg, err := broker.RegisterWithBCS(b, bcs.NewClient(bcsURL, nil), public, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		defer reg.Close()
+		log.Printf("registered with BCS at %s as %s", bcsURL, id)
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           broker.NewServer(b).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("badbroker %s listening on %s (policy %s, budget %s, cluster %s)",
+		id, addr, policy.Name(), budgetStr, clusterURL)
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,120 @@
+// Command badcluster runs a standalone BAD data cluster node: the
+// mini-AsterixDB substrate with datasets, parameterized channels, backend
+// subscriptions and webhook notifications, served over REST.
+//
+// Usage:
+//
+//	badcluster -addr :19002 -nodes 3 [-emergency]
+//
+// -emergency preloads the city-emergency catalog (datasets + Table III
+// channels) so brokers and clients can subscribe immediately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"gobad/internal/bdms"
+	"gobad/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":19002", "listen address")
+	nodes := flag.Int("nodes", 3, "storage nodes per dataset")
+	emergency := flag.Bool("emergency", true, "preload the city-emergency catalog (Table III)")
+	repTick := flag.Duration("repetitive-tick", time.Second, "how often repetitive channels are polled")
+	walPath := flag.String("wal", "", "write-ahead log path for durable publications (empty = in-memory only)")
+	flag.Parse()
+
+	if err := run(*addr, *nodes, *emergency, *repTick, *walPath); err != nil {
+		fmt.Fprintln(os.Stderr, "badcluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, nodes int, emergency bool, repTick time.Duration, walPath string) error {
+	notifier := bdms.NewWebhookNotifier(4, 1024, nil)
+	defer notifier.Close()
+	opts := []bdms.Option{bdms.WithNodes(nodes), bdms.WithNotifier(notifier)}
+	var cluster *bdms.Cluster
+	if walPath != "" {
+		var err error
+		cluster, err = bdms.OpenWAL(walPath, opts...)
+		if err != nil {
+			return err
+		}
+		log.Printf("recovered datasets from %s: %v", walPath, cluster.DatasetNames())
+	} else {
+		cluster = bdms.NewCluster(opts...)
+	}
+
+	if emergency && cluster.Dataset("EmergencyReports") == nil {
+		if err := preloadEmergency(cluster); err != nil {
+			return err
+		}
+		log.Printf("preloaded emergency catalog: datasets %v", cluster.DatasetNames())
+	} else if emergency {
+		// Datasets recovered from the WAL; channels are runtime state and
+		// are always (re)registered.
+		if err := preloadChannels(cluster); err != nil {
+			return err
+		}
+	}
+
+	// Drive repetitive channels.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		ticker := time.NewTicker(repTick)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				cluster.RunRepetitiveDue()
+			}
+		}
+	}()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           bdms.NewServer(cluster).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("badcluster listening on %s (%d storage nodes)", addr, nodes)
+	return srv.ListenAndServe()
+}
+
+func preloadEmergency(cluster *bdms.Cluster) error {
+	if err := cluster.CreateDataset("EmergencyReports", bdms.Schema{Fields: []bdms.Field{
+		{Name: "etype", Type: bdms.TypeString},
+		{Name: "severity", Type: bdms.TypeNumber},
+		{Name: "location", Type: bdms.TypeObject},
+	}}); err != nil {
+		return err
+	}
+	if err := cluster.CreateDataset("Shelters", bdms.Schema{}); err != nil {
+		return err
+	}
+	return preloadChannels(cluster)
+}
+
+func preloadChannels(cluster *bdms.Cluster) error {
+	for _, spec := range workload.EmergencyChannels() {
+		err := cluster.DefineChannel(bdms.ChannelDef{
+			Name:   spec.Name,
+			Params: spec.Params,
+			Body:   spec.Body,
+			Period: spec.Period,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Command badsim runs one discrete-event simulation (Section V) and prints
+// its metrics as JSON.
+//
+// Usage:
+//
+//	badsim -policy lsc -budget 100MB -scale 10
+//	badsim -policy ttl -budget 50MB -duration 2h -subscribers 5000
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gobad/internal/cliutil"
+	"gobad/internal/core"
+	"gobad/internal/experiments"
+	"gobad/internal/sim"
+)
+
+func main() {
+	policy := flag.String("policy", "lsc", "caching policy: lru|lsc|lscz|lsd|exp|ttl|nc")
+	budget := flag.String("budget", "100MB", "cache budget, e.g. 50MB, 512KB")
+	scale := flag.Float64("scale", 10, "population down-scale factor (1 = full Table II)")
+	duration := flag.Duration("duration", 0, "override simulated duration")
+	subscribers := flag.Int("subscribers", 0, "override subscriber count")
+	backendSubs := flag.Int("backend-subs", 0, "override backend subscription count")
+	seed := flag.Int64("seed", 1, "random seed")
+	perCache := flag.Bool("per-cache", false, "include per-cache summaries in the output")
+	flag.Parse()
+
+	if err := run(*policy, *budget, *scale, *duration, *subscribers, *backendSubs, *seed, *perCache); err != nil {
+		fmt.Fprintln(os.Stderr, "badsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(policyName, budgetStr string, scale float64, duration time.Duration,
+	subscribers, backendSubs int, seed int64, perCache bool) error {
+	p, err := core.PolicyByName(policyName)
+	if err != nil {
+		return err
+	}
+	budget, err := cliutil.ParseBytes(budgetStr)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.DefaultSimBase(scale)
+	cfg.Policy = p
+	cfg.CacheBudget = budget
+	cfg.Seed = seed
+	if duration > 0 {
+		cfg.Duration = duration
+	}
+	if subscribers > 0 {
+		cfg.Subscribers = subscribers
+	}
+	if backendSubs > 0 {
+		cfg.BackendSubs = backendSubs
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if !perCache {
+		res.PerCache = nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -1,0 +1,72 @@
+// Command badtrace generates a synthetic subscriber-interaction trace
+// (Section VI) as JSON lines on stdout, or summarizes an existing trace.
+//
+// Usage:
+//
+//	badtrace -subscribers 400 -duration 1h > trace.jsonl
+//	badtrace -summarize trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gobad/internal/trace"
+)
+
+func main() {
+	subscribers := flag.Int("subscribers", 400, "subscriber population")
+	subsPer := flag.Int("subs-per-subscriber", 9, "frontend subscriptions per subscriber")
+	unique := flag.Int("unique", 800, "distinct (channel, params) pool size")
+	duration := flag.Duration("duration", time.Hour, "trace duration")
+	publishEvery := flag.Duration("publish-interval", 10*time.Second, "mean publication gap")
+	zipf := flag.Float64("zipf", 1.0, "subscription popularity skew")
+	seed := flag.Int64("seed", 1, "random seed")
+	summarize := flag.String("summarize", "", "summarize an existing JSONL trace instead of generating")
+	flag.Parse()
+
+	if err := run(*subscribers, *subsPer, *unique, *duration, *publishEvery, *zipf, *seed, *summarize); err != nil {
+		fmt.Fprintln(os.Stderr, "badtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(subscribers, subsPer, unique int, duration, publishEvery time.Duration,
+	zipf float64, seed int64, summarize string) error {
+	if summarize != "" {
+		f, err := os.Open(summarize)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			return err
+		}
+		counts := map[trace.Kind]int{}
+		for _, a := range tr.Activities {
+			counts[a.Kind]++
+		}
+		fmt.Printf("activities: %d over %v\n", tr.Len(), tr.Duration().Round(time.Second))
+		for _, k := range []trace.Kind{trace.Login, trace.Logout, trace.Subscribe, trace.Unsubscribe, trace.Publish} {
+			fmt.Printf("  %-12s %d\n", k, counts[k])
+		}
+		return nil
+	}
+
+	cfg := trace.DefaultGenConfig()
+	cfg.Seed = seed
+	cfg.Subscribers = subscribers
+	cfg.SubsPerSubscriber = subsPer
+	cfg.UniqueSubscriptions = unique
+	cfg.Duration = duration
+	cfg.PublishInterval = publishEvery
+	cfg.ZipfS = zipf
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	return tr.Write(os.Stdout)
+}

@@ -1,0 +1,17 @@
+// Package gobad is a from-scratch Go reproduction of "Edge Caching for
+// Enriched Notifications Delivery in Big Active Data" (Uddin &
+// Venkatasubramanian, IEEE ICDCS 2018): broker-side result caching for a
+// Big Active Data system, with the full substrate — a miniature
+// AsterixDB-like data cluster with parameterized continuous/repetitive
+// channels and enriched notifications, a distributed broker network with a
+// coordination service and WebSocket push, a subscriber client library, a
+// discrete-event simulator, and a benchmark harness that regenerates every
+// table and figure of the paper's evaluation.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results. The benchmarks in bench_test.go regenerate the
+// evaluation artifacts:
+//
+//	go test -bench=. -benchmem
+package gobad

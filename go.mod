@@ -1,0 +1,3 @@
+module gobad
+
+go 1.22

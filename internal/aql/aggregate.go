@@ -1,0 +1,259 @@
+package aql
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Aggregation support: a query whose projection contains aggregate calls
+// (count/sum/avg/min/max over one argument, or count(*)) is evaluated in
+// aggregate mode by RunQuery. With a "group by" clause, one output row is
+// produced per distinct group key; without one, a single row summarizes
+// every matching record. This is what digest-style channels use, e.g.
+//
+//	select r.etype as etype, count(*) as reports, max(r.severity) as worst
+//	from EmergencyReports r where r.severity >= $min group by r.etype
+
+// aggregateFuncs names the functions treated as aggregates when they
+// appear in a projection with a single argument (count(*) included).
+var aggregateFuncs = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+// isAggregateCall reports whether e is an aggregate invocation in
+// projection position: count(*), count(x), sum(x), avg(x), or the
+// single-argument forms of min/max (their multi-argument forms remain
+// scalar builtins).
+func isAggregateCall(e Expr) (Call, bool) {
+	c, ok := e.(Call)
+	if !ok || !aggregateFuncs[c.Func] {
+		return Call{}, false
+	}
+	if len(c.Args) != 1 {
+		return Call{}, false
+	}
+	if _, star := c.Args[0].(Star); star && c.Func != "count" {
+		return Call{}, false
+	}
+	return c, true
+}
+
+// hasAggregates reports whether any projection item is an aggregate call.
+func hasAggregates(q *Query) bool {
+	for _, p := range q.Proj {
+		if _, ok := isAggregateCall(p.Expr); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// groupKey renders the evaluated group-by values as a canonical string.
+func groupKey(vals []any) string {
+	b, err := json.Marshal(vals)
+	if err != nil {
+		return fmt.Sprintf("%v", vals)
+	}
+	return string(b)
+}
+
+// runAggregateQuery evaluates q in aggregate mode over the pre-filtered
+// records (WHERE already applied by the caller).
+func runAggregateQuery(q *Query, matched []map[string]any, params map[string]any) ([]map[string]any, error) {
+	env := &Env{Alias: q.Alias, Params: params}
+
+	type group struct {
+		keyVals []any
+		rows    []map[string]any
+	}
+	groups := make(map[string]*group)
+	var order []string // first-appearance order of groups
+
+	if len(q.GroupBy) == 0 {
+		// Single implicit group (even when no records matched: SQL-style
+		// aggregates over an empty set still yield one row).
+		groups[""] = &group{rows: matched}
+		order = append(order, "")
+	} else {
+		for _, rec := range matched {
+			env.Record = rec
+			keyVals := make([]any, len(q.GroupBy))
+			for i, g := range q.GroupBy {
+				v, err := Eval(g, env)
+				if err != nil {
+					return nil, err
+				}
+				keyVals[i] = v
+			}
+			k := groupKey(keyVals)
+			grp, ok := groups[k]
+			if !ok {
+				grp = &group{keyVals: keyVals}
+				groups[k] = grp
+				order = append(order, k)
+			}
+			grp.rows = append(grp.rows, rec)
+		}
+	}
+
+	var out []map[string]any
+	for _, k := range order {
+		grp := groups[k]
+		row := make(map[string]any, len(q.Proj))
+		for i, p := range q.Proj {
+			name := p.Alias
+			if name == "" {
+				name = projName(p.Expr, i)
+			}
+			if agg, ok := isAggregateCall(p.Expr); ok {
+				v, err := evalAggregate(agg, grp.rows, env)
+				if err != nil {
+					return nil, err
+				}
+				row[name] = v
+				continue
+			}
+			// Non-aggregated projection: must be constant within the
+			// group, i.e. a group-by expression (checked by syntactic
+			// equality on canonical form).
+			if !isGroupExpr(p.Expr, q.GroupBy) {
+				return nil, evalErrf("projection %q is neither aggregated nor in group by", p.Expr.String())
+			}
+			if len(grp.rows) > 0 {
+				env.Record = grp.rows[0]
+				v, err := Eval(p.Expr, env)
+				if err != nil {
+					return nil, err
+				}
+				row[name] = v
+			} else {
+				row[name] = nil
+			}
+		}
+		out = append(out, row)
+	}
+
+	if len(q.OrderBy) > 0 {
+		if err := sortRows(out, q.OrderBy, env); err != nil {
+			return nil, err
+		}
+	}
+	if q.Limit >= 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+// isGroupExpr reports whether e matches one of the group-by expressions
+// (by canonical rendering).
+func isGroupExpr(e Expr, groupBy []Expr) bool {
+	s := e.String()
+	for _, g := range groupBy {
+		if g.String() == s {
+			return true
+		}
+	}
+	return false
+}
+
+// evalAggregate computes one aggregate over a group's rows.
+func evalAggregate(c Call, rows []map[string]any, env *Env) (any, error) {
+	if _, star := c.Args[0].(Star); star {
+		return float64(len(rows)), nil
+	}
+	var nums []float64
+	nonNull := 0
+	for _, rec := range rows {
+		env.Record = rec
+		v, err := Eval(c.Args[0], env)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			continue // SQL semantics: aggregates skip nulls
+		}
+		nonNull++
+		if n, ok := normalize(v).(float64); ok {
+			nums = append(nums, n)
+		} else if c.Func != "count" {
+			return nil, evalErrf("%s: non-numeric value %T in aggregate", c.Func, v)
+		}
+	}
+	switch c.Func {
+	case "count":
+		return float64(nonNull), nil
+	case "sum":
+		var s float64
+		for _, n := range nums {
+			s += n
+		}
+		return s, nil
+	case "avg":
+		if len(nums) == 0 {
+			return nil, nil
+		}
+		var s float64
+		for _, n := range nums {
+			s += n
+		}
+		return s / float64(len(nums)), nil
+	case "min":
+		if len(nums) == 0 {
+			return nil, nil
+		}
+		out := math.Inf(1)
+		for _, n := range nums {
+			if n < out {
+				out = n
+			}
+		}
+		return out, nil
+	case "max":
+		if len(nums) == 0 {
+			return nil, nil
+		}
+		out := math.Inf(-1)
+		for _, n := range nums {
+			if n > out {
+				out = n
+			}
+		}
+		return out, nil
+	default:
+		return nil, evalErrf("unknown aggregate %q", c.Func)
+	}
+}
+
+// sortRows orders output rows by the order-by keys (evaluated against the
+// rows themselves).
+func sortRows(rows []map[string]any, keys []OrderItem, env *Env) error {
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, key := range keys {
+			env.Record = rows[i]
+			vi, err := Eval(key.Expr, env)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			env.Record = rows[j]
+			vj, err := Eval(key.Expr, env)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			cmp, ok := compareValues(vi, vj)
+			if !ok || cmp == 0 {
+				continue
+			}
+			if key.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	return sortErr
+}

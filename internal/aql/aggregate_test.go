@@ -1,0 +1,193 @@
+package aql
+
+import (
+	"testing"
+)
+
+func aggRecords() []map[string]any {
+	return []map[string]any{
+		{"etype": "fire", "severity": 5.0, "size": 100.0},
+		{"etype": "fire", "severity": 3.0, "size": 200.0},
+		{"etype": "flood", "severity": 2.0, "size": 50.0},
+		{"etype": "flood", "severity": 4.0, "size": 150.0},
+		{"etype": "flood", "severity": 1.0, "size": 25.0},
+	}
+}
+
+func mustRun(t *testing.T, src string, records []map[string]any, params map[string]any) []map[string]any {
+	t.Helper()
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("ParseQuery(%q): %v", src, err)
+	}
+	rows, err := RunQuery(q, records, params)
+	if err != nil {
+		t.Fatalf("RunQuery(%q): %v", src, err)
+	}
+	return rows
+}
+
+func TestCountStar(t *testing.T) {
+	rows := mustRun(t, "select count(*) as n from R", aggRecords(), nil)
+	if len(rows) != 1 || rows[0]["n"] != 5.0 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestCountStarEmptyInput(t *testing.T) {
+	rows := mustRun(t, "select count(*) as n from R", nil, nil)
+	if len(rows) != 1 || rows[0]["n"] != 0.0 {
+		t.Errorf("aggregate over empty set should yield one zero row: %v", rows)
+	}
+}
+
+func TestAggregatesWithWhere(t *testing.T) {
+	rows := mustRun(t,
+		"select count(*) as n, sum(r.size) as total, avg(r.severity) as mean from R r where r.severity >= 2",
+		aggRecords(), nil)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0]["n"] != 4.0 {
+		t.Errorf("n = %v", rows[0]["n"])
+	}
+	if rows[0]["total"] != 500.0 {
+		t.Errorf("total = %v", rows[0]["total"])
+	}
+	if rows[0]["mean"] != 3.5 {
+		t.Errorf("mean = %v", rows[0]["mean"])
+	}
+}
+
+func TestMinMaxAggregates(t *testing.T) {
+	rows := mustRun(t, "select min(r.severity) as lo, max(r.severity) as hi from R r", aggRecords(), nil)
+	if rows[0]["lo"] != 1.0 || rows[0]["hi"] != 5.0 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	rows := mustRun(t,
+		"select r.etype as etype, count(*) as n, max(r.severity) as worst from R r group by r.etype order by n desc",
+		aggRecords(), nil)
+	if len(rows) != 2 {
+		t.Fatalf("groups = %v", rows)
+	}
+	if rows[0]["etype"] != "flood" || rows[0]["n"] != 3.0 || rows[0]["worst"] != 4.0 {
+		t.Errorf("first group = %v", rows[0])
+	}
+	if rows[1]["etype"] != "fire" || rows[1]["n"] != 2.0 || rows[1]["worst"] != 5.0 {
+		t.Errorf("second group = %v", rows[1])
+	}
+}
+
+func TestGroupByWithParams(t *testing.T) {
+	rows := mustRun(t,
+		"select r.etype as etype, count(*) as n from R r where r.severity >= $min group by r.etype",
+		aggRecords(), map[string]any{"min": 3.0})
+	total := 0.0
+	for _, row := range rows {
+		total += row["n"].(float64)
+	}
+	if total != 3.0 {
+		t.Errorf("filtered group counts = %v", rows)
+	}
+}
+
+func TestGroupByLimit(t *testing.T) {
+	rows := mustRun(t,
+		"select r.etype as etype, count(*) as n from R r group by r.etype order by n desc limit 1",
+		aggRecords(), nil)
+	if len(rows) != 1 || rows[0]["etype"] != "flood" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestNonAggregatedProjectionRejected(t *testing.T) {
+	q, err := ParseQuery("select r.severity, count(*) from R r group by r.etype")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunQuery(q, aggRecords(), nil); err == nil {
+		t.Error("projecting a non-grouped column should fail")
+	}
+}
+
+func TestAggregateSkipsNulls(t *testing.T) {
+	records := []map[string]any{
+		{"x": 1.0}, {"x": nil}, {"y": 2.0}, {"x": 3.0},
+	}
+	rows := mustRun(t, "select count(r.x) as n, sum(r.x) as s, avg(r.x) as a from R r", records, nil)
+	if rows[0]["n"] != 2.0 || rows[0]["s"] != 4.0 || rows[0]["a"] != 2.0 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestAggregateEmptyGroupValues(t *testing.T) {
+	rows := mustRun(t, "select sum(r.x) as s, avg(r.x) as a, min(r.x) as lo from R r", nil, nil)
+	if rows[0]["s"] != 0.0 {
+		t.Errorf("sum over empty = %v", rows[0]["s"])
+	}
+	if rows[0]["a"] != nil || rows[0]["lo"] != nil {
+		t.Errorf("avg/min over empty should be null: %v", rows[0])
+	}
+}
+
+func TestAggregateNonNumericRejected(t *testing.T) {
+	q, err := ParseQuery("select sum(r.etype) from R r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunQuery(q, aggRecords(), nil); err == nil {
+		t.Error("sum of strings should fail")
+	}
+}
+
+func TestScalarMinMaxStillWork(t *testing.T) {
+	// Multi-argument min/max in non-aggregate queries remain scalar.
+	rows := mustRun(t, "select min(r.severity, 3) as capped from R r", aggRecords(), nil)
+	if len(rows) != 5 {
+		t.Fatalf("scalar query should yield one row per record: %d", len(rows))
+	}
+	if rows[0]["capped"] != 3.0 {
+		t.Errorf("capped = %v", rows[0]["capped"])
+	}
+}
+
+func TestStarOutsideCountRejected(t *testing.T) {
+	if _, err := ParseQuery("select sum(*) from R"); err == nil {
+		// sum(*) parses as Call{sum, [Star]} but is not an aggregate form;
+		// it must fail at evaluation.
+		q, _ := ParseQuery("select sum(*) from R")
+		if _, err := RunQuery(q, aggRecords(), nil); err == nil {
+			t.Error("sum(*) should fail")
+		}
+	}
+}
+
+func TestGroupByRoundTrip(t *testing.T) {
+	src := "select r.etype as etype, count(*) as n from R r where r.severity >= 2 group by r.etype order by n desc limit 3"
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := ParseQuery(q.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", q.String(), err)
+	}
+	if q.String() != q2.String() {
+		t.Errorf("round trip changed: %q -> %q", q.String(), q2.String())
+	}
+}
+
+func TestGroupByParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"select * from R group",
+		"select * from R group by",
+		"select count( from R",
+	} {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("ParseQuery(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package aql
+
+import (
+	"math"
+	"strings"
+)
+
+// builtin is the implementation of one library function.
+type builtin struct {
+	minArgs, maxArgs int
+	fn               func(args []any) (any, error)
+}
+
+// builtins is the function library available in channel bodies. The
+// emergency usecase leans on geo_distance; the rest round out a usable
+// predicate language.
+var builtins = map[string]builtin{
+	"geo_distance": {4, 4, func(args []any) (any, error) {
+		nums, err := numberArgs("geo_distance", args)
+		if err != nil {
+			return nil, err
+		}
+		return haversineKm(nums[0], nums[1], nums[2], nums[3]), nil
+	}},
+	"abs": {1, 1, func(args []any) (any, error) {
+		nums, err := numberArgs("abs", args)
+		if err != nil {
+			return nil, err
+		}
+		return math.Abs(nums[0]), nil
+	}},
+	"floor": {1, 1, func(args []any) (any, error) {
+		nums, err := numberArgs("floor", args)
+		if err != nil {
+			return nil, err
+		}
+		return math.Floor(nums[0]), nil
+	}},
+	"ceil": {1, 1, func(args []any) (any, error) {
+		nums, err := numberArgs("ceil", args)
+		if err != nil {
+			return nil, err
+		}
+		return math.Ceil(nums[0]), nil
+	}},
+	"round": {1, 1, func(args []any) (any, error) {
+		nums, err := numberArgs("round", args)
+		if err != nil {
+			return nil, err
+		}
+		return math.Round(nums[0]), nil
+	}},
+	"sqrt": {1, 1, func(args []any) (any, error) {
+		nums, err := numberArgs("sqrt", args)
+		if err != nil {
+			return nil, err
+		}
+		if nums[0] < 0 {
+			return nil, evalErrf("sqrt of negative number")
+		}
+		return math.Sqrt(nums[0]), nil
+	}},
+	"min": {1, -1, func(args []any) (any, error) {
+		nums, err := numberArgs("min", args)
+		if err != nil {
+			return nil, err
+		}
+		out := nums[0]
+		for _, n := range nums[1:] {
+			if n < out {
+				out = n
+			}
+		}
+		return out, nil
+	}},
+	"max": {1, -1, func(args []any) (any, error) {
+		nums, err := numberArgs("max", args)
+		if err != nil {
+			return nil, err
+		}
+		out := nums[0]
+		for _, n := range nums[1:] {
+			if n > out {
+				out = n
+			}
+		}
+		return out, nil
+	}},
+	"lower": {1, 1, func(args []any) (any, error) {
+		s, err := stringArg("lower", args[0])
+		if err != nil {
+			return nil, err
+		}
+		return strings.ToLower(s), nil
+	}},
+	"upper": {1, 1, func(args []any) (any, error) {
+		s, err := stringArg("upper", args[0])
+		if err != nil {
+			return nil, err
+		}
+		return strings.ToUpper(s), nil
+	}},
+	"contains": {2, 2, func(args []any) (any, error) {
+		s, err := stringArg("contains", args[0])
+		if err != nil {
+			return nil, err
+		}
+		sub, err := stringArg("contains", args[1])
+		if err != nil {
+			return nil, err
+		}
+		return strings.Contains(s, sub), nil
+	}},
+	"starts_with": {2, 2, func(args []any) (any, error) {
+		s, err := stringArg("starts_with", args[0])
+		if err != nil {
+			return nil, err
+		}
+		prefix, err := stringArg("starts_with", args[1])
+		if err != nil {
+			return nil, err
+		}
+		return strings.HasPrefix(s, prefix), nil
+	}},
+	"len": {1, 1, func(args []any) (any, error) {
+		switch v := args[0].(type) {
+		case string:
+			return float64(len(v)), nil
+		case []any:
+			return float64(len(v)), nil
+		case map[string]any:
+			return float64(len(v)), nil
+		case nil:
+			return float64(0), nil
+		default:
+			return nil, evalErrf("len: unsupported type %T", v)
+		}
+	}},
+	"coalesce": {1, -1, func(args []any) (any, error) {
+		for _, a := range args {
+			if a != nil {
+				return a, nil
+			}
+		}
+		return nil, nil
+	}},
+	"exists": {1, 1, func(args []any) (any, error) {
+		return args[0] != nil, nil
+	}},
+}
+
+func evalCall(c Call, env *Env) (any, error) {
+	b, ok := builtins[strings.ToLower(c.Func)]
+	if !ok {
+		return nil, evalErrf("unknown function %q", c.Func)
+	}
+	if len(c.Args) < b.minArgs || (b.maxArgs >= 0 && len(c.Args) > b.maxArgs) {
+		return nil, evalErrf("%s: wrong number of arguments (got %d)", c.Func, len(c.Args))
+	}
+	args := make([]any, len(c.Args))
+	for i, a := range c.Args {
+		v, err := Eval(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return b.fn(args)
+}
+
+func numberArgs(fn string, args []any) ([]float64, error) {
+	out := make([]float64, len(args))
+	for i, a := range args {
+		n, ok := normalize(a).(float64)
+		if !ok {
+			return nil, evalErrf("%s: argument %d must be a number, got %T", fn, i+1, a)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+func stringArg(fn string, arg any) (string, error) {
+	s, ok := arg.(string)
+	if !ok {
+		return "", evalErrf("%s: argument must be a string, got %T", fn, arg)
+	}
+	return s, nil
+}
+
+// haversineKm returns the great-circle distance in kilometers.
+func haversineKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const earthRadiusKm = 6371.0
+	toRad := func(deg float64) float64 { return deg * math.Pi / 180 }
+	dLat := toRad(lat2 - lat1)
+	dLon := toRad(lon2 - lon1)
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(toRad(lat1))*math.Cos(toRad(lat2))*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}

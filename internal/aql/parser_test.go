@@ -1,0 +1,230 @@
+package aql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseQueryStar(t *testing.T) {
+	q, err := ParseQuery("select * from EmergencyReports r where r.severity >= 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Star {
+		t.Error("Star should be true")
+	}
+	if q.Dataset != "EmergencyReports" || q.Alias != "r" {
+		t.Errorf("dataset/alias = %q/%q", q.Dataset, q.Alias)
+	}
+	if q.Where == nil {
+		t.Fatal("Where should be set")
+	}
+	if q.Limit != -1 {
+		t.Errorf("Limit = %d, want -1", q.Limit)
+	}
+}
+
+func TestParseQueryProjection(t *testing.T) {
+	q, err := ParseQuery("select r.etype as kind, r.severity from Reports r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Star {
+		t.Error("Star should be false")
+	}
+	if len(q.Proj) != 2 {
+		t.Fatalf("got %d projection items, want 2", len(q.Proj))
+	}
+	if q.Proj[0].Alias != "kind" {
+		t.Errorf("alias = %q, want kind", q.Proj[0].Alias)
+	}
+	if q.Proj[1].Alias != "" {
+		t.Errorf("alias = %q, want empty", q.Proj[1].Alias)
+	}
+}
+
+func TestParseQueryOrderLimit(t *testing.T) {
+	q, err := ParseQuery("select * from X order by a desc, b limit 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.OrderBy) != 2 {
+		t.Fatalf("got %d order keys, want 2", len(q.OrderBy))
+	}
+	if !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Error("first key should be desc, second asc")
+	}
+	if q.Limit != 10 {
+		t.Errorf("Limit = %d, want 10", q.Limit)
+	}
+}
+
+func TestParseQueryNoAlias(t *testing.T) {
+	q, err := ParseQuery("select * from X where severity > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Alias != "" {
+		t.Errorf("alias = %q, want empty", q.Alias)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	tests := []string{
+		"",
+		"select",
+		"select * where x",
+		"select * from",
+		"select * from X trailing garbage here (",
+		"select * from X where",
+		"select * from X limit -1",
+		"select * from X limit 1.5",
+		"select * from X order by",
+		"select a as from X",
+		"select * from X where (a = 1",
+	}
+	for _, src := range tests {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("ParseQuery(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	tests := []struct {
+		src, canonical string
+	}{
+		{"1 + 2 * 3", "(1 + (2 * 3))"},
+		{"(1 + 2) * 3", "((1 + 2) * 3)"},
+		{"a and b or c", "((a and b) or c)"},
+		{"not a and b", "(not a and b)"},
+		{"a = 1 and b = 2", "((a = 1) and (b = 2))"},
+		{"-a + b", "(-a + b)"},
+		{"a.b.c >= $p", "(a.b.c >= $p)"},
+		{"x in [1, 2, 3]", "(x in [1, 2, 3])"},
+		{"name like 'abc%'", "(name like 'abc%')"},
+		{"1 - 2 - 3", "((1 - 2) - 3)"},
+		{"8 / 4 / 2", "((8 / 4) / 2)"},
+	}
+	for _, tt := range tests {
+		e, err := ParseExpr(tt.src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", tt.src, err)
+			continue
+		}
+		if got := e.String(); got != tt.canonical {
+			t.Errorf("ParseExpr(%q) = %q, want %q", tt.src, got, tt.canonical)
+		}
+	}
+}
+
+func TestParseExprCall(t *testing.T) {
+	e, err := ParseExpr("geo_distance(r.lat, r.lon, $lat, $lon)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	call, ok := e.(Call)
+	if !ok {
+		t.Fatalf("got %T, want Call", e)
+	}
+	if call.Func != "geo_distance" || len(call.Args) != 4 {
+		t.Errorf("call = %+v", call)
+	}
+}
+
+func TestParseExprEmptyCallAndList(t *testing.T) {
+	if _, err := ParseExpr("now()"); err != nil {
+		t.Errorf("zero-arg call should parse: %v", err)
+	}
+	e, err := ParseExpr("x in []")
+	if err != nil {
+		t.Fatalf("empty list should parse: %v", err)
+	}
+	if !strings.Contains(e.String(), "[]") {
+		t.Errorf("canonical form %q should contain []", e.String())
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	tests := []string{
+		"",
+		"1 +",
+		"f(1,",
+		"[1, 2",
+		"a.",
+		"not",
+		"()",
+		"1 2",
+	}
+	for _, src := range tests {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", src)
+		}
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"select * from Reports r where r.a = 1 and r.b != 'x' order by r.ts desc limit 5",
+		"select r.x as a, r.y from DS r",
+		"select * from DS",
+	}
+	for _, src := range srcs {
+		q, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", src, err)
+		}
+		q2, err := ParseQuery(q.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", q.String(), err)
+		}
+		if q.String() != q2.String() {
+			t.Errorf("round trip changed: %q -> %q", q.String(), q2.String())
+		}
+	}
+}
+
+func TestQueryParams(t *testing.T) {
+	q, err := ParseQuery(
+		"select r.x + $a from DS r where r.y = $b and r.z in [$a, $c] order by $d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := q.Params()
+	want := []string{"a", "b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("Params = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Params[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQueryParamsNone(t *testing.T) {
+	q, err := ParseQuery("select * from DS where x = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Params(); len(got) != 0 {
+		t.Errorf("Params = %v, want empty", got)
+	}
+}
+
+func TestParseCatalogChannels(t *testing.T) {
+	// Every channel body in the emergency catalog must parse.
+	bodies := []string{
+		"select * from EmergencyReports r where geo_distance(r.location.lat, r.location.lon, $lat, $lon) <= $radiusKm",
+		"select * from EmergencyReports r where r.etype = $etype and geo_distance(r.location.lat, r.location.lon, $lat, $lon) <= $radiusKm",
+		"select * from EmergencyReports r where r.severity >= $minSeverity",
+		"select * from Shelters s where geo_distance(s.location.lat, s.location.lon, $lat, $lon) <= $radiusKm and s.capacity > 0",
+		"select * from Shelters s where s.capacity >= $minCapacity",
+		"select * from EmergencyReports r where r.etype = $etype",
+	}
+	for _, b := range bodies {
+		if _, err := ParseQuery(b); err != nil {
+			t.Errorf("catalog body failed to parse: %v\n  %s", err, b)
+		}
+	}
+}

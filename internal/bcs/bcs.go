@@ -1,0 +1,144 @@
+// Package bcs implements the Broker Coordination Service: brokers register
+// themselves when they join the broker network, send periodic heartbeats
+// with their current load, and subscribers ask the BCS for a suitable
+// broker to connect to (Fig. 6's interaction: "when a subscriber comes to
+// the system, it contacts the BCS and the BCS returns the IP address and
+// port of a suitable broker").
+package bcs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BrokerInfo describes one registered broker.
+type BrokerInfo struct {
+	// ID is the broker's self-chosen identifier.
+	ID string `json:"id"`
+	// Address is the broker's client-facing base URL.
+	Address string `json:"address"`
+	// Load is the broker's self-reported subscriber count.
+	Load int `json:"load"`
+	// RegisteredAt / LastHeartbeat are service-time offsets.
+	RegisteredAt  time.Duration `json:"registered_at"`
+	LastHeartbeat time.Duration `json:"last_heartbeat"`
+}
+
+// Service is the coordination state. It is safe for concurrent use.
+type Service struct {
+	mu      sync.Mutex
+	brokers map[string]*BrokerInfo
+	epoch   time.Time
+	clock   func() time.Duration
+	// liveness is how stale a heartbeat may be before the broker is
+	// considered dead for assignment purposes.
+	liveness time.Duration
+}
+
+// Option configures a Service.
+type Option func(*Service)
+
+// WithLiveness sets the heartbeat staleness bound (default 30s).
+func WithLiveness(d time.Duration) Option {
+	return func(s *Service) {
+		if d > 0 {
+			s.liveness = d
+		}
+	}
+}
+
+// WithClock overrides the service clock (tests).
+func WithClock(clk func() time.Duration) Option {
+	return func(s *Service) {
+		if clk != nil {
+			s.clock = clk
+		}
+	}
+}
+
+// NewService returns a ready Service.
+func NewService(opts ...Option) *Service {
+	s := &Service{
+		brokers:  make(map[string]*BrokerInfo),
+		epoch:    time.Now(),
+		liveness: 30 * time.Second,
+	}
+	s.clock = func() time.Duration { return time.Since(s.epoch) }
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Register adds (or re-registers) a broker.
+func (s *Service) Register(id, address string) error {
+	if id == "" || address == "" {
+		return fmt.Errorf("bcs: broker registration needs id and address")
+	}
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.brokers[id] = &BrokerInfo{
+		ID: id, Address: address,
+		RegisteredAt: now, LastHeartbeat: now,
+	}
+	return nil
+}
+
+// Heartbeat refreshes a broker's liveness and load.
+func (s *Service) Heartbeat(id string, load int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.brokers[id]
+	if !ok {
+		return fmt.Errorf("bcs: unknown broker %q", id)
+	}
+	b.LastHeartbeat = s.clock()
+	b.Load = load
+	return nil
+}
+
+// Deregister removes a broker.
+func (s *Service) Deregister(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.brokers[id]; !ok {
+		return fmt.Errorf("bcs: unknown broker %q", id)
+	}
+	delete(s.brokers, id)
+	return nil
+}
+
+// Brokers lists all registered brokers sorted by ID.
+func (s *Service) Brokers() []BrokerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]BrokerInfo, 0, len(s.brokers))
+	for _, b := range s.brokers {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Assign picks the least-loaded live broker for a new subscriber.
+func (s *Service) Assign() (BrokerInfo, error) {
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var best *BrokerInfo
+	for _, b := range s.brokers {
+		if now-b.LastHeartbeat > s.liveness {
+			continue
+		}
+		if best == nil || b.Load < best.Load || (b.Load == best.Load && b.ID < best.ID) {
+			best = b
+		}
+	}
+	if best == nil {
+		return BrokerInfo{}, fmt.Errorf("bcs: no live broker available")
+	}
+	return *best, nil
+}

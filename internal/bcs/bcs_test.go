@@ -1,0 +1,165 @@
+package bcs
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *fakeClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+func TestRegisterAndAssign(t *testing.T) {
+	clk := &fakeClock{}
+	s := NewService(WithClock(clk.Now))
+	if _, err := s.Assign(); err == nil {
+		t.Error("assign with no brokers should fail")
+	}
+	if err := s.Register("b1", "http://b1:8080"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("b2", "http://b2:8080"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("", "x"); err == nil {
+		t.Error("empty id should fail")
+	}
+
+	// Equal load: deterministic pick by ID.
+	b, err := s.Assign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != "b1" {
+		t.Errorf("assigned %s, want b1", b.ID)
+	}
+	// b1 reports higher load: b2 wins.
+	if err := s.Heartbeat("b1", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Heartbeat("b2", 5); err != nil {
+		t.Fatal(err)
+	}
+	b, err = s.Assign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != "b2" {
+		t.Errorf("assigned %s, want least-loaded b2", b.ID)
+	}
+}
+
+func TestAssignSkipsDeadBrokers(t *testing.T) {
+	clk := &fakeClock{}
+	s := NewService(WithClock(clk.Now), WithLiveness(10*time.Second))
+	if err := s.Register("b1", "http://b1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("b2", "http://b2"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(5 * time.Second)
+	if err := s.Heartbeat("b2", 50); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(8 * time.Second) // b1's heartbeat now 13s old, b2's 8s old
+	b, err := s.Assign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != "b2" {
+		t.Errorf("assigned %s, want live b2", b.ID)
+	}
+	clk.Advance(20 * time.Second) // both dead
+	if _, err := s.Assign(); err == nil {
+		t.Error("all-dead assign should fail")
+	}
+}
+
+func TestHeartbeatUnknown(t *testing.T) {
+	s := NewService()
+	if err := s.Heartbeat("nope", 0); err == nil {
+		t.Error("unknown broker heartbeat should fail")
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	s := NewService()
+	if err := s.Register("b1", "http://b1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Deregister("b1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Deregister("b1"); err == nil {
+		t.Error("double deregister should fail")
+	}
+	if got := s.Brokers(); len(got) != 0 {
+		t.Errorf("brokers = %v", got)
+	}
+}
+
+func TestBrokersSorted(t *testing.T) {
+	s := NewService()
+	for _, id := range []string{"c", "a", "b"} {
+		if err := s.Register(id, "http://"+id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Brokers()
+	if len(got) != 3 || got[0].ID != "a" || got[2].ID != "c" {
+		t.Errorf("brokers = %v", got)
+	}
+}
+
+func TestServerClientRoundTrip(t *testing.T) {
+	svc := NewService()
+	srv := httptest.NewServer(NewServer(svc).Handler())
+	defer srv.Close()
+	client := NewClient(srv.URL, srv.Client())
+
+	if err := client.Register("b1", "http://b1:9000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Heartbeat("b1", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Heartbeat("ghost", 1); err == nil {
+		t.Error("unknown broker heartbeat should fail over REST")
+	}
+	brokers, err := client.Brokers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(brokers) != 1 || brokers[0].Load != 7 {
+		t.Errorf("brokers = %+v", brokers)
+	}
+	b, err := client.Assign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != "b1" || b.Address != "http://b1:9000" {
+		t.Errorf("assigned = %+v", b)
+	}
+	if err := client.Deregister("b1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Assign(); err == nil {
+		t.Error("assign with no brokers should fail over REST")
+	}
+}

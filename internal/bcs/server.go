@@ -1,0 +1,137 @@
+package bcs
+
+import (
+	"net/http"
+	"time"
+
+	"gobad/internal/httpx"
+)
+
+// Server exposes the coordination service over REST.
+type Server struct {
+	svc *Service
+	mux *http.ServeMux
+}
+
+// NewServer wraps a Service with its REST API.
+func NewServer(svc *Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("POST /api/brokers", s.handleRegister)
+	s.mux.HandleFunc("POST /api/brokers/{id}/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("DELETE /api/brokers/{id}", s.handleDeregister)
+	s.mux.HandleFunc("GET /api/brokers", s.handleList)
+	s.mux.HandleFunc("GET /api/assign", s.handleAssign)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// RegisterRequest is the broker registration payload.
+type RegisterRequest struct {
+	ID      string `json:"id"`
+	Address string `json:"address"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := httpx.ReadJSON(r, &req); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.svc.Register(req.ID, req.Address); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusCreated, nil)
+}
+
+// HeartbeatRequest carries a broker's load report.
+type HeartbeatRequest struct {
+	Load int `json:"load"`
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := httpx.ReadJSON(r, &req); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.svc.Heartbeat(r.PathValue("id"), req.Load); err != nil {
+		httpx.WriteError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, nil)
+}
+
+func (s *Server) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	if err := s.svc.Deregister(r.PathValue("id")); err != nil {
+		httpx.WriteError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, nil)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	httpx.WriteJSON(w, http.StatusOK, map[string][]BrokerInfo{"brokers": s.svc.Brokers()})
+}
+
+func (s *Server) handleAssign(w http.ResponseWriter, _ *http.Request) {
+	b, err := s.svc.Assign()
+	if err != nil {
+		httpx.WriteError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, b)
+}
+
+// Client is the Go client for the BCS REST API, used by brokers (register,
+// heartbeat) and subscribers (assign).
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a BCS client for baseURL.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{base: baseURL, http: httpClient}
+}
+
+// Register announces a broker.
+func (c *Client) Register(id, address string) error {
+	return httpx.DoJSON(c.http, http.MethodPost, c.base+"/api/brokers",
+		RegisterRequest{ID: id, Address: address}, nil)
+}
+
+// Heartbeat refreshes a broker's liveness.
+func (c *Client) Heartbeat(id string, load int) error {
+	return httpx.DoJSON(c.http, http.MethodPost,
+		c.base+"/api/brokers/"+id+"/heartbeat", HeartbeatRequest{Load: load}, nil)
+}
+
+// Deregister removes a broker.
+func (c *Client) Deregister(id string) error {
+	return httpx.DoJSON(c.http, http.MethodDelete, c.base+"/api/brokers/"+id, nil, nil)
+}
+
+// Brokers lists registered brokers.
+func (c *Client) Brokers() ([]BrokerInfo, error) {
+	var out map[string][]BrokerInfo
+	if err := httpx.DoJSON(c.http, http.MethodGet, c.base+"/api/brokers", nil, &out); err != nil {
+		return nil, err
+	}
+	return out["brokers"], nil
+}
+
+// Assign asks for a suitable broker for a new subscriber.
+func (c *Client) Assign() (BrokerInfo, error) {
+	var out BrokerInfo
+	err := httpx.DoJSON(c.http, http.MethodGet, c.base+"/api/assign", nil, &out)
+	return out, err
+}

@@ -1,0 +1,179 @@
+package bdms
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"gobad/internal/aql"
+)
+
+// EnrichSpec declares one enrichment attached to a channel: a secondary
+// query evaluated per matched publication whose rows are embedded in the
+// notification under Name. This is what makes BAD notifications "enriched"
+// — they can combine the triggering publication with related data from
+// other datasets (e.g. attach nearby shelters to an emergency report).
+type EnrichSpec struct {
+	// Name keys the enrichment rows inside the notification record.
+	Name string `json:"name"`
+	// Query is the AQL text of the secondary query.
+	Query string `json:"query"`
+	// Bind maps the secondary query's $parameters to dotted paths into
+	// the matched publication (e.g. "lat" -> "location.lat"). Parameters
+	// not bound here fall back to the channel subscription's parameters.
+	Bind map[string]string `json:"bind,omitempty"`
+}
+
+// ChannelDef declares a parameterized channel.
+type ChannelDef struct {
+	// Name identifies the channel.
+	Name string `json:"name"`
+	// Params names the channel's parameters in positional order.
+	Params []string `json:"params"`
+	// Body is the channel's AQL query; it may reference any subset of
+	// Params as $name.
+	Body string `json:"body"`
+	// Period is the execution interval for repetitive channels; zero
+	// declares a continuous channel.
+	Period time.Duration `json:"period"`
+	// Enrich lists secondary queries whose results are embedded in each
+	// notification.
+	Enrich []EnrichSpec `json:"enrich,omitempty"`
+}
+
+// channel is a registered channel with its parsed artifacts.
+type channel struct {
+	def     ChannelDef
+	query   *aql.Query
+	enrich  []parsedEnrich
+	dataset string
+	// index is the indexable equality conjunct of the body's WHERE
+	// clause, used to prune continuous matching (nil when none exists).
+	index *indexSpec
+}
+
+type parsedEnrich struct {
+	spec  EnrichSpec
+	query *aql.Query
+}
+
+// compileChannel validates and parses a channel definition.
+func compileChannel(def ChannelDef) (*channel, error) {
+	if def.Name == "" {
+		return nil, fmt.Errorf("bdms: channel needs a name")
+	}
+	q, err := aql.ParseQuery(def.Body)
+	if err != nil {
+		return nil, fmt.Errorf("bdms: channel %s body: %w", def.Name, err)
+	}
+	declared := make(map[string]bool, len(def.Params))
+	for _, p := range def.Params {
+		declared[p] = true
+	}
+	for _, p := range q.Params() {
+		if !declared[p] {
+			return nil, fmt.Errorf("bdms: channel %s references undeclared parameter $%s", def.Name, p)
+		}
+	}
+	ch := &channel{def: def, query: q, dataset: q.Dataset}
+	if def.Period <= 0 {
+		ch.index = findIndexSpec(q.Where, q.Alias)
+	}
+	for _, es := range def.Enrich {
+		if es.Name == "" {
+			return nil, fmt.Errorf("bdms: channel %s: enrichment needs a name", def.Name)
+		}
+		eq, err := aql.ParseQuery(es.Query)
+		if err != nil {
+			return nil, fmt.Errorf("bdms: channel %s enrichment %s: %w", def.Name, es.Name, err)
+		}
+		for _, p := range eq.Params() {
+			if _, bound := es.Bind[p]; !bound && !declared[p] {
+				return nil, fmt.Errorf("bdms: channel %s enrichment %s references unbound parameter $%s",
+					def.Name, es.Name, p)
+			}
+		}
+		ch.enrich = append(ch.enrich, parsedEnrich{spec: es, query: eq})
+	}
+	return ch, nil
+}
+
+// Continuous reports whether the channel matches publications as they are
+// ingested (as opposed to periodically).
+func (c *channel) Continuous() bool { return c.def.Period <= 0 }
+
+// bindParams zips the channel's declared parameter names with values.
+func (c *channel) bindParams(values []any) (map[string]any, error) {
+	if len(values) != len(c.def.Params) {
+		return nil, fmt.Errorf("bdms: channel %s expects %d parameters, got %d",
+			c.def.Name, len(c.def.Params), len(values))
+	}
+	out := make(map[string]any, len(values))
+	for i, name := range c.def.Params {
+		out[name] = values[i]
+	}
+	return out, nil
+}
+
+// ResultObject is one result of a backend subscription: the matched
+// (possibly enriched) publication rows produced by a single channel
+// execution, timestamped so brokers can retrieve results in production
+// order.
+type ResultObject struct {
+	// ID is unique within the subscription.
+	ID string `json:"id"`
+	// SubscriptionID identifies the owning backend subscription.
+	SubscriptionID string `json:"subscription_id"`
+	// Timestamp is the cluster-time production timestamp; strictly
+	// increasing within a subscription.
+	Timestamp time.Duration `json:"timestamp"`
+	// Rows are the matched (and enriched) records.
+	Rows []map[string]any `json:"rows"`
+	// Size is the JSON-encoded size of Rows in bytes.
+	Size int64 `json:"size"`
+}
+
+// encodeSize computes the serialized size of a result payload.
+func encodeSize(rows []map[string]any) int64 {
+	b, err := json.Marshal(rows)
+	if err != nil {
+		return 0
+	}
+	return int64(len(b))
+}
+
+// lookupPathParts resolves a pre-split path inside a record.
+func lookupPathParts(rec map[string]any, parts []string) any {
+	cur := any(rec)
+	for _, part := range parts {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil
+		}
+		cur, ok = m[part]
+		if !ok {
+			return nil
+		}
+	}
+	return cur
+}
+
+// lookupPath resolves a dotted path inside a record (nil when absent).
+func lookupPath(rec map[string]any, path string) any {
+	cur := any(rec)
+	start := 0
+	for i := 0; i <= len(path); i++ {
+		if i == len(path) || path[i] == '.' {
+			m, ok := cur.(map[string]any)
+			if !ok {
+				return nil
+			}
+			cur, ok = m[path[start:i]]
+			if !ok {
+				return nil
+			}
+			start = i + 1
+		}
+	}
+	return cur
+}

@@ -1,0 +1,127 @@
+package bdms
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"gobad/internal/httpx"
+)
+
+// Client is the Go client for the cluster REST API; the broker's
+// "Asterix-facing" half is built on it.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the cluster at baseURL (e.g.
+// "http://127.0.0.1:19002"). A nil httpClient uses a 30s-timeout default.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: baseURL, http: httpClient}
+}
+
+// CreateDataset registers a dataset.
+func (c *Client) CreateDataset(name string, schema Schema) error {
+	return httpx.DoJSON(c.http, http.MethodPost, c.base+"/api/datasets",
+		CreateDatasetRequest{Name: name, Schema: schema}, nil)
+}
+
+// Datasets lists the cluster's dataset names.
+func (c *Client) Datasets() ([]string, error) {
+	var out map[string][]string
+	if err := httpx.DoJSON(c.http, http.MethodGet, c.base+"/api/datasets", nil, &out); err != nil {
+		return nil, err
+	}
+	return out["datasets"], nil
+}
+
+// Ingest stores one publication in a dataset.
+func (c *Client) Ingest(dataset string, data map[string]any) (IngestResponse, error) {
+	var out IngestResponse
+	err := httpx.DoJSON(c.http, http.MethodPost,
+		fmt.Sprintf("%s/api/datasets/%s/records", c.base, url.PathEscape(dataset)), data, &out)
+	return out, err
+}
+
+// DefineChannel registers a channel.
+func (c *Client) DefineChannel(def ChannelDef) error {
+	return httpx.DoJSON(c.http, http.MethodPost, c.base+"/api/channels", toWire(def), nil)
+}
+
+// Channels lists registered channel definitions.
+func (c *Client) Channels() ([]ChannelDef, error) {
+	var out map[string][]channelDefWire
+	if err := httpx.DoJSON(c.http, http.MethodGet, c.base+"/api/channels", nil, &out); err != nil {
+		return nil, err
+	}
+	defs := make([]ChannelDef, 0, len(out["channels"]))
+	for _, wdef := range out["channels"] {
+		defs = append(defs, wdef.toDef())
+	}
+	return defs, nil
+}
+
+// DeleteChannel removes a channel definition.
+func (c *Client) DeleteChannel(name string) error {
+	return httpx.DoJSON(c.http, http.MethodDelete,
+		c.base+"/api/channels/"+url.PathEscape(name), nil, nil)
+}
+
+// Query runs an ad-hoc AQL statement over a dataset.
+func (c *Client) Query(statement string, params map[string]any) ([]map[string]any, error) {
+	var out QueryResponse
+	err := httpx.DoJSON(c.http, http.MethodPost, c.base+"/api/query",
+		QueryRequest{Statement: statement, Params: params}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return out.Rows, nil
+}
+
+// Subscribe creates a backend subscription and returns its ID.
+func (c *Client) Subscribe(channel string, params []any, callback string) (string, error) {
+	var out SubscribeResponse
+	err := httpx.DoJSON(c.http, http.MethodPost, c.base+"/api/subscriptions",
+		SubscribeRequest{Channel: channel, Params: params, Callback: callback}, &out)
+	return out.SubscriptionID, err
+}
+
+// Unsubscribe tears a backend subscription down.
+func (c *Client) Unsubscribe(subID string) error {
+	return httpx.DoJSON(c.http, http.MethodDelete,
+		c.base+"/api/subscriptions/"+url.PathEscape(subID), nil, nil)
+}
+
+// Results fetches a subscription's result objects in (from, to) or
+// (from, to] when inclusiveTo is set.
+func (c *Client) Results(subID string, from, to time.Duration, inclusiveTo bool) ([]ResultObject, error) {
+	var out ResultsResponse
+	u := fmt.Sprintf("%s/api/subscriptions/%s/results?from_ns=%d&to_ns=%d&inclusive=%t",
+		c.base, url.PathEscape(subID), int64(from), int64(to), inclusiveTo)
+	if err := httpx.DoJSON(c.http, http.MethodGet, u, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// LatestTimestamp returns the newest result timestamp of a subscription.
+func (c *Client) LatestTimestamp(subID string) (time.Duration, error) {
+	var out LatestResponse
+	u := c.base + "/api/subscriptions/" + url.PathEscape(subID) + "/latest"
+	if err := httpx.DoJSON(c.http, http.MethodGet, u, nil, &out); err != nil {
+		return 0, err
+	}
+	return time.Duration(out.LatestNS), nil
+}
+
+// Stats fetches the cluster's counters.
+func (c *Client) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	err := httpx.DoJSON(c.http, http.MethodGet, c.base+"/api/stats", nil, &out)
+	return out, err
+}

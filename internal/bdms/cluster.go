@@ -1,0 +1,597 @@
+package bdms
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gobad/internal/aql"
+	"gobad/internal/metrics"
+)
+
+// Notifier delivers "new results available" callbacks to brokers. The
+// cluster invokes it outside its internal lock; implementations may block
+// (delivery then back-pressures ingestion) or queue internally.
+type Notifier interface {
+	// Notify signals that subscription subID (whose registered callback
+	// is callback) has new results up to latest.
+	Notify(subID, callback string, latest time.Duration)
+}
+
+// PushNotifier is the PUSH-model extension of Notifier (Section III: "the
+// actual content of the notification ... may contain the entire result
+// objects themselves and the results are immediately pushed to the broker
+// (PUSH model)"). Clusters configured WithPushModel deliver through it
+// when the notifier implements it, falling back to the PULL-model Notify
+// otherwise.
+type PushNotifier interface {
+	Notifier
+	// NotifyPush delivers the result object itself.
+	NotifyPush(subID, callback string, obj ResultObject)
+}
+
+// NotifierFunc adapts a function to the Notifier interface.
+type NotifierFunc func(subID, callback string, latest time.Duration)
+
+// Notify implements Notifier.
+func (f NotifierFunc) Notify(subID, callback string, latest time.Duration) {
+	f(subID, callback, latest)
+}
+
+// Clock supplies the cluster's notion of time as an offset from its epoch.
+type Clock func() time.Duration
+
+// Option configures a Cluster.
+type Option func(*Cluster)
+
+// WithNodes sets how many storage nodes each dataset is partitioned
+// across (the paper's prototype ran a three-node cluster). Default 3.
+func WithNodes(n int) Option {
+	return func(c *Cluster) {
+		if n > 0 {
+			c.numNodes = n
+		}
+	}
+}
+
+// WithClock overrides the cluster clock (tests and simulation drivers).
+// The default clock is wall time since cluster creation.
+func WithClock(clk Clock) Option {
+	return func(c *Cluster) {
+		if clk != nil {
+			c.clock = clk
+		}
+	}
+}
+
+// WithNotifier sets the notification sink for subscription callbacks.
+func WithNotifier(n Notifier) Option {
+	return func(c *Cluster) { c.notifier = n }
+}
+
+// WithPushModel makes notifications carry the result objects themselves
+// (PUSH model) when the configured Notifier supports it; the default is
+// the PULL model, where notifications carry only a resource handle and the
+// broker fetches the results it wants.
+func WithPushModel() Option {
+	return func(c *Cluster) { c.pushModel = true }
+}
+
+// ClusterStats counts the cluster's externally visible work.
+type ClusterStats struct {
+	// Ingested counts stored publications.
+	Ingested metrics.Counter
+	// ResultsProduced counts result objects generated across all
+	// subscriptions.
+	ResultsProduced metrics.Counter
+	// ResultBytes accumulates the encoded size of all produced results
+	// (the paper's 'Vol' baseline is derived from this).
+	ResultBytes metrics.Counter
+	// Notifications counts webhook invocations.
+	Notifications metrics.Counter
+	// FetchedBytes accumulates bytes served through Results calls.
+	FetchedBytes metrics.Counter
+}
+
+// subscription is one backend subscription: a channel instance bound to
+// parameter values, accumulating results.
+type subscription struct {
+	id       string
+	ch       *channel
+	params   map[string]any
+	callback string
+
+	results []ResultObject // ordered by Timestamp
+	lastTS  time.Duration
+	seq     uint64
+
+	// repetitive-channel execution state
+	lastSeq uint64
+	nextRun time.Duration
+}
+
+// Cluster is the BAD data cluster engine: datasets + channels +
+// subscriptions + the matching routines that turn publications into
+// per-subscription results.
+type Cluster struct {
+	numNodes  int
+	clock     Clock
+	notifier  Notifier
+	pushModel bool
+
+	wal *WAL
+
+	mu       sync.Mutex
+	datasets map[string]*Dataset
+	channels map[string]*channel
+	// subsByChannel indexes live subscriptions per channel.
+	subsByChannel map[string][]*subscription
+	// contIndex buckets continuous subscriptions by their indexable
+	// equality value, per channel (see index.go).
+	contIndex map[string]*subIndex
+	subs      map[string]*subscription
+	subSeq    uint64
+	epoch     time.Time
+
+	stats ClusterStats
+}
+
+// NewCluster returns a cluster with the given options applied.
+func NewCluster(opts ...Option) *Cluster {
+	c := &Cluster{
+		numNodes:      3,
+		datasets:      make(map[string]*Dataset),
+		channels:      make(map[string]*channel),
+		subsByChannel: make(map[string][]*subscription),
+		contIndex:     make(map[string]*subIndex),
+		subs:          make(map[string]*subscription),
+		epoch:         time.Now(),
+	}
+	c.clock = func() time.Duration { return time.Since(c.epoch) }
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Stats exposes the cluster's counters.
+func (c *Cluster) Stats() *ClusterStats { return &c.stats }
+
+// Now returns the current cluster time.
+func (c *Cluster) Now() time.Duration { return c.clock() }
+
+// CreateDataset registers a dataset. Creating an existing dataset is an
+// error.
+func (c *Cluster) CreateDataset(name string, schema Schema) error {
+	if name == "" {
+		return fmt.Errorf("bdms: dataset needs a name")
+	}
+	now := c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.datasets[name]; ok {
+		return fmt.Errorf("bdms: dataset %q already exists", name)
+	}
+	if err := c.logCreateDataset(name, schema, now); err != nil {
+		return err
+	}
+	c.datasets[name] = newDataset(name, schema, c.numNodes)
+	return nil
+}
+
+// Dataset returns a registered dataset, or nil.
+func (c *Cluster) Dataset(name string) *Dataset {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.datasets[name]
+}
+
+// DatasetNames returns all dataset names, sorted.
+func (c *Cluster) DatasetNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.datasets))
+	for n := range c.datasets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefineChannel compiles and registers a channel. The channel's body (and
+// its enrichments) must reference existing datasets.
+func (c *Cluster) DefineChannel(def ChannelDef) error {
+	ch, err := compileChannel(def)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.channels[def.Name]; ok {
+		return fmt.Errorf("bdms: channel %q already exists", def.Name)
+	}
+	if _, ok := c.datasets[ch.dataset]; !ok {
+		return fmt.Errorf("bdms: channel %q reads unknown dataset %q", def.Name, ch.dataset)
+	}
+	for _, e := range ch.enrich {
+		if _, ok := c.datasets[e.query.Dataset]; !ok {
+			return fmt.Errorf("bdms: channel %q enrichment %q reads unknown dataset %q",
+				def.Name, e.spec.Name, e.query.Dataset)
+		}
+	}
+	c.channels[def.Name] = ch
+	return nil
+}
+
+// DeleteChannel removes a channel definition. Channels with live
+// subscriptions cannot be deleted; unsubscribe them first.
+func (c *Cluster) DeleteChannel(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.channels[name]; !ok {
+		return fmt.Errorf("bdms: unknown channel %q", name)
+	}
+	if n := len(c.subsByChannel[name]); n > 0 {
+		return fmt.Errorf("bdms: channel %q has %d live subscriptions", name, n)
+	}
+	delete(c.channels, name)
+	delete(c.subsByChannel, name)
+	delete(c.contIndex, name)
+	return nil
+}
+
+// Query runs an ad-hoc AQL statement over a dataset's stored publications
+// (scatter-gather over the storage nodes) with optional parameter
+// bindings. This is the BDMS's interactive query path — channels are the
+// standing-query path.
+func (c *Cluster) Query(statement string, params map[string]any) ([]map[string]any, error) {
+	q, err := aql.ParseQuery(statement)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	ds, ok := c.datasets[q.Dataset]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("bdms: unknown dataset %q", q.Dataset)
+	}
+	recs := ds.ScanSince(0)
+	rows := make([]map[string]any, 0, len(recs))
+	for _, r := range recs {
+		rows = append(rows, r.Data)
+	}
+	return aql.RunQuery(q, rows, params)
+}
+
+// Channels returns the registered channel definitions, sorted by name.
+func (c *Cluster) Channels() []ChannelDef {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ChannelDef, 0, len(c.channels))
+	for _, ch := range c.channels {
+		out = append(out, ch.def)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Subscribe creates a backend subscription to a channel with bound
+// parameter values and a callback URL, returning the subscription ID
+// (Section III-A's abstraction: "the data cluster receives subscription
+// requests (channel name and parameter values) and returns a unique
+// subscription identifier").
+func (c *Cluster) Subscribe(channelName string, params []any, callback string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch, ok := c.channels[channelName]
+	if !ok {
+		return "", fmt.Errorf("bdms: unknown channel %q", channelName)
+	}
+	bound, err := ch.bindParams(params)
+	if err != nil {
+		return "", err
+	}
+	c.subSeq++
+	sub := &subscription{
+		id:       fmt.Sprintf("bsub-%06d", c.subSeq),
+		ch:       ch,
+		params:   bound,
+		callback: callback,
+	}
+	if !ch.Continuous() {
+		// A repetitive subscription only sees publications ingested
+		// after it was created, and first fires one period later.
+		ds := c.datasets[ch.dataset]
+		sub.lastSeq = ds.LastSeq()
+		sub.nextRun = c.clock() + ch.def.Period
+	}
+	c.subs[sub.id] = sub
+	c.subsByChannel[channelName] = append(c.subsByChannel[channelName], sub)
+	if ch.Continuous() && ch.index != nil {
+		ix := c.contIndex[channelName]
+		if ix == nil {
+			ix = newSubIndex()
+			c.contIndex[channelName] = ix
+		}
+		key, ok := indexKey(bound[ch.index.param])
+		ix.add(sub, key, ok)
+	}
+	return sub.id, nil
+}
+
+// Unsubscribe removes a backend subscription and its result dataset.
+func (c *Cluster) Unsubscribe(subID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sub, ok := c.subs[subID]
+	if !ok {
+		return fmt.Errorf("bdms: unknown subscription %q", subID)
+	}
+	delete(c.subs, subID)
+	list := c.subsByChannel[sub.ch.def.Name]
+	for i, s := range list {
+		if s == sub {
+			c.subsByChannel[sub.ch.def.Name] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if ix := c.contIndex[sub.ch.def.Name]; ix != nil {
+		ix.remove(sub)
+	}
+	return nil
+}
+
+// NumSubscriptions returns the number of live backend subscriptions.
+func (c *Cluster) NumSubscriptions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.subs)
+}
+
+// Ingest stores a publication and runs continuous-channel matching against
+// it; matching subscriptions get a new result object and their callbacks
+// are notified.
+func (c *Cluster) Ingest(dataset string, data map[string]any) (Record, error) {
+	now := c.clock()
+	c.mu.Lock()
+	ds, ok := c.datasets[dataset]
+	if !ok {
+		c.mu.Unlock()
+		return Record{}, fmt.Errorf("bdms: unknown dataset %q", dataset)
+	}
+	if data == nil {
+		c.mu.Unlock()
+		return Record{}, fmt.Errorf("bdms: nil record for dataset %s", dataset)
+	}
+	if err := ds.schema.Validate(data); err != nil {
+		c.mu.Unlock()
+		return Record{}, err
+	}
+	// Log before acknowledging (write-ahead).
+	if err := c.logIngest(dataset, data, now); err != nil {
+		c.mu.Unlock()
+		return Record{}, err
+	}
+	rec, err := ds.Insert(data, now)
+	if err != nil {
+		c.mu.Unlock()
+		return Record{}, err
+	}
+	c.stats.Ingested.Inc()
+
+	// Continuous matching: evaluate each continuous channel on this
+	// dataset against the new record. Channels with an indexable
+	// equality conjunct only visit the subscriptions whose bound value
+	// matches the record's field (plus the unindexed remainder); the
+	// full predicate still runs per candidate.
+	var pending []notification
+	for _, ch := range c.channels {
+		if !ch.Continuous() || ch.dataset != dataset {
+			continue
+		}
+		candidates := c.subsByChannel[ch.def.Name]
+		if ch.index != nil {
+			if ix := c.contIndex[ch.def.Name]; ix != nil {
+				v := lookupPathParts(rec.Data, ch.index.fieldPath)
+				key, ok := indexKey(v)
+				candidates = ix.candidates(key, ok)
+			}
+		}
+		for _, sub := range candidates {
+			rows, err := c.matchRecords(ch, sub, []Record{rec})
+			if err != nil || len(rows) == 0 {
+				continue
+			}
+			if n, ok := c.appendResult(sub, rows, now); ok {
+				pending = append(pending, n)
+			}
+		}
+	}
+	c.mu.Unlock()
+	c.deliver(pending)
+	return rec, nil
+}
+
+// matchRecords runs a channel query (+enrichments) over candidate records
+// for one subscription. Caller holds the lock.
+func (c *Cluster) matchRecords(ch *channel, sub *subscription, recs []Record) ([]map[string]any, error) {
+	raw := make([]map[string]any, 0, len(recs))
+	for _, r := range recs {
+		raw = append(raw, r.Data)
+	}
+	rows, err := aql.RunQuery(ch.query, raw, sub.params)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 || len(ch.enrich) == 0 {
+		return rows, nil
+	}
+	// Enrichment: per matched row, evaluate each secondary query and
+	// embed its rows. Rows are copied before annotation because star
+	// projections alias the stored records.
+	out := make([]map[string]any, 0, len(rows))
+	for _, row := range rows {
+		enriched := make(map[string]any, len(row)+len(ch.enrich))
+		for k, v := range row {
+			enriched[k] = v
+		}
+		for _, e := range ch.enrich {
+			eds, ok := c.datasets[e.query.Dataset]
+			if !ok {
+				continue
+			}
+			params := make(map[string]any, len(sub.params)+len(e.spec.Bind))
+			for k, v := range sub.params {
+				params[k] = v
+			}
+			for p, path := range e.spec.Bind {
+				params[p] = lookupPath(row, path)
+			}
+			all := eds.ScanSince(0)
+			cand := make([]map[string]any, 0, len(all))
+			for _, r := range all {
+				cand = append(cand, r.Data)
+			}
+			erows, err := aql.RunQuery(e.query, cand, params)
+			if err != nil {
+				return nil, err
+			}
+			enriched[e.spec.Name] = erows
+		}
+		out = append(out, enriched)
+	}
+	return out, nil
+}
+
+type notification struct {
+	subID, callback string
+	latest          time.Duration
+	obj             ResultObject // PUSH model payload
+}
+
+// appendResult stores a new result object for sub and returns the
+// notification to deliver. Caller holds the lock.
+func (c *Cluster) appendResult(sub *subscription, rows []map[string]any, now time.Duration) (notification, bool) {
+	ts := now
+	if ts <= sub.lastTS {
+		ts = sub.lastTS + time.Nanosecond
+	}
+	sub.lastTS = ts
+	sub.seq++
+	obj := ResultObject{
+		ID:             fmt.Sprintf("%s-r%06d", sub.id, sub.seq),
+		SubscriptionID: sub.id,
+		Timestamp:      ts,
+		Rows:           rows,
+		Size:           encodeSize(rows),
+	}
+	sub.results = append(sub.results, obj)
+	c.stats.ResultsProduced.Inc()
+	c.stats.ResultBytes.Add(float64(obj.Size))
+	return notification{subID: sub.id, callback: sub.callback, latest: ts, obj: obj}, true
+}
+
+// deliver fires pending notifications outside the lock.
+func (c *Cluster) deliver(pending []notification) {
+	if c.notifier == nil || len(pending) == 0 {
+		return
+	}
+	pusher, canPush := c.notifier.(PushNotifier)
+	for _, n := range pending {
+		c.stats.Notifications.Inc()
+		if c.pushModel && canPush {
+			pusher.NotifyPush(n.subID, n.callback, n.obj)
+		} else {
+			c.notifier.Notify(n.subID, n.callback, n.latest)
+		}
+	}
+}
+
+// RunRepetitiveDue executes every repetitive subscription whose period has
+// elapsed, evaluating its channel over the publications ingested since its
+// previous execution. It returns the number of executions performed.
+// Callers drive it from a ticker (live) or scheduled events (simulation).
+func (c *Cluster) RunRepetitiveDue() int {
+	now := c.clock()
+	c.mu.Lock()
+	var pending []notification
+	executions := 0
+	for _, sub := range c.subs {
+		if sub.ch.Continuous() || now < sub.nextRun {
+			continue
+		}
+		executions++
+		ds := c.datasets[sub.ch.dataset]
+		recs := ds.ScanSince(sub.lastSeq)
+		sub.lastSeq = ds.LastSeq()
+		sub.nextRun = now + sub.ch.def.Period
+		if len(recs) == 0 {
+			continue
+		}
+		rows, err := c.matchRecords(sub.ch, sub, recs)
+		if err != nil || len(rows) == 0 {
+			continue
+		}
+		if n, ok := c.appendResult(sub, rows, now); ok {
+			pending = append(pending, n)
+		}
+	}
+	c.mu.Unlock()
+	c.deliver(pending)
+	return executions
+}
+
+// NextRepetitiveRun returns the earliest pending repetitive execution time
+// and true, or false when no repetitive subscription exists.
+func (c *Cluster) NextRepetitiveRun() (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best time.Duration
+	found := false
+	for _, sub := range c.subs {
+		if sub.ch.Continuous() {
+			continue
+		}
+		if !found || sub.nextRun < best {
+			best = sub.nextRun
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Results returns a subscription's result objects with Timestamp in
+// (from, to) — or (from, to] when inclusiveTo is set — oldest first. This
+// is the broker's fetch path.
+func (c *Cluster) Results(subID string, from, to time.Duration, inclusiveTo bool) ([]ResultObject, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sub, ok := c.subs[subID]
+	if !ok {
+		return nil, fmt.Errorf("bdms: unknown subscription %q", subID)
+	}
+	// Binary search the ordered result list for the range start.
+	idx := sort.Search(len(sub.results), func(i int) bool { return sub.results[i].Timestamp > from })
+	var out []ResultObject
+	for _, r := range sub.results[idx:] {
+		if r.Timestamp > to || (r.Timestamp == to && !inclusiveTo) {
+			break
+		}
+		out = append(out, r)
+		c.stats.FetchedBytes.Add(float64(r.Size))
+	}
+	return out, nil
+}
+
+// LatestTimestamp returns the newest result timestamp of a subscription
+// (zero when it has produced nothing yet).
+func (c *Cluster) LatestTimestamp(subID string) (time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sub, ok := c.subs[subID]
+	if !ok {
+		return 0, fmt.Errorf("bdms: unknown subscription %q", subID)
+	}
+	return sub.lastTS, nil
+}

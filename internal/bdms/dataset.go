@@ -1,0 +1,222 @@
+// Package bdms implements the BAD data cluster substrate: a miniature
+// big-data management system in the spirit of the AsterixDB+BAD backend the
+// paper builds on. It provides
+//
+//   - datasets with open or closed schema over JSON-model records,
+//     hash-partitioned across a configurable number of storage nodes;
+//   - parameterized channels — declarative queries (internal/aql) with
+//     $parameters — in both flavors the paper describes: continuous
+//     channels that match each incoming publication as it is ingested, and
+//     repetitive channels that re-execute every period over newly ingested
+//     records;
+//   - backend subscriptions: (channel, parameter values) instances that
+//     accumulate timestamped result objects in a per-subscription result
+//     dataset and invoke a registered callback URL (webhook) whenever new
+//     results are produced;
+//   - a REST API (server.go) exposing exactly the abstraction Section
+//     III-A states the caching layer relies on, and a matching Go client
+//     (client.go) used by the broker.
+package bdms
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FieldType is the declared type of a closed-schema field.
+type FieldType string
+
+// Supported closed-schema field types (JSON data model).
+const (
+	TypeString FieldType = "string"
+	TypeNumber FieldType = "number"
+	TypeBool   FieldType = "bool"
+	TypeObject FieldType = "object"
+	TypeArray  FieldType = "array"
+	TypeAny    FieldType = "any"
+)
+
+// Field declares one closed-schema field.
+type Field struct {
+	Name     string    `json:"name"`
+	Type     FieldType `json:"type"`
+	Optional bool      `json:"optional,omitempty"`
+}
+
+// Schema declares a dataset's record shape. A nil/empty Fields list means
+// open schema: any JSON object is accepted (AsterixDB's open datatypes).
+// With a closed schema, required fields must be present with the declared
+// type; unknown fields are still accepted (open-ended records).
+type Schema struct {
+	Fields []Field `json:"fields,omitempty"`
+}
+
+// Open reports whether the schema accepts arbitrary records.
+func (s Schema) Open() bool { return len(s.Fields) == 0 }
+
+// Validate checks rec against the schema.
+func (s Schema) Validate(rec map[string]any) error {
+	for _, f := range s.Fields {
+		v, ok := rec[f.Name]
+		if !ok || v == nil {
+			if f.Optional {
+				continue
+			}
+			return fmt.Errorf("bdms: missing required field %q", f.Name)
+		}
+		if err := checkType(f, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkType(f Field, v any) error {
+	ok := false
+	switch f.Type {
+	case TypeString:
+		_, ok = v.(string)
+	case TypeNumber:
+		switch v.(type) {
+		case float64, float32, int, int32, int64:
+			ok = true
+		}
+	case TypeBool:
+		_, ok = v.(bool)
+	case TypeObject:
+		_, ok = v.(map[string]any)
+	case TypeArray:
+		_, ok = v.([]any)
+	case TypeAny, "":
+		ok = true
+	default:
+		return fmt.Errorf("bdms: field %q has unknown declared type %q", f.Name, f.Type)
+	}
+	if !ok {
+		return fmt.Errorf("bdms: field %q must be %s, got %T", f.Name, f.Type, v)
+	}
+	return nil
+}
+
+// Record is one stored publication: the user payload plus ingest metadata.
+type Record struct {
+	// Seq is the dataset-wide ingest sequence number (1-based).
+	Seq uint64 `json:"seq"`
+	// IngestedAt is the cluster-time ingest timestamp.
+	IngestedAt time.Duration `json:"ingested_at"`
+	// Data is the publication payload.
+	Data map[string]any `json:"data"`
+}
+
+// Dataset stores the records of one publication stream, partitioned across
+// the cluster's storage nodes. It is safe for concurrent use.
+type Dataset struct {
+	name   string
+	schema Schema
+
+	mu     sync.RWMutex
+	nodes  []*storageNode
+	nextSq uint64
+}
+
+func newDataset(name string, schema Schema, numNodes int) *Dataset {
+	if numNodes < 1 {
+		numNodes = 1
+	}
+	nodes := make([]*storageNode, numNodes)
+	for i := range nodes {
+		nodes[i] = &storageNode{id: i}
+	}
+	return &Dataset{name: name, schema: schema, nodes: nodes}
+}
+
+// Name returns the dataset name.
+func (d *Dataset) Name() string { return d.name }
+
+// Schema returns the dataset's declared schema.
+func (d *Dataset) Schema() Schema { return d.schema }
+
+// NumNodes returns how many storage nodes hold this dataset's partitions.
+func (d *Dataset) NumNodes() int { return len(d.nodes) }
+
+// Insert validates and stores a publication, returning its assigned
+// record.
+func (d *Dataset) Insert(data map[string]any, at time.Duration) (Record, error) {
+	if data == nil {
+		return Record{}, fmt.Errorf("bdms: nil record for dataset %s", d.name)
+	}
+	if err := d.schema.Validate(data); err != nil {
+		return Record{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextSq++
+	rec := Record{Seq: d.nextSq, IngestedAt: at, Data: data}
+	node := d.nodes[partition(rec.Seq, len(d.nodes))]
+	node.append(rec)
+	return rec, nil
+}
+
+// Len returns the total number of stored records.
+func (d *Dataset) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := 0
+	for _, node := range d.nodes {
+		n += node.len()
+	}
+	return n
+}
+
+// ScanSince gathers all records with Seq > afterSeq from every storage
+// node (scatter-gather), ordered by Seq. Repetitive channel executions use
+// it to evaluate only newly ingested publications.
+func (d *Dataset) ScanSince(afterSeq uint64) []Record {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []Record
+	for _, node := range d.nodes {
+		out = append(out, node.since(afterSeq)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// LastSeq returns the highest assigned sequence number.
+func (d *Dataset) LastSeq() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.nextSq
+}
+
+// partition maps a record sequence number to a storage node index.
+func partition(seq uint64, n int) int {
+	// Fibonacci hashing scrambles the sequential seq into a well-spread
+	// node index.
+	const k = 11400714819323198485
+	return int((seq * k) % uint64(n))
+}
+
+// storageNode is one partition holder. A node keeps its records in ingest
+// order, so per-node scans are append-ordered and the gather step is a
+// k-way merge (done with a sort for simplicity).
+type storageNode struct {
+	id   int
+	recs []Record
+}
+
+func (n *storageNode) append(r Record) { n.recs = append(n.recs, r) }
+
+func (n *storageNode) len() int { return len(n.recs) }
+
+// since returns records with Seq > afterSeq using binary search (records
+// are Seq-ordered within a node).
+func (n *storageNode) since(afterSeq uint64) []Record {
+	idx := sort.Search(len(n.recs), func(i int) bool { return n.recs[i].Seq > afterSeq })
+	if idx >= len(n.recs) {
+		return nil
+	}
+	return n.recs[idx:]
+}

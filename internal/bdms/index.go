@@ -1,0 +1,166 @@
+package bdms
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gobad/internal/aql"
+)
+
+// Predicate indexing: continuous channels are matched against EVERY
+// subscription on every ingest, which is O(subscriptions) per publication.
+// Most channel bodies, however, contain an equality conjunct that binds a
+// record field to a channel parameter — e.g.
+//
+//	select * from EmergencyReports r where r.etype = $etype and ...
+//
+// For such channels the cluster maintains an equality index: subscriptions
+// are bucketed by their bound parameter value, and an incoming publication
+// only visits the bucket matching its own field value (plus any
+// subscriptions whose parameters didn't yield an indexable key). The full
+// predicate is still evaluated per candidate, so indexing is purely a
+// pruning step — it never changes matching results.
+
+// indexSpec describes a channel's indexable equality conjunct.
+type indexSpec struct {
+	// fieldPath is the record path (alias stripped), e.g. ["etype"].
+	fieldPath []string
+	// param is the channel parameter the field is compared to.
+	param string
+}
+
+// findIndexSpec walks the top-level AND conjuncts of a channel predicate
+// looking for `path = $param` (or the reverse). The first match wins.
+func findIndexSpec(where aql.Expr, alias string) *indexSpec {
+	var out *indexSpec
+	var walk func(e aql.Expr)
+	walk = func(e aql.Expr) {
+		if out != nil {
+			return
+		}
+		b, ok := e.(aql.Binary)
+		if !ok {
+			return
+		}
+		switch b.Op {
+		case "and":
+			walk(b.L)
+			walk(b.R)
+		case "=":
+			path, param, ok := pathParamPair(b.L, b.R)
+			if !ok {
+				path, param, ok = pathParamPair(b.R, b.L)
+			}
+			if !ok {
+				return
+			}
+			parts := path.Parts
+			if alias != "" && len(parts) > 1 && parts[0] == alias {
+				parts = parts[1:]
+			}
+			out = &indexSpec{fieldPath: parts, param: param.Name}
+		}
+	}
+	if where != nil {
+		walk(where)
+	}
+	return out
+}
+
+func pathParamPair(l, r aql.Expr) (aql.Path, aql.Param, bool) {
+	p, ok1 := l.(aql.Path)
+	v, ok2 := r.(aql.Param)
+	if ok1 && ok2 {
+		return p, v, true
+	}
+	return aql.Path{}, aql.Param{}, false
+}
+
+// indexKey canonicalizes a JSON-model value as a bucket key; ok is false
+// for values that cannot key a bucket (nil or unencodable), which sends
+// the subscription to the unindexed list.
+func indexKey(v any) (string, bool) {
+	if v == nil {
+		return "", false
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", false
+	}
+	return string(b), true
+}
+
+// subIndex buckets a channel's continuous subscriptions by their bound
+// equality value.
+type subIndex struct {
+	byKey map[string][]*subscription
+	// unindexed holds subscriptions whose bound value didn't yield a key.
+	unindexed []*subscription
+}
+
+func newSubIndex() *subIndex {
+	return &subIndex{byKey: make(map[string][]*subscription)}
+}
+
+// add registers a subscription under its bucket.
+func (ix *subIndex) add(sub *subscription, key string, indexed bool) {
+	if indexed {
+		ix.byKey[key] = append(ix.byKey[key], sub)
+	} else {
+		ix.unindexed = append(ix.unindexed, sub)
+	}
+}
+
+// remove unregisters a subscription (searched in both places; cheap at
+// unsubscribe rates).
+func (ix *subIndex) remove(sub *subscription) {
+	for key, list := range ix.byKey {
+		for i, s := range list {
+			if s == sub {
+				ix.byKey[key] = append(list[:i], list[i+1:]...)
+				if len(ix.byKey[key]) == 0 {
+					delete(ix.byKey, key)
+				}
+				return
+			}
+		}
+	}
+	for i, s := range ix.unindexed {
+		if s == sub {
+			ix.unindexed = append(ix.unindexed[:i], ix.unindexed[i+1:]...)
+			return
+		}
+	}
+}
+
+// candidates returns the subscriptions that could match a record whose
+// indexed field encodes to key (ok=false means the record lacks the field
+// — only unindexed subscriptions can match, because an equality against a
+// missing/null field is false).
+func (ix *subIndex) candidates(key string, ok bool) []*subscription {
+	if !ok {
+		return ix.unindexed
+	}
+	bucket := ix.byKey[key]
+	if len(ix.unindexed) == 0 {
+		return bucket
+	}
+	out := make([]*subscription, 0, len(bucket)+len(ix.unindexed))
+	out = append(out, bucket...)
+	out = append(out, ix.unindexed...)
+	return out
+}
+
+// size reports the indexed and unindexed subscription counts.
+func (ix *subIndex) size() (indexed, unindexed int) {
+	for _, list := range ix.byKey {
+		indexed += len(list)
+	}
+	return indexed, len(ix.unindexed)
+}
+
+// String aids debugging.
+func (ix *subIndex) String() string {
+	i, u := ix.size()
+	return fmt.Sprintf("subIndex{buckets=%d indexed=%d unindexed=%d}", len(ix.byKey), i, u)
+}

@@ -1,0 +1,148 @@
+package bdms
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"gobad/internal/httpx"
+)
+
+// NotificationPayload is the JSON body POSTed to a subscription's callback
+// URL (the WebHook of Section III): "the data cluster invokes [it] to
+// notify the broker when results against that subscription are available".
+// Under the PULL model it carries a resource handle (the latest result
+// timestamp) and the broker fetches the results it wants; under the PUSH
+// model Result carries the result object itself.
+type NotificationPayload struct {
+	SubscriptionID string `json:"subscription_id"`
+	LatestNS       int64  `json:"latest_ns"`
+	// Result carries the result object itself under the PUSH model
+	// (nil under the PULL model).
+	Result *ResultObject `json:"result,omitempty"`
+}
+
+// NotificationPayloadTo pairs a payload with its destination.
+type NotificationPayloadTo struct {
+	Callback string
+	Payload  NotificationPayload
+}
+
+// WebhookNotifier delivers notifications by POSTing to each subscription's
+// callback URL. Deliveries run on a fixed worker pool fed by a bounded
+// queue; when the queue is full new notifications are shed, which is safe:
+// PULL notifications are cumulative (only the latest timestamp matters)
+// and a dropped PUSH is recovered by the broker's next pull, because its
+// backend marker still lags the dropped object.
+type WebhookNotifier struct {
+	client *http.Client
+
+	mu     sync.Mutex
+	queue  chan NotificationPayloadTo
+	wg     sync.WaitGroup
+	closed bool
+
+	dropped int
+}
+
+// NewWebhookNotifier starts a notifier with the given number of delivery
+// workers (min 1) and queue capacity (min 16). Close must be called to
+// release the workers.
+func NewWebhookNotifier(workers, queueCap int, client *http.Client) *WebhookNotifier {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 16 {
+		queueCap = 16
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	n := &WebhookNotifier{
+		client: client,
+		queue:  make(chan NotificationPayloadTo, queueCap),
+	}
+	n.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go n.worker()
+	}
+	return n
+}
+
+// Notify implements Notifier (PULL model): it enqueues the delivery,
+// dropping it when the queue is full.
+func (n *WebhookNotifier) Notify(subID, callback string, latest time.Duration) {
+	if callback == "" {
+		return
+	}
+	n.enqueue(NotificationPayloadTo{
+		Callback: callback,
+		Payload:  NotificationPayload{SubscriptionID: subID, LatestNS: int64(latest)},
+	})
+}
+
+// NotifyPush implements PushNotifier: the payload carries the result
+// object itself.
+func (n *WebhookNotifier) NotifyPush(subID, callback string, obj ResultObject) {
+	if callback == "" {
+		return
+	}
+	n.enqueue(NotificationPayloadTo{
+		Callback: callback,
+		Payload: NotificationPayload{
+			SubscriptionID: subID,
+			LatestNS:       int64(obj.Timestamp),
+			Result:         &obj,
+		},
+	})
+}
+
+func (n *WebhookNotifier) enqueue(item NotificationPayloadTo) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	select {
+	case n.queue <- item:
+	default:
+		n.dropped++
+	}
+	n.mu.Unlock()
+}
+
+// Dropped reports how many notifications were shed due to a full queue.
+func (n *WebhookNotifier) Dropped() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropped
+}
+
+// Close stops accepting notifications, drains the queue and waits for the
+// workers to finish.
+func (n *WebhookNotifier) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	close(n.queue)
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+func (n *WebhookNotifier) worker() {
+	defer n.wg.Done()
+	for item := range n.queue {
+		// Delivery failures are tolerated: the broker can always catch
+		// up by polling /latest, and the next result re-notifies.
+		_ = httpx.DoJSON(n.client, http.MethodPost, item.Callback, item.Payload, nil)
+	}
+}
+
+// Interface compliance.
+var (
+	_ Notifier     = (*WebhookNotifier)(nil)
+	_ PushNotifier = (*WebhookNotifier)(nil)
+)

@@ -1,0 +1,270 @@
+package bdms
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"gobad/internal/httpx"
+)
+
+// Server exposes the cluster over the REST API the broker's
+// "Asterix-facing" part consumes. Mount Handler() on any net/http server.
+type Server struct {
+	cluster *Cluster
+	mux     *http.ServeMux
+}
+
+// NewServer wraps a cluster with its REST API.
+func NewServer(cluster *Cluster) *Server {
+	s := &Server{cluster: cluster, mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP handler serving the cluster API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("POST /api/datasets", s.handleCreateDataset)
+	s.mux.HandleFunc("GET /api/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /api/datasets/{name}/records", s.handleIngest)
+	s.mux.HandleFunc("POST /api/channels", s.handleDefineChannel)
+	s.mux.HandleFunc("GET /api/channels", s.handleListChannels)
+	s.mux.HandleFunc("DELETE /api/channels/{name}", s.handleDeleteChannel)
+	s.mux.HandleFunc("POST /api/query", s.handleQuery)
+	s.mux.HandleFunc("POST /api/subscriptions", s.handleSubscribe)
+	s.mux.HandleFunc("DELETE /api/subscriptions/{id}", s.handleUnsubscribe)
+	s.mux.HandleFunc("GET /api/subscriptions/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET /api/subscriptions/{id}/latest", s.handleLatest)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// StatsResponse is the /api/stats payload.
+type StatsResponse struct {
+	Ingested        float64 `json:"ingested"`
+	ResultsProduced float64 `json:"results_produced"`
+	ResultBytes     float64 `json:"result_bytes"`
+	Notifications   float64 `json:"notifications"`
+	FetchedBytes    float64 `json:"fetched_bytes"`
+	Subscriptions   int     `json:"subscriptions"`
+	NowNS           int64   `json:"now_ns"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.cluster.Stats()
+	httpx.WriteJSON(w, http.StatusOK, StatsResponse{
+		Ingested:        st.Ingested.Value(),
+		ResultsProduced: st.ResultsProduced.Value(),
+		ResultBytes:     st.ResultBytes.Value(),
+		Notifications:   st.Notifications.Value(),
+		FetchedBytes:    st.FetchedBytes.Value(),
+		Subscriptions:   s.cluster.NumSubscriptions(),
+		NowNS:           int64(s.cluster.Now()),
+	})
+}
+
+// CreateDatasetRequest is the POST /api/datasets payload.
+type CreateDatasetRequest struct {
+	Name   string `json:"name"`
+	Schema Schema `json:"schema"`
+}
+
+func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	var req CreateDatasetRequest
+	if err := httpx.ReadJSON(r, &req); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.cluster.CreateDataset(req.Name, req.Schema); err != nil {
+		httpx.WriteError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	httpx.WriteJSON(w, http.StatusOK, map[string][]string{"datasets": s.cluster.DatasetNames()})
+}
+
+// IngestResponse is the record-ingest reply.
+type IngestResponse struct {
+	Seq        uint64 `json:"seq"`
+	IngestedNS int64  `json:"ingested_ns"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var data map[string]any
+	if err := httpx.ReadJSON(r, &data); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rec, err := s.cluster.Ingest(name, data)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusCreated, IngestResponse{Seq: rec.Seq, IngestedNS: int64(rec.IngestedAt)})
+}
+
+func (s *Server) handleDefineChannel(w http.ResponseWriter, r *http.Request) {
+	var def channelDefWire
+	if err := httpx.ReadJSON(r, &def); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.cluster.DefineChannel(def.toDef()); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusCreated, map[string]string{"name": def.Name})
+}
+
+func (s *Server) handleListChannels(w http.ResponseWriter, _ *http.Request) {
+	defs := s.cluster.Channels()
+	wire := make([]channelDefWire, 0, len(defs))
+	for _, d := range defs {
+		wire = append(wire, toWire(d))
+	}
+	httpx.WriteJSON(w, http.StatusOK, map[string][]channelDefWire{"channels": wire})
+}
+
+// channelDefWire is ChannelDef with the period in seconds for JSON
+// friendliness.
+type channelDefWire struct {
+	Name      string       `json:"name"`
+	Params    []string     `json:"params"`
+	Body      string       `json:"body"`
+	PeriodSec float64      `json:"period_sec"`
+	Enrich    []EnrichSpec `json:"enrich,omitempty"`
+}
+
+func (wdef channelDefWire) toDef() ChannelDef {
+	return ChannelDef{
+		Name:   wdef.Name,
+		Params: wdef.Params,
+		Body:   wdef.Body,
+		Period: time.Duration(wdef.PeriodSec * float64(time.Second)),
+		Enrich: wdef.Enrich,
+	}
+}
+
+func toWire(d ChannelDef) channelDefWire {
+	return channelDefWire{
+		Name:      d.Name,
+		Params:    d.Params,
+		Body:      d.Body,
+		PeriodSec: d.Period.Seconds(),
+		Enrich:    d.Enrich,
+	}
+}
+
+func (s *Server) handleDeleteChannel(w http.ResponseWriter, r *http.Request) {
+	if err := s.cluster.DeleteChannel(r.PathValue("name")); err != nil {
+		httpx.WriteError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, nil)
+}
+
+// QueryRequest is an ad-hoc query submission.
+type QueryRequest struct {
+	Statement string         `json:"statement"`
+	Params    map[string]any `json:"params,omitempty"`
+}
+
+// QueryResponse carries the result rows.
+type QueryResponse struct {
+	Rows []map[string]any `json:"rows"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := httpx.ReadJSON(r, &req); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rows, err := s.cluster.Query(req.Statement, req.Params)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, QueryResponse{Rows: rows})
+}
+
+// SubscribeRequest creates a backend subscription.
+type SubscribeRequest struct {
+	Channel  string `json:"channel"`
+	Params   []any  `json:"params"`
+	Callback string `json:"callback"`
+}
+
+// SubscribeResponse returns the new subscription's ID.
+type SubscribeResponse struct {
+	SubscriptionID string `json:"subscription_id"`
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	var req SubscribeRequest
+	if err := httpx.ReadJSON(r, &req); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, err := s.cluster.Subscribe(req.Channel, req.Params, req.Callback)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusCreated, SubscribeResponse{SubscriptionID: id})
+}
+
+func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	if err := s.cluster.Unsubscribe(r.PathValue("id")); err != nil {
+		httpx.WriteError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, nil)
+}
+
+// ResultsResponse carries fetched result objects.
+type ResultsResponse struct {
+	Results []ResultObject `json:"results"`
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	q := r.URL.Query()
+	from, err1 := strconv.ParseInt(q.Get("from_ns"), 10, 64)
+	to, err2 := strconv.ParseInt(q.Get("to_ns"), 10, 64)
+	if err1 != nil || err2 != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "from_ns and to_ns are required integers")
+		return
+	}
+	inclusive := q.Get("inclusive") == "true"
+	results, err := s.cluster.Results(id, time.Duration(from), time.Duration(to), inclusive)
+	if err != nil {
+		httpx.WriteError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, ResultsResponse{Results: results})
+}
+
+// LatestResponse carries a subscription's newest result timestamp.
+type LatestResponse struct {
+	LatestNS int64 `json:"latest_ns"`
+}
+
+func (s *Server) handleLatest(w http.ResponseWriter, r *http.Request) {
+	ts, err := s.cluster.LatestTimestamp(r.PathValue("id"))
+	if err != nil {
+		httpx.WriteError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, LatestResponse{LatestNS: int64(ts)})
+}

@@ -1,0 +1,208 @@
+package bdms
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Durability: the data cluster can persist its publications to a
+// write-ahead log so restarts recover every dataset. AsterixDB — the
+// paper's backend — is a durable storage system; this file provides the
+// equivalent substrate behaviour: every successful Ingest appends one
+// JSONL record to a per-cluster log before it is acknowledged, and
+// OpenWAL replays an existing log into a fresh cluster at startup.
+//
+// Channels and subscriptions are runtime state re-created by brokers and
+// operators on restart (exactly as the BAD prototype does), so only
+// publications are logged.
+
+// walRecord is one persisted log entry.
+type walRecord struct {
+	// Dataset names the target dataset.
+	Dataset string `json:"dataset"`
+	// Schema is set on dataset-creation entries (Data nil).
+	Schema *Schema `json:"schema,omitempty"`
+	// Data is the publication payload (nil for dataset creation).
+	Data map[string]any `json:"data,omitempty"`
+	// AtNS is the cluster-time ingest timestamp.
+	AtNS int64 `json:"at_ns"`
+}
+
+// WAL is an append-only publication log.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+}
+
+// CreateWAL opens (creating if needed) the log file for appending.
+func CreateWAL(path string) (*WAL, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("bdms: wal dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("bdms: open wal: %w", err)
+	}
+	return &WAL{f: f, w: bufio.NewWriter(f), path: path}, nil
+}
+
+// Path returns the log file path.
+func (w *WAL) Path() string { return w.path }
+
+// append writes one record and flushes it to the OS.
+func (w *WAL) append(rec walRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("bdms: wal closed")
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("bdms: wal encode: %w", err)
+	}
+	if _, err := w.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("bdms: wal write: %w", err)
+	}
+	// Flush to the kernel on every record; fsync is traded away for
+	// throughput (crash-consistency to the last OS flush), matching
+	// big-data ingest pipelines more than transactional stores.
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("bdms: wal flush: %w", err)
+	}
+	return nil
+}
+
+// Sync forces the log to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close flushes and closes the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	flushErr := w.w.Flush()
+	closeErr := w.f.Close()
+	w.f, w.w = nil, nil
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// WithWAL attaches a write-ahead log to the cluster: dataset creations and
+// ingested publications are appended before being acknowledged.
+func WithWAL(w *WAL) Option {
+	return func(c *Cluster) { c.wal = w }
+}
+
+// OpenWAL replays the log at path into a new cluster built with opts (the
+// WAL option is added automatically, so subsequent ingests keep
+// appending). Missing files yield an empty, ready cluster.
+func OpenWAL(path string, opts ...Option) (*Cluster, error) {
+	var recs []walRecord
+	f, err := os.Open(path)
+	switch {
+	case os.IsNotExist(err):
+		// Fresh start.
+	case err != nil:
+		return nil, fmt.Errorf("bdms: open wal for replay: %w", err)
+	default:
+		recs, err = readWAL(f)
+		closeErr := f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if closeErr != nil {
+			return nil, fmt.Errorf("bdms: close wal after replay: %w", closeErr)
+		}
+	}
+
+	wal, err := CreateWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	cluster := NewCluster(opts...)
+	// Replay without re-appending.
+	for i, rec := range recs {
+		if rec.Data == nil {
+			schema := Schema{}
+			if rec.Schema != nil {
+				schema = *rec.Schema
+			}
+			if err := cluster.CreateDataset(rec.Dataset, schema); err != nil {
+				return nil, fmt.Errorf("bdms: wal replay entry %d: %w", i, err)
+			}
+			continue
+		}
+		if _, err := cluster.Ingest(rec.Dataset, rec.Data); err != nil {
+			return nil, fmt.Errorf("bdms: wal replay entry %d: %w", i, err)
+		}
+	}
+	cluster.wal = wal
+	return cluster, nil
+}
+
+// readWAL parses every complete record; a torn final line (crash mid-
+// append) is tolerated and dropped.
+func readWAL(r io.Reader) ([]walRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var out []walRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			// Only the final line may be torn; anything earlier is
+			// corruption worth surfacing.
+			if !sc.Scan() {
+				return out, nil
+			}
+			return nil, fmt.Errorf("bdms: wal corrupt at line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bdms: wal read: %w", err)
+	}
+	return out, nil
+}
+
+// logCreateDataset appends a dataset-creation entry (no-op without a WAL).
+func (c *Cluster) logCreateDataset(name string, schema Schema, at time.Duration) error {
+	if c.wal == nil {
+		return nil
+	}
+	return c.wal.append(walRecord{Dataset: name, Schema: &schema, AtNS: int64(at)})
+}
+
+// logIngest appends a publication entry (no-op without a WAL).
+func (c *Cluster) logIngest(dataset string, data map[string]any, at time.Duration) error {
+	if c.wal == nil {
+		return nil
+	}
+	return c.wal.append(walRecord{Dataset: dataset, Data: data, AtNS: int64(at)})
+}

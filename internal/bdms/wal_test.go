@@ -1,0 +1,168 @@
+package bdms
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func walPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "cluster.wal")
+}
+
+func TestWALPersistsAndRecovers(t *testing.T) {
+	path := walPath(t)
+	wal, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &testClock{}
+	c := NewCluster(WithClock(clk.Now), WithWAL(wal))
+	if err := c.CreateDataset("EmergencyReports", Schema{
+		Fields: []Field{{Name: "etype", Type: TypeString}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		clk.Advance(time.Second)
+		mustIngest(t, c, "EmergencyReports", map[string]any{
+			"etype": "fire", "severity": float64(i),
+		})
+	}
+	if err := wal.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": replay into a fresh cluster.
+	recovered, err := OpenWAL(path, WithClock(clk.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := recovered.Dataset("EmergencyReports")
+	if ds == nil {
+		t.Fatal("dataset not recovered")
+	}
+	if ds.Len() != 10 {
+		t.Errorf("recovered %d records, want 10", ds.Len())
+	}
+	if ds.Schema().Open() {
+		t.Error("schema should be recovered closed")
+	}
+	// Post-recovery ingests keep appending and survive another restart.
+	mustIngest(t, recovered, "EmergencyReports", map[string]any{"etype": "flood"})
+	if recovered.wal == nil {
+		t.Fatal("recovered cluster should carry the WAL")
+	}
+	if err := recovered.wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := OpenWAL(path, WithClock(clk.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := again.Dataset("EmergencyReports").Len(); got != 11 {
+		t.Errorf("second recovery has %d records, want 11", got)
+	}
+	if again.wal != nil {
+		_ = again.wal.Close()
+	}
+}
+
+func TestOpenWALMissingFile(t *testing.T) {
+	c, err := OpenWAL(filepath.Join(t.TempDir(), "does-not-exist.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.DatasetNames()) != 0 {
+		t.Error("fresh cluster should be empty")
+	}
+	if c.wal == nil {
+		t.Error("fresh cluster should still get a WAL for future appends")
+	}
+	_ = c.wal.Close()
+}
+
+func TestOpenWALToleratesTornTail(t *testing.T) {
+	path := walPath(t)
+	content := `{"dataset":"DS","schema":{},"at_ns":0}
+{"dataset":"DS","data":{"x":1},"at_ns":1}
+{"dataset":"DS","data":{"x":2},"at_` // torn mid-record
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Dataset("DS").Len(); got != 1 {
+		t.Errorf("recovered %d records, want 1 (torn tail dropped)", got)
+	}
+	_ = c.wal.Close()
+}
+
+func TestOpenWALRejectsMidFileCorruption(t *testing.T) {
+	path := walPath(t)
+	content := `{"dataset":"DS","schema":{},"at_ns":0}
+GARBAGE NOT JSON
+{"dataset":"DS","data":{"x":2},"at_ns":2}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(path); err == nil {
+		t.Error("mid-file corruption should fail recovery")
+	}
+}
+
+func TestWALClosedAppendFails(t *testing.T) {
+	wal, err := CreateWAL(walPath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Errorf("double close should be fine: %v", err)
+	}
+	c := NewCluster(WithWAL(wal))
+	if err := c.CreateDataset("DS", Schema{}); err == nil {
+		t.Error("create against a closed WAL should fail")
+	}
+}
+
+func TestWALRejectedIngestNotLogged(t *testing.T) {
+	path := walPath(t)
+	wal, err := CreateWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCluster(WithWAL(wal))
+	if err := c.CreateDataset("DS", Schema{
+		Fields: []Field{{Name: "must", Type: TypeString}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest("DS", map[string]any{"wrong": 1.0}); err == nil {
+		t.Fatal("schema violation should fail")
+	}
+	if _, err := c.Ingest("DS", nil); err == nil {
+		t.Fatal("nil record should fail")
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("replay must not see rejected ingests: %v", err)
+	}
+	if got := rec.Dataset("DS").Len(); got != 0 {
+		t.Errorf("recovered %d records, want 0", got)
+	}
+	_ = rec.wal.Close()
+}

@@ -1,0 +1,597 @@
+// Package broker implements the BAD broker node: the edge component that
+// connects end subscribers to the data cluster. It has two halves, exactly
+// as Section III describes — a client-facing part (REST + WebSocket push,
+// server.go) that manages BAD clients, their frontend subscriptions and
+// notification delivery, and a backend-facing part that subscribes to the
+// data cluster on the clients' behalf, registers a webhook callback and
+// pulls new channel results when notified.
+//
+// The broker suppresses duplicate subscriptions: frontend subscriptions
+// with the same (channel, parameters) share one backend subscription, and
+// its results are cached once in an in-memory result cache (internal/core)
+// and shared by all attached subscribers.
+package broker
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gobad/internal/bdms"
+	"gobad/internal/core"
+	"gobad/internal/metrics"
+)
+
+// Backend is the data cluster abstraction the broker consumes (Section
+// III-A). *bdms.Cluster satisfies it directly (in-process deployments) and
+// *bdms.Client satisfies it over REST.
+type Backend interface {
+	Subscribe(channel string, params []any, callback string) (string, error)
+	Unsubscribe(subID string) error
+	Results(subID string, from, to time.Duration, inclusiveTo bool) ([]bdms.ResultObject, error)
+	LatestTimestamp(subID string) (time.Duration, error)
+}
+
+// Interface compliance.
+var (
+	_ Backend = (*bdms.Cluster)(nil)
+	_ Backend = (*bdms.Client)(nil)
+)
+
+// Config configures a Broker.
+type Config struct {
+	// ID is the broker's identifier (required).
+	ID string
+	// Backend is the data cluster connection (required).
+	Backend Backend
+	// CallbackURL is the webhook URL the data cluster should invoke for
+	// new results; it must route to this broker's HTTP handler at
+	// /callbacks/results. Leave empty for in-process backends driven by
+	// a direct Notifier.
+	CallbackURL string
+	// Policy is the caching policy (required), e.g. core.LSC{}.
+	Policy core.Policy
+	// CacheBudget is the allowed total cache size B in bytes.
+	CacheBudget int64
+	// TTL tunes TTL-based policies.
+	TTL core.TTLConfig
+	// BackendRTT and BackendBandwidth estimate the cost of fetching an
+	// object from the data cluster; they parameterize the per-object
+	// fetch latency l_ij used by the LSD policy. Defaults: 500ms and
+	// 10 MB/s (Table II).
+	BackendRTT       time.Duration
+	BackendBandwidth float64 // bytes per second
+	// Clock overrides the broker-local clock (tests/simulation); the
+	// default is wall time since construction.
+	Clock func() time.Duration
+}
+
+// Broker is a BAD broker node.
+type Broker struct {
+	id          string
+	backend     Backend
+	callbackURL string
+	manager     *core.Manager
+	stats       *metrics.CacheStats
+	clock       func() time.Duration
+
+	rtt time.Duration
+	bw  float64
+
+	mu sync.Mutex
+	// backendSubs deduplicates by subscription key.
+	backendSubs map[string]*backendSub // key -> sub
+	backendByID map[string]*backendSub // backend subscription id -> sub
+	frontend    map[string]*frontendSub
+	fsSeq       uint64
+
+	sessions *sessionHub
+	// push overrides notification delivery (experiments); nil means
+	// WebSocket sessions.
+	push func(subscriber string, n PushNotification) bool
+}
+
+// backendSub is one deduplicated subscription at the data cluster with its
+// result cache marker.
+type backendSub struct {
+	key     string
+	id      string // data cluster subscription id
+	channel string
+	params  []any
+	// bts is the newest result timestamp already pulled into the cache.
+	bts time.Duration
+	// refs counts attached frontend subscriptions.
+	refs int
+	// attached maps subscriber -> its frontend subscription id, used for
+	// notification fan-out and per-subscriber dedup.
+	attached map[string]string
+	// pullMu serializes webhook-triggered pulls for this subscription so
+	// concurrent notifications cannot interleave out-of-order Puts.
+	pullMu sync.Mutex
+}
+
+// frontendSub is one subscriber's subscription through this broker.
+type frontendSub struct {
+	id         string
+	subscriber string
+	bs         *backendSub
+	// fts is the newest result timestamp the subscriber has acknowledged.
+	fts time.Duration
+}
+
+// New validates cfg and returns a ready Broker.
+func New(cfg Config) (*Broker, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("broker: Config.ID is required")
+	}
+	if cfg.Backend == nil {
+		return nil, errors.New("broker: Config.Backend is required")
+	}
+	if cfg.Policy == nil {
+		return nil, errors.New("broker: Config.Policy is required")
+	}
+	if cfg.BackendRTT <= 0 {
+		cfg.BackendRTT = 500 * time.Millisecond
+	}
+	if cfg.BackendBandwidth <= 0 {
+		cfg.BackendBandwidth = 10 << 20
+	}
+	b := &Broker{
+		id:          cfg.ID,
+		backend:     cfg.Backend,
+		callbackURL: cfg.CallbackURL,
+		stats:       &metrics.CacheStats{},
+		rtt:         cfg.BackendRTT,
+		bw:          cfg.BackendBandwidth,
+		backendSubs: make(map[string]*backendSub),
+		backendByID: make(map[string]*backendSub),
+		frontend:    make(map[string]*frontendSub),
+		sessions:    newSessionHub(),
+	}
+	if cfg.Clock != nil {
+		b.clock = cfg.Clock
+	} else {
+		epoch := time.Now()
+		b.clock = func() time.Duration { return time.Since(epoch) }
+	}
+	mgr, err := core.NewManager(core.Config{
+		Policy:  cfg.Policy,
+		Budget:  cfg.CacheBudget,
+		Fetcher: core.FetcherFunc(b.fetchFromBackend),
+		TTL:     cfg.TTL,
+		Stats:   b.stats,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("broker: %w", err)
+	}
+	b.manager = mgr
+	return b, nil
+}
+
+// ID returns the broker's identifier.
+func (b *Broker) ID() string { return b.id }
+
+// Stats returns the broker's cache statistics.
+func (b *Broker) Stats() *metrics.CacheStats { return b.stats }
+
+// Manager exposes the cache manager (experiments and operational
+// endpoints).
+func (b *Broker) Manager() *core.Manager { return b.manager }
+
+// Now returns the broker-local time offset.
+func (b *Broker) Now() time.Duration { return b.clock() }
+
+// NumSubscribers returns how many distinct subscribers hold frontend
+// subscriptions.
+func (b *Broker) NumSubscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	seen := map[string]struct{}{}
+	for _, fs := range b.frontend {
+		seen[fs.subscriber] = struct{}{}
+	}
+	return len(seen)
+}
+
+// NumFrontendSubs and NumBackendSubs report the subscription-suppression
+// ratio (the prototype experiment quotes ~3500 frontend vs ~800 backend).
+func (b *Broker) NumFrontendSubs() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.frontend)
+}
+
+// NumBackendSubs returns the number of deduplicated backend subscriptions.
+func (b *Broker) NumBackendSubs() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.backendSubs)
+}
+
+// subKey canonicalizes (channel, params) for suppression.
+func subKey(channel string, params []any) string {
+	enc, err := json.Marshal(params)
+	if err != nil {
+		enc = []byte(fmt.Sprintf("%v", params))
+	}
+	return channel + "|" + string(enc)
+}
+
+// Subscribe creates a frontend subscription for subscriber to (channel,
+// params), creating (or sharing) the backend subscription. It returns the
+// frontend subscription ID. A subscriber re-subscribing to the same
+// (channel, params) gets its existing frontend subscription back.
+func (b *Broker) Subscribe(subscriber, channel string, params []any) (string, error) {
+	if subscriber == "" || channel == "" {
+		return "", errors.New("broker: Subscribe needs subscriber and channel")
+	}
+	now := b.clock()
+	b.mu.Lock()
+	key := subKey(channel, params)
+	bs, ok := b.backendSubs[key]
+	if ok {
+		if fsID, dup := bs.attached[subscriber]; dup {
+			b.mu.Unlock()
+			return fsID, nil
+		}
+	} else {
+		// First frontend subscription for this (channel, params):
+		// subscribe at the data cluster. Release the lock across the
+		// network call.
+		b.mu.Unlock()
+		backendID, err := b.backend.Subscribe(channel, params, b.callbackURL)
+		if err != nil {
+			return "", fmt.Errorf("broker: backend subscribe: %w", err)
+		}
+		b.mu.Lock()
+		// Re-check: a concurrent Subscribe may have raced us.
+		bs, ok = b.backendSubs[key]
+		if ok {
+			// Lost the race: withdraw our duplicate backend sub.
+			b.mu.Unlock()
+			_ = b.backend.Unsubscribe(backendID)
+			b.mu.Lock()
+			if fsID, dup := bs.attached[subscriber]; dup {
+				b.mu.Unlock()
+				return fsID, nil
+			}
+		} else {
+			bs = &backendSub{
+				key: key, id: backendID, channel: channel, params: params,
+				attached: make(map[string]string),
+			}
+			b.backendSubs[key] = bs
+			b.backendByID[backendID] = bs
+		}
+	}
+	b.fsSeq++
+	fs := &frontendSub{
+		id:         fmt.Sprintf("%s-fs%06d", b.id, b.fsSeq),
+		subscriber: subscriber,
+		bs:         bs,
+		fts:        bs.bts, // only results after joining are owed
+	}
+	b.frontend[fs.id] = fs
+	bs.refs++
+	bs.attached[subscriber] = fs.id
+	b.mu.Unlock()
+
+	b.manager.Subscribe(bs.id, subscriber, now)
+	return fs.id, nil
+}
+
+// Unsubscribe removes a frontend subscription; when the last attached
+// frontend subscription goes away the backend subscription is withdrawn
+// and its cache dropped.
+func (b *Broker) Unsubscribe(subscriber, fsID string) error {
+	now := b.clock()
+	b.mu.Lock()
+	fs, ok := b.frontend[fsID]
+	if !ok || fs.subscriber != subscriber {
+		b.mu.Unlock()
+		return fmt.Errorf("broker: unknown frontend subscription %q", fsID)
+	}
+	delete(b.frontend, fsID)
+	bs := fs.bs
+	delete(bs.attached, subscriber)
+	bs.refs--
+	last := bs.refs == 0
+	if last {
+		delete(b.backendSubs, bs.key)
+		delete(b.backendByID, bs.id)
+	}
+	b.mu.Unlock()
+
+	b.manager.Unsubscribe(bs.id, subscriber, now)
+	if last {
+		b.manager.DropCache(bs.id, now)
+		if err := b.backend.Unsubscribe(bs.id); err != nil {
+			return fmt.Errorf("broker: backend unsubscribe: %w", err)
+		}
+	}
+	return nil
+}
+
+// ResultItem is one result object as delivered to a subscriber.
+type ResultItem struct {
+	ID          string           `json:"id"`
+	TimestampNS int64            `json:"timestamp_ns"`
+	Size        int64            `json:"size"`
+	Rows        []map[string]any `json:"rows,omitempty"`
+	// FromCache reports whether the object was served from the broker
+	// cache (true) or re-fetched from the data cluster (false).
+	FromCache bool `json:"from_cache"`
+}
+
+// GetResults implements Algorithm 1's GETRESULTS: it returns the results of
+// fsID's backend subscription in (fts, bts], serving from the cache where
+// possible. The subscriber must Ack the returned latest timestamp to
+// advance its marker.
+func (b *Broker) GetResults(subscriber, fsID string) ([]ResultItem, time.Duration, error) {
+	now := b.clock()
+	b.mu.Lock()
+	fs, ok := b.frontend[fsID]
+	if !ok || fs.subscriber != subscriber {
+		b.mu.Unlock()
+		return nil, 0, fmt.Errorf("broker: unknown frontend subscription %q", fsID)
+	}
+	bsID := fs.bs.id
+	from, to := fs.fts, fs.bs.bts
+	b.mu.Unlock()
+
+	// On a backend-fetch failure the manager still returns the cached
+	// part; pass it through with the error so the subscriber keeps what
+	// the cache could serve.
+	objs, err := b.manager.GetResults(bsID, subscriber, from, to, now)
+	items := make([]ResultItem, 0, len(objs))
+	for _, o := range objs {
+		rows, _ := o.Payload.([]map[string]any)
+		items = append(items, ResultItem{
+			ID:          o.ID,
+			TimestampNS: int64(o.Timestamp),
+			Size:        o.Size,
+			Rows:        rows,
+			FromCache:   o.CacheID != "", // fetched objects carry no cache id
+		})
+	}
+	if err != nil {
+		// Partial answer: cached items only. Returning to as the marker
+		// would be wrong — the missed range was never delivered — so the
+		// caller must not ack past what it received.
+		return items, 0, err
+	}
+	return items, to, nil
+}
+
+// Ack advances fsID's retrieval marker to ts (never backwards, never past
+// the backend marker).
+func (b *Broker) Ack(subscriber, fsID string, ts time.Duration) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fs, ok := b.frontend[fsID]
+	if !ok || fs.subscriber != subscriber {
+		return fmt.Errorf("broker: unknown frontend subscription %q", fsID)
+	}
+	if ts > fs.bs.bts {
+		ts = fs.bs.bts
+	}
+	if ts > fs.fts {
+		fs.fts = ts
+	}
+	return nil
+}
+
+// HandleNotification reacts to the data cluster's webhook: pull the new
+// results (bts, latest] into the cache (PULL model), advance the backend
+// marker and push "new results" notifications to the attached online
+// subscribers.
+func (b *Broker) HandleNotification(backendSubID string, latest time.Duration) error {
+	now := b.clock()
+	b.mu.Lock()
+	bs, ok := b.backendByID[backendSubID]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("broker: notification for unknown subscription %q", backendSubID)
+	}
+	b.mu.Unlock()
+
+	// Serialize pulls per backend subscription: concurrent notifications
+	// must not interleave their Puts.
+	bs.pullMu.Lock()
+	defer bs.pullMu.Unlock()
+	b.mu.Lock()
+	from := bs.bts
+	b.mu.Unlock()
+	if latest <= from {
+		return nil // stale or duplicate notification
+	}
+
+	if _, isNC := b.manager.Policy().(core.NC); !isNC {
+		results, err := b.backend.Results(backendSubID, from, latest, true)
+		if err != nil {
+			return fmt.Errorf("broker: pull results: %w", err)
+		}
+		for _, r := range results {
+			obj := &core.Object{
+				ID:           r.ID,
+				Timestamp:    r.Timestamp,
+				Size:         r.Size,
+				FetchLatency: b.fetchLatency(r.Size),
+				Payload:      r.Rows,
+			}
+			if err := b.manager.Put(backendSubID, obj, now); err != nil {
+				return fmt.Errorf("broker: cache put: %w", err)
+			}
+			b.stats.VolumeBytes.Add(float64(r.Size))
+			b.stats.FetchBytes.Add(float64(r.Size))
+		}
+	}
+
+	b.mu.Lock()
+	if latest > bs.bts {
+		bs.bts = latest
+	}
+	notifyList := make(map[string]string, len(bs.attached)) // subscriber -> fs
+	for sub, fsID := range bs.attached {
+		notifyList[sub] = fsID
+	}
+	b.mu.Unlock()
+
+	for sub, fsID := range notifyList {
+		n := PushNotification{Type: "results", FrontendSub: fsID, LatestNS: int64(latest)}
+		delivered := false
+		if b.push != nil {
+			delivered = b.push(sub, n)
+		} else {
+			delivered = b.sessions.notify(sub, n)
+		}
+		if delivered {
+			b.stats.Delivered.Inc()
+		}
+	}
+	return nil
+}
+
+// SetPushFunc overrides notification delivery; the experiment rigs use it
+// to bypass WebSocket sessions and deliver synchronously. Pass nil to
+// restore WebSocket delivery. Must be called before traffic flows.
+func (b *Broker) SetPushFunc(fn func(subscriber string, n PushNotification) bool) {
+	b.push = fn
+}
+
+// HandlePushedResult reacts to a PUSH-model webhook: the notification
+// carried the result object itself, so the broker caches it directly —
+// no fetch round trip. Gaps (results the broker never saw, e.g. shed push
+// deliveries) are back-filled with one PULL of the missing range first,
+// keeping the cache's timestamp order intact.
+func (b *Broker) HandlePushedResult(backendSubID string, r bdms.ResultObject) error {
+	now := b.clock()
+	b.mu.Lock()
+	bs, ok := b.backendByID[backendSubID]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("broker: pushed result for unknown subscription %q", backendSubID)
+	}
+	b.mu.Unlock()
+
+	bs.pullMu.Lock()
+	defer bs.pullMu.Unlock()
+	b.mu.Lock()
+	from := bs.bts
+	b.mu.Unlock()
+	if r.Timestamp <= from {
+		return nil // duplicate push
+	}
+
+	if _, isNC := b.manager.Policy().(core.NC); !isNC {
+		// Back-fill any gap below the pushed object, then cache it.
+		if r.Timestamp > from {
+			missed, err := b.backend.Results(backendSubID, from, r.Timestamp, false)
+			if err == nil {
+				for _, m := range missed {
+					obj := &core.Object{
+						ID: m.ID, Timestamp: m.Timestamp, Size: m.Size,
+						FetchLatency: b.fetchLatency(m.Size), Payload: m.Rows,
+					}
+					if err := b.manager.Put(backendSubID, obj, now); err == nil {
+						b.stats.VolumeBytes.Add(float64(m.Size))
+						b.stats.FetchBytes.Add(float64(m.Size))
+					}
+				}
+			}
+		}
+		obj := &core.Object{
+			ID: r.ID, Timestamp: r.Timestamp, Size: r.Size,
+			FetchLatency: b.fetchLatency(r.Size), Payload: r.Rows,
+		}
+		if err := b.manager.Put(backendSubID, obj, now); err != nil {
+			return fmt.Errorf("broker: cache pushed result: %w", err)
+		}
+		// Pushed bytes count toward the base volume but NOT FetchBytes:
+		// the PUSH model's benefit is exactly that the broker does not
+		// fetch them.
+		b.stats.VolumeBytes.Add(float64(r.Size))
+	}
+
+	b.mu.Lock()
+	if r.Timestamp > bs.bts {
+		bs.bts = r.Timestamp
+	}
+	notifyList := make(map[string]string, len(bs.attached))
+	for sub, fsID := range bs.attached {
+		notifyList[sub] = fsID
+	}
+	b.mu.Unlock()
+
+	for sub, fsID := range notifyList {
+		n := PushNotification{Type: "results", FrontendSub: fsID, LatestNS: int64(r.Timestamp)}
+		delivered := false
+		if b.push != nil {
+			delivered = b.push(sub, n)
+		} else {
+			delivered = b.sessions.notify(sub, n)
+		}
+		if delivered {
+			b.stats.Delivered.Inc()
+		}
+	}
+	return nil
+}
+
+// fetchLatency estimates l_ij: the added latency of retrieving an object
+// of the given size from the data cluster.
+func (b *Broker) fetchLatency(size int64) time.Duration {
+	transfer := time.Duration(float64(size) / b.bw * float64(time.Second))
+	return b.rtt + transfer
+}
+
+// fetchFromBackend is the core.Fetcher: re-fetch evicted/expired objects
+// from the data cluster on a cache miss. Fetched objects are not re-cached
+// (core enforces that by simply returning them).
+func (b *Broker) fetchFromBackend(cacheID string, from, to time.Duration, inclusiveTo bool) ([]*core.Object, error) {
+	results, err := b.backend.Results(cacheID, from, to, inclusiveTo)
+	if err != nil {
+		return nil, err
+	}
+	objs := make([]*core.Object, 0, len(results))
+	for _, r := range results {
+		objs = append(objs, &core.Object{
+			ID:           r.ID,
+			Timestamp:    r.Timestamp,
+			Size:         r.Size,
+			FetchLatency: b.fetchLatency(r.Size),
+			Payload:      r.Rows,
+		})
+	}
+	return objs, nil
+}
+
+// DriveTTL recomputes TTLs and expires due objects; call it from a ticker
+// (live) or scheduled events (experiments). It is a no-op under non-TTL
+// policies.
+func (b *Broker) DriveTTL() {
+	now := b.clock()
+	b.manager.RecomputeTTLs(now)
+	b.manager.ExpireDue(now)
+}
+
+// ExpireDue drops expired objects without recomputing TTLs.
+func (b *Broker) ExpireDue() int { return b.manager.ExpireDue(b.clock()) }
+
+// FrontendSubscriptions lists a subscriber's frontend subscription IDs,
+// sorted.
+func (b *Broker) FrontendSubscriptions(subscriber string) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for id, fs := range b.frontend {
+		if fs.subscriber == subscriber {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

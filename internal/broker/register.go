@@ -1,0 +1,57 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gobad/internal/bcs"
+)
+
+// Registration keeps a broker registered and heartbeating with the Broker
+// Coordination Service until closed.
+type Registration struct {
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// RegisterWithBCS registers the broker at the BCS under its client-facing
+// address and starts a heartbeat loop reporting subscriber load every
+// interval. Close the returned Registration to deregister.
+func RegisterWithBCS(b *Broker, bcsClient *bcs.Client, address string, interval time.Duration) (*Registration, error) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if err := bcsClient.Register(b.ID(), address); err != nil {
+		return nil, fmt.Errorf("broker: BCS registration: %w", err)
+	}
+	reg := &Registration{stop: make(chan struct{})}
+	reg.done.Add(1)
+	go func() {
+		defer reg.done.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-reg.stop:
+				_ = bcsClient.Deregister(b.ID())
+				return
+			case <-ticker.C:
+				// A failed heartbeat is retried on the next tick; the
+				// BCS treats stale brokers as dead in the meantime.
+				_ = bcsClient.Heartbeat(b.ID(), b.NumSubscribers())
+			}
+		}
+	}()
+	return reg, nil
+}
+
+// Close stops the heartbeat loop and deregisters the broker.
+func (r *Registration) Close() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	r.done.Wait()
+}

@@ -1,0 +1,196 @@
+package broker
+
+import (
+	"net/http"
+	"time"
+
+	"gobad/internal/bdms"
+	"gobad/internal/httpx"
+	"gobad/internal/metrics"
+	"gobad/internal/wsock"
+)
+
+// Server exposes the broker's two HTTP surfaces: the client-facing REST API
+// (subscribe/unsubscribe/getresults/ack + WebSocket push) and the
+// cluster-facing webhook callback.
+type Server struct {
+	broker *Broker
+	mux    *http.ServeMux
+}
+
+// NewServer wraps a broker with its HTTP API.
+func NewServer(b *Broker) *Server {
+	s := &Server{broker: b, mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /api/subscriptions", s.handleSubscribe)
+	s.mux.HandleFunc("DELETE /api/subscriptions/{fs}", s.handleUnsubscribe)
+	s.mux.HandleFunc("GET /api/subscriptions/{fs}/results", s.handleGetResults)
+	s.mux.HandleFunc("POST /api/subscriptions/{fs}/ack", s.handleAck)
+	s.mux.HandleFunc("GET /api/subscribers/{id}/subscriptions", s.handleListSubs)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/caches", s.handleCaches)
+	s.mux.HandleFunc("GET /ws", s.handleWS)
+	s.mux.HandleFunc("POST /callbacks/results", s.handleCallback)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	httpx.WriteJSON(w, http.StatusOK, map[string]string{
+		"status": "ok", "broker": s.broker.ID(),
+	})
+}
+
+// SubscribeRequest creates a frontend subscription.
+type SubscribeRequest struct {
+	Subscriber string `json:"subscriber"`
+	Channel    string `json:"channel"`
+	Params     []any  `json:"params"`
+}
+
+// SubscribeResponse returns the frontend subscription ID.
+type SubscribeResponse struct {
+	FrontendSub string `json:"fs"`
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	var req SubscribeRequest
+	if err := httpx.ReadJSON(r, &req); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fs, err := s.broker.Subscribe(req.Subscriber, req.Channel, req.Params)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusCreated, SubscribeResponse{FrontendSub: fs})
+}
+
+func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	subscriber := r.URL.Query().Get("subscriber")
+	if err := s.broker.Unsubscribe(subscriber, r.PathValue("fs")); err != nil {
+		httpx.WriteError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, nil)
+}
+
+// ResultsResponse carries retrieved results and the marker to acknowledge.
+type ResultsResponse struct {
+	Results  []ResultItem `json:"results"`
+	LatestNS int64        `json:"latest_ns"`
+}
+
+func (s *Server) handleGetResults(w http.ResponseWriter, r *http.Request) {
+	subscriber := r.URL.Query().Get("subscriber")
+	items, latest, err := s.broker.GetResults(subscriber, r.PathValue("fs"))
+	if err != nil {
+		httpx.WriteError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, ResultsResponse{Results: items, LatestNS: int64(latest)})
+}
+
+// AckRequest advances a frontend subscription's marker.
+type AckRequest struct {
+	Subscriber  string `json:"subscriber"`
+	TimestampNS int64  `json:"timestamp_ns"`
+}
+
+func (s *Server) handleAck(w http.ResponseWriter, r *http.Request) {
+	var req AckRequest
+	if err := httpx.ReadJSON(r, &req); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.broker.Ack(req.Subscriber, r.PathValue("fs"), time.Duration(req.TimestampNS)); err != nil {
+		httpx.WriteError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, nil)
+}
+
+func (s *Server) handleListSubs(w http.ResponseWriter, r *http.Request) {
+	subs := s.broker.FrontendSubscriptions(r.PathValue("id"))
+	httpx.WriteJSON(w, http.StatusOK, map[string][]string{"subscriptions": subs})
+}
+
+// StatsResponse is the broker's metrics snapshot plus table sizes.
+type StatsResponse struct {
+	Broker       string           `json:"broker"`
+	Policy       string           `json:"policy"`
+	BudgetBytes  int64            `json:"budget_bytes"`
+	CachedBytes  int64            `json:"cached_bytes"`
+	FrontendSubs int              `json:"frontend_subs"`
+	BackendSubs  int              `json:"backend_subs"`
+	Online       int              `json:"online_subscribers"`
+	Metrics      metrics.Snapshot `json:"metrics"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	b := s.broker
+	httpx.WriteJSON(w, http.StatusOK, StatsResponse{
+		Broker:       b.ID(),
+		Policy:       b.Manager().Policy().Name(),
+		BudgetBytes:  b.Manager().Budget(),
+		CachedBytes:  b.Manager().TotalSize(),
+		FrontendSubs: b.NumFrontendSubs(),
+		BackendSubs:  b.NumBackendSubs(),
+		Online:       b.sessions.count(),
+		Metrics:      b.Stats().SnapshotAt(b.Now()),
+	})
+}
+
+func (s *Server) handleCaches(w http.ResponseWriter, _ *http.Request) {
+	httpx.WriteJSON(w, http.StatusOK, map[string]any{"caches": s.broker.Manager().CacheInfos()})
+}
+
+// handleWS upgrades a subscriber's notification socket. The query parameter
+// "subscriber" names the session. The connection is read-pumped so pings
+// and client close frames are honored; incoming text messages are ignored.
+func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
+	subscriber := r.URL.Query().Get("subscriber")
+	if subscriber == "" {
+		httpx.WriteError(w, http.StatusBadRequest, "subscriber query parameter required")
+		return
+	}
+	conn, err := wsock.Upgrade(w, r)
+	if err != nil {
+		return // Upgrade already wrote the error
+	}
+	s.broker.sessions.attach(subscriber, conn)
+	defer s.broker.sessions.detach(subscriber, conn)
+	for {
+		if _, _, err := conn.ReadMessage(); err != nil {
+			_ = conn.Close()
+			return
+		}
+	}
+}
+
+// handleCallback is the webhook the data cluster invokes on new results.
+func (s *Server) handleCallback(w http.ResponseWriter, r *http.Request) {
+	var p bdms.NotificationPayload
+	if err := httpx.ReadJSON(r, &p); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var err error
+	if p.Result != nil {
+		err = s.broker.HandlePushedResult(p.SubscriptionID, *p.Result)
+	} else {
+		err = s.broker.HandleNotification(p.SubscriptionID, time.Duration(p.LatestNS))
+	}
+	if err != nil {
+		httpx.WriteError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, nil)
+}

@@ -1,0 +1,86 @@
+package broker
+
+import (
+	"encoding/json"
+	"sync"
+
+	"gobad/internal/wsock"
+)
+
+// PushNotification is the JSON message pushed to subscribers over their
+// WebSocket: "new results are available for your frontend subscription up
+// to LatestNS — come and get them".
+type PushNotification struct {
+	Type        string `json:"type"`
+	FrontendSub string `json:"fs"`
+	LatestNS    int64  `json:"latest_ns"`
+}
+
+// sessionHub tracks which subscribers are currently online (WebSocket
+// connected). Subscriptions survive logout — that is the asynchrony
+// caching enables — so the hub only affects push delivery, never
+// subscription state.
+type sessionHub struct {
+	mu    sync.Mutex
+	conns map[string]*wsock.Conn
+}
+
+func newSessionHub() *sessionHub {
+	return &sessionHub{conns: make(map[string]*wsock.Conn)}
+}
+
+// attach registers a subscriber's connection, closing any previous one.
+func (h *sessionHub) attach(subscriber string, conn *wsock.Conn) {
+	h.mu.Lock()
+	old := h.conns[subscriber]
+	h.conns[subscriber] = conn
+	h.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+}
+
+// detach removes the subscriber's connection if it is still the given one.
+func (h *sessionHub) detach(subscriber string, conn *wsock.Conn) {
+	h.mu.Lock()
+	if h.conns[subscriber] == conn {
+		delete(h.conns, subscriber)
+	}
+	h.mu.Unlock()
+}
+
+// online reports whether the subscriber has a live connection.
+func (h *sessionHub) online(subscriber string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.conns[subscriber] != nil
+}
+
+// count returns the number of online subscribers.
+func (h *sessionHub) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.conns)
+}
+
+// notify pushes a notification to the subscriber; it reports whether a
+// delivery was attempted (the subscriber was online). Write failures tear
+// the session down — the subscriber will reconnect and catch up.
+func (h *sessionHub) notify(subscriber string, n PushNotification) bool {
+	h.mu.Lock()
+	conn := h.conns[subscriber]
+	h.mu.Unlock()
+	if conn == nil {
+		return false
+	}
+	payload, err := json.Marshal(n)
+	if err != nil {
+		return false
+	}
+	if err := conn.WriteMessage(wsock.OpText, payload); err != nil {
+		h.detach(subscriber, conn)
+		_ = conn.Close()
+		return false
+	}
+	return true
+}

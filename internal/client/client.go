@@ -1,0 +1,257 @@
+// Package client implements the BAD client (subscriber) library: it asks
+// the Broker Coordination Service for a broker, subscribes to parameterized
+// channels through it, listens for push notifications over a WebSocket and
+// retrieves (then acknowledges) channel results. Retrieval latencies are
+// recorded so trace drivers can report the paper's subscriber-latency
+// metric.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"gobad/internal/bcs"
+	"gobad/internal/broker"
+	"gobad/internal/httpx"
+	"gobad/internal/metrics"
+	"gobad/internal/wsock"
+)
+
+// Config configures a Client.
+type Config struct {
+	// Subscriber is this client's identity (required).
+	Subscriber string
+	// BrokerURL connects directly to a broker. Leave empty to discover
+	// one through BCS.
+	BrokerURL string
+	// BCS discovers a broker when BrokerURL is empty.
+	BCS *bcs.Client
+	// HTTPClient overrides the HTTP client (tests).
+	HTTPClient *http.Client
+}
+
+// Client is a connected BAD subscriber.
+type Client struct {
+	subscriber string
+	brokerURL  string
+	bcs        *bcs.Client
+	http       *http.Client
+
+	mu     sync.Mutex
+	ws     *wsock.Conn
+	wsDone chan struct{}
+	closed bool
+
+	notifications chan broker.PushNotification
+
+	// Latency records GetResults round-trip times in seconds.
+	Latency metrics.Sampler
+}
+
+// New resolves a broker (directly or via BCS) and returns a ready client.
+// Call Listen to receive push notifications.
+func New(cfg Config) (*Client, error) {
+	if cfg.Subscriber == "" {
+		return nil, errors.New("client: Config.Subscriber is required")
+	}
+	httpClient := cfg.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	brokerURL := cfg.BrokerURL
+	if brokerURL == "" {
+		if cfg.BCS == nil {
+			return nil, errors.New("client: need BrokerURL or BCS")
+		}
+		info, err := cfg.BCS.Assign()
+		if err != nil {
+			return nil, fmt.Errorf("client: broker discovery: %w", err)
+		}
+		brokerURL = info.Address
+	}
+	return &Client{
+		subscriber:    cfg.Subscriber,
+		brokerURL:     brokerURL,
+		bcs:           cfg.BCS,
+		http:          httpClient,
+		notifications: make(chan broker.PushNotification, 64),
+	}, nil
+}
+
+// Rediscover asks the BCS for a (possibly different) broker and fails the
+// client over to it: the notification socket is closed, the broker URL is
+// swapped, and — because broker state is per-node — subscriptions are
+// re-established on the new broker from the given list of (channel,
+// params) pairs. It requires the client to have been created with a BCS.
+//
+// This implements the failure-handling direction the paper's conclusion
+// sketches: when a broker dies, its subscribers re-home through the BCS;
+// results remain available because the data cluster stores them durably.
+func (c *Client) Rediscover(resubscribe []Resubscription) error {
+	if c.bcs == nil {
+		return errors.New("client: Rediscover requires a BCS")
+	}
+	info, err := c.bcs.Assign()
+	if err != nil {
+		return fmt.Errorf("client: broker rediscovery: %w", err)
+	}
+	c.Logout()
+	c.mu.Lock()
+	c.brokerURL = info.Address
+	c.mu.Unlock()
+	for _, r := range resubscribe {
+		if _, err := c.Subscribe(r.Channel, r.Params); err != nil {
+			return fmt.Errorf("client: resubscribe %s: %w", r.Channel, err)
+		}
+	}
+	return nil
+}
+
+// Resubscription names a subscription to re-establish after failover.
+type Resubscription struct {
+	Channel string
+	Params  []any
+}
+
+// Subscriber returns the client's identity.
+func (c *Client) Subscriber() string { return c.subscriber }
+
+// BrokerURL returns the resolved broker address.
+func (c *Client) BrokerURL() string { return c.base() }
+
+// base returns the current broker URL under the lock (Rediscover may swap
+// it).
+func (c *Client) base() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.brokerURL
+}
+
+// Subscribe creates a frontend subscription and returns its ID.
+func (c *Client) Subscribe(channel string, params []any) (string, error) {
+	var out broker.SubscribeResponse
+	err := httpx.DoJSON(c.http, http.MethodPost, c.base()+"/api/subscriptions",
+		broker.SubscribeRequest{Subscriber: c.subscriber, Channel: channel, Params: params}, &out)
+	if err != nil {
+		return "", err
+	}
+	return out.FrontendSub, nil
+}
+
+// Unsubscribe withdraws a frontend subscription.
+func (c *Client) Unsubscribe(fs string) error {
+	u := fmt.Sprintf("%s/api/subscriptions/%s?subscriber=%s",
+		c.base(), url.PathEscape(fs), url.QueryEscape(c.subscriber))
+	return httpx.DoJSON(c.http, http.MethodDelete, u, nil, nil)
+}
+
+// Subscriptions lists this subscriber's frontend subscription IDs.
+func (c *Client) Subscriptions() ([]string, error) {
+	var out map[string][]string
+	u := c.base() + "/api/subscribers/" + url.PathEscape(c.subscriber) + "/subscriptions"
+	if err := httpx.DoJSON(c.http, http.MethodGet, u, nil, &out); err != nil {
+		return nil, err
+	}
+	return out["subscriptions"], nil
+}
+
+// GetResults retrieves all new results of a frontend subscription and
+// acknowledges them. The retrieval latency is recorded.
+func (c *Client) GetResults(fs string) ([]broker.ResultItem, error) {
+	start := time.Now()
+	var out broker.ResultsResponse
+	u := fmt.Sprintf("%s/api/subscriptions/%s/results?subscriber=%s",
+		c.base(), url.PathEscape(fs), url.QueryEscape(c.subscriber))
+	if err := httpx.DoJSON(c.http, http.MethodGet, u, nil, &out); err != nil {
+		return nil, err
+	}
+	c.Latency.Observe(time.Since(start).Seconds())
+	if out.LatestNS > 0 {
+		ack := broker.AckRequest{Subscriber: c.subscriber, TimestampNS: out.LatestNS}
+		ackURL := c.base() + "/api/subscriptions/" + url.PathEscape(fs) + "/ack"
+		if err := httpx.DoJSON(c.http, http.MethodPost, ackURL, ack, nil); err != nil {
+			return out.Results, fmt.Errorf("client: ack: %w", err)
+		}
+	}
+	return out.Results, nil
+}
+
+// Listen opens the notification WebSocket (logging the subscriber in) and
+// pumps incoming notifications into Notifications. It returns once the
+// socket is established; the pump runs until Close or a connection error.
+func (c *Client) Listen() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("client: closed")
+	}
+	if c.ws != nil {
+		return nil // already listening
+	}
+	wsURL := c.brokerURL + "/ws?subscriber=" + url.QueryEscape(c.subscriber)
+	conn, err := wsock.Dial(wsURL, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("client: notification socket: %w", err)
+	}
+	c.ws = conn
+	c.wsDone = make(chan struct{})
+	go c.pump(conn, c.wsDone)
+	return nil
+}
+
+func (c *Client) pump(conn *wsock.Conn, done chan struct{}) {
+	defer close(done)
+	for {
+		_, payload, err := conn.ReadMessage()
+		if err != nil {
+			c.mu.Lock()
+			if c.ws == conn {
+				c.ws = nil
+			}
+			c.mu.Unlock()
+			return
+		}
+		var n broker.PushNotification
+		if err := json.Unmarshal(payload, &n); err != nil {
+			continue
+		}
+		select {
+		case c.notifications <- n:
+		default:
+			// Notification channel full: drop. Notifications are
+			// cumulative; the next GetResults catches everything up.
+		}
+	}
+}
+
+// Notifications returns the push notification stream.
+func (c *Client) Notifications() <-chan broker.PushNotification { return c.notifications }
+
+// Logout closes the notification socket (the subscriber goes offline) but
+// keeps all subscriptions alive — cached results keep accumulating at the
+// broker, which is exactly the asynchrony broker caching enables.
+func (c *Client) Logout() {
+	c.mu.Lock()
+	conn, done := c.ws, c.wsDone
+	c.ws, c.wsDone = nil, nil
+	c.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	if done != nil {
+		<-done
+	}
+}
+
+// Close logs out and marks the client unusable.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.Logout()
+}

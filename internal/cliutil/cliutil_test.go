@@ -1,0 +1,39 @@
+package cliutil
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"123", 123},
+		{"100B", 100},
+		{"1KB", 1 << 10},
+		{"512KB", 512 << 10},
+		{"50MB", 50 << 20},
+		{"1.5MB", 3 << 19},
+		{"1GB", 1 << 30},
+		{"2gb", 2 << 30},
+		{" 64 MB ", 64 << 20},
+	}
+	for _, tt := range tests {
+		got, err := ParseBytes(tt.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q): %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseBytesErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "12XB", "-5MB", "MB"} {
+		if _, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) should fail", in)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func ts(sec int) time.Duration { return time.Duration(sec) * time.Second }
+
+func newTestCache() *ResultCache {
+	return newResultCache("c1", 0, 30*time.Second, 0.3)
+}
+
+func obj(id string, at int, size int64) *Object {
+	return &Object{ID: id, Timestamp: ts(at), Size: size}
+}
+
+func TestCachePushHeadOrdering(t *testing.T) {
+	c := newTestCache()
+	for i, id := range []string{"a", "b", "c"} {
+		if err := c.pushHead(obj(id, i+1, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 3 || c.Size() != 30 {
+		t.Fatalf("Len=%d Size=%d, want 3/30", c.Len(), c.Size())
+	}
+	if c.Head().ID != "c" || c.Tail().ID != "a" {
+		t.Errorf("head=%s tail=%s, want c/a", c.Head().ID, c.Tail().ID)
+	}
+}
+
+func TestCachePushHeadRejectsOutOfOrder(t *testing.T) {
+	c := newTestCache()
+	if err := c.pushHead(obj("a", 5, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.pushHead(obj("b", 5, 10)); err == nil {
+		t.Error("equal timestamp should be rejected")
+	}
+	if err := c.pushHead(obj("b", 4, 10)); err == nil {
+		t.Error("older timestamp should be rejected")
+	}
+}
+
+func TestCacheRemoveMiddle(t *testing.T) {
+	c := newTestCache()
+	objs := make([]*Object, 5)
+	for i := range objs {
+		objs[i] = obj(string(rune('a'+i)), i+1, 10)
+		if err := c.pushHead(objs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.remove(objs[2]) // middle
+	if c.Len() != 4 || c.Size() != 40 {
+		t.Fatalf("Len=%d Size=%d after middle removal", c.Len(), c.Size())
+	}
+	var got []string
+	c.ascend(func(o *Object) bool { got = append(got, o.ID); return true })
+	want := []string{"a", "b", "d", "e"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order after removal = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCacheRemoveHeadAndTail(t *testing.T) {
+	c := newTestCache()
+	a, b := obj("a", 1, 5), obj("b", 2, 7)
+	if err := c.pushHead(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.pushHead(b); err != nil {
+		t.Fatal(err)
+	}
+	c.remove(b) // head
+	if c.Head() != a || c.Tail() != a {
+		t.Error("after head removal, single element should be both head and tail")
+	}
+	c.remove(a)
+	if c.Head() != nil || c.Tail() != nil || c.Len() != 0 || c.Size() != 0 {
+		t.Error("cache should be empty")
+	}
+}
+
+func TestCacheAscendEarlyStop(t *testing.T) {
+	c := newTestCache()
+	for i := 0; i < 5; i++ {
+		if err := c.pushHead(obj(string(rune('a'+i)), i+1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	c.ascend(func(*Object) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Errorf("ascend visited %d, want 2", count)
+	}
+}
+
+func TestObjectsInRange(t *testing.T) {
+	c := newTestCache()
+	for i := 1; i <= 5; i++ {
+		if err := c.pushHead(obj(string(rune('a'+i-1)), i*10, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// timestamps: 10,20,30,40,50
+	tests := []struct {
+		from, to int
+		want     []string
+	}{
+		{0, 100, []string{"a", "b", "c", "d", "e"}},
+		{10, 30, []string{"b", "c"}}, // (10, 30]
+		{30, 30, nil},
+		{50, 100, nil},
+		{45, 50, []string{"e"}},
+		{0, 9, nil},
+	}
+	for _, tt := range tests {
+		got := c.objectsInRange(ts(tt.from), ts(tt.to))
+		if len(got) != len(tt.want) {
+			t.Errorf("range (%d,%d]: got %d objects, want %d", tt.from, tt.to, len(got), len(tt.want))
+			continue
+		}
+		for i := range tt.want {
+			if got[i].ID != tt.want[i] {
+				t.Errorf("range (%d,%d][%d] = %s, want %s", tt.from, tt.to, i, got[i].ID, tt.want[i])
+			}
+		}
+	}
+}
+
+func TestCacheRates(t *testing.T) {
+	c := newTestCache()
+	// 100 B/s arrivals, 40 B/s consumption over 10 minutes.
+	for i := 0; i <= 600; i++ {
+		c.arrival.Observe(ts(i), 100)
+		c.consumption.Observe(ts(i), 40)
+	}
+	now := ts(600)
+	if got := c.GrowthRate(now); got < 40 || got > 80 {
+		t.Errorf("GrowthRate = %v, want ~60", got)
+	}
+	// Consumption exceeding arrival clamps to zero.
+	c2 := newTestCache()
+	for i := 0; i <= 600; i++ {
+		c2.arrival.Observe(ts(i), 10)
+		c2.consumption.Observe(ts(i), 90)
+	}
+	if got := c2.GrowthRate(now); got != 0 {
+		t.Errorf("negative growth should clamp to 0, got %v", got)
+	}
+}
+
+func TestObjectAccessors(t *testing.T) {
+	o := &Object{ID: "x", Size: 9}
+	o.subs = map[string]struct{}{"s1": {}, "s2": {}}
+	o.insertedAt = ts(3)
+	o.expiresAt = ts(8)
+	if o.PendingSubscribers() != 2 {
+		t.Errorf("PendingSubscribers = %d", o.PendingSubscribers())
+	}
+	if !o.AwaitedBy("s1") || o.AwaitedBy("nope") {
+		t.Error("AwaitedBy wrong")
+	}
+	if o.InsertedAt() != ts(3) || o.ExpiresAt() != ts(8) {
+		t.Error("time accessors wrong")
+	}
+}

@@ -1,0 +1,686 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gobad/internal/metrics"
+)
+
+// Fetcher retrieves result objects from the data cluster on a cache miss.
+// It returns the objects with from < Timestamp < to (or <= to when
+// inclusiveTo is set), oldest first. Implementations: the broker's REST
+// client and the simulator's backend model.
+type Fetcher interface {
+	Fetch(cacheID string, from, to time.Duration, inclusiveTo bool) ([]*Object, error)
+}
+
+// FetcherFunc adapts a function to the Fetcher interface.
+type FetcherFunc func(cacheID string, from, to time.Duration, inclusiveTo bool) ([]*Object, error)
+
+// Fetch implements Fetcher.
+func (f FetcherFunc) Fetch(cacheID string, from, to time.Duration, inclusiveTo bool) ([]*Object, error) {
+	return f(cacheID, from, to, inclusiveTo)
+}
+
+// TTLWeighting selects the per-cache weight w_i in the TTL formula
+// T_i = w_i * B / sum_k(w_k * rho_k); any weighting satisfies the
+// expected-size constraint sum_i(rho_i * T_i) = B (eq. 5).
+type TTLWeighting int
+
+const (
+	// WeightBySubscribers sets w_i = n_i, the number of subscribers
+	// attached to cache i (eq. 7, the paper's choice).
+	WeightBySubscribers TTLWeighting = iota
+	// WeightUniform sets w_i = 1, giving every cache the same TTL.
+	WeightUniform
+)
+
+// TTLConfig tunes TTL-based caching (Section IV-B). The zero value selects
+// the defaults documented on each field.
+type TTLConfig struct {
+	// RecomputeInterval is how often the broker recomputes all TTLs from
+	// the rate estimates; the paper suggests "every 5 minutes".
+	// Default 5m.
+	RecomputeInterval time.Duration
+	// RateWindow is the averaging window of the lambda/eta estimators.
+	// Default 30s.
+	RateWindow time.Duration
+	// RateAlpha is the EWMA smoothing factor of the estimators.
+	// Default 0.3.
+	RateAlpha float64
+	// Weighting selects w_i. Default WeightBySubscribers.
+	Weighting TTLWeighting
+	// MinTTL / MaxTTL clamp computed TTLs. Defaults 1s and 1h.
+	MinTTL, MaxTTL time.Duration
+	// DefaultTTL is used before the first recompute and when every
+	// growth rate estimates to zero. Default 5m.
+	DefaultTTL time.Duration
+}
+
+func (c *TTLConfig) fillDefaults() {
+	if c.RecomputeInterval <= 0 {
+		c.RecomputeInterval = 5 * time.Minute
+	}
+	if c.RateWindow <= 0 {
+		c.RateWindow = 30 * time.Second
+	}
+	if c.RateAlpha <= 0 || c.RateAlpha > 1 {
+		c.RateAlpha = 0.3
+	}
+	if c.MinTTL <= 0 {
+		c.MinTTL = time.Second
+	}
+	if c.MaxTTL <= 0 {
+		c.MaxTTL = time.Hour
+	}
+	if c.DefaultTTL <= 0 {
+		c.DefaultTTL = 5 * time.Minute
+	}
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Policy is the caching policy; required.
+	Policy Policy
+	// Budget is the allowed total cache size B in bytes; required > 0
+	// unless the policy is NC.
+	Budget int64
+	// Fetcher serves cache misses from the data cluster; required.
+	Fetcher Fetcher
+	// TTL tunes TTL/EXP behaviour; ignored by other policies.
+	TTL TTLConfig
+	// Stats receives hit/miss/latency/cache-size accounting; optional.
+	Stats *metrics.CacheStats
+	// LinearVictimScan selects eviction victims by scanning every cache
+	// (O(N) per eviction) instead of the default lazy min-heap
+	// (O(log N)). Exists for the complexity ablation — the paper argues
+	// the heap makes tail-based eviction scale; the benchmark
+	// BenchmarkAblationVictimSelection quantifies it.
+	LinearVictimScan bool
+}
+
+// Manager owns every result cache of one broker: it creates caches per
+// backend subscription, admits new result objects, serves subscriber
+// retrievals with Algorithm 1's range logic, and enforces the configured
+// caching policy.
+type Manager struct {
+	mu      sync.Mutex
+	policy  Policy
+	budget  int64
+	fetcher Fetcher
+	ttlCfg  TTLConfig
+	stats   *metrics.CacheStats
+
+	caches map[string]*ResultCache
+	total  int64 // total cached bytes across caches
+
+	victims cacheHeap // by policy score (eviction policies)
+	expiry  cacheHeap // by tail expiry (TTL policy)
+
+	lastRecompute time.Duration
+	rhoTTL        metrics.Mean // sum_i(rho_i * T_i) observed at recomputes
+
+	linearScan bool
+}
+
+// ErrNoFetcher is returned when a cache miss occurs but no Fetcher was
+// configured.
+var ErrNoFetcher = errors.New("core: cache miss but no fetcher configured")
+
+// NewManager validates cfg and returns a ready Manager.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Policy == nil {
+		return nil, errors.New("core: Config.Policy is required")
+	}
+	if _, isNC := cfg.Policy.(NC); !isNC && cfg.Budget <= 0 {
+		return nil, fmt.Errorf("core: Config.Budget must be positive for policy %s", cfg.Policy.Name())
+	}
+	cfg.TTL.fillDefaults()
+	return &Manager{
+		policy:     cfg.Policy,
+		budget:     cfg.Budget,
+		fetcher:    cfg.Fetcher,
+		ttlCfg:     cfg.TTL,
+		stats:      cfg.Stats,
+		caches:     make(map[string]*ResultCache),
+		linearScan: cfg.LinearVictimScan,
+	}, nil
+}
+
+// Policy returns the configured caching policy.
+func (m *Manager) Policy() Policy { return m.policy }
+
+// Budget returns the allowed cache size B in bytes.
+func (m *Manager) Budget() int64 { return m.budget }
+
+// TotalSize returns the total bytes currently cached across all caches.
+func (m *Manager) TotalSize() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// NumCaches returns the number of result caches (backend subscriptions).
+func (m *Manager) NumCaches() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.caches)
+}
+
+// Cache returns the cache for a backend subscription, or nil.
+func (m *Manager) Cache(id string) *ResultCache {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.caches[id]
+}
+
+// TTLRecomputeInterval returns the configured TTL recompute period.
+func (m *Manager) TTLRecomputeInterval() time.Duration { return m.ttlCfg.RecomputeInterval }
+
+// RhoTTLSum returns the mean of sum_i(rho_i*T_i) observed at TTL
+// recomputations; per eq. (5) it should track the budget B (Fig. 5a's
+// "sum rho_i T_i" bar).
+func (m *Manager) RhoTTLSum() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rhoTTL.Mean()
+}
+
+// isNC reports whether caching is disabled.
+func (m *Manager) isNC() bool {
+	_, ok := m.policy.(NC)
+	return ok
+}
+
+// Subscribe attaches subscriber k to backend subscription id, creating its
+// cache if needed (Algorithm 1 SUBSCRIBE). Objects already cached are NOT
+// owed to k: subscribers only receive results produced after they
+// subscribe.
+func (m *Manager) Subscribe(id, k string, now time.Duration) {
+	if m.isNC() {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.ensureCache(id, now)
+	c.subs[k] = struct{}{}
+}
+
+// Unsubscribe detaches subscriber k from backend subscription id
+// (Algorithm 1 UNSUBSCRIBE): k is removed from the cache's subscriber set
+// and from every cached object's pending set; objects left with no pending
+// subscribers are consumed.
+func (m *Manager) Unsubscribe(id, k string, now time.Duration) {
+	if m.isNC() {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.caches[id]
+	if c == nil {
+		return
+	}
+	delete(c.subs, k)
+	var consumed []*Object
+	c.ascend(func(o *Object) bool {
+		if _, ok := o.subs[k]; ok {
+			delete(o.subs, k)
+			if len(o.subs) == 0 {
+				consumed = append(consumed, o)
+			}
+		}
+		return true
+	})
+	for _, o := range consumed {
+		m.dropObject(c, o, now, dropConsumed)
+	}
+	m.touch(c, now)
+	m.recordSize(now)
+}
+
+// DropCache removes the entire cache of a backend subscription (used when
+// the broker tears the backend subscription down).
+func (m *Manager) DropCache(id string, now time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.caches[id]
+	if c == nil {
+		return
+	}
+	for c.tail != nil {
+		m.dropObject(c, c.tail, now, dropTeardown)
+	}
+	delete(m.caches, id)
+	m.recordSize(now)
+}
+
+// ensureCache returns the cache for id, creating it if missing. Caller
+// holds the lock.
+func (m *Manager) ensureCache(id string, now time.Duration) *ResultCache {
+	c := m.caches[id]
+	if c == nil {
+		c = newResultCache(id, now, m.ttlCfg.RateWindow, m.ttlCfg.RateAlpha)
+		if m.policy.StampTTL() {
+			c.ttl = m.ttlCfg.DefaultTTL
+		}
+		m.caches[id] = c
+	}
+	return c
+}
+
+// Put admits a new result object into its cache (Algorithm 1 PUT): the
+// object's pending-subscriber set is snapshotted from the cache's current
+// subscriber set, the object is pushed at the head, and — under eviction
+// policies — tail objects are dropped from the lowest-scored caches until
+// the total size fits the budget again. Under NC the object is discarded.
+func (m *Manager) Put(id string, obj *Object, now time.Duration) error {
+	if obj == nil {
+		return errors.New("core: Put of nil object")
+	}
+	if m.isNC() {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	c := m.ensureCache(id, now)
+	obj.CacheID = id
+	obj.insertedAt = now
+	if m.policy.StampTTL() {
+		ttl := c.ttl
+		if ttl <= 0 {
+			ttl = m.ttlCfg.DefaultTTL
+		}
+		obj.expiresAt = now + ttl
+		c.ttlStamped.Observe(ttl.Seconds())
+	}
+	// Snapshot S(i,j) from S(i).
+	obj.subs = make(map[string]struct{}, len(c.subs))
+	for k := range c.subs {
+		obj.subs[k] = struct{}{}
+	}
+	if err := c.pushHead(obj); err != nil {
+		return err
+	}
+	m.total += obj.Size
+	c.arrival.Observe(now, float64(obj.Size))
+	m.touch(c, now)
+
+	if m.policy.Evicts() {
+		m.evictUntilFits(now)
+	}
+	// Record the size only after evictions so the tracked maximum is the
+	// post-admission steady size (eviction policies must never report a
+	// size above the budget).
+	m.recordSize(now)
+	return nil
+}
+
+// evictUntilFits drops tail objects from the lowest-scored caches until the
+// total size is within the budget. Caller holds the lock.
+func (m *Manager) evictUntilFits(now time.Duration) {
+	for m.total > m.budget {
+		var victim *ResultCache
+		if m.linearScan {
+			victim = m.linearVictim(now)
+		} else {
+			victim = m.victims.popFresh(nil)
+			if victim == nil {
+				m.rebuildVictims(now)
+				victim = m.victims.popFresh(nil)
+			}
+		}
+		if victim == nil {
+			return // nothing cached anywhere
+		}
+		m.dropObject(victim, victim.tail, now, dropEvicted)
+		m.touch(victim, now)
+	}
+}
+
+// linearVictim scans all caches for the smallest score (ablation mode).
+func (m *Manager) linearVictim(now time.Duration) *ResultCache {
+	var best *ResultCache
+	var bestScore float64
+	for _, c := range m.caches {
+		if c.n == 0 {
+			continue
+		}
+		s := m.policy.Score(c, now)
+		if best == nil || s < bestScore || (s == bestScore && c.id < best.id) {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// rebuildVictims reconstructs the victim heap from scratch (fallback when
+// lazy entries were exhausted, and periodic compaction).
+func (m *Manager) rebuildVictims(now time.Duration) {
+	m.victims.entries = m.victims.entries[:0]
+	for _, c := range m.caches {
+		if c.n > 0 {
+			m.victims.push(c, m.policy.Score(c, now))
+		}
+	}
+}
+
+// touch invalidates c's heap entries and re-registers its current scores.
+// Caller holds the lock.
+func (m *Manager) touch(c *ResultCache, now time.Duration) {
+	c.seq++
+	if c.n == 0 {
+		return
+	}
+	if m.policy.Evicts() && !m.linearScan {
+		m.victims.push(c, m.policy.Score(c, now))
+		// Compact if the lazy heap grew far beyond the live cache count.
+		if m.victims.size() > 4*len(m.caches)+64 {
+			m.rebuildVictims(now)
+		}
+	}
+	if m.policy.AutoExpire() {
+		m.expiry.push(c, float64(c.tail.expiresAt))
+		if m.expiry.size() > 4*len(m.caches)+64 {
+			m.rebuildExpiry()
+		}
+	}
+}
+
+func (m *Manager) rebuildExpiry() {
+	m.expiry.entries = m.expiry.entries[:0]
+	for _, c := range m.caches {
+		if c.n > 0 {
+			m.expiry.push(c, float64(c.tail.expiresAt))
+		}
+	}
+}
+
+// drop reasons.
+type dropReason int
+
+const (
+	dropEvicted dropReason = iota
+	dropExpired
+	dropConsumed
+	// dropTeardown removes objects because their cache is being deleted;
+	// it advances the coverage mark but counts toward no policy metric.
+	dropTeardown
+)
+
+// dropObject unlinks o from c and records holding time, cache size and the
+// reason counter. Caller holds the lock. The caller is responsible for
+// calling touch(c, now) afterwards (batched by some call sites).
+func (m *Manager) dropObject(c *ResultCache, o *Object, now time.Duration, reason dropReason) {
+	c.remove(o)
+	m.total -= o.Size
+	if reason == dropConsumed {
+		c.consumption.Observe(now, float64(o.Size))
+	} else if o.Timestamp > c.completeSince {
+		// Evicted/expired objects leave a gap that future retrievals
+		// must fill from the data cluster.
+		c.completeSince = o.Timestamp
+	}
+	c.holding.Observe((now - o.insertedAt).Seconds())
+	if m.stats != nil {
+		m.stats.HoldingTime.Observe((now - o.insertedAt).Seconds())
+		switch reason {
+		case dropEvicted:
+			m.stats.Evictions.Inc()
+		case dropExpired:
+			m.stats.Expirations.Inc()
+		case dropConsumed:
+			m.stats.Consumed.Inc()
+		}
+	}
+}
+
+// recordSize snapshots the current total into the time-weighted cache-size
+// metric. It is called at operation boundaries (never mid-eviction) so the
+// tracked maximum reflects steady post-operation sizes. Caller holds the
+// lock.
+func (m *Manager) recordSize(now time.Duration) {
+	if m.stats != nil {
+		m.stats.CacheSize.Set(now, float64(m.total))
+	}
+}
+
+// GetResults serves a subscriber's retrieval of the results of backend
+// subscription id in the half-open timestamp interval (from, to]
+// (Algorithm 1 GET): objects present in the cache are returned as hits and
+// marked retrieved by k (consuming objects whose pending set drains);
+// objects at or below the cache's coverage mark were evicted or expired and
+// are re-fetched from the data cluster via the Fetcher — and, per the
+// paper, NOT cached again, because they are no longer sharable. The
+// combined result is ordered oldest first.
+func (m *Manager) GetResults(id, k string, from, to, now time.Duration) ([]*Object, error) {
+	if to <= from {
+		return nil, nil
+	}
+	m.mu.Lock()
+	c := m.caches[id]
+	if m.isNC() || c == nil {
+		m.mu.Unlock()
+		return m.fetchMissed(id, from, to, true)
+	}
+
+	c.lastAccess = now
+	// The coverage mark splits the request: objects at or below it may
+	// have been evicted/expired and must be fetched from the data
+	// cluster; everything above it that still matters is in the cache.
+	mark := c.completeSince
+	var cached []*Object
+	var missFrom, missTo time.Duration
+	var haveMiss bool
+	switch {
+	case from >= mark:
+		// All requested objects are in the cache (Algorithm 1's
+		// fully-cached case).
+		cached = c.objectsInRange(from, to)
+	case to > mark:
+		// Some are in the cache and some are not: fetch (from, mark]
+		// and serve (mark, to] from the cache.
+		haveMiss = true
+		missFrom, missTo = from, mark
+		cached = c.objectsInRange(mark, to)
+	default:
+		// All are missed.
+		haveMiss = true
+		missFrom, missTo = from, to
+	}
+
+	// Deliver cached objects: mark retrieved by k, consume drained ones.
+	var consumed []*Object
+	for _, o := range cached {
+		if _, ok := o.subs[k]; ok {
+			delete(o.subs, k)
+			if len(o.subs) == 0 {
+				consumed = append(consumed, o)
+			}
+		}
+	}
+	for _, o := range consumed {
+		m.dropObject(c, o, now, dropConsumed)
+	}
+	m.touch(c, now)
+	m.recordSize(now)
+	if m.stats != nil {
+		m.stats.Requests.Add(float64(len(cached)))
+		m.stats.Hits.Add(float64(len(cached)))
+		for _, o := range cached {
+			m.stats.HitBytes.Add(float64(o.Size))
+		}
+	}
+	m.mu.Unlock()
+
+	if !haveMiss {
+		return cached, nil
+	}
+	missed, err := m.fetchMissed(id, missFrom, missTo, true)
+	if err != nil {
+		return cached, err
+	}
+	// Missed objects are older than every cached one.
+	return append(missed, cached...), nil
+}
+
+// fetchMissed retrieves evicted/expired objects from the data cluster and
+// records miss accounting. It must be called WITHOUT the lock held (the
+// fetch may be a network call).
+func (m *Manager) fetchMissed(id string, from, to time.Duration, inclusiveTo bool) ([]*Object, error) {
+	if m.fetcher == nil {
+		return nil, ErrNoFetcher
+	}
+	missed, err := m.fetcher.Fetch(id, from, to, inclusiveTo)
+	if err != nil {
+		return nil, fmt.Errorf("core: fetch from data cluster: %w", err)
+	}
+	if m.stats != nil {
+		m.stats.Requests.Add(float64(len(missed)))
+		for _, o := range missed {
+			m.stats.MissBytes.Add(float64(o.Size))
+			m.stats.FetchBytes.Add(float64(o.Size))
+		}
+	}
+	return missed, nil
+}
+
+// RecomputeTTLs recomputes every cache's TTL from the current rate
+// estimates per eq. (7): T_i = w_i*B / sum_k(w_k*rho_k), clamped to
+// [MinTTL, MaxTTL]. It returns the new TTLs keyed by cache ID. Under
+// non-TTL-stamping policies the assigned TTLs are hypothetical — objects
+// are neither stamped nor expired — which is exactly what the Fig. 5(b)
+// holding-time-vs-TTL comparison needs for the eviction policies.
+func (m *Manager) RecomputeTTLs(now time.Duration) map[string]time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lastRecompute = now
+
+	type cr struct {
+		c   *ResultCache
+		rho float64
+		w   float64
+	}
+	crs := make([]cr, 0, len(m.caches))
+	var denom float64
+	for _, c := range m.caches {
+		rho := c.GrowthRate(now)
+		var w float64
+		switch m.ttlCfg.Weighting {
+		case WeightUniform:
+			w = 1
+		default:
+			w = float64(len(c.subs))
+		}
+		crs = append(crs, cr{c: c, rho: rho, w: w})
+		denom += w * rho
+	}
+	out := make(map[string]time.Duration, len(crs))
+	var rhoTTL float64
+	for _, e := range crs {
+		var ttl time.Duration
+		if denom <= 0 {
+			ttl = m.ttlCfg.DefaultTTL
+		} else {
+			ttl = time.Duration(e.w * float64(m.budget) / denom * float64(time.Second))
+		}
+		if ttl < m.ttlCfg.MinTTL {
+			ttl = m.ttlCfg.MinTTL
+		}
+		if ttl > m.ttlCfg.MaxTTL {
+			ttl = m.ttlCfg.MaxTTL
+		}
+		e.c.ttl = ttl
+		out[e.c.id] = ttl
+		rhoTTL += e.rho * ttl.Seconds()
+	}
+	m.rhoTTL.Observe(rhoTTL)
+	return out
+}
+
+// ExpireDue drops every tail object whose TTL deadline has passed (TTL
+// policy only) and returns how many objects were dropped. The simulator
+// calls it from scheduled expiry events; the live broker calls it from a
+// ticker.
+func (m *Manager) ExpireDue(now time.Duration) int {
+	if !m.policy.AutoExpire() {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dropped := 0
+	for {
+		c, score, ok := m.expiry.peekFresh(nil)
+		if !ok || time.Duration(score) > now {
+			m.recordSize(now)
+			return dropped
+		}
+		// Drop expired tails of this cache.
+		for c.tail != nil && c.tail.expiresAt <= now {
+			m.dropObject(c, c.tail, now, dropExpired)
+			dropped++
+		}
+		m.touch(c, now)
+	}
+}
+
+// NextExpiry returns the earliest TTL deadline among cache tails and true,
+// or false when nothing is scheduled to expire. Only meaningful under the
+// TTL policy.
+func (m *Manager) NextExpiry() (time.Duration, bool) {
+	if !m.policy.AutoExpire() {
+		return 0, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, score, ok := m.expiry.peekFresh(nil)
+	if !ok {
+		return 0, false
+	}
+	return time.Duration(score), true
+}
+
+// CacheInfo is a point-in-time summary of one result cache, used by the
+// Fig. 5(b) holding-time-vs-TTL analysis and by operational endpoints.
+type CacheInfo struct {
+	ID          string        `json:"id"`
+	Objects     int           `json:"objects"`
+	Bytes       int64         `json:"bytes"`
+	Subscribers int           `json:"subscribers"`
+	TTL         time.Duration `json:"ttl"`
+	LastAccess  time.Duration `json:"last_access"`
+	// HoldingMean is the mean holding time (seconds) of objects dropped
+	// from this cache; HoldingN is the sample count.
+	HoldingMean float64 `json:"holding_mean_s"`
+	HoldingN    int64   `json:"holding_n"`
+	// TTLStampedMean is the mean TTL (seconds) stamped onto this cache's
+	// objects over the run (0 under non-stamping policies).
+	TTLStampedMean float64 `json:"ttl_stamped_mean_s"`
+}
+
+// CacheInfos returns a summary of every cache, sorted by ID.
+func (m *Manager) CacheInfos() []CacheInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]CacheInfo, 0, len(m.caches))
+	for _, c := range m.caches {
+		mean, n := c.holding.Mean(), c.holding.N()
+		out = append(out, CacheInfo{
+			ID:             c.id,
+			Objects:        c.n,
+			Bytes:          c.size,
+			Subscribers:    len(c.subs),
+			TTL:            c.ttl,
+			LastAccess:     c.lastAccess,
+			HoldingMean:    mean,
+			HoldingN:       n,
+			TTLStampedMean: c.ttlStamped.Mean(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

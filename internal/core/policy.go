@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Policy scores eviction victims. When the total cached bytes exceed the
+// budget, the Manager repeatedly drops the tail object of the cache with
+// the smallest score (Table I's "dropping criteria" column, generalized:
+// drop from the cache with the least value of phi_i / s_i).
+type Policy interface {
+	// Name returns the policy's short name as used in the paper's plots
+	// ("LRU", "LSC", "LSCz", "LSD", "EXP", "TTL", "NC").
+	Name() string
+	// Score returns the eviction priority of cache c based on its tail
+	// object; lower scores are evicted first. Called only on non-empty
+	// caches.
+	Score(c *ResultCache, now time.Duration) float64
+	// StampTTL reports whether inserted objects must carry an expiry
+	// deadline (true for TTL and EXP).
+	StampTTL() bool
+	// AutoExpire reports whether expired objects are dropped
+	// automatically, independent of cache pressure (true only for TTL).
+	AutoExpire() bool
+	// Evicts reports whether the policy evicts under byte pressure (all
+	// but TTL and NC).
+	Evicts() bool
+}
+
+// Table I / Section V policies.
+type (
+	// LRU drops from the least recently accessed cache.
+	LRU struct{}
+	// LSC (least subscribed content) drops the tail object with the
+	// fewest pending subscribers: min f. (Utility Delta = size; a
+	// variant of LFU.)
+	LSC struct{}
+	// LSCz is LSC normalized by object size: min f/s. (Uniform utility;
+	// maximizes hit ratio.)
+	LSCz struct{}
+	// LSD (least subscribers delay) drops the tail object with the least
+	// delay-weighted value density: min f*l/s. (Utility Delta = fetch
+	// latency.)
+	LSD struct{}
+	// EXP is the eviction flavor of TTL caching: drop the object that
+	// expires soonest (or expired longest ago).
+	EXP struct{}
+	// TTL drops objects only when their cache's time-to-live elapses;
+	// it never evicts under pressure, so the budget holds in expectation
+	// only.
+	TTL struct{}
+	// NC disables caching entirely (the "no cache" baseline of the
+	// prototype evaluation, Fig. 7).
+	NC struct{}
+)
+
+// Interface compliance.
+var (
+	_ Policy = LRU{}
+	_ Policy = LSC{}
+	_ Policy = LSCz{}
+	_ Policy = LSD{}
+	_ Policy = EXP{}
+	_ Policy = TTL{}
+	_ Policy = NC{}
+)
+
+// Name implements Policy.
+func (LRU) Name() string { return "LRU" }
+
+// Score: recency of last access; older access = smaller = evicted first.
+func (LRU) Score(c *ResultCache, _ time.Duration) float64 {
+	return float64(c.lastAccess)
+}
+
+// StampTTL implements Policy.
+func (LRU) StampTTL() bool { return false }
+
+// AutoExpire implements Policy.
+func (LRU) AutoExpire() bool { return false }
+
+// Evicts implements Policy.
+func (LRU) Evicts() bool { return true }
+
+// Name implements Policy.
+func (LSC) Name() string { return "LSC" }
+
+// Score: pending subscribers of the tail object (min f dropped first).
+func (LSC) Score(c *ResultCache, _ time.Duration) float64 {
+	return float64(c.tail.PendingSubscribers())
+}
+
+// StampTTL implements Policy.
+func (LSC) StampTTL() bool { return false }
+
+// AutoExpire implements Policy.
+func (LSC) AutoExpire() bool { return false }
+
+// Evicts implements Policy.
+func (LSC) Evicts() bool { return true }
+
+// Name implements Policy.
+func (LSCz) Name() string { return "LSCz" }
+
+// Score: f/s of the tail object.
+func (LSCz) Score(c *ResultCache, _ time.Duration) float64 {
+	t := c.tail
+	if t.Size <= 0 {
+		return float64(t.PendingSubscribers())
+	}
+	return float64(t.PendingSubscribers()) / float64(t.Size)
+}
+
+// StampTTL implements Policy.
+func (LSCz) StampTTL() bool { return false }
+
+// AutoExpire implements Policy.
+func (LSCz) AutoExpire() bool { return false }
+
+// Evicts implements Policy.
+func (LSCz) Evicts() bool { return true }
+
+// Name implements Policy.
+func (LSD) Name() string { return "LSD" }
+
+// Score: f*l/s of the tail object (l in seconds).
+func (LSD) Score(c *ResultCache, _ time.Duration) float64 {
+	t := c.tail
+	v := float64(t.PendingSubscribers()) * t.FetchLatency.Seconds()
+	if t.Size <= 0 {
+		return v
+	}
+	return v / float64(t.Size)
+}
+
+// StampTTL implements Policy.
+func (LSD) StampTTL() bool { return false }
+
+// AutoExpire implements Policy.
+func (LSD) AutoExpire() bool { return false }
+
+// Evicts implements Policy.
+func (LSD) Evicts() bool { return true }
+
+// Name implements Policy.
+func (EXP) Name() string { return "EXP" }
+
+// Score: the tail's expiry deadline. The minimum is simultaneously "the
+// earliest to expire in the future" and "the longest expired in the past".
+func (EXP) Score(c *ResultCache, _ time.Duration) float64 {
+	return float64(c.tail.expiresAt)
+}
+
+// StampTTL implements Policy.
+func (EXP) StampTTL() bool { return true }
+
+// AutoExpire implements Policy.
+func (EXP) AutoExpire() bool { return false }
+
+// Evicts implements Policy.
+func (EXP) Evicts() bool { return true }
+
+// Name implements Policy.
+func (TTL) Name() string { return "TTL" }
+
+// Score is unused: TTL never evicts under pressure.
+func (TTL) Score(*ResultCache, time.Duration) float64 { return 0 }
+
+// StampTTL implements Policy.
+func (TTL) StampTTL() bool { return true }
+
+// AutoExpire implements Policy.
+func (TTL) AutoExpire() bool { return true }
+
+// Evicts implements Policy.
+func (TTL) Evicts() bool { return false }
+
+// Name implements Policy.
+func (NC) Name() string { return "NC" }
+
+// Score is unused: nothing is ever cached.
+func (NC) Score(*ResultCache, time.Duration) float64 { return 0 }
+
+// StampTTL implements Policy.
+func (NC) StampTTL() bool { return false }
+
+// AutoExpire implements Policy.
+func (NC) AutoExpire() bool { return false }
+
+// Evicts implements Policy.
+func (NC) Evicts() bool { return false }
+
+// AllPolicies returns one instance of every caching policy evaluated in
+// Section V, in the paper's plotting order (NC excluded).
+func AllPolicies() []Policy {
+	return []Policy{LRU{}, LSC{}, LSCz{}, LSD{}, EXP{}, TTL{}}
+}
+
+// PolicyByName resolves a policy from its (case-insensitive) short name.
+func PolicyByName(name string) (Policy, error) {
+	switch strings.ToLower(name) {
+	case "lru":
+		return LRU{}, nil
+	case "lsc":
+		return LSC{}, nil
+	case "lscz":
+		return LSCz{}, nil
+	case "lsd":
+		return LSD{}, nil
+	case "exp":
+		return EXP{}, nil
+	case "ttl":
+		return TTL{}, nil
+	case "nc", "none", "nocache":
+		return NC{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown caching policy %q", name)
+	}
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"gobad/internal/metrics"
+)
+
+func newTTLManager(t *testing.T, budget int64, ttlCfg TTLConfig) (*Manager, *memFetcher, *metrics.CacheStats) {
+	t.Helper()
+	f := newMemFetcher()
+	stats := &metrics.CacheStats{}
+	m, err := NewManager(Config{Policy: TTL{}, Budget: budget, Fetcher: f, TTL: ttlCfg, Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, f, stats
+}
+
+func TestTTLConfigDefaults(t *testing.T) {
+	var cfg TTLConfig
+	cfg.fillDefaults()
+	if cfg.RecomputeInterval != 5*time.Minute {
+		t.Errorf("RecomputeInterval = %v", cfg.RecomputeInterval)
+	}
+	if cfg.RateWindow != 30*time.Second || cfg.RateAlpha != 0.3 {
+		t.Errorf("rate defaults = %v/%v", cfg.RateWindow, cfg.RateAlpha)
+	}
+	if cfg.MinTTL != time.Second || cfg.MaxTTL != time.Hour || cfg.DefaultTTL != 5*time.Minute {
+		t.Errorf("ttl bounds = %v/%v/%v", cfg.MinTTL, cfg.MaxTTL, cfg.DefaultTTL)
+	}
+}
+
+func TestTTLStampingUsesDefaultBeforeRecompute(t *testing.T) {
+	m, f, _ := newTTLManager(t, 1<<20, TTLConfig{DefaultTTL: time.Minute})
+	m.Subscribe("bs", "k", 0)
+	o := putObj(t, m, f, "bs", "o1", 10, 100, ts(10))
+	if got := o.ExpiresAt(); got != ts(10)+time.Minute {
+		t.Errorf("expiry = %v, want %v", got, ts(10)+time.Minute)
+	}
+}
+
+func TestTTLNeverEvictsUnderPressure(t *testing.T) {
+	m, f, stats := newTTLManager(t, 150, TTLConfig{DefaultTTL: time.Hour, MaxTTL: time.Hour})
+	m.Subscribe("bs", "k", 0)
+	putObj(t, m, f, "bs", "o1", 10, 100, ts(10))
+	putObj(t, m, f, "bs", "o2", 20, 100, ts(20))
+	if m.TotalSize() != 200 {
+		t.Errorf("TTL cache should exceed the budget: total=%d", m.TotalSize())
+	}
+	if stats.Evictions.Value() != 0 {
+		t.Error("TTL must not evict")
+	}
+}
+
+func TestExpireDueDropsExpiredTails(t *testing.T) {
+	m, f, stats := newTTLManager(t, 1<<20, TTLConfig{DefaultTTL: 30 * time.Second})
+	m.Subscribe("bs", "k", 0)
+	putObj(t, m, f, "bs", "o1", 10, 100, ts(10)) // expires t=40
+	putObj(t, m, f, "bs", "o2", 20, 100, ts(20)) // expires t=50
+	if n := m.ExpireDue(ts(39)); n != 0 {
+		t.Errorf("nothing should expire at t=39, got %d", n)
+	}
+	if n := m.ExpireDue(ts(40)); n != 1 {
+		t.Errorf("one object should expire at t=40, got %d", n)
+	}
+	if n := m.ExpireDue(ts(100)); n != 1 {
+		t.Errorf("second object should expire by t=100, got %d", n)
+	}
+	if stats.Expirations.Value() != 2 {
+		t.Errorf("expirations = %v, want 2", stats.Expirations.Value())
+	}
+	if m.TotalSize() != 0 {
+		t.Errorf("total = %d after all expiries", m.TotalSize())
+	}
+}
+
+func TestNextExpiry(t *testing.T) {
+	m, f, _ := newTTLManager(t, 1<<20, TTLConfig{DefaultTTL: 30 * time.Second})
+	if _, ok := m.NextExpiry(); ok {
+		t.Error("empty manager should report no expiry")
+	}
+	m.Subscribe("bs", "k", 0)
+	putObj(t, m, f, "bs", "o1", 10, 100, ts(10))
+	at, ok := m.NextExpiry()
+	if !ok || at != ts(40) {
+		t.Errorf("NextExpiry = %v, %v; want 40s, true", at, ok)
+	}
+}
+
+func TestNextExpiryNonTTLPolicy(t *testing.T) {
+	m, _, _ := newTestManager(t, LSC{}, 1000)
+	if _, ok := m.NextExpiry(); ok {
+		t.Error("non-TTL policy should report no expiry")
+	}
+	if n := m.ExpireDue(ts(1000)); n != 0 {
+		t.Error("non-TTL policy should not expire anything")
+	}
+}
+
+// feedSteadyRates drives arrivals into two caches at known byte rates for
+// enough virtual time that the EWMA estimators converge.
+func feedSteadyRates(t *testing.T, m *Manager, f *memFetcher, seconds int, rateA, rateB int64) time.Duration {
+	t.Helper()
+	var now time.Duration
+	seq := 0
+	for i := 1; i <= seconds; i++ {
+		now = ts(i)
+		seq++
+		putObj(t, m, f, "A", fmt.Sprintf("a%d", seq), i*1000+1, rateA, now)
+		putObj(t, m, f, "B", fmt.Sprintf("b%d", seq), i*1000+2, rateB, now)
+	}
+	return now
+}
+
+func TestRecomputeTTLsEq7(t *testing.T) {
+	// Cache A: 3 subscribers, rho ~ 300 B/s. Cache B: 1 subscriber,
+	// rho ~ 100 B/s. Budget 100 KB.
+	// Eq. 7: T_A = 3*B / (3*300 + 1*100) = 3*102400/1000 = 307.2s
+	//        T_B = 1*B / 1000 = 102.4s
+	m, f, _ := newTTLManager(t, 100<<10, TTLConfig{
+		RateWindow: 10 * time.Second, RateAlpha: 0.5,
+		MinTTL: time.Second, MaxTTL: time.Hour,
+	})
+	for _, k := range []string{"k1", "k2", "k3"} {
+		m.Subscribe("A", k, 0)
+	}
+	m.Subscribe("B", "k4", 0)
+	now := feedSteadyRates(t, m, f, 300, 300, 100)
+	ttls := m.RecomputeTTLs(now)
+	// Nothing is consumed, so rho == lambda.
+	wantA, wantB := 307.2, 102.4
+	if got := ttls["A"].Seconds(); math.Abs(got-wantA)/wantA > 0.15 {
+		t.Errorf("T_A = %vs, want ~%v", got, wantA)
+	}
+	if got := ttls["B"].Seconds(); math.Abs(got-wantB)/wantB > 0.15 {
+		t.Errorf("T_B = %vs, want ~%v", got, wantB)
+	}
+	// Constraint (5): sum_i rho_i*T_i = B.
+	rhoT := m.RhoTTLSum()
+	if math.Abs(rhoT-float64(100<<10))/float64(100<<10) > 0.15 {
+		t.Errorf("sum rho*T = %v, want ~%v (budget)", rhoT, 100<<10)
+	}
+}
+
+func TestRecomputeTTLsUniformWeighting(t *testing.T) {
+	m, f, _ := newTTLManager(t, 100<<10, TTLConfig{
+		Weighting:  WeightUniform,
+		RateWindow: 10 * time.Second, RateAlpha: 0.5,
+		MinTTL: time.Second, MaxTTL: time.Hour,
+	})
+	m.Subscribe("A", "k1", 0)
+	m.Subscribe("A", "k2", 0)
+	m.Subscribe("B", "k3", 0)
+	now := feedSteadyRates(t, m, f, 300, 200, 200)
+	ttls := m.RecomputeTTLs(now)
+	// Uniform weights with equal rates: T_A == T_B = B / (rho_A + rho_B).
+	if a, b := ttls["A"].Seconds(), ttls["B"].Seconds(); math.Abs(a-b)/a > 0.05 {
+		t.Errorf("uniform weighting should equalize TTLs: %v vs %v", a, b)
+	}
+}
+
+func TestRecomputeTTLsZeroRatesUsesDefault(t *testing.T) {
+	m, _, _ := newTTLManager(t, 1<<20, TTLConfig{DefaultTTL: 2 * time.Minute})
+	m.Subscribe("A", "k", 0)
+	ttls := m.RecomputeTTLs(ts(1))
+	if got := ttls["A"]; got != 2*time.Minute {
+		t.Errorf("TTL with zero rates = %v, want default 2m", got)
+	}
+}
+
+func TestRecomputeTTLsClamps(t *testing.T) {
+	m, f, _ := newTTLManager(t, 1<<30, TTLConfig{ // huge budget -> huge raw TTL
+		MinTTL: time.Second, MaxTTL: time.Minute,
+		RateWindow: 10 * time.Second, RateAlpha: 0.5,
+	})
+	m.Subscribe("A", "k", 0)
+	var now time.Duration
+	for i := 1; i <= 100; i++ {
+		now = ts(i)
+		putObj(t, m, f, "A", fmt.Sprintf("o%d", i), i, 10, now)
+	}
+	ttls := m.RecomputeTTLs(now)
+	if got := ttls["A"]; got != time.Minute {
+		t.Errorf("TTL should clamp to MaxTTL: %v", got)
+	}
+}
+
+func TestRecomputeTTLsNonTTLPolicyAssignsHypotheticalTTLs(t *testing.T) {
+	// Eviction policies get TTL assignments too (for the Fig. 5(b)
+	// holding-vs-TTL comparison) but objects are never stamped or
+	// expired.
+	m, f, _ := newTestManager(t, LRU{}, 1<<20)
+	m.Subscribe("A", "k", 0)
+	o := putObj(t, m, f, "A", "o1", 10, 100, ts(10))
+	ttls := m.RecomputeTTLs(ts(11))
+	if len(ttls) != 1 {
+		t.Fatalf("recompute under LRU returned %v", ttls)
+	}
+	if o.ExpiresAt() != 0 {
+		t.Error("LRU objects must not carry expiry stamps")
+	}
+	if n := m.ExpireDue(ts(1000000)); n != 0 {
+		t.Error("LRU must never auto-expire")
+	}
+}
+
+func TestEXPStampsAndEvictsByExpiry(t *testing.T) {
+	f := newMemFetcher()
+	m, err := NewManager(Config{Policy: EXP{}, Budget: 250, Fetcher: f,
+		TTL: TTLConfig{DefaultTTL: 100 * time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Subscribe("A", "k1", 0)
+	m.Subscribe("B", "k2", 0)
+	// A's object inserted earlier -> earlier expiry -> evicted first.
+	putObj(t, m, f, "A", "a1", 10, 100, ts(10)) // expires t=110
+	putObj(t, m, f, "B", "b1", 20, 100, ts(50)) // expires t=150
+	putObj(t, m, f, "B", "b2", 60, 100, ts(60)) // total 300 > 250
+	if m.Cache("A").Len() != 0 {
+		t.Error("EXP should evict the earliest-expiring tail (a1)")
+	}
+	// EXP must not auto-expire.
+	if n := m.ExpireDue(ts(1000)); n != 0 {
+		t.Error("EXP must not auto-expire")
+	}
+}
+
+func TestTTLCacheInfosExposeTTL(t *testing.T) {
+	m, f, _ := newTTLManager(t, 1<<20, TTLConfig{DefaultTTL: time.Minute})
+	m.Subscribe("B", "k2", 0)
+	m.Subscribe("A", "k1", 0)
+	putObj(t, m, f, "A", "o1", 10, 100, ts(10))
+	infos := m.CacheInfos()
+	if len(infos) != 2 {
+		t.Fatalf("got %d infos", len(infos))
+	}
+	if infos[0].ID != "A" || infos[1].ID != "B" {
+		t.Error("infos should be sorted by ID")
+	}
+	if infos[0].Objects != 1 || infos[0].Bytes != 100 || infos[0].Subscribers != 1 {
+		t.Errorf("info[0] = %+v", infos[0])
+	}
+	if infos[0].TTL != time.Minute {
+		t.Errorf("TTL = %v", infos[0].TTL)
+	}
+}
+
+func TestTTLExpiryHonorsRecomputedTTLForNewInserts(t *testing.T) {
+	m, f, _ := newTTLManager(t, 10<<10, TTLConfig{
+		RateWindow: 10 * time.Second, RateAlpha: 0.5,
+		MinTTL: time.Second, MaxTTL: time.Hour, DefaultTTL: time.Hour,
+	})
+	m.Subscribe("A", "k", 0)
+	var now time.Duration
+	for i := 1; i <= 60; i++ {
+		now = ts(i)
+		putObj(t, m, f, "A", fmt.Sprintf("o%d", i), i, 100, now)
+	}
+	ttls := m.RecomputeTTLs(now) // rho ~100 B/s, B=10KB -> T ~102s
+	o := putObj(t, m, f, "A", "new", 61, 100, ts(61))
+	want := ts(61) + ttls["A"]
+	if o.ExpiresAt() != want {
+		t.Errorf("new object expiry = %v, want %v", o.ExpiresAt(), want)
+	}
+}

@@ -1,0 +1,368 @@
+// Package experiments contains the runners that regenerate every table and
+// figure of the paper's evaluation: the Section V simulation sweeps
+// (Figures 3, 4, 5) on top of internal/sim, and the Section VI prototype
+// experiment (Figure 7) on top of an in-process data cluster + broker rig
+// driven by synthetic activity traces in virtual time.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gobad/internal/bdms"
+	"gobad/internal/broker"
+	"gobad/internal/core"
+	"gobad/internal/metrics"
+	"gobad/internal/trace"
+	"gobad/internal/workload"
+)
+
+// RigConfig configures the prototype rig.
+type RigConfig struct {
+	// Policy and CacheBudget configure the broker cache.
+	Policy      core.Policy
+	CacheBudget int64
+	// TTL tunes TTL policies; the rig defaults RecomputeInterval to 1m
+	// (prototype-scale workloads need faster adaptation than 5m).
+	TTL core.TTLConfig
+	// Channels is the catalog registered at the cluster; defaults to
+	// workload.EmergencyChannels.
+	Channels []workload.ChannelSpec
+	// Shelters seeds the Shelters reference dataset.
+	Shelters int
+	// Seed drives shelter placement.
+	Seed int64
+	// PushModel makes the cluster deliver result objects inside the
+	// notifications (Section III's PUSH model) instead of handles the
+	// broker pulls against (the default PULL model).
+	PushModel bool
+
+	// Network model for latency accounting (the rig runs in virtual
+	// time, so retrieval latencies are modeled, not measured).
+	SubRTT     time.Duration // broker <-> subscriber, default 250ms
+	SubBW      float64       // default 1 MB/s
+	ClusterRTT time.Duration // broker <-> cluster, default 500ms
+	ClusterBW  float64       // default 10 MB/s
+}
+
+// Rig is the in-process prototype deployment: a data cluster and a broker
+// wired directly (no HTTP), sharing a virtual clock, driven by an activity
+// trace. It implements trace.Target.
+type Rig struct {
+	cfg     RigConfig
+	cluster *bdms.Cluster
+	broker  *broker.Broker
+
+	mu    sync.Mutex
+	clock time.Duration
+	// online subscribers and their pending push notifications.
+	online  map[string]bool
+	pending []pendingPush
+	// fs ids per subscriber per (channel,params) key for unsubscribe.
+	fsByKey map[string]string
+
+	nextTTLDrive time.Duration
+
+	// Latency records modeled retrieval latencies in seconds.
+	Latency metrics.Sampler
+	// Retrievals counts GetResults calls that returned objects.
+	Retrievals int
+}
+
+type pendingPush struct {
+	subscriber string
+	fs         string
+}
+
+var _ trace.Target = (*Rig)(nil)
+
+// rigNotifier routes cluster notifications straight into the rig's broker,
+// supporting both delivery models.
+type rigNotifier struct{ rig *Rig }
+
+func (n rigNotifier) Notify(subID, _ string, latest time.Duration) {
+	if n.rig.broker != nil {
+		_ = n.rig.broker.HandleNotification(subID, latest)
+	}
+}
+
+func (n rigNotifier) NotifyPush(subID, _ string, obj bdms.ResultObject) {
+	if n.rig.broker != nil {
+		_ = n.rig.broker.HandlePushedResult(subID, obj)
+	}
+}
+
+var _ bdms.PushNotifier = rigNotifier{}
+
+// NewRig builds the in-process prototype deployment.
+func NewRig(cfg RigConfig) (*Rig, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("experiments: RigConfig.Policy is required")
+	}
+	if cfg.SubRTT <= 0 {
+		cfg.SubRTT = 250 * time.Millisecond
+	}
+	if cfg.SubBW <= 0 {
+		cfg.SubBW = 1 << 20
+	}
+	if cfg.ClusterRTT <= 0 {
+		cfg.ClusterRTT = 500 * time.Millisecond
+	}
+	if cfg.ClusterBW <= 0 {
+		cfg.ClusterBW = 10 << 20
+	}
+	if cfg.TTL.RecomputeInterval <= 0 {
+		cfg.TTL.RecomputeInterval = time.Minute
+	}
+	if cfg.TTL.DefaultTTL <= 0 {
+		cfg.TTL.DefaultTTL = time.Minute
+	}
+	if cfg.Shelters <= 0 {
+		cfg.Shelters = 25
+	}
+
+	r := &Rig{
+		cfg:     cfg,
+		online:  make(map[string]bool),
+		fsByKey: make(map[string]string),
+	}
+	clusterOpts := []bdms.Option{
+		bdms.WithClock(func() time.Duration { return r.now() }),
+		// Synchronous delivery: the cluster notifies the broker
+		// in-process.
+		bdms.WithNotifier(rigNotifier{rig: r}),
+	}
+	if cfg.PushModel {
+		clusterOpts = append(clusterOpts, bdms.WithPushModel())
+	}
+	r.cluster = bdms.NewCluster(clusterOpts...)
+
+	b, err := broker.New(broker.Config{
+		ID:               "rig-broker",
+		Backend:          r.cluster,
+		Policy:           cfg.Policy,
+		CacheBudget:      cfg.CacheBudget,
+		TTL:              cfg.TTL,
+		BackendRTT:       cfg.ClusterRTT,
+		BackendBandwidth: cfg.ClusterBW,
+		Clock:            func() time.Duration { return r.now() },
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.broker = b
+	b.SetPushFunc(r.onPush)
+
+	if err := r.seedCatalog(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Broker exposes the rig's broker (stats inspection).
+func (r *Rig) Broker() *broker.Broker { return r.broker }
+
+// Cluster exposes the rig's data cluster.
+func (r *Rig) Cluster() *bdms.Cluster { return r.cluster }
+
+func (r *Rig) now() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clock
+}
+
+// seedCatalog registers datasets, the channel catalog and shelter
+// reference data.
+func (r *Rig) seedCatalog() error {
+	if err := r.cluster.CreateDataset("EmergencyReports", bdms.Schema{}); err != nil {
+		return err
+	}
+	if err := r.cluster.CreateDataset("Shelters", bdms.Schema{}); err != nil {
+		return err
+	}
+	channels := r.cfg.Channels
+	if len(channels) == 0 {
+		channels = workload.EmergencyChannels()
+	}
+	for _, spec := range channels {
+		if err := r.cluster.DefineChannel(bdms.ChannelDef{
+			Name:   spec.Name,
+			Params: spec.Params,
+			Body:   spec.Body,
+			Period: spec.Period,
+		}); err != nil {
+			return err
+		}
+	}
+	shelterRng := workloadRng(r.cfg.Seed)
+	for _, s := range workload.ShelterCatalog(shelterRng, r.cfg.Shelters) {
+		if _, err := r.cluster.Ingest("Shelters", map[string]any{
+			"shelter_id": s.ShelterID,
+			"name":       s.Name,
+			"capacity":   s.Capacity,
+			"location":   map[string]any{"lat": s.Location.Lat, "lon": s.Location.Lon},
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// onPush receives broker push notifications; online subscribers retrieve
+// when the current activity finishes (drained by drainPending).
+func (r *Rig) onPush(subscriber string, n broker.PushNotification) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.online[subscriber] {
+		return false
+	}
+	r.pending = append(r.pending, pendingPush{subscriber: subscriber, fs: n.FrontendSub})
+	return true
+}
+
+// AdvanceTo implements trace.Target: it steps the virtual clock, firing
+// repetitive channel executions and TTL machinery at their due times.
+func (r *Rig) AdvanceTo(t time.Duration) {
+	for {
+		next := t
+		if due, ok := r.cluster.NextRepetitiveRun(); ok && due < next {
+			next = due
+		}
+		if r.cfg.Policy.StampTTL() && r.nextTTLDrive < next {
+			next = r.nextTTLDrive
+		}
+		r.setClock(next)
+		if r.cfg.Policy.StampTTL() && next == r.nextTTLDrive {
+			r.broker.DriveTTL()
+			r.nextTTLDrive += r.cfg.TTL.RecomputeInterval
+			r.drainPending()
+			continue
+		}
+		if next < t {
+			r.cluster.RunRepetitiveDue()
+			r.drainPending()
+			continue
+		}
+		// At the target time: run anything due exactly now.
+		r.cluster.RunRepetitiveDue()
+		if r.cfg.Policy.AutoExpire() {
+			r.broker.ExpireDue()
+		}
+		r.drainPending()
+		return
+	}
+}
+
+func (r *Rig) setClock(t time.Duration) {
+	r.mu.Lock()
+	if t > r.clock {
+		r.clock = t
+	}
+	r.mu.Unlock()
+}
+
+// drainPending performs the retrievals triggered by push notifications.
+func (r *Rig) drainPending() {
+	for {
+		r.mu.Lock()
+		if len(r.pending) == 0 {
+			r.mu.Unlock()
+			return
+		}
+		batch := r.pending
+		r.pending = nil
+		r.mu.Unlock()
+		for _, p := range batch {
+			r.retrieve(p.subscriber, p.fs)
+		}
+	}
+}
+
+// retrieve performs one GetResults+Ack with modeled latency accounting.
+func (r *Rig) retrieve(subscriber, fs string) {
+	items, latest, err := r.broker.GetResults(subscriber, fs)
+	if err != nil {
+		return
+	}
+	if latest > 0 {
+		_ = r.broker.Ack(subscriber, fs, latest)
+	}
+	if len(items) == 0 {
+		return
+	}
+	var total, missed int64
+	for _, it := range items {
+		total += it.Size
+		if !it.FromCache {
+			missed += it.Size
+		}
+	}
+	lat := r.cfg.SubRTT.Seconds() + float64(total)/r.cfg.SubBW
+	if missed > 0 {
+		lat += r.cfg.ClusterRTT.Seconds() + float64(missed)/r.cfg.ClusterBW
+	}
+	r.Latency.Observe(lat)
+	r.broker.Stats().Latency.Observe(lat)
+	r.broker.Stats().LatencySamples.Observe(lat)
+	r.Retrievals++
+}
+
+// Login implements trace.Target: the subscriber comes online and catches
+// up on every frontend subscription.
+func (r *Rig) Login(subscriber string) error {
+	r.mu.Lock()
+	r.online[subscriber] = true
+	r.mu.Unlock()
+	for _, fs := range r.broker.FrontendSubscriptions(subscriber) {
+		r.retrieve(subscriber, fs)
+	}
+	return nil
+}
+
+// Logout implements trace.Target.
+func (r *Rig) Logout(subscriber string) error {
+	r.mu.Lock()
+	delete(r.online, subscriber)
+	r.mu.Unlock()
+	return nil
+}
+
+// Subscribe implements trace.Target.
+func (r *Rig) Subscribe(subscriber, channel string, params []any) error {
+	fs, err := r.broker.Subscribe(subscriber, channel, params)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.fsByKey[subKey(subscriber, channel, params)] = fs
+	r.mu.Unlock()
+	return nil
+}
+
+// Unsubscribe implements trace.Target.
+func (r *Rig) Unsubscribe(subscriber, channel string, params []any) error {
+	key := subKey(subscriber, channel, params)
+	r.mu.Lock()
+	fs, ok := r.fsByKey[key]
+	delete(r.fsByKey, key)
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("experiments: unsubscribe for unknown subscription %s", key)
+	}
+	return r.broker.Unsubscribe(subscriber, fs)
+}
+
+// Publish implements trace.Target: continuous channels match and notify
+// synchronously; online subscribers then retrieve.
+func (r *Rig) Publish(dataset string, data map[string]any) error {
+	if _, err := r.cluster.Ingest(dataset, data); err != nil {
+		return err
+	}
+	r.drainPending()
+	return nil
+}
+
+func subKey(subscriber, channel string, params []any) string {
+	return fmt.Sprintf("%s|%s|%v", subscriber, channel, params)
+}

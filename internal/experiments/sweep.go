@@ -1,0 +1,420 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"gobad/internal/core"
+	"gobad/internal/metrics"
+	"gobad/internal/sim"
+	"gobad/internal/trace"
+	"gobad/internal/workload"
+)
+
+func workloadRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(workload.DeriveSeed(seed, "shelters", 0)))
+}
+
+// Policies under comparison in the Section V figures, in plotting order.
+var simPolicies = []core.Policy{
+	core.LRU{}, core.LSC{}, core.LSCz{}, core.LSD{}, core.EXP{}, core.TTL{},
+}
+
+// PrototypePolicies adds the no-cache baseline used in Fig. 7.
+var prototypePolicies = []core.Policy{
+	core.NC{}, core.LRU{}, core.LSC{}, core.TTL{},
+}
+
+// SimSweepConfig parameterizes the Fig. 3/4/5 sweeps.
+type SimSweepConfig struct {
+	// Base is the simulation config (policy/budget overridden per cell).
+	Base sim.Config
+	// Budgets is the cache-size x-axis (the paper: 50-500 MB at full
+	// scale).
+	Budgets []int64
+	// Runs averages each cell over this many independent seeds (the
+	// paper: ten).
+	Runs int
+	// Policies defaults to the six Section V policies.
+	Policies []core.Policy
+}
+
+// Cell is one (policy, budget) data point averaged over runs.
+type Cell struct {
+	Policy    string
+	Budget    int64
+	Metrics   metrics.Snapshot
+	RhoTTLSum float64
+	PerCache  []sim.CacheSummary // from the first run only
+}
+
+// SimSweep is the full Fig. 3/4 data set.
+type SimSweep struct {
+	Budgets []int64
+	Cells   map[string]map[int64]Cell // policy -> budget -> cell
+	// Vol is the total produced volume (identical across policies).
+	Vol float64
+}
+
+// RunSimSweep executes the policy x budget x seed grid.
+func RunSimSweep(cfg SimSweepConfig) (*SimSweep, error) {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 3
+	}
+	policies := cfg.Policies
+	if len(policies) == 0 {
+		policies = simPolicies
+	}
+	if len(cfg.Budgets) == 0 {
+		return nil, fmt.Errorf("experiments: SimSweepConfig.Budgets is required")
+	}
+	out := &SimSweep{
+		Budgets: cfg.Budgets,
+		Cells:   make(map[string]map[int64]Cell, len(policies)),
+	}
+	for _, p := range policies {
+		out.Cells[p.Name()] = make(map[int64]Cell, len(cfg.Budgets))
+		for _, budget := range cfg.Budgets {
+			var snaps []metrics.Snapshot
+			var rhoT float64
+			var perCache []sim.CacheSummary
+			for run := 0; run < cfg.Runs; run++ {
+				rc := cfg.Base
+				rc.Policy = p
+				rc.CacheBudget = budget
+				rc.Seed = workload.DeriveSeed(cfg.Base.Seed, "run", run)
+				res, err := sim.Run(rc)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s@%d run %d: %w", p.Name(), budget, run, err)
+				}
+				snaps = append(snaps, res.Metrics)
+				rhoT += res.RhoTTLSum / float64(cfg.Runs)
+				if run == 0 {
+					perCache = res.PerCache
+				}
+			}
+			avg := metrics.AverageSnapshots(snaps)
+			out.Cells[p.Name()][budget] = Cell{
+				Policy: p.Name(), Budget: budget,
+				Metrics: avg, RhoTTLSum: rhoT, PerCache: perCache,
+			}
+			if avg.VolumeBytes > out.Vol {
+				out.Vol = avg.VolumeBytes
+			}
+		}
+	}
+	return out, nil
+}
+
+// MetricColumn extracts one figure's y-value from a cell.
+type MetricColumn struct {
+	// Name heads the printed table.
+	Name string
+	// Unit is appended to the header.
+	Unit string
+	// Value extracts the metric.
+	Value func(Cell) float64
+}
+
+// Figure metric columns, one per sub-figure.
+var (
+	// ColHitRatio is Fig. 3(a).
+	ColHitRatio = MetricColumn{"hit_ratio", "", func(c Cell) float64 { return c.Metrics.HitRatio }}
+	// ColHitByte is Fig. 3(b).
+	ColHitByte = MetricColumn{"hit_byte", "MB", func(c Cell) float64 { return c.Metrics.HitBytes / (1 << 20) }}
+	// ColMissByte is Fig. 3(c).
+	ColMissByte = MetricColumn{"miss_byte", "MB", func(c Cell) float64 { return c.Metrics.MissBytes / (1 << 20) }}
+	// ColFetch is Fig. 4(a).
+	ColFetch = MetricColumn{"fetch", "MB", func(c Cell) float64 { return c.Metrics.FetchBytes / (1 << 20) }}
+	// ColLatency is Fig. 4(b).
+	ColLatency = MetricColumn{"latency", "s", func(c Cell) float64 { return c.Metrics.MeanLatency }}
+	// ColHolding is Fig. 4(c).
+	ColHolding = MetricColumn{"holding_time", "s", func(c Cell) float64 { return c.Metrics.HoldingTime }}
+	// ColAvgSize and ColMaxSize are Fig. 5(a).
+	ColAvgSize = MetricColumn{"avg_cache_size", "MB", func(c Cell) float64 { return c.Metrics.AvgCacheSize / (1 << 20) }}
+	// ColMaxSize is Fig. 5(a)'s max series.
+	ColMaxSize = MetricColumn{"max_cache_size", "MB", func(c Cell) float64 { return c.Metrics.MaxCacheSize / (1 << 20) }}
+)
+
+// FormatTable renders one figure as an aligned text table: one row per
+// policy, one column per budget.
+func (s *SimSweep) FormatTable(title string, col MetricColumn) string {
+	var b strings.Builder
+	header := col.Name
+	if col.Unit != "" {
+		header += " (" + col.Unit + ")"
+	}
+	fmt.Fprintf(&b, "%s — %s\n", title, header)
+	fmt.Fprintf(&b, "%-8s", "policy")
+	for _, budget := range s.Budgets {
+		fmt.Fprintf(&b, "%14s", metrics.FormatBytes(float64(budget)))
+	}
+	b.WriteString("\n")
+	var names []string
+	for name := range s.Cells {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return policyRank(names[i]) < policyRank(names[j]) })
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-8s", name)
+		for _, budget := range s.Budgets {
+			fmt.Fprintf(&b, "%14.4f", col.Value(s.Cells[name][budget]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatCSV renders one figure as CSV (header: policy,<budget>,...), for
+// downstream plotting tools.
+func (s *SimSweep) FormatCSV(col MetricColumn) string {
+	var b strings.Builder
+	b.WriteString("policy")
+	for _, budget := range s.Budgets {
+		fmt.Fprintf(&b, ",%d", budget)
+	}
+	b.WriteString("\n")
+	var names []string
+	for name := range s.Cells {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return policyRank(names[i]) < policyRank(names[j]) })
+	for _, name := range names {
+		b.WriteString(name)
+		for _, budget := range s.Budgets {
+			fmt.Fprintf(&b, ",%g", col.Value(s.Cells[name][budget]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// policyRank orders policies as the paper's legends do.
+func policyRank(name string) int {
+	order := []string{"NC", "LRU", "LSC", "LSCz", "LSD", "EXP", "TTL"}
+	for i, n := range order {
+		if n == name {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// PrototypeSweepConfig parameterizes Fig. 7.
+type PrototypeSweepConfig struct {
+	// Trace drives every configuration identically; generated from
+	// trace.DefaultGenConfig when nil.
+	Trace *trace.Trace
+	// Budgets is the cache-size axis (the paper shows gains from 100KB).
+	Budgets []int64
+	// Policies defaults to NC, LRU, LSC, TTL.
+	Policies []core.Policy
+	// Seed configures the rig (shelter placement etc.).
+	Seed int64
+}
+
+// PrototypeCell is one Fig. 7 data point.
+type PrototypeCell struct {
+	Policy       string
+	Budget       int64
+	HitRatio     float64
+	MeanLatency  float64
+	FetchedBytes float64 // bytes fetched from the cluster by the broker
+	FrontendSubs int
+	BackendSubs  int
+}
+
+// PrototypeSweep is the Fig. 7 data set.
+type PrototypeSweep struct {
+	Budgets []int64
+	Cells   map[string]map[int64]PrototypeCell
+}
+
+// RunPrototypeSweep replays the trace against the in-process prototype for
+// every (policy, budget) combination.
+func RunPrototypeSweep(cfg PrototypeSweepConfig) (*PrototypeSweep, error) {
+	if len(cfg.Budgets) == 0 {
+		return nil, fmt.Errorf("experiments: PrototypeSweepConfig.Budgets is required")
+	}
+	policies := cfg.Policies
+	if len(policies) == 0 {
+		policies = prototypePolicies
+	}
+	tr := cfg.Trace
+	if tr == nil {
+		gen := trace.DefaultGenConfig()
+		gen.Seed = cfg.Seed
+		var err error
+		tr, err = trace.Generate(gen)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &PrototypeSweep{
+		Budgets: cfg.Budgets,
+		Cells:   make(map[string]map[int64]PrototypeCell, len(policies)),
+	}
+	for _, p := range policies {
+		out.Cells[p.Name()] = make(map[int64]PrototypeCell, len(cfg.Budgets))
+		for _, budget := range cfg.Budgets {
+			rig, err := NewRig(RigConfig{
+				Policy:      p,
+				CacheBudget: budget,
+				Seed:        cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := trace.Play(tr, rig); err != nil {
+				return nil, fmt.Errorf("experiments: %s@%d: %w", p.Name(), budget, err)
+			}
+			st := rig.Broker().Stats()
+			out.Cells[p.Name()][budget] = PrototypeCell{
+				Policy:       p.Name(),
+				Budget:       budget,
+				HitRatio:     st.HitRatio(),
+				MeanLatency:  st.Latency.Mean(),
+				FetchedBytes: st.FetchBytes.Value(),
+				FrontendSubs: rig.Broker().NumFrontendSubs(),
+				BackendSubs:  rig.Broker().NumBackendSubs(),
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatTable renders one Fig. 7 panel.
+func (s *PrototypeSweep) FormatTable(title, metric string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", title, metric)
+	fmt.Fprintf(&b, "%-8s", "policy")
+	for _, budget := range s.Budgets {
+		fmt.Fprintf(&b, "%14s", metrics.FormatBytes(float64(budget)))
+	}
+	b.WriteString("\n")
+	var names []string
+	for name := range s.Cells {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return policyRank(names[i]) < policyRank(names[j]) })
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-8s", name)
+		for _, budget := range s.Budgets {
+			cell := s.Cells[name][budget]
+			var v float64
+			switch metric {
+			case "hit_ratio":
+				v = cell.HitRatio
+			case "latency_s":
+				v = cell.MeanLatency
+			case "fetched_MB":
+				v = cell.FetchedBytes / (1 << 20)
+			}
+			fmt.Fprintf(&b, "%14.4f", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig5BPoint pairs a cache's TTL with its observed holding time.
+type Fig5BPoint struct {
+	Policy      string  `json:"policy"`
+	TTLSeconds  float64 `json:"ttl_s"`
+	HoldingMean float64 `json:"holding_mean_s"`
+}
+
+// Fig5B extracts (TTL, holding-time) pairs for the TTL-vs-LSC comparison
+// from a sweep cell's per-cache summaries.
+func Fig5B(cell Cell) []Fig5BPoint {
+	out := make([]Fig5BPoint, 0, len(cell.PerCache))
+	for _, pc := range cell.PerCache {
+		if pc.HoldingN == 0 {
+			continue
+		}
+		ttl := pc.TTLStampedMean
+		if ttl <= 0 {
+			// Non-stamping policy: compare against the hypothetical
+			// assigned TTL.
+			ttl = pc.TTLSeconds
+		}
+		out = append(out, Fig5BPoint{
+			Policy:      cell.Policy,
+			TTLSeconds:  ttl,
+			HoldingMean: pc.HoldingMean,
+		})
+	}
+	return out
+}
+
+// HoldingTTLCorrelation summarizes Fig. 5(b): the mean absolute relative
+// gap between holding time and TTL across caches (small for the TTL
+// policy, large for eviction policies).
+func HoldingTTLCorrelation(points []Fig5BPoint) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for _, p := range points {
+		if p.TTLSeconds <= 0 {
+			continue
+		}
+		gap := p.HoldingMean - p.TTLSeconds
+		if gap < 0 {
+			gap = -gap
+		}
+		sum += gap / p.TTLSeconds
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// DefaultSimBase returns the scaled simulation base config used by the
+// benchmark harness: Table II shapes at 1/20 population scale so a full
+// figure regenerates in minutes, not hours. Pass scale=1 for the paper's
+// full Table II settings.
+func DefaultSimBase(scale float64) sim.Config {
+	cfg := sim.DefaultConfig()
+	// The paper recomputes TTLs "every 5 minutes" — and that choice turns
+	// out to be well tuned: recomputing every minute chases noisy rate
+	// estimates and doubles the TTL cache's budget overshoot
+	// (BenchmarkAblationTTLRecompute). DefaultTTL bounds the warm-up
+	// before the first recompute.
+	cfg.TTL = core.TTLConfig{
+		RecomputeInterval: 5 * time.Minute,
+		DefaultTTL:        time.Minute,
+	}
+	if scale > 1 {
+		cfg = cfg.Scaled(scale)
+	}
+	return cfg
+}
+
+// DefaultBudgets derives a budget axis matching the paper's 50-500MB range
+// scaled to the population: the paper's arrival volume is ~7 MB/s at full
+// scale, so budgets scale with the backend-subscription count.
+func DefaultBudgets(base sim.Config) []int64 {
+	full := []int64{50 << 20, 100 << 20, 200 << 20, 300 << 20, 400 << 20, 500 << 20}
+	scale := float64(1000) / float64(base.BackendSubs)
+	out := make([]int64, 0, len(full))
+	for _, b := range full {
+		v := int64(float64(b) / scale)
+		if v < 1<<20 {
+			v = 1 << 20
+		}
+		// The 1 MB floor can collapse neighbors at extreme scales; keep
+		// the axis strictly increasing.
+		if len(out) > 0 && v <= out[len(out)-1] {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+// Package httpx holds the small JSON-over-HTTP helpers shared by the data
+// cluster, broker and BCS servers and clients.
+package httpx
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// MaxBodyBytes bounds request/response bodies read by this package.
+const MaxBodyBytes = 16 << 20
+
+// ErrorBody is the uniform JSON error payload.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// WriteJSON encodes v as the response body with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if v == nil {
+		return
+	}
+	// Encoding errors past WriteHeader can only be logged by the caller's
+	// server config; ignore here.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes a JSON error payload.
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// ReadJSON decodes the request body into v, rejecting unknown fields and
+// oversized bodies.
+func ReadJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, MaxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("httpx: decode request body: %w", err)
+	}
+	return nil
+}
+
+// DoJSON performs an HTTP request with a JSON body (nil for none) and
+// decodes the JSON response into out (nil to discard). Non-2xx responses
+// are returned as errors carrying the server's error payload.
+func DoJSON(client *http.Client, method, url string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("httpx: encode request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return fmt.Errorf("httpx: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("httpx: %s %s: %w", method, url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxBodyBytes))
+	if err != nil {
+		return fmt.Errorf("httpx: read response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb ErrorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("httpx: %s %s: %s (HTTP %d)", method, url, eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("httpx: %s %s: HTTP %d", method, url, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("httpx: decode response: %w", err)
+	}
+	return nil
+}

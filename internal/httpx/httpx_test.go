@@ -1,0 +1,95 @@
+package httpx
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWriteAndReadJSON(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var in map[string]any
+		if err := ReadJSON(r, &in); err != nil {
+			WriteError(w, http.StatusBadRequest, "bad: %v", err)
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]any{"echo": in["x"]})
+	}))
+	defer srv.Close()
+
+	var out map[string]any
+	if err := DoJSON(srv.Client(), http.MethodPost, srv.URL, map[string]any{"x": 7.0}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["echo"] != 7.0 {
+		t.Errorf("echo = %v", out["echo"])
+	}
+}
+
+func TestDoJSONErrorPayload(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		WriteError(w, http.StatusConflict, "thing %s exists", "X")
+	}))
+	defer srv.Close()
+	err := DoJSON(srv.Client(), http.MethodGet, srv.URL, nil, nil)
+	if err == nil {
+		t.Fatal("non-2xx should error")
+	}
+	if !strings.Contains(err.Error(), "thing X exists") {
+		t.Errorf("error should carry server payload: %v", err)
+	}
+	if !strings.Contains(err.Error(), "409") {
+		t.Errorf("error should carry the status: %v", err)
+	}
+}
+
+func TestDoJSONNonJSONError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "plain text failure", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	err := DoJSON(srv.Client(), http.MethodGet, srv.URL, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "HTTP 500") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDoJSONDecodesResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]int{"n": 3})
+	}))
+	defer srv.Close()
+	// out == nil discards the body.
+	if err := DoJSON(srv.Client(), http.MethodGet, srv.URL, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// bad target type fails decode.
+	var wrong []string
+	if err := DoJSON(srv.Client(), http.MethodGet, srv.URL, nil, &wrong); err == nil {
+		t.Error("mismatched decode target should fail")
+	}
+}
+
+func TestDoJSONBadURL(t *testing.T) {
+	if err := DoJSON(http.DefaultClient, "GET", "http://127.0.0.1:1/x", nil, nil); err == nil {
+		t.Error("unreachable host should fail")
+	}
+	if err := DoJSON(http.DefaultClient, "bad method", "http://x", nil, nil); err == nil {
+		t.Error("bad method should fail")
+	}
+}
+
+func TestDoJSONUnencodableBody(t *testing.T) {
+	if err := DoJSON(http.DefaultClient, http.MethodPost, "http://x", func() {}, nil); err == nil {
+		t.Error("unencodable body should fail before sending")
+	}
+}
+
+func TestReadJSONBadBody(t *testing.T) {
+	req := httptest.NewRequest(http.MethodPost, "/", strings.NewReader("{broken"))
+	var v map[string]any
+	if err := ReadJSON(req, &v); err == nil {
+		t.Error("broken JSON should fail")
+	}
+}

@@ -1,0 +1,407 @@
+// Package metrics provides the measurement primitives used by the BAD
+// broker, the discrete-event simulator and the experiment harness: simple
+// counters, running means, time-weighted averages (for cache-size-over-time
+// accounting), percentile sketches backed by exact samples, and the hit/miss
+// accounting bundle reported in the paper's evaluation (hit ratio, hit byte,
+// miss byte, fetch, subscriber latency, holding time).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Counter is a monotonically increasing float64 counter. The zero value is
+// ready to use. Counter is safe for concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+	n  int64
+}
+
+// Add increases the counter by v (which may be fractional but must be >= 0;
+// negative deltas are ignored so that byte counters stay monotone).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += v
+	c.n++
+	c.mu.Unlock()
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the accumulated total.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Count returns how many times Add/Inc was called.
+func (c *Counter) Count() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Mean is an online arithmetic mean with variance tracking (Welford's
+// algorithm). The zero value is ready to use. Mean is safe for concurrent
+// use.
+type Mean struct {
+	mu   sync.Mutex
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe records one sample.
+func (m *Mean) Observe(x float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.n++
+	if m.n == 1 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the number of samples observed.
+func (m *Mean) N() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+// Mean returns the arithmetic mean of the observed samples (0 if none).
+func (m *Mean) Mean() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mean
+}
+
+// Var returns the (population) variance of the observed samples.
+func (m *Mean) Var() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.n == 0 {
+		return 0
+	}
+	return m.m2 / float64(m.n)
+}
+
+// Std returns the population standard deviation.
+func (m *Mean) Std() float64 { return math.Sqrt(m.Var()) }
+
+// Min returns the smallest observed sample (0 if none).
+func (m *Mean) Min() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.min
+}
+
+// Max returns the largest observed sample (0 if none).
+func (m *Mean) Max() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.max
+}
+
+// TimeWeighted tracks a piecewise-constant quantity over (virtual or real)
+// time and reports its time-weighted average and maximum. The paper uses
+// this for "time-averaged cache size": each size is weighted by how long the
+// cache stayed at that size. The zero value is ready to use; the first call
+// to Set establishes the epoch.
+type TimeWeighted struct {
+	mu       sync.Mutex
+	started  bool
+	lastAt   time.Duration
+	lastVal  float64
+	weighted float64 // integral of value dt
+	elapsed  time.Duration
+	max      float64
+}
+
+// Set records that the tracked quantity changed to v at (monotonic) time at.
+// Calls must use non-decreasing timestamps; an earlier timestamp is clamped
+// to the latest one seen.
+func (w *TimeWeighted) Set(at time.Duration, v float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.started {
+		w.started = true
+		w.lastAt = at
+		w.lastVal = v
+		w.max = v
+		return
+	}
+	if at < w.lastAt {
+		at = w.lastAt
+	}
+	dt := at - w.lastAt
+	w.weighted += w.lastVal * dt.Seconds()
+	w.elapsed += dt
+	w.lastAt = at
+	w.lastVal = v
+	if v > w.max {
+		w.max = v
+	}
+}
+
+// Add shifts the tracked quantity by delta at time at.
+func (w *TimeWeighted) Add(at time.Duration, delta float64) {
+	w.mu.Lock()
+	cur := w.lastVal
+	w.mu.Unlock()
+	w.Set(at, cur+delta)
+}
+
+// Average returns the time-weighted average up to time at.
+func (w *TimeWeighted) Average(at time.Duration) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.started {
+		return 0
+	}
+	weighted, elapsed := w.weighted, w.elapsed
+	if at > w.lastAt {
+		dt := at - w.lastAt
+		weighted += w.lastVal * dt.Seconds()
+		elapsed += dt
+	}
+	if elapsed <= 0 {
+		return w.lastVal
+	}
+	return weighted / elapsed.Seconds()
+}
+
+// Max returns the largest value ever set.
+func (w *TimeWeighted) Max() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.max
+}
+
+// Current returns the most recently set value.
+func (w *TimeWeighted) Current() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastVal
+}
+
+// Sampler keeps every observed sample so exact quantiles can be computed at
+// the end of a run. For the population sizes used in the evaluation (tens of
+// thousands of retrievals) exact samples are cheap and avoid sketch error.
+// The zero value is ready to use. Sampler is safe for concurrent use.
+type Sampler struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (s *Sampler) Observe(x float64) {
+	s.mu.Lock()
+	s.samples = append(s.samples, x)
+	s.sorted = false
+	s.mu.Unlock()
+}
+
+// N returns the number of recorded samples.
+func (s *Sampler) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank on the
+// sorted samples, or 0 if no samples were recorded.
+func (s *Sampler) Quantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.samples[0]
+	}
+	if q >= 1 {
+		return s.samples[len(s.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(s.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s.samples[idx]
+}
+
+// Mean returns the arithmetic mean of all samples.
+func (s *Sampler) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.samples {
+		sum += x
+	}
+	return sum / float64(len(s.samples))
+}
+
+// CacheStats bundles the per-run metrics reported in the paper's evaluation
+// (Figures 3, 4, 5 and 7). One CacheStats is owned by each broker / each
+// simulation run; all components report into it.
+type CacheStats struct {
+	// Requests counts result objects requested by subscribers.
+	Requests Counter
+	// Hits counts result objects served from the broker cache.
+	Hits Counter
+	// HitBytes accumulates bytes served from the broker cache.
+	HitBytes Counter
+	// MissBytes accumulates bytes fetched from the data cluster due to
+	// cache misses (excludes the base volume used to populate caches).
+	MissBytes Counter
+	// FetchBytes accumulates all bytes fetched from the data cluster
+	// (base volume + miss re-fetches). Fig. 4(a) "fetch".
+	FetchBytes Counter
+	// VolumeBytes accumulates the bytes produced by the data cluster in
+	// response to all subscriptions (the 'Vol' line in Fig. 4(a)).
+	VolumeBytes Counter
+	// Latency observes per-retrieval subscriber latency in seconds.
+	Latency Mean
+	// LatencySamples keeps exact latency samples for quantiles.
+	LatencySamples Sampler
+	// HoldingTime observes, in seconds, how long each object stayed
+	// cached (insert -> drop). Fig. 4(c).
+	HoldingTime Mean
+	// CacheSize tracks total cached bytes over time. Fig. 5(a).
+	CacheSize TimeWeighted
+	// Evictions counts objects dropped to make room (policy evictions).
+	Evictions Counter
+	// Expirations counts objects dropped by TTL expiry.
+	Expirations Counter
+	// Consumed counts objects dropped because every attached subscriber
+	// retrieved them.
+	Consumed Counter
+	// Delivered counts notifications delivered to subscribers.
+	Delivered Counter
+}
+
+// HitRatio returns Hits/Requests (0 when no requests were made).
+func (s *CacheStats) HitRatio() float64 {
+	r := s.Requests.Value()
+	if r == 0 {
+		return 0
+	}
+	return s.Hits.Value() / r
+}
+
+// Snapshot captures the scalar values of a CacheStats at one instant,
+// suitable for table rows and JSON encoding.
+type Snapshot struct {
+	Requests     float64 `json:"requests"`
+	Hits         float64 `json:"hits"`
+	HitRatio     float64 `json:"hit_ratio"`
+	HitBytes     float64 `json:"hit_bytes"`
+	MissBytes    float64 `json:"miss_bytes"`
+	FetchBytes   float64 `json:"fetch_bytes"`
+	VolumeBytes  float64 `json:"volume_bytes"`
+	MeanLatency  float64 `json:"mean_latency_s"`
+	P95Latency   float64 `json:"p95_latency_s"`
+	HoldingTime  float64 `json:"holding_time_s"`
+	AvgCacheSize float64 `json:"avg_cache_size_bytes"`
+	MaxCacheSize float64 `json:"max_cache_size_bytes"`
+	Evictions    float64 `json:"evictions"`
+	Expirations  float64 `json:"expirations"`
+	Consumed     float64 `json:"consumed"`
+	Delivered    float64 `json:"delivered"`
+}
+
+// SnapshotAt captures all metrics; at is the run's final (virtual) time used
+// to close out the time-weighted cache-size average.
+func (s *CacheStats) SnapshotAt(at time.Duration) Snapshot {
+	return Snapshot{
+		Requests:     s.Requests.Value(),
+		Hits:         s.Hits.Value(),
+		HitRatio:     s.HitRatio(),
+		HitBytes:     s.HitBytes.Value(),
+		MissBytes:    s.MissBytes.Value(),
+		FetchBytes:   s.FetchBytes.Value(),
+		VolumeBytes:  s.VolumeBytes.Value(),
+		MeanLatency:  s.Latency.Mean(),
+		P95Latency:   s.LatencySamples.Quantile(0.95),
+		HoldingTime:  s.HoldingTime.Mean(),
+		AvgCacheSize: s.CacheSize.Average(at),
+		MaxCacheSize: s.CacheSize.Max(),
+		Evictions:    s.Evictions.Value(),
+		Expirations:  s.Expirations.Value(),
+		Consumed:     s.Consumed.Value(),
+		Delivered:    s.Delivered.Value(),
+	}
+}
+
+// AverageSnapshots returns the element-wise arithmetic mean of several run
+// snapshots; the paper averages each data point over ten independent runs.
+func AverageSnapshots(snaps []Snapshot) Snapshot {
+	var out Snapshot
+	if len(snaps) == 0 {
+		return out
+	}
+	n := float64(len(snaps))
+	for _, s := range snaps {
+		out.Requests += s.Requests / n
+		out.Hits += s.Hits / n
+		out.HitRatio += s.HitRatio / n
+		out.HitBytes += s.HitBytes / n
+		out.MissBytes += s.MissBytes / n
+		out.FetchBytes += s.FetchBytes / n
+		out.VolumeBytes += s.VolumeBytes / n
+		out.MeanLatency += s.MeanLatency / n
+		out.P95Latency += s.P95Latency / n
+		out.HoldingTime += s.HoldingTime / n
+		out.AvgCacheSize += s.AvgCacheSize / n
+		out.MaxCacheSize += s.MaxCacheSize / n
+		out.Evictions += s.Evictions / n
+		out.Expirations += s.Expirations / n
+		out.Consumed += s.Consumed / n
+		out.Delivered += s.Delivered / n
+	}
+	return out
+}
+
+// FormatBytes renders a byte quantity with a binary-ish human suffix, e.g.
+// "1.5MB". Used by the table printers.
+func FormatBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}

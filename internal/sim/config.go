@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"errors"
+	"time"
+
+	"gobad/internal/core"
+	"gobad/internal/workload"
+)
+
+// Config holds the simulation settings. DefaultConfig reproduces Table II;
+// Scaled derives proportionally smaller populations that preserve the load
+// ratios (cache pressure per byte of budget and sharing per cache), so the
+// comparative shapes of the figures survive scaling.
+type Config struct {
+	// Seed drives all randomness; runs with equal seeds are identical.
+	Seed int64
+	// Duration is the simulated time span (Table II: six hours).
+	Duration time.Duration
+
+	// Subscribers is the end-user population (Table II: 10000).
+	Subscribers int
+	// SubsPerSubscriber is each user's concurrent subscription count
+	// (Table II: 10).
+	SubsPerSubscriber int
+	// BackendSubs is the number of unique (deduplicated backend)
+	// subscriptions (Table II: 1000).
+	BackendSubs int
+	// ZipfS skews which backend subscription a user attaches to
+	// (0 = uniform).
+	ZipfS float64
+
+	// SubscriptionLifetime is the lognormal churn of individual
+	// subscriptions (Table II: Lognormal(1, 2) minutes). Zero disables
+	// churn.
+	SubscriptionLifetime workload.Lognormal
+	// SubscriptionLifetimeUnit scales the lognormal draw (Table II's
+	// parameters are in minutes).
+	SubscriptionLifetimeUnit time.Duration
+
+	// ObjectSize draws result object sizes in bytes (Table II:
+	// Uniform(1KB, 500KB)).
+	ObjectSize workload.Dist
+	// ArrivalIntervalLo/Hi bound each backend subscription's mean result
+	// inter-arrival time; each subscription draws a fixed mean from this
+	// range and produces a Poisson stream at that rate (Table II:
+	// "Poisson, rate 1 per 10-60 sec").
+	ArrivalIntervalLo, ArrivalIntervalHi time.Duration
+
+	// OnMean/OnStd and OffMean/OffStd parameterize the lognormal ON and
+	// OFF session durations (the paper: mean 20 and 30 minutes).
+	OnMean, OnStd   time.Duration
+	OffMean, OffStd time.Duration
+
+	// Policy and CacheBudget configure the broker cache under test.
+	Policy      core.Policy
+	CacheBudget int64
+	// TTL tunes TTL-based policies.
+	TTL core.TTLConfig
+
+	// Network model (Table II).
+	BrokerClusterRTT time.Duration // 500ms
+	BrokerClusterBW  float64       // 10 MB/s
+	BrokerSubRTT     time.Duration // 250ms
+	BrokerSubBW      float64       // 1 MB/s
+
+	// NotifyDelay is the lag between a result being cached and attached
+	// online subscribers starting their retrieval.
+	NotifyDelay time.Duration
+
+	// JoinWindow spreads initial subscriber arrivals over this span.
+	JoinWindow time.Duration
+}
+
+// DefaultConfig returns the Table II settings with the LSC policy and a
+// 100 MB budget.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                     1,
+		Duration:                 6 * time.Hour,
+		Subscribers:              10000,
+		SubsPerSubscriber:        10,
+		BackendSubs:              1000,
+		ZipfS:                    0.9,
+		SubscriptionLifetime:     workload.Lognormal{Mu: 1, Sigma: 2},
+		SubscriptionLifetimeUnit: time.Minute,
+		ObjectSize:               workload.Uniform{Lo: 1 << 10, Hi: 500 << 10},
+		ArrivalIntervalLo:        10 * time.Second,
+		ArrivalIntervalHi:        60 * time.Second,
+		OnMean:                   20 * time.Minute,
+		OnStd:                    20 * time.Minute,
+		OffMean:                  30 * time.Minute,
+		OffStd:                   30 * time.Minute,
+		Policy:                   core.LSC{},
+		CacheBudget:              100 << 20,
+		BrokerClusterRTT:         500 * time.Millisecond,
+		BrokerClusterBW:          10 << 20,
+		BrokerSubRTT:             250 * time.Millisecond,
+		BrokerSubBW:              1 << 20,
+		NotifyDelay:              250 * time.Millisecond,
+		JoinWindow:               30 * time.Minute,
+	}
+}
+
+// Scaled shrinks the population and duration by the given factor (>= 1)
+// while keeping per-cache sharing and the pressure/budget ratio: backend
+// subscriptions, subscribers and the cache budget shrink together, and the
+// duration shrinks by at most 6x (runs shorter than an hour lose the
+// ON/OFF dynamics).
+func (c Config) Scaled(factor float64) Config {
+	if factor <= 1 {
+		return c
+	}
+	scaleInt := func(n int) int {
+		v := int(float64(n) / factor)
+		if v < 10 {
+			v = 10
+		}
+		return v
+	}
+	c.Subscribers = scaleInt(c.Subscribers)
+	c.BackendSubs = scaleInt(c.BackendSubs)
+	c.CacheBudget = int64(float64(c.CacheBudget) / factor)
+	if c.CacheBudget < 1<<20 {
+		c.CacheBudget = 1 << 20
+	}
+	durFactor := factor
+	if durFactor > 6 {
+		durFactor = 6
+	}
+	c.Duration = time.Duration(float64(c.Duration) / durFactor)
+	if c.Duration < time.Hour {
+		c.Duration = time.Hour
+	}
+	c.JoinWindow = c.Duration / 12
+	return c
+}
+
+// validate fills defaults and rejects nonsensical settings.
+func (c *Config) validate() error {
+	if c.Policy == nil {
+		return errors.New("sim: Config.Policy is required")
+	}
+	if _, isNC := c.Policy.(core.NC); !isNC && c.CacheBudget <= 0 {
+		return errors.New("sim: Config.CacheBudget must be positive")
+	}
+	if c.Duration <= 0 {
+		return errors.New("sim: Config.Duration must be positive")
+	}
+	if c.Subscribers <= 0 || c.BackendSubs <= 0 || c.SubsPerSubscriber <= 0 {
+		return errors.New("sim: population sizes must be positive")
+	}
+	if c.ObjectSize == nil {
+		c.ObjectSize = workload.Uniform{Lo: 1 << 10, Hi: 500 << 10}
+	}
+	if c.ArrivalIntervalLo <= 0 {
+		c.ArrivalIntervalLo = 10 * time.Second
+	}
+	if c.ArrivalIntervalHi < c.ArrivalIntervalLo {
+		c.ArrivalIntervalHi = c.ArrivalIntervalLo
+	}
+	if c.OnMean <= 0 {
+		c.OnMean = 20 * time.Minute
+	}
+	if c.OffMean <= 0 {
+		c.OffMean = 30 * time.Minute
+	}
+	if c.OnStd <= 0 {
+		c.OnStd = c.OnMean
+	}
+	if c.OffStd <= 0 {
+		c.OffStd = c.OffMean
+	}
+	if c.BrokerClusterRTT <= 0 {
+		c.BrokerClusterRTT = 500 * time.Millisecond
+	}
+	if c.BrokerClusterBW <= 0 {
+		c.BrokerClusterBW = 10 << 20
+	}
+	if c.BrokerSubRTT <= 0 {
+		c.BrokerSubRTT = 250 * time.Millisecond
+	}
+	if c.BrokerSubBW <= 0 {
+		c.BrokerSubBW = 1 << 20
+	}
+	if c.NotifyDelay <= 0 {
+		c.NotifyDelay = 250 * time.Millisecond
+	}
+	if c.JoinWindow <= 0 {
+		c.JoinWindow = c.Duration / 12
+	}
+	if c.SubscriptionLifetimeUnit <= 0 {
+		c.SubscriptionLifetimeUnit = time.Minute
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+// Package sim is the discrete-event simulator of Section V: it mimics the
+// broker (subscription management, result caching with every policy of
+// Table I, delivery) and the backend data cluster (per-subscription result
+// generation at Poisson rates) at scale, with the network modeled by the
+// bandwidths and RTTs of Table II. The simulator reuses the production
+// cache implementation (internal/core) — the policies under test are the
+// exact code the live broker runs.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// eventKind discriminates scheduled events.
+type eventKind uint8
+
+const (
+	// evArrival: the data cluster produced a result object for backend
+	// subscription A; the broker pulls and caches it.
+	evArrival eventKind = iota
+	// evRetrieve: subscriber A retrieves the results of backend
+	// subscription B (notification-triggered or login catch-up).
+	evRetrieve
+	// evOn: subscriber A comes online.
+	evOn
+	// evOff: subscriber A goes offline.
+	evOff
+	// evChurn: subscriber A's subscription slot B expires and re-draws.
+	evChurn
+	// evTTLRecompute: the broker recomputes TTLs.
+	evTTLRecompute
+	// evExpire: check for TTL-expired objects.
+	evExpire
+)
+
+// event is one future event.
+type event struct {
+	at   time.Duration
+	seq  uint64 // tiebreaker for deterministic ordering
+	kind eventKind
+	a, b int32
+}
+
+// eventQueue is a binary min-heap of events ordered by (at, seq).
+type eventQueue struct {
+	items []event
+	seq   uint64
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	if q.items[i].at != q.items[j].at {
+		return q.items[i].at < q.items[j].at
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+// Push implements heap.Interface.
+func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(event)) }
+
+// Pop implements heap.Interface.
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	e := old[n-1]
+	q.items = old[:n-1]
+	return e
+}
+
+// schedule enqueues an event.
+func (q *eventQueue) schedule(at time.Duration, kind eventKind, a, b int32) {
+	q.seq++
+	heap.Push(q, event{at: at, seq: q.seq, kind: kind, a: a, b: b})
+}
+
+// next dequeues the earliest event; ok is false when the queue is empty.
+func (q *eventQueue) next() (event, bool) {
+	if len(q.items) == 0 {
+		return event{}, false
+	}
+	return heap.Pop(q).(event), true
+}

@@ -1,0 +1,460 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"gobad/internal/core"
+	"gobad/internal/metrics"
+	"gobad/internal/workload"
+)
+
+// CacheSummary is per-cache data captured at the end of a run; Fig. 5(b)
+// plots HoldingMean against TTLSeconds.
+type CacheSummary struct {
+	ID         string  `json:"id"`
+	TTLSeconds float64 `json:"ttl_s"`
+	// TTLStampedMean is the mean TTL actually stamped onto objects
+	// (0 under non-stamping policies; use TTLSeconds then).
+	TTLStampedMean float64 `json:"ttl_stamped_mean_s"`
+	HoldingMean    float64 `json:"holding_mean_s"`
+	HoldingN       int64   `json:"holding_n"`
+	Subscribers    int     `json:"subscribers"`
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Policy  string           `json:"policy"`
+	Budget  int64            `json:"budget"`
+	Metrics metrics.Snapshot `json:"metrics"`
+	// RhoTTLSum is the mean observed sum_i(rho_i*T_i) (TTL policies).
+	RhoTTLSum float64 `json:"rho_ttl_sum"`
+	// PerCache summarizes every cache at the end of the run.
+	PerCache []CacheSummary `json:"per_cache,omitempty"`
+	// Events is the number of processed simulation events.
+	Events uint64 `json:"events"`
+}
+
+// subSlot is one of a subscriber's concurrent subscriptions.
+type subSlot struct {
+	cache   int32
+	marker  time.Duration // fts: newest retrieved result timestamp
+	pending bool          // a retrieval event is already scheduled
+}
+
+// subscriber is one simulated end user.
+type subscriber struct {
+	on    bool
+	slots []subSlot
+}
+
+// simulator is the run state.
+type simulator struct {
+	cfg Config
+	q   eventQueue
+	now time.Duration
+
+	// independent random streams so policies see identical workloads
+	arrivalRng *rand.Rand
+	sizeRng    *rand.Rand
+	onoffRng   *rand.Rand
+	attachRng  *rand.Rand
+
+	manager *core.Manager
+	stats   *metrics.CacheStats
+
+	// per backend subscription
+	store     [][]*core.Object // persistent result store (the data cluster)
+	bts       []time.Duration  // newest pulled timestamp per cache
+	rate      []float64        // Poisson arrival rate (results/s)
+	attachSet []map[int32]struct{}
+
+	subs []subscriber
+	zipf *workload.Zipf
+
+	// expireAt is the earliest pending evExpire event time (0 = none);
+	// it deduplicates expiry scheduling so stale duplicates cannot
+	// accumulate.
+	expireAt time.Duration
+
+	events uint64
+}
+
+// cacheID renders the backend subscription id used as the cache key.
+func cacheID(i int32) string { return fmt.Sprintf("bs%04d", i) }
+
+func subName(k int32) string { return fmt.Sprintf("s%05d", k) }
+
+// Run executes one simulation and returns its metrics.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	s := &simulator{
+		cfg:        cfg,
+		arrivalRng: rand.New(rand.NewSource(workload.DeriveSeed(cfg.Seed, "arrivals", 0))),
+		sizeRng:    rand.New(rand.NewSource(workload.DeriveSeed(cfg.Seed, "sizes", 0))),
+		onoffRng:   rand.New(rand.NewSource(workload.DeriveSeed(cfg.Seed, "onoff", 0))),
+		attachRng:  rand.New(rand.NewSource(workload.DeriveSeed(cfg.Seed, "attach", 0))),
+		stats:      &metrics.CacheStats{},
+	}
+	mgr, err := core.NewManager(core.Config{
+		Policy:  cfg.Policy,
+		Budget:  cfg.CacheBudget,
+		Fetcher: core.FetcherFunc(s.fetch),
+		TTL:     cfg.TTL,
+		Stats:   s.stats,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	s.manager = mgr
+	if err := s.setup(); err != nil {
+		return Result{}, err
+	}
+	s.loop()
+	return s.result(), nil
+}
+
+// setup seeds the initial event population.
+func (s *simulator) setup() error {
+	cfg := s.cfg
+	n := cfg.BackendSubs
+	s.store = make([][]*core.Object, n)
+	s.bts = make([]time.Duration, n)
+	s.rate = make([]float64, n)
+	s.attachSet = make([]map[int32]struct{}, n)
+	for i := 0; i < n; i++ {
+		s.attachSet[i] = make(map[int32]struct{})
+		// Each backend subscription draws a fixed mean inter-arrival
+		// time in [Lo, Hi] and produces a Poisson stream at that rate.
+		lo, hi := cfg.ArrivalIntervalLo.Seconds(), cfg.ArrivalIntervalHi.Seconds()
+		mean := lo + s.arrivalRng.Float64()*(hi-lo)
+		s.rate[i] = 1 / mean
+		s.scheduleArrival(int32(i), 0)
+	}
+
+	if cfg.ZipfS > 0 {
+		z, err := workload.NewZipf(n, cfg.ZipfS)
+		if err != nil {
+			return err
+		}
+		s.zipf = z
+	}
+
+	s.subs = make([]subscriber, cfg.Subscribers)
+	for k := 0; k < cfg.Subscribers; k++ {
+		join := time.Duration(s.onoffRng.Float64() * float64(cfg.JoinWindow))
+		s.q.schedule(join, evOn, int32(k), 0)
+	}
+
+	// TTL recomputation runs under every policy: TTL/EXP need it to
+	// stamp objects; eviction policies get hypothetical TTL assignments
+	// for the Fig. 5(b) holding-vs-TTL comparison.
+	interval := cfg.TTL.RecomputeInterval
+	if interval <= 0 {
+		interval = s.manager.TTLRecomputeInterval()
+	}
+	s.q.schedule(interval, evTTLRecompute, 0, 0)
+	return nil
+}
+
+// loop drains the event queue until the configured duration elapses.
+func (s *simulator) loop() {
+	for {
+		ev, ok := s.q.next()
+		if !ok || ev.at > s.cfg.Duration {
+			s.now = s.cfg.Duration
+			return
+		}
+		s.now = ev.at
+		s.events++
+		switch ev.kind {
+		case evArrival:
+			s.handleArrival(ev.a)
+		case evRetrieve:
+			s.handleRetrieve(ev.a, ev.b)
+		case evOn:
+			s.handleOn(ev.a)
+		case evOff:
+			s.handleOff(ev.a)
+		case evChurn:
+			s.handleChurn(ev.a, ev.b)
+		case evTTLRecompute:
+			s.manager.RecomputeTTLs(s.now)
+			s.scheduleExpiry()
+			s.q.schedule(s.now+s.manager.TTLRecomputeInterval(), evTTLRecompute, 0, 0)
+		case evExpire:
+			if ev.at != s.expireAt {
+				break // superseded duplicate
+			}
+			s.expireAt = 0
+			s.manager.ExpireDue(s.now)
+			s.scheduleExpiry()
+		}
+	}
+}
+
+// scheduleArrival plans cache i's next Poisson arrival after time at.
+func (s *simulator) scheduleArrival(i int32, at time.Duration) {
+	gap := s.arrivalRng.ExpFloat64() / s.rate[i]
+	s.q.schedule(at+time.Duration(gap*float64(time.Second)), evArrival, i, 0)
+}
+
+// handleArrival produces a result object at the data cluster, pulls it into
+// the broker cache and notifies attached online subscribers.
+func (s *simulator) handleArrival(i int32) {
+	s.scheduleArrival(i, s.now)
+	size := int64(s.cfg.ObjectSize.Sample(s.sizeRng))
+	if size < 1 {
+		size = 1
+	}
+	ts := s.now
+	if last := s.bts[i]; ts <= last {
+		ts = last + time.Nanosecond
+	}
+	id := fmt.Sprintf("%s-o%d", cacheID(i), len(s.store[i])+1)
+	fetchLat := s.clusterLatency(size)
+	// The persistent store copy (the data cluster keeps everything).
+	s.store[i] = append(s.store[i], &core.Object{
+		ID: id, Timestamp: ts, Size: size, FetchLatency: fetchLat,
+	})
+	// The broker pulls the object into the cache (PULL model). The pull
+	// is the base volume every policy pays (Fig. 4a's 'Vol').
+	cached := &core.Object{ID: id, Timestamp: ts, Size: size, FetchLatency: fetchLat}
+	if err := s.manager.Put(cacheID(i), cached, s.now); err == nil {
+		s.stats.VolumeBytes.Add(float64(size))
+		s.stats.FetchBytes.Add(float64(size))
+	}
+	s.bts[i] = ts
+	if s.cfg.Policy.AutoExpire() {
+		s.scheduleExpiry()
+	}
+
+	// Notify attached online subscribers; they retrieve after the pull
+	// and notification propagation delay.
+	notifyAt := s.now + s.clusterLatency(size) + s.cfg.NotifyDelay
+	for k := range s.attachSet[i] {
+		sub := &s.subs[k]
+		if !sub.on {
+			continue
+		}
+		if slot := sub.slot(i); slot != nil && !slot.pending {
+			slot.pending = true
+			s.q.schedule(notifyAt, evRetrieve, k, i)
+		}
+	}
+}
+
+// slot returns the subscriber's slot attached to cache i, or nil.
+func (u *subscriber) slot(i int32) *subSlot {
+	for idx := range u.slots {
+		if u.slots[idx].cache == i {
+			return &u.slots[idx]
+		}
+	}
+	return nil
+}
+
+// handleRetrieve performs one subscriber retrieval (Algorithm 1
+// GETRESULTS) and accounts the subscriber-perceived latency.
+func (s *simulator) handleRetrieve(k, i int32) {
+	sub := &s.subs[k]
+	slot := sub.slot(i)
+	if slot == nil {
+		return // churned away while the notification was in flight
+	}
+	slot.pending = false
+	if !sub.on {
+		return // went offline before retrieving
+	}
+	from, to := slot.marker, s.bts[i]
+	if to <= from {
+		return
+	}
+	objs, err := s.manager.GetResults(cacheID(i), subName(k), from, to, s.now)
+	if err != nil {
+		return
+	}
+	slot.marker = to
+	if len(objs) == 0 {
+		return
+	}
+	var total, missed int64
+	for _, o := range objs {
+		total += o.Size
+		if o.CacheID == "" { // fetched from the data cluster, not cached
+			missed += o.Size
+		}
+	}
+	latency := s.cfg.BrokerSubRTT.Seconds() + float64(total)/s.cfg.BrokerSubBW
+	if missed > 0 {
+		latency += s.cfg.BrokerClusterRTT.Seconds() + float64(missed)/s.cfg.BrokerClusterBW
+	}
+	s.stats.Latency.Observe(latency)
+	s.stats.LatencySamples.Observe(latency)
+	s.stats.Delivered.Add(float64(len(objs)))
+}
+
+// handleOn brings a subscriber online: first arrival builds its
+// subscription slots; every ON triggers catch-up retrievals.
+func (s *simulator) handleOn(k int32) {
+	sub := &s.subs[k]
+	if sub.slots == nil {
+		for len(sub.slots) < s.cfg.SubsPerSubscriber && len(sub.slots) < s.cfg.BackendSubs {
+			s.attachSlot(k)
+		}
+	}
+	sub.on = true
+	// Catch-up retrieval per slot, spread slightly to avoid lockstep.
+	for idx := range sub.slots {
+		slot := &sub.slots[idx]
+		if !slot.pending && s.bts[slot.cache] > slot.marker {
+			slot.pending = true
+			jitter := time.Duration(s.onoffRng.Intn(1000)) * time.Millisecond
+			s.q.schedule(s.now+s.cfg.BrokerSubRTT+jitter, evRetrieve, k, slot.cache)
+		}
+	}
+	onDur := workload.LognormalFromMoments(s.cfg.OnMean.Seconds(), s.cfg.OnStd.Seconds())
+	s.q.schedule(s.now+secs(onDur.Sample(s.onoffRng)), evOff, k, 0)
+}
+
+// handleOff sends a subscriber offline and schedules its return.
+func (s *simulator) handleOff(k int32) {
+	s.subs[k].on = false
+	offDur := workload.LognormalFromMoments(s.cfg.OffMean.Seconds(), s.cfg.OffStd.Seconds())
+	s.q.schedule(s.now+secs(offDur.Sample(s.onoffRng)), evOn, k, 0)
+}
+
+// attachSlot draws a backend subscription (Zipf or uniform, deduplicated
+// per subscriber), attaches subscriber k to it and schedules its churn.
+func (s *simulator) attachSlot(k int32) {
+	sub := &s.subs[k]
+	var cache int32
+	for tries := 0; ; tries++ {
+		if s.zipf != nil {
+			cache = int32(s.zipf.Sample(s.attachRng))
+		} else {
+			cache = int32(s.attachRng.Intn(s.cfg.BackendSubs))
+		}
+		if sub.slot(cache) == nil {
+			break
+		}
+		if tries > 50 {
+			// Linear probe from the drawn rank.
+			for off := int32(0); off < int32(s.cfg.BackendSubs); off++ {
+				c := (cache + off) % int32(s.cfg.BackendSubs)
+				if sub.slot(c) == nil {
+					cache = c
+					break
+				}
+			}
+			break
+		}
+	}
+	sub.slots = append(sub.slots, subSlot{cache: cache, marker: s.bts[cache]})
+	s.attachSet[cache][k] = struct{}{}
+	s.manager.Subscribe(cacheID(cache), subName(k), s.now)
+	if s.cfg.SubscriptionLifetime.Sigma > 0 || s.cfg.SubscriptionLifetime.Mu > 0 {
+		life := s.cfg.SubscriptionLifetime.Sample(s.attachRng)
+		at := s.now + time.Duration(life*float64(s.cfg.SubscriptionLifetimeUnit))
+		s.q.schedule(at, evChurn, k, cache)
+	}
+}
+
+// handleChurn ends subscriber k's subscription to cache i and re-draws a
+// replacement, keeping the concurrent subscription count constant.
+func (s *simulator) handleChurn(k, i int32) {
+	sub := &s.subs[k]
+	slot := sub.slot(i)
+	if slot == nil {
+		return
+	}
+	for idx := range sub.slots {
+		if sub.slots[idx].cache == i {
+			sub.slots = append(sub.slots[:idx], sub.slots[idx+1:]...)
+			break
+		}
+	}
+	delete(s.attachSet[i], k)
+	s.manager.Unsubscribe(cacheID(i), subName(k), s.now)
+	s.attachSlot(k)
+}
+
+// scheduleExpiry keeps exactly one pending expiry event aligned with the
+// manager's earliest TTL deadline.
+func (s *simulator) scheduleExpiry() {
+	at, ok := s.manager.NextExpiry()
+	if !ok {
+		return
+	}
+	if at <= s.now {
+		s.manager.ExpireDue(s.now)
+		at, ok = s.manager.NextExpiry()
+		if !ok {
+			return
+		}
+	}
+	if at > s.cfg.Duration {
+		return
+	}
+	// Only schedule when it beats the pending expiry event; the
+	// superseded event is ignored on dequeue.
+	if s.expireAt == 0 || at < s.expireAt {
+		s.expireAt = at
+		s.q.schedule(at, evExpire, 0, 0)
+	}
+}
+
+// fetch implements core.Fetcher against the persistent store.
+func (s *simulator) fetch(id string, from, to time.Duration, inclusiveTo bool) ([]*core.Object, error) {
+	var i int32
+	if _, err := fmt.Sscanf(id, "bs%d", &i); err != nil {
+		return nil, fmt.Errorf("sim: bad cache id %q", id)
+	}
+	objs := s.store[i]
+	lo := sort.Search(len(objs), func(x int) bool { return objs[x].Timestamp > from })
+	var out []*core.Object
+	for _, o := range objs[lo:] {
+		if o.Timestamp > to || (o.Timestamp == to && !inclusiveTo) {
+			break
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// clusterLatency is the broker<->cluster transfer cost for size bytes.
+func (s *simulator) clusterLatency(size int64) time.Duration {
+	return s.cfg.BrokerClusterRTT + time.Duration(float64(size)/s.cfg.BrokerClusterBW*float64(time.Second))
+}
+
+func secs(v float64) time.Duration {
+	return time.Duration(v * float64(time.Second))
+}
+
+// result snapshots the run.
+func (s *simulator) result() Result {
+	infos := s.manager.CacheInfos()
+	per := make([]CacheSummary, 0, len(infos))
+	for _, ci := range infos {
+		per = append(per, CacheSummary{
+			ID:             ci.ID,
+			TTLSeconds:     ci.TTL.Seconds(),
+			TTLStampedMean: ci.TTLStampedMean,
+			HoldingMean:    ci.HoldingMean,
+			HoldingN:       ci.HoldingN,
+			Subscribers:    ci.Subscribers,
+		})
+	}
+	return Result{
+		Policy:    s.cfg.Policy.Name(),
+		Budget:    s.cfg.CacheBudget,
+		Metrics:   s.stats.SnapshotAt(s.cfg.Duration),
+		RhoTTLSum: s.manager.RhoTTLSum(),
+		PerCache:  per,
+		Events:    s.events,
+	}
+}

@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"gobad/internal/core"
+)
+
+// tinyConfig is a fast config for unit tests (seconds of wall time).
+func tinyConfig(p core.Policy, budget int64) Config {
+	cfg := DefaultConfig()
+	cfg.Policy = p
+	cfg.CacheBudget = budget
+	cfg.Duration = 20 * time.Minute
+	cfg.Subscribers = 200
+	cfg.SubsPerSubscriber = 3
+	cfg.BackendSubs = 40
+	cfg.JoinWindow = 2 * time.Minute
+	cfg.TTL.RecomputeInterval = time.Minute
+	return cfg
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	cfg := tinyConfig(core.LSC{}, 0)
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero budget should fail for eviction policy")
+	}
+}
+
+func TestRunProducesActivity(t *testing.T) {
+	res, err := Run(tinyConfig(core.LSC{}, 5<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.Requests == 0 {
+		t.Error("no retrievals happened")
+	}
+	if m.VolumeBytes == 0 {
+		t.Error("no results were produced")
+	}
+	if m.MeanLatency <= 0 {
+		t.Error("latency never recorded")
+	}
+	if m.HitRatio < 0 || m.HitRatio > 1 {
+		t.Errorf("hit ratio out of range: %v", m.HitRatio)
+	}
+	if res.Events == 0 {
+		t.Error("no events processed")
+	}
+	if res.Policy != "LSC" {
+		t.Errorf("policy = %s", res.Policy)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := tinyConfig(core.LSCz{}, 5<<20)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics != b.Metrics {
+		t.Errorf("same seed must give identical metrics:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+	if a.Events != b.Events {
+		t.Errorf("event counts differ: %d vs %d", a.Events, b.Events)
+	}
+}
+
+func TestRunSeedChangesOutcome(t *testing.T) {
+	cfg := tinyConfig(core.LSC{}, 5<<20)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 999
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics == b.Metrics {
+		t.Error("different seeds should give different runs")
+	}
+}
+
+func TestWorkloadIdenticalAcrossPolicies(t *testing.T) {
+	// The produced volume (arrivals and sizes) must be identical across
+	// policies under the same seed - that's what makes the comparison
+	// fair.
+	var volumes []float64
+	for _, p := range []core.Policy{core.LRU{}, core.LSC{}, core.TTL{}} {
+		res, err := Run(tinyConfig(p, 5<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		volumes = append(volumes, res.Metrics.VolumeBytes)
+	}
+	if volumes[0] != volumes[1] || volumes[1] != volumes[2] {
+		t.Errorf("volumes differ across policies: %v", volumes)
+	}
+}
+
+func TestBudgetRespectedByEvictionPolicies(t *testing.T) {
+	for _, p := range []core.Policy{core.LRU{}, core.LSC{}, core.LSCz{}, core.LSD{}} {
+		res, err := Run(tinyConfig(p, 2<<20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Metrics.MaxCacheSize > float64(2<<20) {
+			t.Errorf("%s exceeded budget: max %v", p.Name(), res.Metrics.MaxCacheSize)
+		}
+	}
+}
+
+func TestTTLPolicyTracksBudgetInExpectation(t *testing.T) {
+	cfg := tinyConfig(core.TTL{}, 2<<20)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Expirations == 0 {
+		t.Error("TTL policy never expired anything")
+	}
+	if res.RhoTTLSum <= 0 {
+		t.Error("rho*T sum never recorded")
+	}
+	// The expectation-sense constraint: sum rho_i*T_i within a factor of
+	// the budget (estimation noise allowed).
+	if res.RhoTTLSum > 3*float64(cfg.CacheBudget) || res.RhoTTLSum < float64(cfg.CacheBudget)/3 {
+		t.Errorf("sum rho*T = %v, budget = %d: too far apart", res.RhoTTLSum, cfg.CacheBudget)
+	}
+}
+
+func TestHitRatioGrowsWithCacheSize(t *testing.T) {
+	small, err := Run(tinyConfig(core.LSC{}, 512<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(tinyConfig(core.LSC{}, 64<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Metrics.HitRatio <= small.Metrics.HitRatio {
+		t.Errorf("hit ratio should grow with cache size: %v (small) vs %v (big)",
+			small.Metrics.HitRatio, big.Metrics.HitRatio)
+	}
+	if big.Metrics.MeanLatency >= small.Metrics.MeanLatency {
+		t.Errorf("latency should shrink with cache size: %v vs %v",
+			small.Metrics.MeanLatency, big.Metrics.MeanLatency)
+	}
+	if big.Metrics.MissBytes >= small.Metrics.MissBytes {
+		t.Errorf("miss bytes should shrink with cache size: %v vs %v",
+			small.Metrics.MissBytes, big.Metrics.MissBytes)
+	}
+}
+
+func TestNCPolicyAllMisses(t *testing.T) {
+	res, err := Run(tinyConfig(core.NC{}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Hits != 0 {
+		t.Errorf("NC hits = %v, want 0", res.Metrics.Hits)
+	}
+	if res.Metrics.Requests == 0 {
+		t.Error("NC should still serve requests (from the cluster)")
+	}
+}
+
+func TestPerCacheSummaries(t *testing.T) {
+	cfg := tinyConfig(core.TTL{}, 2<<20)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerCache) == 0 {
+		t.Fatal("no per-cache summaries")
+	}
+	withTTL := 0
+	for _, pc := range res.PerCache {
+		if pc.TTLSeconds > 0 {
+			withTTL++
+		}
+	}
+	if withTTL == 0 {
+		t.Error("no cache carries a TTL after a TTL run")
+	}
+}
+
+func TestScaledConfig(t *testing.T) {
+	cfg := DefaultConfig().Scaled(10)
+	if cfg.Subscribers != 1000 || cfg.BackendSubs != 100 {
+		t.Errorf("scaled population = %d/%d", cfg.Subscribers, cfg.BackendSubs)
+	}
+	if cfg.CacheBudget != 10<<20 {
+		t.Errorf("scaled budget = %d", cfg.CacheBudget)
+	}
+	if cfg.Duration != time.Hour {
+		t.Errorf("scaled duration = %v", cfg.Duration)
+	}
+	// Scaling by <= 1 is identity.
+	if got := DefaultConfig().Scaled(1); got.Subscribers != 10000 {
+		t.Error("Scaled(1) should be identity")
+	}
+}
+
+func TestDefaultConfigMatchesTable2(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Subscribers != 10000 {
+		t.Errorf("subscribers = %d, Table II says 10000", cfg.Subscribers)
+	}
+	if cfg.SubsPerSubscriber != 10 {
+		t.Errorf("subs per subscriber = %d, Table II says 10", cfg.SubsPerSubscriber)
+	}
+	if cfg.BackendSubs != 1000 {
+		t.Errorf("unique subscriptions = %d, Table II says 1000", cfg.BackendSubs)
+	}
+	if cfg.Duration != 6*time.Hour {
+		t.Errorf("duration = %v, the paper runs six hours", cfg.Duration)
+	}
+	if cfg.ObjectSize.Mean() != float64(1<<10+500<<10)/2 {
+		t.Errorf("object size mean = %v, Table II says Uniform(1KB, 500KB)", cfg.ObjectSize.Mean())
+	}
+	if cfg.ArrivalIntervalLo != 10*time.Second || cfg.ArrivalIntervalHi != 60*time.Second {
+		t.Error("arrival interval should be 10-60s")
+	}
+	if cfg.BrokerClusterBW != 10<<20 || cfg.BrokerSubBW != 1<<20 {
+		t.Error("bandwidths should be 10MB/s and 1MB/s")
+	}
+	if cfg.BrokerClusterRTT != 500*time.Millisecond || cfg.BrokerSubRTT != 250*time.Millisecond {
+		t.Error("RTTs should be 500ms and 250ms")
+	}
+}
+
+func TestChurnKeepsSubscriptionCount(t *testing.T) {
+	cfg := tinyConfig(core.LSC{}, 5<<20)
+	cfg.SubscriptionLifetime.Mu = 0.5 // fast churn
+	cfg.SubscriptionLifetime.Sigma = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total attached subscriptions at the end must equal population *
+	// slots (each churn re-draws immediately).
+	total := 0
+	for _, pc := range res.PerCache {
+		total += pc.Subscribers
+	}
+	want := cfg.Subscribers * cfg.SubsPerSubscriber
+	if total != want {
+		t.Errorf("attached subscriptions = %d, want %d", total, want)
+	}
+}

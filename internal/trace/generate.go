@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gobad/internal/workload"
+)
+
+// GenConfig controls synthetic trace generation. Defaults reproduce the
+// prototype experiment of Section VI-A: 400 subscribers, ~10 frontend
+// subscriptions each drawn Zipfian from a shared pool (~3500 frontend over
+// ~800 distinct), publications every ~10 seconds, one hour of activity.
+type GenConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Duration is the trace span (Section VI: one hour).
+	Duration time.Duration
+	// Subscribers is the user population (Section VI: 400).
+	Subscribers int
+	// SubsPerSubscriber is each user's frontend subscription count.
+	SubsPerSubscriber int
+	// UniqueSubscriptions bounds the distinct (channel, params) pool
+	// (Section VI: ~800 backend subscriptions).
+	UniqueSubscriptions int
+	// ZipfS is the popularity skew of the pool ("Zipfian subscription
+	// model").
+	ZipfS float64
+	// PublishInterval is the mean gap between publications (~10s).
+	PublishInterval time.Duration
+	// PublicationSize draws publication sizes (200-1000 bytes).
+	PublicationSize workload.Dist
+	// OnMean/OffMean parameterize lognormal session durations.
+	OnMean, OffMean time.Duration
+	// ChurnProb is the chance a subscriber swaps one subscription at
+	// each login.
+	ChurnProb float64
+	// Channels is the catalog; defaults to workload.EmergencyChannels.
+	Channels []workload.ChannelSpec
+	// Dataset for publications; default "EmergencyReports".
+	Dataset string
+}
+
+// DefaultGenConfig returns the Section VI prototype settings.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Seed:                1,
+		Duration:            time.Hour,
+		Subscribers:         400,
+		SubsPerSubscriber:   9,
+		UniqueSubscriptions: 2400,
+		ZipfS:               0.7,
+		PublishInterval:     10 * time.Second,
+		PublicationSize:     workload.Uniform{Lo: 200, Hi: 1000},
+		OnMean:              8 * time.Minute,
+		OffMean:             6 * time.Minute,
+		ChurnProb:           0.1,
+		Dataset:             "EmergencyReports",
+	}
+}
+
+// Generate builds a deterministic trace from cfg.
+func Generate(cfg GenConfig) (*Trace, error) {
+	if cfg.Subscribers <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("trace: GenConfig needs Subscribers and Duration")
+	}
+	if cfg.SubsPerSubscriber <= 0 {
+		cfg.SubsPerSubscriber = 9
+	}
+	if cfg.UniqueSubscriptions <= 0 {
+		cfg.UniqueSubscriptions = cfg.Subscribers * 2
+	}
+	if cfg.ZipfS <= 0 {
+		cfg.ZipfS = 1.0
+	}
+	if cfg.PublishInterval <= 0 {
+		cfg.PublishInterval = 10 * time.Second
+	}
+	if cfg.PublicationSize == nil {
+		cfg.PublicationSize = workload.Uniform{Lo: 200, Hi: 1000}
+	}
+	if cfg.OnMean <= 0 {
+		cfg.OnMean = 8 * time.Minute
+	}
+	if cfg.OffMean <= 0 {
+		cfg.OffMean = 6 * time.Minute
+	}
+	if cfg.Dataset == "" {
+		cfg.Dataset = "EmergencyReports"
+	}
+
+	popRng := rand.New(rand.NewSource(workload.DeriveSeed(cfg.Seed, "population", 0)))
+	pop, err := workload.BuildPopulation(popRng, workload.PopulationConfig{
+		Subscribers:         cfg.Subscribers,
+		SubsPerSubscriber:   cfg.SubsPerSubscriber,
+		UniqueSubscriptions: cfg.UniqueSubscriptions,
+		ZipfS:               cfg.ZipfS,
+		Channels:            cfg.Channels,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tr := &Trace{}
+	sessRng := rand.New(rand.NewSource(workload.DeriveSeed(cfg.Seed, "sessions", 0)))
+	onDist := workload.LognormalFromMoments(cfg.OnMean.Seconds(), cfg.OnMean.Seconds())
+	offDist := workload.LognormalFromMoments(cfg.OffMean.Seconds(), cfg.OffMean.Seconds())
+	zipf, err := workload.NewZipf(len(pop.Pool), cfg.ZipfS)
+	if err != nil {
+		return nil, err
+	}
+
+	for s := 0; s < cfg.Subscribers; s++ {
+		name := fmt.Sprintf("sub-%04d", s)
+		// Join at a random point of the first fifth of the trace.
+		at := time.Duration(sessRng.Float64() * float64(cfg.Duration) / 5)
+		tr.add(at, Activity{Kind: Login, Subscriber: name})
+		// Distinct pool entries can carry identical (channel, params), so
+		// dedup by subscription key, not pool index.
+		current := map[int]bool{}
+		heldKeys := map[string]bool{}
+		for _, poolIdx := range pop.BySubscriber[s] {
+			choice := pop.Pool[poolIdx]
+			k := choiceKey(choice)
+			if heldKeys[k] {
+				continue
+			}
+			current[poolIdx] = true
+			heldKeys[k] = true
+			tr.add(at, Activity{
+				Kind: Subscribe, Subscriber: name,
+				Channel: choice.Channel, Params: choice.Params,
+			})
+		}
+		// ON/OFF session cycles with optional subscription churn at each
+		// re-login.
+		online := true
+		for {
+			if online {
+				at += secs(onDist.Sample(sessRng))
+				if at >= cfg.Duration {
+					break
+				}
+				tr.add(at, Activity{Kind: Logout, Subscriber: name})
+			} else {
+				at += secs(offDist.Sample(sessRng))
+				if at >= cfg.Duration {
+					break
+				}
+				tr.add(at, Activity{Kind: Login, Subscriber: name})
+				if sessRng.Float64() < cfg.ChurnProb && len(current) > 0 {
+					// Swap one subscription for a fresh draw.
+					old := pickKey(sessRng, current)
+					oldChoice := pop.Pool[old]
+					tr.add(at, Activity{
+						Kind: Unsubscribe, Subscriber: name,
+						Channel: oldChoice.Channel, Params: oldChoice.Params,
+					})
+					delete(current, old)
+					delete(heldKeys, choiceKey(oldChoice))
+					for tries := 0; tries < 20; tries++ {
+						idx := zipf.Sample(sessRng)
+						choice := pop.Pool[idx]
+						k := choiceKey(choice)
+						if !current[idx] && !heldKeys[k] {
+							current[idx] = true
+							heldKeys[k] = true
+							tr.add(at, Activity{
+								Kind: Subscribe, Subscriber: name,
+								Channel: choice.Channel, Params: choice.Params,
+							})
+							break
+						}
+					}
+				}
+			}
+			online = !online
+		}
+	}
+
+	// Publisher: emergency reports at ~PublishInterval.
+	pubRng := rand.New(rand.NewSource(workload.DeriveSeed(cfg.Seed, "publications", 0)))
+	gen := workload.NewReportGenerator(pubRng, cfg.PublicationSize)
+	rate := 1 / cfg.PublishInterval.Seconds()
+	at := time.Duration(0)
+	for {
+		at += secs(pubRng.ExpFloat64() / rate)
+		if at >= cfg.Duration {
+			break
+		}
+		rep := gen.Next()
+		tr.add(at, Activity{
+			Kind:    Publish,
+			Dataset: cfg.Dataset,
+			Data: map[string]any{
+				"report_id": rep.ReportID,
+				"etype":     rep.EType,
+				"severity":  rep.Severity,
+				"location":  map[string]any{"lat": rep.Location.Lat, "lon": rep.Location.Lon},
+				"message":   rep.Message,
+				"padding":   rep.Padding,
+			},
+		})
+	}
+
+	tr.Sort()
+	return tr, nil
+}
+
+func (t *Trace) add(at time.Duration, a Activity) {
+	a.At = at
+	t.Activities = append(t.Activities, a)
+}
+
+// choiceKey canonicalizes a subscription choice for per-subscriber dedup.
+func choiceKey(c workload.SubscriptionChoice) string {
+	return fmt.Sprintf("%s|%v", c.Channel, c.Params)
+}
+
+func pickKey(rng *rand.Rand, m map[int]bool) int {
+	// Deterministic pick: collect and sort keys (map order is random).
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys[rng.Intn(len(keys))]
+}
+
+func secs(v float64) time.Duration {
+	return time.Duration(v * float64(time.Second))
+}

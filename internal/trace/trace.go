@@ -1,0 +1,149 @@
+// Package trace produces and replays the synthetic subscriber-interaction
+// traces of Section VI: "a series of timestamped activities such as login,
+// logout, subscribe to parameterized channels and unsubscribe from the
+// channels", plus the publisher's geo-tagged emergency publications. The
+// same trace is replayed against every caching configuration so competing
+// policies see identical workloads.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Kind enumerates activity types.
+type Kind string
+
+// Activity kinds.
+const (
+	// Login brings a subscriber online (opens its notification channel
+	// and triggers catch-up retrievals).
+	Login Kind = "login"
+	// Logout takes a subscriber offline; subscriptions survive.
+	Logout Kind = "logout"
+	// Subscribe creates a frontend subscription.
+	Subscribe Kind = "subscribe"
+	// Unsubscribe removes a frontend subscription.
+	Unsubscribe Kind = "unsubscribe"
+	// Publish ingests a publication into a dataset.
+	Publish Kind = "publish"
+)
+
+// Activity is one timestamped trace record.
+type Activity struct {
+	// At is the activity's offset from trace start.
+	At time.Duration `json:"at_ns"`
+	// Kind discriminates the activity.
+	Kind Kind `json:"kind"`
+	// Subscriber is set for login/logout/subscribe/unsubscribe.
+	Subscriber string `json:"subscriber,omitempty"`
+	// Channel and Params identify the subscription for
+	// subscribe/unsubscribe.
+	Channel string `json:"channel,omitempty"`
+	Params  []any  `json:"params,omitempty"`
+	// Dataset and Data carry a publication for publish.
+	Dataset string         `json:"dataset,omitempty"`
+	Data    map[string]any `json:"data,omitempty"`
+}
+
+// Trace is a time-ordered activity sequence.
+type Trace struct {
+	Activities []Activity
+}
+
+// Len returns the number of activities.
+func (t *Trace) Len() int { return len(t.Activities) }
+
+// Duration returns the timestamp of the last activity.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Activities) == 0 {
+		return 0
+	}
+	return t.Activities[len(t.Activities)-1].At
+}
+
+// Sort orders activities by time (stable).
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Activities, func(i, j int) bool {
+		return t.Activities[i].At < t.Activities[j].At
+	})
+}
+
+// Write serializes the trace as JSON lines.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range t.Activities {
+		if err := enc.Encode(&t.Activities[i]); err != nil {
+			return fmt.Errorf("trace: encode activity %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSONL trace.
+func Read(r io.Reader) (*Trace, error) {
+	out := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var a Activity
+		if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out.Activities = append(out.Activities, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return out, nil
+}
+
+// Target is what a trace is played against: the prototype rig (in-process,
+// virtual time) or a live deployment (real HTTP, wall time).
+type Target interface {
+	// AdvanceTo moves the target's clock to t and runs any periodic
+	// machinery due by then (repetitive channels, TTL recomputation).
+	AdvanceTo(t time.Duration)
+	Login(subscriber string) error
+	Logout(subscriber string) error
+	Subscribe(subscriber, channel string, params []any) error
+	Unsubscribe(subscriber, channel string, params []any) error
+	Publish(dataset string, data map[string]any) error
+}
+
+// Play replays the trace against a target in time order.
+func Play(t *Trace, target Target) error {
+	for i := range t.Activities {
+		a := &t.Activities[i]
+		target.AdvanceTo(a.At)
+		var err error
+		switch a.Kind {
+		case Login:
+			err = target.Login(a.Subscriber)
+		case Logout:
+			err = target.Logout(a.Subscriber)
+		case Subscribe:
+			err = target.Subscribe(a.Subscriber, a.Channel, a.Params)
+		case Unsubscribe:
+			err = target.Unsubscribe(a.Subscriber, a.Channel, a.Params)
+		case Publish:
+			err = target.Publish(a.Dataset, a.Data)
+		default:
+			err = fmt.Errorf("trace: unknown activity kind %q", a.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("trace: activity %d (%s at %v): %w", i, a.Kind, a.At, err)
+		}
+	}
+	return nil
+}

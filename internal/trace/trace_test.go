@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenConfig{}); err == nil {
+		t.Error("empty config should fail")
+	}
+}
+
+func smallGenConfig() GenConfig {
+	cfg := DefaultGenConfig()
+	cfg.Subscribers = 30
+	cfg.UniqueSubscriptions = 40
+	cfg.SubsPerSubscriber = 4
+	cfg.Duration = 20 * time.Minute
+	return cfg
+}
+
+func TestGenerateShape(t *testing.T) {
+	tr, err := Generate(smallGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	counts := map[Kind]int{}
+	var last time.Duration
+	for _, a := range tr.Activities {
+		if a.At < last {
+			t.Fatal("activities out of order")
+		}
+		last = a.At
+		counts[a.Kind]++
+	}
+	if counts[Login] < 30 {
+		t.Errorf("logins = %d, want >= population", counts[Login])
+	}
+	if counts[Subscribe] < 30*2 {
+		t.Errorf("subscribes = %d, too few", counts[Subscribe])
+	}
+	// ~1 publication per 10s over 20 minutes ~ 120.
+	if counts[Publish] < 60 || counts[Publish] > 240 {
+		t.Errorf("publications = %d, want ~120", counts[Publish])
+	}
+	if tr.Duration() >= 20*time.Minute {
+		t.Errorf("trace overruns its duration: %v", tr.Duration())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Activities {
+		x, y := a.Activities[i], b.Activities[i]
+		if x.At != y.At || x.Kind != y.Kind || x.Subscriber != y.Subscriber || x.Channel != y.Channel {
+			t.Fatalf("activity %d differs: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+func TestGenerateLoginLogoutAlternate(t *testing.T) {
+	tr, err := Generate(smallGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	online := map[string]bool{}
+	for i, a := range tr.Activities {
+		switch a.Kind {
+		case Login:
+			if online[a.Subscriber] {
+				t.Fatalf("activity %d: double login for %s", i, a.Subscriber)
+			}
+			online[a.Subscriber] = true
+		case Logout:
+			if !online[a.Subscriber] {
+				t.Fatalf("activity %d: logout while offline for %s", i, a.Subscriber)
+			}
+			online[a.Subscriber] = false
+		}
+	}
+}
+
+func TestGenerateSubscriptionBalance(t *testing.T) {
+	// Every unsubscribe must refer to a currently held subscription.
+	tr, err := Generate(smallGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := map[string]map[string]bool{}
+	key := func(a Activity) string { return fmt.Sprintf("%s|%v", a.Channel, a.Params) }
+	for i, a := range tr.Activities {
+		switch a.Kind {
+		case Subscribe:
+			if held[a.Subscriber] == nil {
+				held[a.Subscriber] = map[string]bool{}
+			}
+			if held[a.Subscriber][key(a)] {
+				t.Fatalf("activity %d: duplicate subscribe", i)
+			}
+			held[a.Subscriber][key(a)] = true
+		case Unsubscribe:
+			if !held[a.Subscriber][key(a)] {
+				t.Fatalf("activity %d: unsubscribe without subscribe", i)
+			}
+			delete(held[a.Subscriber], key(a))
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr, err := Generate(smallGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip changed length: %d vs %d", back.Len(), tr.Len())
+	}
+	for i := range tr.Activities {
+		if tr.Activities[i].At != back.Activities[i].At ||
+			tr.Activities[i].Kind != back.Activities[i].Kind {
+			t.Fatalf("activity %d changed in round trip", i)
+		}
+	}
+}
+
+func TestReadBadInput(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Error("bad JSONL should fail")
+	}
+	tr, err := Read(strings.NewReader("\n\n"))
+	if err != nil || tr.Len() != 0 {
+		t.Error("blank lines should be skipped")
+	}
+}
+
+// recordingTarget captures played activities.
+type recordingTarget struct {
+	calls []string
+	clock time.Duration
+	fail  Kind
+}
+
+func (r *recordingTarget) AdvanceTo(t time.Duration) { r.clock = t }
+
+func (r *recordingTarget) call(kind Kind) error {
+	r.calls = append(r.calls, string(kind))
+	if kind == r.fail {
+		return fmt.Errorf("induced failure at %s", kind)
+	}
+	return nil
+}
+
+func (r *recordingTarget) Login(string) error  { return r.call(Login) }
+func (r *recordingTarget) Logout(string) error { return r.call(Logout) }
+func (r *recordingTarget) Subscribe(string, string, []any) error {
+	return r.call(Subscribe)
+}
+func (r *recordingTarget) Unsubscribe(string, string, []any) error {
+	return r.call(Unsubscribe)
+}
+func (r *recordingTarget) Publish(string, map[string]any) error { return r.call(Publish) }
+
+func TestPlay(t *testing.T) {
+	tr := &Trace{Activities: []Activity{
+		{At: time.Second, Kind: Login, Subscriber: "a"},
+		{At: 2 * time.Second, Kind: Subscribe, Subscriber: "a", Channel: "c"},
+		{At: 3 * time.Second, Kind: Publish, Dataset: "d", Data: map[string]any{"x": 1.0}},
+		{At: 4 * time.Second, Kind: Logout, Subscriber: "a"},
+	}}
+	target := &recordingTarget{}
+	if err := Play(tr, target); err != nil {
+		t.Fatal(err)
+	}
+	if len(target.calls) != 4 {
+		t.Errorf("calls = %v", target.calls)
+	}
+	if target.clock != 4*time.Second {
+		t.Errorf("final clock = %v", target.clock)
+	}
+}
+
+func TestPlayPropagatesErrors(t *testing.T) {
+	tr := &Trace{Activities: []Activity{
+		{At: time.Second, Kind: Login, Subscriber: "a"},
+		{At: 2 * time.Second, Kind: Publish, Dataset: "d"},
+	}}
+	target := &recordingTarget{fail: Publish}
+	if err := Play(tr, target); err == nil {
+		t.Error("target failure should propagate")
+	}
+}
+
+func TestPlayUnknownKind(t *testing.T) {
+	tr := &Trace{Activities: []Activity{{At: time.Second, Kind: "bogus"}}}
+	if err := Play(tr, &recordingTarget{}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}

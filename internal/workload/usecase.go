@@ -1,0 +1,345 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// This file implements the city-emergency publish-subscribe usecase of
+// Section VI: publishers emit geo-tagged, timestamped emergency reports and
+// shelter information; subscribers move around the city and subscribe to
+// parameterized repetitive channels about emergencies of certain types near
+// certain locations (Table III).
+
+// EmergencyKinds are the emergency types used by the prototype experiment.
+var EmergencyKinds = []string{
+	"tornado", "flood", "shooting", "fire", "earthquake", "hazmat",
+}
+
+// Point is a geographic coordinate in degrees.
+type Point struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// DistanceKm returns the great-circle distance between two points in
+// kilometers (haversine).
+func DistanceKm(a, b Point) float64 {
+	const earthRadiusKm = 6371.0
+	toRad := func(deg float64) float64 { return deg * math.Pi / 180 }
+	dLat := toRad(b.Lat - a.Lat)
+	dLon := toRad(b.Lon - a.Lon)
+	lat1 := toRad(a.Lat)
+	lat2 := toRad(b.Lat)
+	h := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// City bounds roughly covering an Irvine-sized area.
+var (
+	CityCenter = Point{Lat: 33.6846, Lon: -117.8265}
+	// CitySpanDeg is the half-span of the city square in degrees.
+	CitySpanDeg = 0.15
+)
+
+// RandomCityPoint draws a uniform point within the city square.
+func RandomCityPoint(rng *rand.Rand) Point {
+	return Point{
+		Lat: CityCenter.Lat + (rng.Float64()*2-1)*CitySpanDeg,
+		Lon: CityCenter.Lon + (rng.Float64()*2-1)*CitySpanDeg,
+	}
+}
+
+// ChannelSpec describes one parameterized channel of the usecase catalog.
+// Repetitive channels run every Period; continuous channels (Period == 0)
+// produce results as soon as matching publications are ingested.
+type ChannelSpec struct {
+	// Name is the channel's identifier, e.g. "EmergenciesNearLocation".
+	Name string
+	// Params names the channel parameters in positional order.
+	Params []string
+	// Dataset the channel's query reads from.
+	Dataset string
+	// Body is the channel's declarative query in the AQL-like language of
+	// internal/aql; $param references are substituted per subscription.
+	Body string
+	// Period is the execution interval for repetitive channels; zero
+	// means continuous.
+	Period time.Duration
+}
+
+// Continuous reports whether the channel is continuous (as opposed to
+// repetitive).
+func (c ChannelSpec) Continuous() bool { return c.Period == 0 }
+
+// EmergencyChannels is the Table III catalog: the repetitive (and one
+// continuous) parameterized channels subscribers use in the prototype
+// experiment, with their periods.
+func EmergencyChannels() []ChannelSpec {
+	return []ChannelSpec{
+		{
+			Name:    "EmergenciesNearLocation",
+			Params:  []string{"lat", "lon", "radiusKm"},
+			Dataset: "EmergencyReports",
+			Body: "select * from EmergencyReports r " +
+				"where geo_distance(r.location.lat, r.location.lon, $lat, $lon) <= $radiusKm",
+			Period: 10 * time.Second,
+		},
+		{
+			Name:    "EmergenciesOfTypeNearLocation",
+			Params:  []string{"etype", "lat", "lon", "radiusKm"},
+			Dataset: "EmergencyReports",
+			Body: "select * from EmergencyReports r " +
+				"where r.etype = $etype and " +
+				"geo_distance(r.location.lat, r.location.lon, $lat, $lon) <= $radiusKm",
+			Period: 20 * time.Second,
+		},
+		{
+			Name:    "SevereEmergenciesInCity",
+			Params:  []string{"minSeverity"},
+			Dataset: "EmergencyReports",
+			Body: "select * from EmergencyReports r " +
+				"where r.severity >= $minSeverity",
+			Period: 30 * time.Second,
+		},
+		{
+			Name:    "SheltersNearLocation",
+			Params:  []string{"lat", "lon", "radiusKm"},
+			Dataset: "Shelters",
+			Body: "select * from Shelters s " +
+				"where geo_distance(s.location.lat, s.location.lon, $lat, $lon) <= $radiusKm " +
+				"and s.capacity > 0",
+			Period: 60 * time.Second,
+		},
+		{
+			Name:    "SheltersWithCapacity",
+			Params:  []string{"minCapacity"},
+			Dataset: "Shelters",
+			Body: "select * from Shelters s " +
+				"where s.capacity >= $minCapacity",
+			Period: 120 * time.Second,
+		},
+		{
+			Name:    "EmergencyDigest",
+			Params:  []string{"minSeverity"},
+			Dataset: "EmergencyReports",
+			Body: "select r.etype as etype, count(*) as reports, max(r.severity) as worst " +
+				"from EmergencyReports r where r.severity >= $minSeverity " +
+				"group by r.etype order by reports desc",
+			Period: 60 * time.Second,
+		},
+		{
+			Name:    "EmergencyAlerts",
+			Params:  []string{"etype"},
+			Dataset: "EmergencyReports",
+			Body: "select * from EmergencyReports r " +
+				"where r.etype = $etype",
+			Period: 0, // continuous
+		},
+	}
+}
+
+// EmergencyReport is one publication of the usecase; it marshals to the
+// open-schema JSON record ingested by the data cluster.
+type EmergencyReport struct {
+	ReportID string  `json:"report_id"`
+	EType    string  `json:"etype"`
+	Severity float64 `json:"severity"`
+	Location Point   `json:"location"`
+	Message  string  `json:"message"`
+	// Padding inflates the record to the experiment's publication size
+	// (publications are text strings of size 200-1000 bytes in §VI).
+	Padding string `json:"padding,omitempty"`
+}
+
+// Shelter is a shelter-information publication.
+type Shelter struct {
+	ShelterID string  `json:"shelter_id"`
+	Name      string  `json:"name"`
+	Capacity  float64 `json:"capacity"`
+	Location  Point   `json:"location"`
+}
+
+// ReportGenerator produces random emergency reports of a target encoded
+// size.
+type ReportGenerator struct {
+	rng     *rand.Rand
+	size    Dist
+	counter int
+}
+
+// NewReportGenerator builds a generator whose reports, when JSON-encoded,
+// are approximately size bytes (padding fills the gap).
+func NewReportGenerator(rng *rand.Rand, size Dist) *ReportGenerator {
+	if size == nil {
+		size = Uniform{Lo: 200, Hi: 1000}
+	}
+	return &ReportGenerator{rng: rng, size: size}
+}
+
+// Next produces the next random report.
+func (g *ReportGenerator) Next() EmergencyReport {
+	g.counter++
+	r := EmergencyReport{
+		ReportID: fmt.Sprintf("rep-%06d", g.counter),
+		EType:    EmergencyKinds[g.rng.Intn(len(EmergencyKinds))],
+		Severity: float64(1 + g.rng.Intn(5)),
+		Location: RandomCityPoint(g.rng),
+		Message:  "emergency report",
+	}
+	want := int(g.size.Sample(g.rng))
+	base := 140 // approximate size of the fixed fields when encoded
+	if pad := want - base; pad > 0 {
+		r.Padding = paddingString(g.rng, pad)
+	}
+	return r
+}
+
+func paddingString(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz "
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// ShelterCatalog returns n shelters placed uniformly in the city.
+func ShelterCatalog(rng *rand.Rand, n int) []Shelter {
+	out := make([]Shelter, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Shelter{
+			ShelterID: fmt.Sprintf("shl-%04d", i),
+			Name:      fmt.Sprintf("Shelter %d", i),
+			Capacity:  float64(50 + rng.Intn(450)),
+			Location:  RandomCityPoint(rng),
+		})
+	}
+	return out
+}
+
+// SubscriptionChoice is one (channel, parameters) pair a subscriber asks
+// for. Identical choices made by different subscribers share one backend
+// subscription at the broker.
+type SubscriptionChoice struct {
+	Channel string
+	Params  []any
+}
+
+// PopulationConfig controls how a synthetic subscriber population picks its
+// subscriptions.
+type PopulationConfig struct {
+	// Subscribers is the number of end users.
+	Subscribers int
+	// SubsPerSubscriber is how many channel subscriptions each user makes.
+	SubsPerSubscriber int
+	// UniqueSubscriptions bounds the number of distinct (channel, params)
+	// combinations; users draw from this pool with Zipf popularity so
+	// that some subscriptions are shared by many users.
+	UniqueSubscriptions int
+	// ZipfS is the Zipf exponent of subscription popularity.
+	ZipfS float64
+	// Channels is the catalog to draw parameter combinations from;
+	// defaults to EmergencyChannels().
+	Channels []ChannelSpec
+}
+
+// Population is a generated subscriber population with its shared
+// subscription pool.
+type Population struct {
+	// Pool is the universe of distinct subscription choices; index is the
+	// popularity rank (0 = most popular).
+	Pool []SubscriptionChoice
+	// BySubscriber maps each subscriber index to the pool indices it
+	// subscribes to (no duplicates per subscriber).
+	BySubscriber [][]int
+}
+
+// BuildPopulation deterministically generates a population from cfg using
+// rng. Each distinct pool entry instantiates one catalog channel with
+// random parameters; subscribers then pick pool entries Zipf-distributed.
+func BuildPopulation(rng *rand.Rand, cfg PopulationConfig) (*Population, error) {
+	if cfg.Subscribers <= 0 {
+		return nil, fmt.Errorf("workload: population needs Subscribers > 0, got %d", cfg.Subscribers)
+	}
+	if cfg.SubsPerSubscriber <= 0 {
+		cfg.SubsPerSubscriber = 1
+	}
+	if cfg.UniqueSubscriptions <= 0 {
+		cfg.UniqueSubscriptions = cfg.Subscribers
+	}
+	if cfg.ZipfS <= 0 {
+		cfg.ZipfS = 0.9
+	}
+	channels := cfg.Channels
+	if len(channels) == 0 {
+		channels = EmergencyChannels()
+	}
+
+	pool := make([]SubscriptionChoice, 0, cfg.UniqueSubscriptions)
+	for i := 0; i < cfg.UniqueSubscriptions; i++ {
+		spec := channels[rng.Intn(len(channels))]
+		pool = append(pool, SubscriptionChoice{
+			Channel: spec.Name,
+			Params:  randomParams(rng, spec),
+		})
+	}
+
+	zipf, err := NewZipf(len(pool), cfg.ZipfS)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	by := make([][]int, cfg.Subscribers)
+	for s := 0; s < cfg.Subscribers; s++ {
+		chosen := make(map[int]bool, cfg.SubsPerSubscriber)
+		// Cap attempts so tiny pools cannot loop forever.
+		for attempt := 0; len(chosen) < cfg.SubsPerSubscriber && attempt < cfg.SubsPerSubscriber*20; attempt++ {
+			chosen[zipf.Sample(rng)] = true
+		}
+		idxs := make([]int, 0, len(chosen))
+		for i := range chosen {
+			idxs = append(idxs, i)
+		}
+		// Sort for determinism (map iteration order is random).
+		for i := 1; i < len(idxs); i++ {
+			for j := i; j > 0 && idxs[j] < idxs[j-1]; j-- {
+				idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+			}
+		}
+		by[s] = idxs
+	}
+	return &Population{Pool: pool, BySubscriber: by}, nil
+}
+
+// randomParams instantiates random parameter values for a channel spec.
+func randomParams(rng *rand.Rand, spec ChannelSpec) []any {
+	out := make([]any, 0, len(spec.Params))
+	for _, p := range spec.Params {
+		switch p {
+		case "lat":
+			// Snap to a coarse grid so distinct subscribers can land on
+			// identical parameters (making subscription sharing real).
+			out = append(out, snap(CityCenter.Lat+(rng.Float64()*2-1)*CitySpanDeg, 0.03))
+		case "lon":
+			out = append(out, snap(CityCenter.Lon+(rng.Float64()*2-1)*CitySpanDeg, 0.03))
+		case "radiusKm":
+			out = append(out, float64(1+rng.Intn(5)))
+		case "etype":
+			out = append(out, EmergencyKinds[rng.Intn(len(EmergencyKinds))])
+		case "minSeverity":
+			out = append(out, float64(1+rng.Intn(5)))
+		case "minCapacity":
+			out = append(out, float64(50*(1+rng.Intn(8))))
+		default:
+			out = append(out, float64(rng.Intn(100)))
+		}
+	}
+	return out
+}
+
+func snap(v, grid float64) float64 {
+	return math.Round(v/grid) * grid
+}

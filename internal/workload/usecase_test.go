@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestDistanceKmZero(t *testing.T) {
+	p := Point{Lat: 33.68, Lon: -117.82}
+	if got := DistanceKm(p, p); got != 0 {
+		t.Errorf("distance to self = %v, want 0", got)
+	}
+}
+
+func TestDistanceKmKnown(t *testing.T) {
+	// One degree of latitude is ~111.2 km.
+	a := Point{Lat: 0, Lon: 0}
+	b := Point{Lat: 1, Lon: 0}
+	if got := DistanceKm(a, b); math.Abs(got-111.2) > 1 {
+		t.Errorf("1 deg latitude = %v km, want ~111.2", got)
+	}
+}
+
+func TestDistanceKmSymmetric(t *testing.T) {
+	rng := newRng()
+	for i := 0; i < 100; i++ {
+		a, b := RandomCityPoint(rng), RandomCityPoint(rng)
+		if math.Abs(DistanceKm(a, b)-DistanceKm(b, a)) > 1e-9 {
+			t.Fatalf("distance not symmetric for %v, %v", a, b)
+		}
+	}
+}
+
+func TestRandomCityPointInBounds(t *testing.T) {
+	rng := newRng()
+	for i := 0; i < 1000; i++ {
+		p := RandomCityPoint(rng)
+		if math.Abs(p.Lat-CityCenter.Lat) > CitySpanDeg+1e-9 ||
+			math.Abs(p.Lon-CityCenter.Lon) > CitySpanDeg+1e-9 {
+			t.Fatalf("point %v outside city square", p)
+		}
+	}
+}
+
+func TestEmergencyChannelsCatalog(t *testing.T) {
+	chans := EmergencyChannels()
+	if len(chans) < 5 {
+		t.Fatalf("catalog has %d channels, want >= 5", len(chans))
+	}
+	names := map[string]bool{}
+	var continuous int
+	for _, c := range chans {
+		if c.Name == "" || c.Dataset == "" || c.Body == "" {
+			t.Errorf("channel %+v has empty fields", c)
+		}
+		if names[c.Name] {
+			t.Errorf("duplicate channel name %q", c.Name)
+		}
+		names[c.Name] = true
+		if c.Continuous() {
+			continuous++
+		}
+	}
+	if continuous == 0 {
+		t.Error("catalog should include at least one continuous channel")
+	}
+}
+
+func TestReportGeneratorSizes(t *testing.T) {
+	g := NewReportGenerator(newRng(), Uniform{Lo: 400, Hi: 600})
+	for i := 0; i < 50; i++ {
+		r := g.Next()
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) < 150 || len(b) > 900 {
+			t.Errorf("encoded report is %d bytes, want roughly 400-600", len(b))
+		}
+		if r.EType == "" || r.ReportID == "" {
+			t.Errorf("report has empty fields: %+v", r)
+		}
+		if r.Severity < 1 || r.Severity > 5 {
+			t.Errorf("severity %v out of [1,5]", r.Severity)
+		}
+	}
+}
+
+func TestReportGeneratorUniqueIDs(t *testing.T) {
+	g := NewReportGenerator(newRng(), nil)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := g.Next().ReportID
+		if seen[id] {
+			t.Fatalf("duplicate report id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestShelterCatalog(t *testing.T) {
+	shelters := ShelterCatalog(newRng(), 25)
+	if len(shelters) != 25 {
+		t.Fatalf("got %d shelters, want 25", len(shelters))
+	}
+	for _, s := range shelters {
+		if s.Capacity < 50 || s.Capacity >= 500 {
+			t.Errorf("capacity %v out of [50,500)", s.Capacity)
+		}
+	}
+}
+
+func TestBuildPopulationValidation(t *testing.T) {
+	if _, err := BuildPopulation(newRng(), PopulationConfig{}); err == nil {
+		t.Error("zero subscribers should fail")
+	}
+}
+
+func TestBuildPopulationShape(t *testing.T) {
+	cfg := PopulationConfig{
+		Subscribers:         200,
+		SubsPerSubscriber:   5,
+		UniqueSubscriptions: 50,
+		ZipfS:               1.0,
+	}
+	pop, err := BuildPopulation(newRng(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop.Pool) != 50 {
+		t.Fatalf("pool size = %d, want 50", len(pop.Pool))
+	}
+	if len(pop.BySubscriber) != 200 {
+		t.Fatalf("subscriber count = %d, want 200", len(pop.BySubscriber))
+	}
+	for s, idxs := range pop.BySubscriber {
+		if len(idxs) == 0 || len(idxs) > 5 {
+			t.Errorf("subscriber %d has %d subs, want 1..5", s, len(idxs))
+		}
+		seen := map[int]bool{}
+		last := -1
+		for _, i := range idxs {
+			if i < 0 || i >= 50 {
+				t.Fatalf("subscriber %d references pool index %d", s, i)
+			}
+			if seen[i] {
+				t.Errorf("subscriber %d has duplicate pool index %d", s, i)
+			}
+			if i < last {
+				t.Errorf("subscriber %d indices not sorted", s)
+			}
+			seen[i] = true
+			last = i
+		}
+	}
+}
+
+func TestBuildPopulationSharing(t *testing.T) {
+	// With Zipf popularity, popular pool entries must be shared by many
+	// subscribers - this is what makes broker-side caching worthwhile.
+	cfg := PopulationConfig{
+		Subscribers:         1000,
+		SubsPerSubscriber:   3,
+		UniqueSubscriptions: 100,
+		ZipfS:               1.0,
+	}
+	pop, err := BuildPopulation(newRng(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(pop.Pool))
+	for _, idxs := range pop.BySubscriber {
+		for _, i := range idxs {
+			counts[i]++
+		}
+	}
+	if counts[0] < 50 {
+		t.Errorf("most popular subscription shared by %d subscribers, want >= 50", counts[0])
+	}
+}
+
+func TestBuildPopulationDefaults(t *testing.T) {
+	pop, err := BuildPopulation(newRng(), PopulationConfig{Subscribers: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop.Pool) != 10 {
+		t.Errorf("default pool size = %d, want Subscribers (10)", len(pop.Pool))
+	}
+}
+
+func TestBuildPopulationDeterministic(t *testing.T) {
+	cfg := PopulationConfig{Subscribers: 50, SubsPerSubscriber: 2, UniqueSubscriptions: 20, ZipfS: 1}
+	a, err := BuildPopulation(newRng(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPopulation(newRng(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range a.BySubscriber {
+		if len(a.BySubscriber[s]) != len(b.BySubscriber[s]) {
+			t.Fatalf("subscriber %d differs between identical seeds", s)
+		}
+		for j := range a.BySubscriber[s] {
+			if a.BySubscriber[s][j] != b.BySubscriber[s][j] {
+				t.Fatalf("subscriber %d subs differ between identical seeds", s)
+			}
+		}
+	}
+}
+
+func TestBuildPopulationTinyPool(t *testing.T) {
+	// SubsPerSubscriber larger than the pool must terminate.
+	cfg := PopulationConfig{
+		Subscribers:         5,
+		SubsPerSubscriber:   10,
+		UniqueSubscriptions: 2,
+		ZipfS:               1,
+	}
+	pop, err := BuildPopulation(newRng(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, idxs := range pop.BySubscriber {
+		if len(idxs) > 2 {
+			t.Errorf("subscriber %d has %d subs, pool only has 2", s, len(idxs))
+		}
+	}
+}

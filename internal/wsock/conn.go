@@ -1,0 +1,162 @@
+package wsock
+
+import (
+	"bufio"
+	"crypto/rand"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is an established WebSocket connection. Reads must happen from a
+// single goroutine; writes are internally serialized and may come from any
+// goroutine.
+type Conn struct {
+	nc     net.Conn
+	br     *bufio.Reader
+	client bool // client connections mask outgoing frames
+
+	writeMu sync.Mutex
+	closeMu sync.Mutex
+	closed  bool
+
+	maxMessageSize int64
+
+	// partial fragmented-message state
+	fragOp  Opcode
+	fragBuf []byte
+}
+
+func newConn(nc net.Conn, br *bufio.Reader, client bool) *Conn {
+	if br == nil {
+		br = bufio.NewReader(nc)
+	}
+	return &Conn{nc: nc, br: br, client: client, maxMessageSize: DefaultMaxMessageSize}
+}
+
+// SetMaxMessageSize bounds accepted message payloads (bytes).
+func (c *Conn) SetMaxMessageSize(n int64) {
+	if n > 0 {
+		c.maxMessageSize = n
+	}
+}
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// SetReadDeadline bounds the next read.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
+
+// ReadMessage returns the next complete text or binary message. Control
+// frames are handled transparently: pings are answered with pongs, pongs
+// are skipped, and a close frame completes the close handshake and returns
+// ErrClosed.
+func (c *Conn) ReadMessage() (Opcode, []byte, error) {
+	for {
+		f, err := readFrame(c.br, !c.client, c.maxMessageSize)
+		if err != nil {
+			return 0, nil, err
+		}
+		switch f.op {
+		case OpPing:
+			if err := c.writeControl(OpPong, f.payload); err != nil {
+				return 0, nil, err
+			}
+		case OpPong:
+			// keep-alive response; nothing to do
+		case OpClose:
+			c.closeMu.Lock()
+			alreadyClosed := c.closed
+			c.closed = true
+			c.closeMu.Unlock()
+			if !alreadyClosed {
+				// Echo the close and tear down.
+				_ = c.writeControl(OpClose, f.payload)
+			}
+			_ = c.nc.Close()
+			return 0, nil, ErrClosed
+		case OpText, OpBinary:
+			if !f.fin {
+				if c.fragBuf != nil {
+					return 0, nil, fmt.Errorf("%w: nested fragmentation", ErrProtocol)
+				}
+				c.fragOp = f.op
+				c.fragBuf = append([]byte(nil), f.payload...)
+				continue
+			}
+			return f.op, f.payload, nil
+		case OpContinuation:
+			if c.fragBuf == nil {
+				return 0, nil, fmt.Errorf("%w: continuation without start", ErrProtocol)
+			}
+			if int64(len(c.fragBuf)+len(f.payload)) > c.maxMessageSize {
+				return 0, nil, ErrMessageTooBig
+			}
+			c.fragBuf = append(c.fragBuf, f.payload...)
+			if f.fin {
+				op, buf := c.fragOp, c.fragBuf
+				c.fragBuf = nil
+				return op, buf, nil
+			}
+		default:
+			return 0, nil, fmt.Errorf("%w: unknown opcode %#x", ErrProtocol, byte(f.op))
+		}
+	}
+}
+
+// WriteMessage sends an unfragmented text or binary message.
+func (c *Conn) WriteMessage(op Opcode, payload []byte) error {
+	if op != OpText && op != OpBinary {
+		return fmt.Errorf("%w: WriteMessage needs text or binary opcode", ErrProtocol)
+	}
+	return c.write(op, payload)
+}
+
+// Ping sends a ping control frame.
+func (c *Conn) Ping(payload []byte) error { return c.writeControl(OpPing, payload) }
+
+func (c *Conn) write(op Opcode, payload []byte) error {
+	c.closeMu.Lock()
+	if c.closed {
+		c.closeMu.Unlock()
+		return ErrClosed
+	}
+	c.closeMu.Unlock()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	var key [4]byte
+	if c.client {
+		if _, err := rand.Read(key[:]); err != nil {
+			return fmt.Errorf("wsock: mask key: %w", err)
+		}
+	}
+	return writeFrame(c.nc, op, payload, c.client, key)
+}
+
+func (c *Conn) writeControl(op Opcode, payload []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	var key [4]byte
+	if c.client {
+		if _, err := rand.Read(key[:]); err != nil {
+			return fmt.Errorf("wsock: mask key: %w", err)
+		}
+	}
+	return writeFrame(c.nc, op, payload, c.client, key)
+}
+
+// Close performs the closing handshake (best effort) and closes the
+// underlying connection. It is safe to call multiple times and
+// concurrently with reads.
+func (c *Conn) Close() error {
+	c.closeMu.Lock()
+	if c.closed {
+		c.closeMu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.closeMu.Unlock()
+	_ = c.writeControl(OpClose, closePayload(CloseNormal, ""))
+	return c.nc.Close()
+}

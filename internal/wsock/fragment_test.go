@@ -1,0 +1,140 @@
+package wsock
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// fakeNetConn adapts an io.Reader into a net.Conn whose writes vanish.
+type fakeNetConn struct {
+	io.Reader
+}
+
+func (fakeNetConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (fakeNetConn) Close() error                     { return nil }
+func (fakeNetConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (fakeNetConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (fakeNetConn) SetDeadline(time.Time) error      { return nil }
+func (fakeNetConn) SetReadDeadline(time.Time) error  { return nil }
+func (fakeNetConn) SetWriteDeadline(time.Time) error { return nil }
+
+// rawFrame hand-encodes a single frame so tests can exercise fragmentation
+// and protocol violations the writer never produces.
+func rawFrame(fin bool, op Opcode, payload []byte) []byte {
+	var buf bytes.Buffer
+	b0 := byte(op)
+	if fin {
+		b0 |= 0x80
+	}
+	buf.WriteByte(b0)
+	switch {
+	case len(payload) <= 125:
+		buf.WriteByte(byte(len(payload)))
+	case len(payload) <= 0xFFFF:
+		buf.WriteByte(126)
+		var ext [2]byte
+		binary.BigEndian.PutUint16(ext[:], uint16(len(payload)))
+		buf.Write(ext[:])
+	default:
+		buf.WriteByte(127)
+		var ext [8]byte
+		binary.BigEndian.PutUint64(ext[:], uint64(len(payload)))
+		buf.Write(ext[:])
+	}
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
+func TestReadFragmentedMessage(t *testing.T) {
+	var stream bytes.Buffer
+	stream.Write(rawFrame(false, OpText, []byte("hello ")))
+	stream.Write(rawFrame(false, OpContinuation, []byte("big ")))
+	stream.Write(rawFrame(true, OpContinuation, []byte("world")))
+	// The server side expects masked frames; build a client-side reader
+	// instead (server->client frames are unmasked).
+	c := newConn(fakeNetConn{Reader: &stream}, nil, true)
+	op, msg, err := c.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpText || string(msg) != "hello big world" {
+		t.Errorf("got %v %q", op, msg)
+	}
+}
+
+func TestReadFragmentsInterleavedWithControl(t *testing.T) {
+	var stream bytes.Buffer
+	stream.Write(rawFrame(false, OpText, []byte("a")))
+	stream.Write(rawFrame(true, OpPong, nil)) // control between fragments: legal
+	stream.Write(rawFrame(true, OpContinuation, []byte("b")))
+	c := newConn(fakeNetConn{Reader: &stream}, nil, true)
+	_, msg, err := c.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "ab" {
+		t.Errorf("msg = %q", msg)
+	}
+}
+
+func TestContinuationWithoutStart(t *testing.T) {
+	c := newConn(fakeNetConn{Reader: bytes.NewReader(rawFrame(true, OpContinuation, []byte("x")))}, nil, true)
+	if _, _, err := c.ReadMessage(); !errors.Is(err, ErrProtocol) {
+		t.Errorf("err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestNestedFragmentationRejected(t *testing.T) {
+	var stream bytes.Buffer
+	stream.Write(rawFrame(false, OpText, []byte("a")))
+	stream.Write(rawFrame(false, OpText, []byte("b"))) // new start mid-fragment
+	c := newConn(fakeNetConn{Reader: &stream}, nil, true)
+	if _, _, err := c.ReadMessage(); !errors.Is(err, ErrProtocol) {
+		t.Errorf("err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestFragmentedMessageSizeLimit(t *testing.T) {
+	var stream bytes.Buffer
+	stream.Write(rawFrame(false, OpBinary, make([]byte, 100)))
+	stream.Write(rawFrame(true, OpContinuation, make([]byte, 100)))
+	c := newConn(fakeNetConn{Reader: &stream}, nil, true)
+	c.SetMaxMessageSize(150)
+	if _, _, err := c.ReadMessage(); !errors.Is(err, ErrMessageTooBig) {
+		t.Errorf("err = %v, want ErrMessageTooBig", err)
+	}
+}
+
+func TestUnknownOpcodeRejected(t *testing.T) {
+	c := newConn(fakeNetConn{Reader: bytes.NewReader(rawFrame(true, Opcode(0x3), nil))}, nil, true)
+	if _, _, err := c.ReadMessage(); !errors.Is(err, ErrProtocol) {
+		t.Errorf("err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestControlFrameMustBeShortAndFinal(t *testing.T) {
+	// Non-FIN control frame.
+	c := newConn(fakeNetConn{Reader: bytes.NewReader(rawFrame(false, OpPing, []byte("x")))}, nil, true)
+	if _, _, err := c.ReadMessage(); !errors.Is(err, ErrProtocol) {
+		t.Errorf("non-fin control: err = %v, want ErrProtocol", err)
+	}
+	// Oversized control frame.
+	c = newConn(fakeNetConn{Reader: bytes.NewReader(rawFrame(true, OpPing, make([]byte, 126)))}, nil, true)
+	if _, _, err := c.ReadMessage(); !errors.Is(err, ErrProtocol) {
+		t.Errorf("oversized control: err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestReservedBitsRejected(t *testing.T) {
+	frame := rawFrame(true, OpText, []byte("x"))
+	frame[0] |= 0x40 // RSV1
+	c := newConn(fakeNetConn{Reader: bytes.NewReader(frame)}, nil, true)
+	if _, _, err := c.ReadMessage(); !errors.Is(err, ErrProtocol) {
+		t.Errorf("err = %v, want ErrProtocol", err)
+	}
+}

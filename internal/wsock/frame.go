@@ -1,0 +1,174 @@
+// Package wsock is a minimal RFC 6455 WebSocket implementation (server
+// upgrade, client dial, frame codec, ping/pong, close handshake) built only
+// on the standard library. The paper's prototype pushes notifications to
+// subscribers over Tornado websockets; this package is the equivalent
+// substrate for the Go broker and client.
+//
+// The implementation supports unfragmented text and binary messages up to a
+// configurable size, transparent ping/pong handling, and a graceful close
+// handshake — the subset the BAD notification path needs. Extensions
+// (compression, subprotocol negotiation) are intentionally not implemented.
+package wsock
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcode identifies a WebSocket frame type.
+type Opcode byte
+
+// RFC 6455 opcodes.
+const (
+	OpContinuation Opcode = 0x0
+	OpText         Opcode = 0x1
+	OpBinary       Opcode = 0x2
+	OpClose        Opcode = 0x8
+	OpPing         Opcode = 0x9
+	OpPong         Opcode = 0xA
+)
+
+// control reports whether the opcode is a control frame.
+func (op Opcode) control() bool { return op >= OpClose }
+
+// DefaultMaxMessageSize bounds accepted message payloads.
+const DefaultMaxMessageSize = 16 << 20
+
+// Errors returned by the codec and connection.
+var (
+	// ErrClosed is returned after the close handshake completes.
+	ErrClosed = errors.New("wsock: connection closed")
+	// ErrMessageTooBig is returned for frames above the size limit.
+	ErrMessageTooBig = errors.New("wsock: message exceeds size limit")
+	// ErrProtocol is returned on any RFC 6455 violation.
+	ErrProtocol = errors.New("wsock: protocol violation")
+)
+
+// frame is one decoded WebSocket frame.
+type frame struct {
+	fin     bool
+	op      Opcode
+	payload []byte
+}
+
+// readFrame decodes a single frame from r, unmasking if needed.
+// expectMask enforces the RFC rule that client->server frames are masked
+// and server->client frames are not.
+func readFrame(r io.Reader, expectMask bool, maxSize int64) (frame, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	fin := hdr[0]&0x80 != 0
+	if hdr[0]&0x70 != 0 {
+		return frame{}, fmt.Errorf("%w: nonzero RSV bits", ErrProtocol)
+	}
+	op := Opcode(hdr[0] & 0x0F)
+	masked := hdr[1]&0x80 != 0
+	if masked != expectMask {
+		return frame{}, fmt.Errorf("%w: unexpected mask bit %v", ErrProtocol, masked)
+	}
+	length := int64(hdr[1] & 0x7F)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return frame{}, err
+		}
+		length = int64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return frame{}, err
+		}
+		v := binary.BigEndian.Uint64(ext[:])
+		if v > uint64(maxSize) {
+			return frame{}, ErrMessageTooBig
+		}
+		length = int64(v)
+	}
+	if length > maxSize {
+		return frame{}, ErrMessageTooBig
+	}
+	if op.control() && (length > 125 || !fin) {
+		return frame{}, fmt.Errorf("%w: invalid control frame", ErrProtocol)
+	}
+	var maskKey [4]byte
+	if masked {
+		if _, err := io.ReadFull(r, maskKey[:]); err != nil {
+			return frame{}, err
+		}
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return frame{}, err
+	}
+	if masked {
+		maskBytes(payload, maskKey)
+	}
+	return frame{fin: fin, op: op, payload: payload}, nil
+}
+
+// writeFrame encodes a single unfragmented frame to w, masking with the
+// given key when mask is set.
+func writeFrame(w io.Writer, op Opcode, payload []byte, mask bool, maskKey [4]byte) error {
+	var hdr [14]byte
+	hdr[0] = 0x80 | byte(op) // FIN always set: we never fragment writes
+	n := 2
+	length := len(payload)
+	switch {
+	case length <= 125:
+		hdr[1] = byte(length)
+	case length <= 0xFFFF:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(length))
+		n = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(length))
+		n = 10
+	}
+	if mask {
+		hdr[1] |= 0x80
+		copy(hdr[n:n+4], maskKey[:])
+		n += 4
+	}
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if mask {
+		masked := make([]byte, length)
+		copy(masked, payload)
+		maskBytes(masked, maskKey)
+		payload = masked
+	}
+	if length > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maskBytes XORs payload with the 4-byte mask key in place.
+func maskBytes(payload []byte, key [4]byte) {
+	for i := range payload {
+		payload[i] ^= key[i&3]
+	}
+}
+
+// closePayload builds a close frame payload with a status code and reason.
+func closePayload(code uint16, reason string) []byte {
+	if len(reason) > 123 {
+		reason = reason[:123]
+	}
+	out := make([]byte, 2+len(reason))
+	binary.BigEndian.PutUint16(out[:2], code)
+	copy(out[2:], reason)
+	return out
+}
+
+// CloseNormal is the normal-closure status code.
+const CloseNormal uint16 = 1000
