@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build vet test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race tier: the packages with concurrent cache paths (sharded manager,
+# singleflight, broker handlers). Kept narrow so it stays fast enough to
+# run on every change.
+race:
+	$(GO) test -race ./internal/core/... ./internal/broker/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Everything CI runs: build, vet, full test suite, then the race tier.
+verify: build vet test race

@@ -22,6 +22,7 @@ package gobad
 //     as Fig. 7 shows.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -45,7 +46,7 @@ func BenchmarkAblationVictimSelection(b *testing.B) {
 					Policy:           core.LSCz{},
 					Budget:           int64(caches) * 8 << 10, // ~half an object per cache
 					LinearVictimScan: mode.linear,
-					Fetcher: core.FetcherFunc(func(string, time.Duration, time.Duration, bool) ([]*core.Object, error) {
+					Fetcher: core.FetcherFunc(func(context.Context, string, time.Duration, time.Duration, bool) ([]*core.Object, error) {
 						return nil, nil
 					}),
 				})

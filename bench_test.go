@@ -11,6 +11,7 @@ package gobad
 // where the crossovers fall) are preserved — see EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -56,7 +57,7 @@ func BenchmarkTable1PolicyDecisions(b *testing.B) {
 			mgr, err := core.NewManager(core.Config{
 				Policy: p,
 				Budget: 1 << 20,
-				Fetcher: core.FetcherFunc(func(string, time.Duration, time.Duration, bool) ([]*core.Object, error) {
+				Fetcher: core.FetcherFunc(func(context.Context, string, time.Duration, time.Duration, bool) ([]*core.Object, error) {
 					return nil, nil
 				}),
 			})

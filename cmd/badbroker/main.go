@@ -35,15 +35,16 @@ func main() {
 	policyName := flag.String("policy", "lsc", "caching policy: lru|lsc|lscz|lsd|exp|ttl|nc")
 	budgetStr := flag.String("budget", "64MB", "cache budget")
 	ttlInterval := flag.Duration("ttl-interval", time.Minute, "TTL recompute interval")
+	shards := flag.Int("cache-shards", 0, "cache manager lock stripes (0 = default)")
 	flag.Parse()
 
-	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval); err != nil {
+	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "badbroker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration) error {
+func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration, shards int) error {
 	policy, err := core.PolicyByName(policyName)
 	if err != nil {
 		return err
@@ -62,11 +63,13 @@ func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttl
 	b, err := broker.New(broker.Config{
 		ID:          id,
 		Backend:     bdms.NewClient(clusterURL, nil),
-		CallbackURL: public + "/callbacks/results",
-		Policy:      policy,
-		CacheBudget: budget,
-		TTL:         core.TTLConfig{RecomputeInterval: ttlInterval},
-	})
+		CallbackURL: public + "/v1/callbacks/results",
+	},
+		broker.WithPolicy(policy),
+		broker.WithCacheBudget(budget),
+		broker.WithTTLConfig(core.TTLConfig{RecomputeInterval: ttlInterval}),
+		broker.WithShards(shards),
+	)
 	if err != nil {
 		return err
 	}

@@ -112,7 +112,7 @@ func run() error {
 	b, err := broker.New(broker.Config{
 		ID:          "edge-broker-1",
 		Backend:     bdms.NewClient(clusterURL, nil),
-		CallbackURL: brokerURL + "/callbacks/results",
+		CallbackURL: brokerURL + "/v1/callbacks/results",
 		Policy:      core.LSC{},
 		CacheBudget: 4 << 20,
 	})

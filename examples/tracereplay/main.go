@@ -109,7 +109,7 @@ func runLive(subscribers int, duration time.Duration, budgetKB, seed int64, spee
 	b, err := broker.New(broker.Config{
 		ID:          "replay-broker",
 		Backend:     bdms.NewClient(clusterURL, nil),
-		CallbackURL: brokerURL + "/callbacks/results",
+		CallbackURL: brokerURL + "/v1/callbacks/results",
 		Policy:      core.LSC{},
 		CacheBudget: budgetKB << 10,
 	})

@@ -19,11 +19,13 @@ func NewServer(svc *Service) *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	s.mux.HandleFunc("POST /api/brokers", s.handleRegister)
-	s.mux.HandleFunc("POST /api/brokers/{id}/heartbeat", s.handleHeartbeat)
-	s.mux.HandleFunc("DELETE /api/brokers/{id}", s.handleDeregister)
-	s.mux.HandleFunc("GET /api/brokers", s.handleList)
-	s.mux.HandleFunc("GET /api/assign", s.handleAssign)
+	// Versioned /v1 routes plus pre-v1 /api aliases (deprecated; kept for
+	// one release — see httpx.Dual).
+	httpx.Dual(s.mux, http.MethodPost, "/v1/brokers", "/api/brokers", s.handleRegister)
+	httpx.Dual(s.mux, http.MethodPost, "/v1/brokers/{id}/heartbeat", "/api/brokers/{id}/heartbeat", s.handleHeartbeat)
+	httpx.Dual(s.mux, http.MethodDelete, "/v1/brokers/{id}", "/api/brokers/{id}", s.handleDeregister)
+	httpx.Dual(s.mux, http.MethodGet, "/v1/brokers", "/api/brokers", s.handleList)
+	httpx.Dual(s.mux, http.MethodGet, "/v1/assign", "/api/assign", s.handleAssign)
 	return s
 }
 
@@ -105,25 +107,25 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 
 // Register announces a broker.
 func (c *Client) Register(id, address string) error {
-	return httpx.DoJSON(c.http, http.MethodPost, c.base+"/api/brokers",
+	return httpx.DoJSON(c.http, http.MethodPost, c.base+"/v1/brokers",
 		RegisterRequest{ID: id, Address: address}, nil)
 }
 
 // Heartbeat refreshes a broker's liveness.
 func (c *Client) Heartbeat(id string, load int) error {
 	return httpx.DoJSON(c.http, http.MethodPost,
-		c.base+"/api/brokers/"+id+"/heartbeat", HeartbeatRequest{Load: load}, nil)
+		c.base+"/v1/brokers/"+id+"/heartbeat", HeartbeatRequest{Load: load}, nil)
 }
 
 // Deregister removes a broker.
 func (c *Client) Deregister(id string) error {
-	return httpx.DoJSON(c.http, http.MethodDelete, c.base+"/api/brokers/"+id, nil, nil)
+	return httpx.DoJSON(c.http, http.MethodDelete, c.base+"/v1/brokers/"+id, nil, nil)
 }
 
 // Brokers lists registered brokers.
 func (c *Client) Brokers() ([]BrokerInfo, error) {
 	var out map[string][]BrokerInfo
-	if err := httpx.DoJSON(c.http, http.MethodGet, c.base+"/api/brokers", nil, &out); err != nil {
+	if err := httpx.DoJSON(c.http, http.MethodGet, c.base+"/v1/brokers", nil, &out); err != nil {
 		return nil, err
 	}
 	return out["brokers"], nil
@@ -132,6 +134,6 @@ func (c *Client) Brokers() ([]BrokerInfo, error) {
 // Assign asks for a suitable broker for a new subscriber.
 func (c *Client) Assign() (BrokerInfo, error) {
 	var out BrokerInfo
-	err := httpx.DoJSON(c.http, http.MethodGet, c.base+"/api/assign", nil, &out)
+	err := httpx.DoJSON(c.http, http.MethodGet, c.base+"/v1/assign", nil, &out)
 	return out, err
 }

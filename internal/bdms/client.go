@@ -1,6 +1,7 @@
 package bdms
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -10,7 +11,9 @@ import (
 )
 
 // Client is the Go client for the cluster REST API; the broker's
-// "Asterix-facing" half is built on it.
+// "Asterix-facing" half is built on it. It speaks the versioned /v1 routes
+// and decodes the unified error envelope. Every method has a Context
+// variant; the plain form uses a background context.
 type Client struct {
 	base string
 	http *http.Client
@@ -27,14 +30,24 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 
 // CreateDataset registers a dataset.
 func (c *Client) CreateDataset(name string, schema Schema) error {
-	return httpx.DoJSON(c.http, http.MethodPost, c.base+"/api/datasets",
+	return c.CreateDatasetContext(context.Background(), name, schema)
+}
+
+// CreateDatasetContext is CreateDataset bound to ctx.
+func (c *Client) CreateDatasetContext(ctx context.Context, name string, schema Schema) error {
+	return httpx.DoJSONContext(ctx, c.http, http.MethodPost, c.base+"/v1/datasets",
 		CreateDatasetRequest{Name: name, Schema: schema}, nil)
 }
 
 // Datasets lists the cluster's dataset names.
 func (c *Client) Datasets() ([]string, error) {
+	return c.DatasetsContext(context.Background())
+}
+
+// DatasetsContext is Datasets bound to ctx.
+func (c *Client) DatasetsContext(ctx context.Context) ([]string, error) {
 	var out map[string][]string
-	if err := httpx.DoJSON(c.http, http.MethodGet, c.base+"/api/datasets", nil, &out); err != nil {
+	if err := httpx.DoJSONContext(ctx, c.http, http.MethodGet, c.base+"/v1/datasets", nil, &out); err != nil {
 		return nil, err
 	}
 	return out["datasets"], nil
@@ -42,21 +55,36 @@ func (c *Client) Datasets() ([]string, error) {
 
 // Ingest stores one publication in a dataset.
 func (c *Client) Ingest(dataset string, data map[string]any) (IngestResponse, error) {
+	return c.IngestContext(context.Background(), dataset, data)
+}
+
+// IngestContext is Ingest bound to ctx.
+func (c *Client) IngestContext(ctx context.Context, dataset string, data map[string]any) (IngestResponse, error) {
 	var out IngestResponse
-	err := httpx.DoJSON(c.http, http.MethodPost,
-		fmt.Sprintf("%s/api/datasets/%s/records", c.base, url.PathEscape(dataset)), data, &out)
+	err := httpx.DoJSONContext(ctx, c.http, http.MethodPost,
+		fmt.Sprintf("%s/v1/datasets/%s/records", c.base, url.PathEscape(dataset)), data, &out)
 	return out, err
 }
 
 // DefineChannel registers a channel.
 func (c *Client) DefineChannel(def ChannelDef) error {
-	return httpx.DoJSON(c.http, http.MethodPost, c.base+"/api/channels", toWire(def), nil)
+	return c.DefineChannelContext(context.Background(), def)
+}
+
+// DefineChannelContext is DefineChannel bound to ctx.
+func (c *Client) DefineChannelContext(ctx context.Context, def ChannelDef) error {
+	return httpx.DoJSONContext(ctx, c.http, http.MethodPost, c.base+"/v1/channels", toWire(def), nil)
 }
 
 // Channels lists registered channel definitions.
 func (c *Client) Channels() ([]ChannelDef, error) {
+	return c.ChannelsContext(context.Background())
+}
+
+// ChannelsContext is Channels bound to ctx.
+func (c *Client) ChannelsContext(ctx context.Context) ([]ChannelDef, error) {
 	var out map[string][]channelDefWire
-	if err := httpx.DoJSON(c.http, http.MethodGet, c.base+"/api/channels", nil, &out); err != nil {
+	if err := httpx.DoJSONContext(ctx, c.http, http.MethodGet, c.base+"/v1/channels", nil, &out); err != nil {
 		return nil, err
 	}
 	defs := make([]ChannelDef, 0, len(out["channels"]))
@@ -68,14 +96,24 @@ func (c *Client) Channels() ([]ChannelDef, error) {
 
 // DeleteChannel removes a channel definition.
 func (c *Client) DeleteChannel(name string) error {
-	return httpx.DoJSON(c.http, http.MethodDelete,
-		c.base+"/api/channels/"+url.PathEscape(name), nil, nil)
+	return c.DeleteChannelContext(context.Background(), name)
+}
+
+// DeleteChannelContext is DeleteChannel bound to ctx.
+func (c *Client) DeleteChannelContext(ctx context.Context, name string) error {
+	return httpx.DoJSONContext(ctx, c.http, http.MethodDelete,
+		c.base+"/v1/channels/"+url.PathEscape(name), nil, nil)
 }
 
 // Query runs an ad-hoc AQL statement over a dataset.
 func (c *Client) Query(statement string, params map[string]any) ([]map[string]any, error) {
+	return c.QueryContext(context.Background(), statement, params)
+}
+
+// QueryContext is Query bound to ctx.
+func (c *Client) QueryContext(ctx context.Context, statement string, params map[string]any) ([]map[string]any, error) {
 	var out QueryResponse
-	err := httpx.DoJSON(c.http, http.MethodPost, c.base+"/api/query",
+	err := httpx.DoJSONContext(ctx, c.http, http.MethodPost, c.base+"/v1/query",
 		QueryRequest{Statement: statement, Params: params}, &out)
 	if err != nil {
 		return nil, err
@@ -85,25 +123,41 @@ func (c *Client) Query(statement string, params map[string]any) ([]map[string]an
 
 // Subscribe creates a backend subscription and returns its ID.
 func (c *Client) Subscribe(channel string, params []any, callback string) (string, error) {
+	return c.SubscribeContext(context.Background(), channel, params, callback)
+}
+
+// SubscribeContext is Subscribe bound to ctx.
+func (c *Client) SubscribeContext(ctx context.Context, channel string, params []any, callback string) (string, error) {
 	var out SubscribeResponse
-	err := httpx.DoJSON(c.http, http.MethodPost, c.base+"/api/subscriptions",
+	err := httpx.DoJSONContext(ctx, c.http, http.MethodPost, c.base+"/v1/subscriptions",
 		SubscribeRequest{Channel: channel, Params: params, Callback: callback}, &out)
 	return out.SubscriptionID, err
 }
 
 // Unsubscribe tears a backend subscription down.
 func (c *Client) Unsubscribe(subID string) error {
-	return httpx.DoJSON(c.http, http.MethodDelete,
-		c.base+"/api/subscriptions/"+url.PathEscape(subID), nil, nil)
+	return c.UnsubscribeContext(context.Background(), subID)
+}
+
+// UnsubscribeContext is Unsubscribe bound to ctx.
+func (c *Client) UnsubscribeContext(ctx context.Context, subID string) error {
+	return httpx.DoJSONContext(ctx, c.http, http.MethodDelete,
+		c.base+"/v1/subscriptions/"+url.PathEscape(subID), nil, nil)
 }
 
 // Results fetches a subscription's result objects in (from, to) or
 // (from, to] when inclusiveTo is set.
 func (c *Client) Results(subID string, from, to time.Duration, inclusiveTo bool) ([]ResultObject, error) {
+	return c.ResultsContext(context.Background(), subID, from, to, inclusiveTo)
+}
+
+// ResultsContext is Results bound to ctx, so broker miss fetches and
+// notification pulls can carry deadlines.
+func (c *Client) ResultsContext(ctx context.Context, subID string, from, to time.Duration, inclusiveTo bool) ([]ResultObject, error) {
 	var out ResultsResponse
-	u := fmt.Sprintf("%s/api/subscriptions/%s/results?from_ns=%d&to_ns=%d&inclusive=%t",
+	u := fmt.Sprintf("%s/v1/subscriptions/%s/results?from_ns=%d&to_ns=%d&inclusive=%t",
 		c.base, url.PathEscape(subID), int64(from), int64(to), inclusiveTo)
-	if err := httpx.DoJSON(c.http, http.MethodGet, u, nil, &out); err != nil {
+	if err := httpx.DoJSONContext(ctx, c.http, http.MethodGet, u, nil, &out); err != nil {
 		return nil, err
 	}
 	return out.Results, nil
@@ -111,9 +165,14 @@ func (c *Client) Results(subID string, from, to time.Duration, inclusiveTo bool)
 
 // LatestTimestamp returns the newest result timestamp of a subscription.
 func (c *Client) LatestTimestamp(subID string) (time.Duration, error) {
+	return c.LatestTimestampContext(context.Background(), subID)
+}
+
+// LatestTimestampContext is LatestTimestamp bound to ctx.
+func (c *Client) LatestTimestampContext(ctx context.Context, subID string) (time.Duration, error) {
 	var out LatestResponse
-	u := c.base + "/api/subscriptions/" + url.PathEscape(subID) + "/latest"
-	if err := httpx.DoJSON(c.http, http.MethodGet, u, nil, &out); err != nil {
+	u := c.base + "/v1/subscriptions/" + url.PathEscape(subID) + "/latest"
+	if err := httpx.DoJSONContext(ctx, c.http, http.MethodGet, u, nil, &out); err != nil {
 		return 0, err
 	}
 	return time.Duration(out.LatestNS), nil
@@ -121,7 +180,12 @@ func (c *Client) LatestTimestamp(subID string) (time.Duration, error) {
 
 // Stats fetches the cluster's counters.
 func (c *Client) Stats() (StatsResponse, error) {
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext is Stats bound to ctx.
+func (c *Client) StatsContext(ctx context.Context) (StatsResponse, error) {
 	var out StatsResponse
-	err := httpx.DoJSON(c.http, http.MethodGet, c.base+"/api/stats", nil, &out)
+	err := httpx.DoJSONContext(ctx, c.http, http.MethodGet, c.base+"/v1/stats", nil, &out)
 	return out, err
 }

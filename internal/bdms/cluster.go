@@ -1,6 +1,7 @@
 package bdms
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -582,6 +583,13 @@ func (c *Cluster) Results(subID string, from, to time.Duration, inclusiveTo bool
 		c.stats.FetchedBytes.Add(float64(r.Size))
 	}
 	return out, nil
+}
+
+// ResultsContext is Results with a context parameter, satisfying the
+// broker's context-aware backend interface. The context is ignored: the
+// in-process cluster answers from memory without blocking I/O.
+func (c *Cluster) ResultsContext(_ context.Context, subID string, from, to time.Duration, inclusiveTo bool) ([]ResultObject, error) {
+	return c.Results(subID, from, to, inclusiveTo)
 }
 
 // LatestTimestamp returns the newest result timestamp of a subscription

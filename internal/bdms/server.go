@@ -25,27 +25,29 @@ func NewServer(cluster *Cluster) *Server {
 // Handler returns the HTTP handler serving the cluster API.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// routes registers every endpoint under its versioned /v1 path plus the
+// pre-v1 /api alias (deprecated; kept for one release — see httpx.Dual).
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
-	s.mux.HandleFunc("POST /api/datasets", s.handleCreateDataset)
-	s.mux.HandleFunc("GET /api/datasets", s.handleListDatasets)
-	s.mux.HandleFunc("POST /api/datasets/{name}/records", s.handleIngest)
-	s.mux.HandleFunc("POST /api/channels", s.handleDefineChannel)
-	s.mux.HandleFunc("GET /api/channels", s.handleListChannels)
-	s.mux.HandleFunc("DELETE /api/channels/{name}", s.handleDeleteChannel)
-	s.mux.HandleFunc("POST /api/query", s.handleQuery)
-	s.mux.HandleFunc("POST /api/subscriptions", s.handleSubscribe)
-	s.mux.HandleFunc("DELETE /api/subscriptions/{id}", s.handleUnsubscribe)
-	s.mux.HandleFunc("GET /api/subscriptions/{id}/results", s.handleResults)
-	s.mux.HandleFunc("GET /api/subscriptions/{id}/latest", s.handleLatest)
+	httpx.Dual(s.mux, http.MethodGet, "/v1/stats", "/api/stats", s.handleStats)
+	httpx.Dual(s.mux, http.MethodPost, "/v1/datasets", "/api/datasets", s.handleCreateDataset)
+	httpx.Dual(s.mux, http.MethodGet, "/v1/datasets", "/api/datasets", s.handleListDatasets)
+	httpx.Dual(s.mux, http.MethodPost, "/v1/datasets/{name}/records", "/api/datasets/{name}/records", s.handleIngest)
+	httpx.Dual(s.mux, http.MethodPost, "/v1/channels", "/api/channels", s.handleDefineChannel)
+	httpx.Dual(s.mux, http.MethodGet, "/v1/channels", "/api/channels", s.handleListChannels)
+	httpx.Dual(s.mux, http.MethodDelete, "/v1/channels/{name}", "/api/channels/{name}", s.handleDeleteChannel)
+	httpx.Dual(s.mux, http.MethodPost, "/v1/query", "/api/query", s.handleQuery)
+	httpx.Dual(s.mux, http.MethodPost, "/v1/subscriptions", "/api/subscriptions", s.handleSubscribe)
+	httpx.Dual(s.mux, http.MethodDelete, "/v1/subscriptions/{id}", "/api/subscriptions/{id}", s.handleUnsubscribe)
+	httpx.Dual(s.mux, http.MethodGet, "/v1/subscriptions/{id}/results", "/api/subscriptions/{id}/results", s.handleResults)
+	httpx.Dual(s.mux, http.MethodGet, "/v1/subscriptions/{id}/latest", "/api/subscriptions/{id}/latest", s.handleLatest)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// StatsResponse is the /api/stats payload.
+// StatsResponse is the /v1/stats payload.
 type StatsResponse struct {
 	Ingested        float64 `json:"ingested"`
 	ResultsProduced float64 `json:"results_produced"`
@@ -69,7 +71,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// CreateDatasetRequest is the POST /api/datasets payload.
+// CreateDatasetRequest is the POST /v1/datasets payload.
 type CreateDatasetRequest struct {
 	Name   string `json:"name"`
 	Schema Schema `json:"schema"`

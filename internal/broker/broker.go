@@ -13,6 +13,7 @@
 package broker
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,10 +36,20 @@ type Backend interface {
 	LatestTimestamp(subID string) (time.Duration, error)
 }
 
+// ResultsBackendContext is implemented by backends whose result pulls can be
+// bound to a context (cancellation, deadlines). The broker upgrades to it
+// when available — the optional-interface pattern — so plain Backends keep
+// working unchanged. *bdms.Client implements it over REST.
+type ResultsBackendContext interface {
+	ResultsContext(ctx context.Context, subID string, from, to time.Duration, inclusiveTo bool) ([]bdms.ResultObject, error)
+}
+
 // Interface compliance.
 var (
-	_ Backend = (*bdms.Cluster)(nil)
-	_ Backend = (*bdms.Client)(nil)
+	_ Backend               = (*bdms.Cluster)(nil)
+	_ Backend               = (*bdms.Client)(nil)
+	_ ResultsBackendContext = (*bdms.Cluster)(nil)
+	_ ResultsBackendContext = (*bdms.Client)(nil)
 )
 
 // Config configures a Broker.
@@ -49,8 +60,9 @@ type Config struct {
 	Backend Backend
 	// CallbackURL is the webhook URL the data cluster should invoke for
 	// new results; it must route to this broker's HTTP handler at
-	// /callbacks/results. Leave empty for in-process backends driven by
-	// a direct Notifier.
+	// /v1/callbacks/results (the legacy /callbacks/results alias also
+	// works). Leave empty for in-process backends driven by a direct
+	// Notifier.
 	CallbackURL string
 	// Policy is the caching policy (required), e.g. core.LSC{}.
 	Policy core.Policy
@@ -64,6 +76,9 @@ type Config struct {
 	// 10 MB/s (Table II).
 	BackendRTT       time.Duration
 	BackendBandwidth float64 // bytes per second
+	// CacheShards is the number of lock stripes of the cache manager;
+	// <= 0 selects core.DefaultShards.
+	CacheShards int
 	// Clock overrides the broker-local clock (tests/simulation); the
 	// default is wall time since construction.
 	Clock func() time.Duration
@@ -122,8 +137,11 @@ type frontendSub struct {
 	fts time.Duration
 }
 
-// New validates cfg and returns a ready Broker.
-func New(cfg Config) (*Broker, error) {
+// New validates cfg, applies opts on top of it and returns a ready Broker.
+func New(cfg Config, opts ...Option) (*Broker, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if cfg.ID == "" {
 		return nil, errors.New("broker: Config.ID is required")
 	}
@@ -163,6 +181,7 @@ func New(cfg Config) (*Broker, error) {
 		Fetcher: core.FetcherFunc(b.fetchFromBackend),
 		TTL:     cfg.TTL,
 		Stats:   b.stats,
+		Shards:  cfg.CacheShards,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("broker: %w", err)
@@ -326,11 +345,17 @@ type ResultItem struct {
 	FromCache bool `json:"from_cache"`
 }
 
-// GetResults implements Algorithm 1's GETRESULTS: it returns the results of
-// fsID's backend subscription in (fts, bts], serving from the cache where
-// possible. The subscriber must Ack the returned latest timestamp to
-// advance its marker.
+// GetResults is GetResultsContext with a background context.
 func (b *Broker) GetResults(subscriber, fsID string) ([]ResultItem, time.Duration, error) {
+	return b.GetResultsContext(context.Background(), subscriber, fsID)
+}
+
+// GetResultsContext implements Algorithm 1's GETRESULTS: it returns the
+// results of fsID's backend subscription in (fts, bts], serving from the
+// cache where possible. ctx bounds any miss re-fetch from the data cluster.
+// The subscriber must Ack the returned latest timestamp to advance its
+// marker.
+func (b *Broker) GetResultsContext(ctx context.Context, subscriber, fsID string) ([]ResultItem, time.Duration, error) {
 	now := b.clock()
 	b.mu.Lock()
 	fs, ok := b.frontend[fsID]
@@ -345,7 +370,7 @@ func (b *Broker) GetResults(subscriber, fsID string) ([]ResultItem, time.Duratio
 	// On a backend-fetch failure the manager still returns the cached
 	// part; pass it through with the error so the subscriber keeps what
 	// the cache could serve.
-	objs, err := b.manager.GetResults(bsID, subscriber, from, to, now)
+	objs, err := b.manager.GetResultsContext(ctx, bsID, subscriber, from, to, now)
 	items := make([]ResultItem, 0, len(objs))
 	for _, o := range objs {
 		rows, _ := o.Payload.([]map[string]any)
@@ -384,11 +409,18 @@ func (b *Broker) Ack(subscriber, fsID string, ts time.Duration) error {
 	return nil
 }
 
-// HandleNotification reacts to the data cluster's webhook: pull the new
-// results (bts, latest] into the cache (PULL model), advance the backend
-// marker and push "new results" notifications to the attached online
-// subscribers.
+// HandleNotification is HandleNotificationContext with a background
+// context.
 func (b *Broker) HandleNotification(backendSubID string, latest time.Duration) error {
+	return b.HandleNotificationContext(context.Background(), backendSubID, latest)
+}
+
+// HandleNotificationContext reacts to the data cluster's webhook: pull the
+// new results (bts, latest] into the cache (PULL model), advance the
+// backend marker and push "new results" notifications to the attached
+// online subscribers. ctx bounds the pull from the data cluster; a
+// cancelled pull aborts before any object is admitted.
+func (b *Broker) HandleNotificationContext(ctx context.Context, backendSubID string, latest time.Duration) error {
 	now := b.clock()
 	b.mu.Lock()
 	bs, ok := b.backendByID[backendSubID]
@@ -410,7 +442,7 @@ func (b *Broker) HandleNotification(backendSubID string, latest time.Duration) e
 	}
 
 	if _, isNC := b.manager.Policy().(core.NC); !isNC {
-		results, err := b.backend.Results(backendSubID, from, latest, true)
+		results, err := b.backendResults(ctx, backendSubID, from, latest, true)
 		if err != nil {
 			return fmt.Errorf("broker: pull results: %w", err)
 		}
@@ -468,6 +500,12 @@ func (b *Broker) SetPushFunc(fn func(subscriber string, n PushNotification) bool
 // deliveries) are back-filled with one PULL of the missing range first,
 // keeping the cache's timestamp order intact.
 func (b *Broker) HandlePushedResult(backendSubID string, r bdms.ResultObject) error {
+	return b.HandlePushedResultContext(context.Background(), backendSubID, r)
+}
+
+// HandlePushedResultContext is HandlePushedResult bound to ctx, which
+// bounds the gap back-fill pull.
+func (b *Broker) HandlePushedResultContext(ctx context.Context, backendSubID string, r bdms.ResultObject) error {
 	now := b.clock()
 	b.mu.Lock()
 	bs, ok := b.backendByID[backendSubID]
@@ -489,7 +527,7 @@ func (b *Broker) HandlePushedResult(backendSubID string, r bdms.ResultObject) er
 	if _, isNC := b.manager.Policy().(core.NC); !isNC {
 		// Back-fill any gap below the pushed object, then cache it.
 		if r.Timestamp > from {
-			missed, err := b.backend.Results(backendSubID, from, r.Timestamp, false)
+			missed, err := b.backendResults(ctx, backendSubID, from, r.Timestamp, false)
 			if err == nil {
 				for _, m := range missed {
 					obj := &core.Object{
@@ -548,11 +586,20 @@ func (b *Broker) fetchLatency(size int64) time.Duration {
 	return b.rtt + transfer
 }
 
+// backendResults pulls results from the data cluster, upgrading to the
+// context-aware call when the backend supports it.
+func (b *Broker) backendResults(ctx context.Context, subID string, from, to time.Duration, inclusiveTo bool) ([]bdms.ResultObject, error) {
+	if bc, ok := b.backend.(ResultsBackendContext); ok {
+		return bc.ResultsContext(ctx, subID, from, to, inclusiveTo)
+	}
+	return b.backend.Results(subID, from, to, inclusiveTo)
+}
+
 // fetchFromBackend is the core.Fetcher: re-fetch evicted/expired objects
 // from the data cluster on a cache miss. Fetched objects are not re-cached
 // (core enforces that by simply returning them).
-func (b *Broker) fetchFromBackend(cacheID string, from, to time.Duration, inclusiveTo bool) ([]*core.Object, error) {
-	results, err := b.backend.Results(cacheID, from, to, inclusiveTo)
+func (b *Broker) fetchFromBackend(ctx context.Context, cacheID string, from, to time.Duration, inclusiveTo bool) ([]*core.Object, error) {
+	results, err := b.backendResults(ctx, cacheID, from, to, inclusiveTo)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,52 @@
+package broker
+
+import (
+	"time"
+
+	"gobad/internal/core"
+)
+
+// Option mutates a Config before validation; New applies options in order
+// after the struct literal, so options win over zero-valued fields and
+// later options win over earlier ones.
+type Option func(*Config)
+
+// WithPolicy sets the caching policy.
+func WithPolicy(p core.Policy) Option {
+	return func(c *Config) { c.Policy = p }
+}
+
+// WithCacheBudget sets the cache budget B in bytes.
+func WithCacheBudget(b int64) Option {
+	return func(c *Config) { c.CacheBudget = b }
+}
+
+// WithTTLConfig replaces the TTL tuning block wholesale.
+func WithTTLConfig(ttl core.TTLConfig) Option {
+	return func(c *Config) { c.TTL = ttl }
+}
+
+// WithShards sets the number of lock stripes of the broker's cache
+// manager; n <= 0 selects core.DefaultShards.
+func WithShards(n int) Option {
+	return func(c *Config) { c.CacheShards = n }
+}
+
+// WithClock overrides the broker-local clock (tests/simulation).
+func WithClock(fn func() time.Duration) Option {
+	return func(c *Config) { c.Clock = fn }
+}
+
+// WithCallbackURL sets the webhook URL registered with the data cluster.
+func WithCallbackURL(url string) Option {
+	return func(c *Config) { c.CallbackURL = url }
+}
+
+// WithBackendLink sets the modelled data cluster link characteristics that
+// parameterize the LSD policy's per-object fetch latency l_ij.
+func WithBackendLink(rtt time.Duration, bandwidth float64) Option {
+	return func(c *Config) {
+		c.BackendRTT = rtt
+		c.BackendBandwidth = bandwidth
+	}
+}

@@ -28,17 +28,20 @@ func NewServer(b *Broker) *Server {
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// routes registers every endpoint under its versioned /v1 path plus the
+// pre-v1 alias (deprecated; kept for one release — see httpx.Dual). The
+// WebSocket upgrade lives at /v1/ws (alias /ws).
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("POST /api/subscriptions", s.handleSubscribe)
-	s.mux.HandleFunc("DELETE /api/subscriptions/{fs}", s.handleUnsubscribe)
-	s.mux.HandleFunc("GET /api/subscriptions/{fs}/results", s.handleGetResults)
-	s.mux.HandleFunc("POST /api/subscriptions/{fs}/ack", s.handleAck)
-	s.mux.HandleFunc("GET /api/subscribers/{id}/subscriptions", s.handleListSubs)
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
-	s.mux.HandleFunc("GET /api/caches", s.handleCaches)
-	s.mux.HandleFunc("GET /ws", s.handleWS)
-	s.mux.HandleFunc("POST /callbacks/results", s.handleCallback)
+	httpx.Dual(s.mux, http.MethodPost, "/v1/subscriptions", "/api/subscriptions", s.handleSubscribe)
+	httpx.Dual(s.mux, http.MethodDelete, "/v1/subscriptions/{fs}", "/api/subscriptions/{fs}", s.handleUnsubscribe)
+	httpx.Dual(s.mux, http.MethodGet, "/v1/subscriptions/{fs}/results", "/api/subscriptions/{fs}/results", s.handleGetResults)
+	httpx.Dual(s.mux, http.MethodPost, "/v1/subscriptions/{fs}/ack", "/api/subscriptions/{fs}/ack", s.handleAck)
+	httpx.Dual(s.mux, http.MethodGet, "/v1/subscribers/{id}/subscriptions", "/api/subscribers/{id}/subscriptions", s.handleListSubs)
+	httpx.Dual(s.mux, http.MethodGet, "/v1/stats", "/api/stats", s.handleStats)
+	httpx.Dual(s.mux, http.MethodGet, "/v1/caches", "/api/caches", s.handleCaches)
+	httpx.Dual(s.mux, http.MethodGet, "/v1/ws", "/ws", s.handleWS)
+	httpx.Dual(s.mux, http.MethodPost, "/v1/callbacks/results", "/callbacks/results", s.handleCallback)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -90,7 +93,7 @@ type ResultsResponse struct {
 
 func (s *Server) handleGetResults(w http.ResponseWriter, r *http.Request) {
 	subscriber := r.URL.Query().Get("subscriber")
-	items, latest, err := s.broker.GetResults(subscriber, r.PathValue("fs"))
+	items, latest, err := s.broker.GetResultsContext(r.Context(), subscriber, r.PathValue("fs"))
 	if err != nil {
 		httpx.WriteError(w, http.StatusNotFound, "%v", err)
 		return
@@ -184,9 +187,9 @@ func (s *Server) handleCallback(w http.ResponseWriter, r *http.Request) {
 	}
 	var err error
 	if p.Result != nil {
-		err = s.broker.HandlePushedResult(p.SubscriptionID, *p.Result)
+		err = s.broker.HandlePushedResultContext(r.Context(), p.SubscriptionID, *p.Result)
 	} else {
-		err = s.broker.HandleNotification(p.SubscriptionID, time.Duration(p.LatestNS))
+		err = s.broker.HandleNotificationContext(r.Context(), p.SubscriptionID, time.Duration(p.LatestNS))
 	}
 	if err != nil {
 		httpx.WriteError(w, http.StatusNotFound, "%v", err)

@@ -135,7 +135,7 @@ func (c *Client) base() string {
 // Subscribe creates a frontend subscription and returns its ID.
 func (c *Client) Subscribe(channel string, params []any) (string, error) {
 	var out broker.SubscribeResponse
-	err := httpx.DoJSON(c.http, http.MethodPost, c.base()+"/api/subscriptions",
+	err := httpx.DoJSON(c.http, http.MethodPost, c.base()+"/v1/subscriptions",
 		broker.SubscribeRequest{Subscriber: c.subscriber, Channel: channel, Params: params}, &out)
 	if err != nil {
 		return "", err
@@ -145,7 +145,7 @@ func (c *Client) Subscribe(channel string, params []any) (string, error) {
 
 // Unsubscribe withdraws a frontend subscription.
 func (c *Client) Unsubscribe(fs string) error {
-	u := fmt.Sprintf("%s/api/subscriptions/%s?subscriber=%s",
+	u := fmt.Sprintf("%s/v1/subscriptions/%s?subscriber=%s",
 		c.base(), url.PathEscape(fs), url.QueryEscape(c.subscriber))
 	return httpx.DoJSON(c.http, http.MethodDelete, u, nil, nil)
 }
@@ -153,7 +153,7 @@ func (c *Client) Unsubscribe(fs string) error {
 // Subscriptions lists this subscriber's frontend subscription IDs.
 func (c *Client) Subscriptions() ([]string, error) {
 	var out map[string][]string
-	u := c.base() + "/api/subscribers/" + url.PathEscape(c.subscriber) + "/subscriptions"
+	u := c.base() + "/v1/subscribers/" + url.PathEscape(c.subscriber) + "/subscriptions"
 	if err := httpx.DoJSON(c.http, http.MethodGet, u, nil, &out); err != nil {
 		return nil, err
 	}
@@ -165,7 +165,7 @@ func (c *Client) Subscriptions() ([]string, error) {
 func (c *Client) GetResults(fs string) ([]broker.ResultItem, error) {
 	start := time.Now()
 	var out broker.ResultsResponse
-	u := fmt.Sprintf("%s/api/subscriptions/%s/results?subscriber=%s",
+	u := fmt.Sprintf("%s/v1/subscriptions/%s/results?subscriber=%s",
 		c.base(), url.PathEscape(fs), url.QueryEscape(c.subscriber))
 	if err := httpx.DoJSON(c.http, http.MethodGet, u, nil, &out); err != nil {
 		return nil, err
@@ -173,7 +173,7 @@ func (c *Client) GetResults(fs string) ([]broker.ResultItem, error) {
 	c.Latency.Observe(time.Since(start).Seconds())
 	if out.LatestNS > 0 {
 		ack := broker.AckRequest{Subscriber: c.subscriber, TimestampNS: out.LatestNS}
-		ackURL := c.base() + "/api/subscriptions/" + url.PathEscape(fs) + "/ack"
+		ackURL := c.base() + "/v1/subscriptions/" + url.PathEscape(fs) + "/ack"
 		if err := httpx.DoJSON(c.http, http.MethodPost, ackURL, ack, nil); err != nil {
 			return out.Results, fmt.Errorf("client: ack: %w", err)
 		}
@@ -193,7 +193,7 @@ func (c *Client) Listen() error {
 	if c.ws != nil {
 		return nil // already listening
 	}
-	wsURL := c.brokerURL + "/ws?subscriber=" + url.QueryEscape(c.subscriber)
+	wsURL := c.brokerURL + "/v1/ws?subscriber=" + url.QueryEscape(c.subscriber)
 	conn, err := wsock.Dial(wsURL, 10*time.Second)
 	if err != nil {
 		return fmt.Errorf("client: notification socket: %w", err)

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gobad/internal/metrics"
@@ -12,18 +14,20 @@ import (
 
 // Fetcher retrieves result objects from the data cluster on a cache miss.
 // It returns the objects with from < Timestamp < to (or <= to when
-// inclusiveTo is set), oldest first. Implementations: the broker's REST
-// client and the simulator's backend model.
+// inclusiveTo is set), oldest first. The context bounds the backend call;
+// implementations should abandon the fetch when it is cancelled.
+// Implementations: the broker's REST client and the simulator's backend
+// model.
 type Fetcher interface {
-	Fetch(cacheID string, from, to time.Duration, inclusiveTo bool) ([]*Object, error)
+	Fetch(ctx context.Context, cacheID string, from, to time.Duration, inclusiveTo bool) ([]*Object, error)
 }
 
 // FetcherFunc adapts a function to the Fetcher interface.
-type FetcherFunc func(cacheID string, from, to time.Duration, inclusiveTo bool) ([]*Object, error)
+type FetcherFunc func(ctx context.Context, cacheID string, from, to time.Duration, inclusiveTo bool) ([]*Object, error)
 
 // Fetch implements Fetcher.
-func (f FetcherFunc) Fetch(cacheID string, from, to time.Duration, inclusiveTo bool) ([]*Object, error) {
-	return f(cacheID, from, to, inclusiveTo)
+func (f FetcherFunc) Fetch(ctx context.Context, cacheID string, from, to time.Duration, inclusiveTo bool) ([]*Object, error) {
+	return f(ctx, cacheID, from, to, inclusiveTo)
 }
 
 // TTLWeighting selects the per-cache weight w_i in the TTL formula
@@ -82,6 +86,9 @@ func (c *TTLConfig) fillDefaults() {
 	}
 }
 
+// DefaultShards is the shard count used when Config.Shards is zero.
+const DefaultShards = 16
+
 // Config configures a Manager.
 type Config struct {
 	// Policy is the caching policy; required.
@@ -95,6 +102,12 @@ type Config struct {
 	TTL TTLConfig
 	// Stats receives hit/miss/latency/cache-size accounting; optional.
 	Stats *metrics.CacheStats
+	// Shards is the number of lock stripes the cache table is split
+	// across; caches are assigned to shards by hashing their ID. Victim
+	// selection still picks the global minimum across shards, so hit
+	// ratios and eviction order are identical for any shard count.
+	// <= 0 selects DefaultShards; 1 reproduces the single-mutex manager.
+	Shards int
 	// LinearVictimScan selects eviction victims by scanning every cache
 	// (O(N) per eviction) instead of the default lazy min-heap
 	// (O(log N)). Exists for the complexity ablation — the paper argues
@@ -103,36 +116,51 @@ type Config struct {
 	LinearVictimScan bool
 }
 
+// managerShard is one lock stripe of the cache table: a subset of the caches
+// plus the eviction/expiry bookkeeping for exactly that subset. All fields
+// are guarded by mu.
+type managerShard struct {
+	mu      sync.Mutex
+	caches  map[string]*ResultCache
+	victims cacheHeap // by policy score (eviction policies)
+	expiry  cacheHeap // by tail expiry (TTL policy)
+}
+
 // Manager owns every result cache of one broker: it creates caches per
 // backend subscription, admits new result objects, serves subscriber
 // retrievals with Algorithm 1's range logic, and enforces the configured
-// caching policy.
+// caching policy. The cache table is split across lock-striped shards so
+// concurrent GET/PUT on different caches do not serialise on one mutex; the
+// byte budget stays manager-wide via an atomic total that per-shard
+// bookkeeping feeds.
 type Manager struct {
-	mu      sync.Mutex
-	policy  Policy
-	budget  int64
-	fetcher Fetcher
-	ttlCfg  TTLConfig
-	stats   *metrics.CacheStats
+	policy     Policy
+	budget     int64
+	fetcher    Fetcher
+	ttlCfg     TTLConfig
+	stats      *metrics.CacheStats
+	linearScan bool
 
-	caches map[string]*ResultCache
-	total  int64 // total cached bytes across caches
+	shards []*managerShard
+	total  atomic.Int64 // total cached bytes across all shards
 
-	victims cacheHeap // by policy score (eviction policies)
-	expiry  cacheHeap // by tail expiry (TTL policy)
+	flights flightGroup // coalesces duplicate miss fetches
 
+	ttlMu         sync.Mutex
 	lastRecompute time.Duration
 	rhoTTL        metrics.Mean // sum_i(rho_i * T_i) observed at recomputes
-
-	linearScan bool
 }
 
 // ErrNoFetcher is returned when a cache miss occurs but no Fetcher was
 // configured.
 var ErrNoFetcher = errors.New("core: cache miss but no fetcher configured")
 
-// NewManager validates cfg and returns a ready Manager.
-func NewManager(cfg Config) (*Manager, error) {
+// NewManager validates cfg, applies opts on top of it and returns a ready
+// Manager.
+func NewManager(cfg Config, opts ...Option) (*Manager, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if cfg.Policy == nil {
 		return nil, errors.New("core: Config.Policy is required")
 	}
@@ -140,14 +168,21 @@ func NewManager(cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("core: Config.Budget must be positive for policy %s", cfg.Policy.Name())
 	}
 	cfg.TTL.fillDefaults()
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	shards := make([]*managerShard, cfg.Shards)
+	for i := range shards {
+		shards[i] = &managerShard{caches: make(map[string]*ResultCache)}
+	}
 	return &Manager{
 		policy:     cfg.Policy,
 		budget:     cfg.Budget,
 		fetcher:    cfg.Fetcher,
 		ttlCfg:     cfg.TTL,
 		stats:      cfg.Stats,
-		caches:     make(map[string]*ResultCache),
 		linearScan: cfg.LinearVictimScan,
+		shards:     shards,
 	}, nil
 }
 
@@ -157,25 +192,42 @@ func (m *Manager) Policy() Policy { return m.policy }
 // Budget returns the allowed cache size B in bytes.
 func (m *Manager) Budget() int64 { return m.budget }
 
+// NumShards returns the number of lock stripes.
+func (m *Manager) NumShards() int { return len(m.shards) }
+
 // TotalSize returns the total bytes currently cached across all caches.
-func (m *Manager) TotalSize() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.total
-}
+func (m *Manager) TotalSize() int64 { return m.total.Load() }
 
 // NumCaches returns the number of result caches (backend subscriptions).
 func (m *Manager) NumCaches() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.caches)
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		n += len(sh.caches)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// shardFor maps a cache ID to its shard (FNV-1a over the ID).
+func (m *Manager) shardFor(id string) *managerShard {
+	if len(m.shards) == 1 {
+		return m.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return m.shards[h%uint32(len(m.shards))]
 }
 
 // Cache returns the cache for a backend subscription, or nil.
 func (m *Manager) Cache(id string) *ResultCache {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.caches[id]
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.caches[id]
 }
 
 // TTLRecomputeInterval returns the configured TTL recompute period.
@@ -185,8 +237,8 @@ func (m *Manager) TTLRecomputeInterval() time.Duration { return m.ttlCfg.Recompu
 // recomputations; per eq. (5) it should track the budget B (Fig. 5a's
 // "sum rho_i T_i" bar).
 func (m *Manager) RhoTTLSum() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.ttlMu.Lock()
+	defer m.ttlMu.Unlock()
 	return m.rhoTTL.Mean()
 }
 
@@ -204,9 +256,10 @@ func (m *Manager) Subscribe(id, k string, now time.Duration) {
 	if m.isNC() {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	c := m.ensureCache(id, now)
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c := m.ensureCache(sh, id, now)
 	c.subs[k] = struct{}{}
 }
 
@@ -218,10 +271,11 @@ func (m *Manager) Unsubscribe(id, k string, now time.Duration) {
 	if m.isNC() {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	c := m.caches[id]
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	c := sh.caches[id]
 	if c == nil {
+		sh.mu.Unlock()
 		return
 	}
 	delete(c.subs, k)
@@ -238,36 +292,39 @@ func (m *Manager) Unsubscribe(id, k string, now time.Duration) {
 	for _, o := range consumed {
 		m.dropObject(c, o, now, dropConsumed)
 	}
-	m.touch(c, now)
+	m.touch(sh, c, now)
+	sh.mu.Unlock()
 	m.recordSize(now)
 }
 
 // DropCache removes the entire cache of a backend subscription (used when
 // the broker tears the backend subscription down).
 func (m *Manager) DropCache(id string, now time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	c := m.caches[id]
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	c := sh.caches[id]
 	if c == nil {
+		sh.mu.Unlock()
 		return
 	}
 	for c.tail != nil {
 		m.dropObject(c, c.tail, now, dropTeardown)
 	}
-	delete(m.caches, id)
+	delete(sh.caches, id)
+	sh.mu.Unlock()
 	m.recordSize(now)
 }
 
 // ensureCache returns the cache for id, creating it if missing. Caller
-// holds the lock.
-func (m *Manager) ensureCache(id string, now time.Duration) *ResultCache {
-	c := m.caches[id]
+// holds the shard lock.
+func (m *Manager) ensureCache(sh *managerShard, id string, now time.Duration) *ResultCache {
+	c := sh.caches[id]
 	if c == nil {
 		c = newResultCache(id, now, m.ttlCfg.RateWindow, m.ttlCfg.RateAlpha)
 		if m.policy.StampTTL() {
 			c.ttl = m.ttlCfg.DefaultTTL
 		}
-		m.caches[id] = c
+		sh.caches[id] = c
 	}
 	return c
 }
@@ -284,10 +341,9 @@ func (m *Manager) Put(id string, obj *Object, now time.Duration) error {
 	if m.isNC() {
 		return nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	c := m.ensureCache(id, now)
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	c := m.ensureCache(sh, id, now)
 	obj.CacheID = id
 	obj.insertedAt = now
 	if m.policy.StampTTL() {
@@ -304,11 +360,13 @@ func (m *Manager) Put(id string, obj *Object, now time.Duration) error {
 		obj.subs[k] = struct{}{}
 	}
 	if err := c.pushHead(obj); err != nil {
+		sh.mu.Unlock()
 		return err
 	}
-	m.total += obj.Size
+	m.total.Add(obj.Size)
 	c.arrival.Observe(now, float64(obj.Size))
-	m.touch(c, now)
+	m.touch(sh, c, now)
+	sh.mu.Unlock()
 
 	if m.policy.Evicts() {
 		m.evictUntilFits(now)
@@ -321,81 +379,132 @@ func (m *Manager) Put(id string, obj *Object, now time.Duration) error {
 }
 
 // evictUntilFits drops tail objects from the lowest-scored caches until the
-// total size is within the budget. Caller holds the lock.
+// total size is within the budget. Called without any shard lock held.
 func (m *Manager) evictUntilFits(now time.Duration) {
-	for m.total > m.budget {
-		var victim *ResultCache
-		if m.linearScan {
-			victim = m.linearVictim(now)
-		} else {
-			victim = m.victims.popFresh(nil)
-			if victim == nil {
-				m.rebuildVictims(now)
-				victim = m.victims.popFresh(nil)
-			}
-		}
-		if victim == nil {
+	for m.total.Load() > m.budget {
+		if !m.evictOne(now) {
 			return // nothing cached anywhere
 		}
-		m.dropObject(victim, victim.tail, now, dropEvicted)
-		m.touch(victim, now)
 	}
 }
 
-// linearVictim scans all caches for the smallest score (ablation mode).
-func (m *Manager) linearVictim(now time.Duration) *ResultCache {
+// evictOne removes one tail object from the globally lowest-scored cache.
+// It locks one shard at a time: a peek pass over every shard finds the
+// shard holding the global minimum (score ties broken by cache ID, so
+// eviction order matches the pre-sharding manager for any shard count),
+// then that shard is re-locked to pop and evict. Under concurrency the
+// peeked victim may vanish before the re-lock; the scan is then retried —
+// the intervening drop was progress by another goroutine, so the retry
+// loop terminates. Returns false only when no shard holds a victim.
+func (m *Manager) evictOne(now time.Duration) bool {
+	for {
+		best := -1
+		var bestScore float64
+		var bestID string
+		for i, sh := range m.shards {
+			sh.mu.Lock()
+			c, score, ok := m.peekVictim(sh, now)
+			if ok && (best < 0 || score < bestScore || (score == bestScore && c.id < bestID)) {
+				best, bestScore, bestID = i, score, c.id
+			}
+			sh.mu.Unlock()
+		}
+		if best < 0 {
+			return false
+		}
+		sh := m.shards[best]
+		sh.mu.Lock()
+		var victim *ResultCache
+		if m.linearScan {
+			victim, _, _ = sh.linearVictim(m.policy, now)
+		} else {
+			victim = sh.victims.popFresh(nil)
+			if victim == nil {
+				sh.rebuildVictims(m.policy, now)
+				victim = sh.victims.popFresh(nil)
+			}
+		}
+		if victim == nil || victim.tail == nil {
+			sh.mu.Unlock()
+			continue // raced with a concurrent drop; rescan
+		}
+		m.dropObject(victim, victim.tail, now, dropEvicted)
+		m.touch(sh, victim, now)
+		sh.mu.Unlock()
+		return true
+	}
+}
+
+// peekVictim returns the shard's lowest-scored non-empty cache without
+// removing its heap entry. Caller holds the shard lock.
+func (m *Manager) peekVictim(sh *managerShard, now time.Duration) (*ResultCache, float64, bool) {
+	if m.linearScan {
+		return sh.linearVictim(m.policy, now)
+	}
+	c, score, ok := sh.victims.peekFresh(nil)
+	if !ok {
+		sh.rebuildVictims(m.policy, now)
+		c, score, ok = sh.victims.peekFresh(nil)
+	}
+	return c, score, ok
+}
+
+// linearVictim scans the shard's caches for the smallest score (ablation
+// mode). Caller holds the shard lock.
+func (sh *managerShard) linearVictim(p Policy, now time.Duration) (*ResultCache, float64, bool) {
 	var best *ResultCache
 	var bestScore float64
-	for _, c := range m.caches {
+	for _, c := range sh.caches {
 		if c.n == 0 {
 			continue
 		}
-		s := m.policy.Score(c, now)
+		s := p.Score(c, now)
 		if best == nil || s < bestScore || (s == bestScore && c.id < best.id) {
 			best, bestScore = c, s
 		}
 	}
-	return best
+	return best, bestScore, best != nil
 }
 
-// rebuildVictims reconstructs the victim heap from scratch (fallback when
-// lazy entries were exhausted, and periodic compaction).
-func (m *Manager) rebuildVictims(now time.Duration) {
-	m.victims.entries = m.victims.entries[:0]
-	for _, c := range m.caches {
+// rebuildVictims reconstructs the shard's victim heap from scratch
+// (fallback when lazy entries were exhausted, and periodic compaction).
+// Caller holds the shard lock.
+func (sh *managerShard) rebuildVictims(p Policy, now time.Duration) {
+	sh.victims.entries = sh.victims.entries[:0]
+	for _, c := range sh.caches {
 		if c.n > 0 {
-			m.victims.push(c, m.policy.Score(c, now))
+			sh.victims.push(c, p.Score(c, now))
 		}
 	}
 }
 
 // touch invalidates c's heap entries and re-registers its current scores.
-// Caller holds the lock.
-func (m *Manager) touch(c *ResultCache, now time.Duration) {
+// Caller holds the shard lock.
+func (m *Manager) touch(sh *managerShard, c *ResultCache, now time.Duration) {
 	c.seq++
 	if c.n == 0 {
 		return
 	}
 	if m.policy.Evicts() && !m.linearScan {
-		m.victims.push(c, m.policy.Score(c, now))
+		sh.victims.push(c, m.policy.Score(c, now))
 		// Compact if the lazy heap grew far beyond the live cache count.
-		if m.victims.size() > 4*len(m.caches)+64 {
-			m.rebuildVictims(now)
+		if sh.victims.size() > 4*len(sh.caches)+64 {
+			sh.rebuildVictims(m.policy, now)
 		}
 	}
 	if m.policy.AutoExpire() {
-		m.expiry.push(c, float64(c.tail.expiresAt))
-		if m.expiry.size() > 4*len(m.caches)+64 {
-			m.rebuildExpiry()
+		sh.expiry.push(c, float64(c.tail.expiresAt))
+		if sh.expiry.size() > 4*len(sh.caches)+64 {
+			sh.rebuildExpiry()
 		}
 	}
 }
 
-func (m *Manager) rebuildExpiry() {
-	m.expiry.entries = m.expiry.entries[:0]
-	for _, c := range m.caches {
+func (sh *managerShard) rebuildExpiry() {
+	sh.expiry.entries = sh.expiry.entries[:0]
+	for _, c := range sh.caches {
 		if c.n > 0 {
-			m.expiry.push(c, float64(c.tail.expiresAt))
+			sh.expiry.push(c, float64(c.tail.expiresAt))
 		}
 	}
 }
@@ -413,11 +522,11 @@ const (
 )
 
 // dropObject unlinks o from c and records holding time, cache size and the
-// reason counter. Caller holds the lock. The caller is responsible for
-// calling touch(c, now) afterwards (batched by some call sites).
+// reason counter. Caller holds c's shard lock. The caller is responsible
+// for calling touch(sh, c, now) afterwards (batched by some call sites).
 func (m *Manager) dropObject(c *ResultCache, o *Object, now time.Duration, reason dropReason) {
 	c.remove(o)
-	m.total -= o.Size
+	m.total.Add(-o.Size)
 	if reason == dropConsumed {
 		c.consumption.Observe(now, float64(o.Size))
 	} else if o.Timestamp > c.completeSince {
@@ -441,31 +550,40 @@ func (m *Manager) dropObject(c *ResultCache, o *Object, now time.Duration, reaso
 
 // recordSize snapshots the current total into the time-weighted cache-size
 // metric. It is called at operation boundaries (never mid-eviction) so the
-// tracked maximum reflects steady post-operation sizes. Caller holds the
-// lock.
+// tracked maximum reflects steady post-operation sizes.
 func (m *Manager) recordSize(now time.Duration) {
 	if m.stats != nil {
-		m.stats.CacheSize.Set(now, float64(m.total))
+		m.stats.CacheSize.Set(now, float64(m.total.Load()))
 	}
 }
 
-// GetResults serves a subscriber's retrieval of the results of backend
-// subscription id in the half-open timestamp interval (from, to]
+// GetResults serves a subscriber's retrieval with a background context; it
+// is GetResultsContext without cancellation, kept so existing call sites
+// and single-threaded experiment code read naturally.
+func (m *Manager) GetResults(id, k string, from, to, now time.Duration) ([]*Object, error) {
+	return m.GetResultsContext(context.Background(), id, k, from, to, now)
+}
+
+// GetResultsContext serves a subscriber's retrieval of the results of
+// backend subscription id in the half-open timestamp interval (from, to]
 // (Algorithm 1 GET): objects present in the cache are returned as hits and
 // marked retrieved by k (consuming objects whose pending set drains);
 // objects at or below the cache's coverage mark were evicted or expired and
 // are re-fetched from the data cluster via the Fetcher — and, per the
 // paper, NOT cached again, because they are no longer sharable. The
-// combined result is ordered oldest first.
-func (m *Manager) GetResults(id, k string, from, to, now time.Duration) ([]*Object, error) {
+// combined result is ordered oldest first. ctx bounds the miss fetch;
+// concurrent identical misses coalesce into one backend call, governed by
+// the first caller's context.
+func (m *Manager) GetResultsContext(ctx context.Context, id, k string, from, to, now time.Duration) ([]*Object, error) {
 	if to <= from {
 		return nil, nil
 	}
-	m.mu.Lock()
-	c := m.caches[id]
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	c := sh.caches[id]
 	if m.isNC() || c == nil {
-		m.mu.Unlock()
-		return m.fetchMissed(id, from, to, true)
+		sh.mu.Unlock()
+		return m.fetchMissed(ctx, id, from, to, true)
 	}
 
 	c.lastAccess = now
@@ -506,7 +624,8 @@ func (m *Manager) GetResults(id, k string, from, to, now time.Duration) ([]*Obje
 	for _, o := range consumed {
 		m.dropObject(c, o, now, dropConsumed)
 	}
-	m.touch(c, now)
+	m.touch(sh, c, now)
+	sh.mu.Unlock()
 	m.recordSize(now)
 	if m.stats != nil {
 		m.stats.Requests.Add(float64(len(cached)))
@@ -515,12 +634,11 @@ func (m *Manager) GetResults(id, k string, from, to, now time.Duration) ([]*Obje
 			m.stats.HitBytes.Add(float64(o.Size))
 		}
 	}
-	m.mu.Unlock()
 
 	if !haveMiss {
 		return cached, nil
 	}
-	missed, err := m.fetchMissed(id, missFrom, missTo, true)
+	missed, err := m.fetchMissed(ctx, id, missFrom, missTo, true)
 	if err != nil {
 		return cached, err
 	}
@@ -529,21 +647,34 @@ func (m *Manager) GetResults(id, k string, from, to, now time.Duration) ([]*Obje
 }
 
 // fetchMissed retrieves evicted/expired objects from the data cluster and
-// records miss accounting. It must be called WITHOUT the lock held (the
-// fetch may be a network call).
-func (m *Manager) fetchMissed(id string, from, to time.Duration, inclusiveTo bool) ([]*Object, error) {
+// records miss accounting. It must be called WITHOUT any shard lock held
+// (the fetch may be a network call). Concurrent calls for the same
+// (id, range) coalesce into one Fetcher.Fetch: every caller still counts
+// its own requests and miss bytes (each caller genuinely missed), but
+// fetch bytes are recorded once, by the call that executed the fetch —
+// matching the bytes actually pulled from the cluster.
+func (m *Manager) fetchMissed(ctx context.Context, id string, from, to time.Duration, inclusiveTo bool) ([]*Object, error) {
 	if m.fetcher == nil {
 		return nil, ErrNoFetcher
 	}
-	missed, err := m.fetcher.Fetch(id, from, to, inclusiveTo)
+	missed, leader, shared, err := m.flights.do(flightKey(id, from, to, inclusiveTo), func() ([]*Object, error) {
+		return m.fetcher.Fetch(ctx, id, from, to, inclusiveTo)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: fetch from data cluster: %w", err)
+	}
+	if shared {
+		// Callers append cached objects onto the returned slice; give each
+		// coalesced caller its own backing array.
+		missed = append([]*Object(nil), missed...)
 	}
 	if m.stats != nil {
 		m.stats.Requests.Add(float64(len(missed)))
 		for _, o := range missed {
 			m.stats.MissBytes.Add(float64(o.Size))
-			m.stats.FetchBytes.Add(float64(o.Size))
+			if leader {
+				m.stats.FetchBytes.Add(float64(o.Size))
+			}
 		}
 	}
 	return missed, nil
@@ -554,10 +685,12 @@ func (m *Manager) fetchMissed(id string, from, to time.Duration, inclusiveTo boo
 // [MinTTL, MaxTTL]. It returns the new TTLs keyed by cache ID. Under
 // non-TTL-stamping policies the assigned TTLs are hypothetical — objects
 // are neither stamped nor expired — which is exactly what the Fig. 5(b)
-// holding-time-vs-TTL comparison needs for the eviction policies.
+// holding-time-vs-TTL comparison needs for the eviction policies. The
+// recompute walks the shards twice (collect rates, then assign TTLs),
+// locking one shard at a time; concurrent recomputes are serialised.
 func (m *Manager) RecomputeTTLs(now time.Duration) map[string]time.Duration {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.ttlMu.Lock()
+	defer m.ttlMu.Unlock()
 	m.lastRecompute = now
 
 	type cr struct {
@@ -565,38 +698,50 @@ func (m *Manager) RecomputeTTLs(now time.Duration) map[string]time.Duration {
 		rho float64
 		w   float64
 	}
-	crs := make([]cr, 0, len(m.caches))
+	perShard := make([][]cr, len(m.shards))
 	var denom float64
-	for _, c := range m.caches {
-		rho := c.GrowthRate(now)
-		var w float64
-		switch m.ttlCfg.Weighting {
-		case WeightUniform:
-			w = 1
-		default:
-			w = float64(len(c.subs))
+	total := 0
+	for i, sh := range m.shards {
+		sh.mu.Lock()
+		crs := make([]cr, 0, len(sh.caches))
+		for _, c := range sh.caches {
+			rho := c.GrowthRate(now)
+			var w float64
+			switch m.ttlCfg.Weighting {
+			case WeightUniform:
+				w = 1
+			default:
+				w = float64(len(c.subs))
+			}
+			crs = append(crs, cr{c: c, rho: rho, w: w})
+			denom += w * rho
 		}
-		crs = append(crs, cr{c: c, rho: rho, w: w})
-		denom += w * rho
+		sh.mu.Unlock()
+		perShard[i] = crs
+		total += len(crs)
 	}
-	out := make(map[string]time.Duration, len(crs))
+	out := make(map[string]time.Duration, total)
 	var rhoTTL float64
-	for _, e := range crs {
-		var ttl time.Duration
-		if denom <= 0 {
-			ttl = m.ttlCfg.DefaultTTL
-		} else {
-			ttl = time.Duration(e.w * float64(m.budget) / denom * float64(time.Second))
+	for i, sh := range m.shards {
+		sh.mu.Lock()
+		for _, e := range perShard[i] {
+			var ttl time.Duration
+			if denom <= 0 {
+				ttl = m.ttlCfg.DefaultTTL
+			} else {
+				ttl = time.Duration(e.w * float64(m.budget) / denom * float64(time.Second))
+			}
+			if ttl < m.ttlCfg.MinTTL {
+				ttl = m.ttlCfg.MinTTL
+			}
+			if ttl > m.ttlCfg.MaxTTL {
+				ttl = m.ttlCfg.MaxTTL
+			}
+			e.c.ttl = ttl
+			out[e.c.id] = ttl
+			rhoTTL += e.rho * ttl.Seconds()
 		}
-		if ttl < m.ttlCfg.MinTTL {
-			ttl = m.ttlCfg.MinTTL
-		}
-		if ttl > m.ttlCfg.MaxTTL {
-			ttl = m.ttlCfg.MaxTTL
-		}
-		e.c.ttl = ttl
-		out[e.c.id] = ttl
-		rhoTTL += e.rho * ttl.Seconds()
+		sh.mu.Unlock()
 	}
 	m.rhoTTL.Observe(rhoTTL)
 	return out
@@ -610,22 +755,25 @@ func (m *Manager) ExpireDue(now time.Duration) int {
 	if !m.policy.AutoExpire() {
 		return 0
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	dropped := 0
-	for {
-		c, score, ok := m.expiry.peekFresh(nil)
-		if !ok || time.Duration(score) > now {
-			m.recordSize(now)
-			return dropped
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for {
+			c, score, ok := sh.expiry.peekFresh(nil)
+			if !ok || time.Duration(score) > now {
+				break
+			}
+			// Drop expired tails of this cache.
+			for c.tail != nil && c.tail.expiresAt <= now {
+				m.dropObject(c, c.tail, now, dropExpired)
+				dropped++
+			}
+			m.touch(sh, c, now)
 		}
-		// Drop expired tails of this cache.
-		for c.tail != nil && c.tail.expiresAt <= now {
-			m.dropObject(c, c.tail, now, dropExpired)
-			dropped++
-		}
-		m.touch(c, now)
+		sh.mu.Unlock()
 	}
+	m.recordSize(now)
+	return dropped
 }
 
 // NextExpiry returns the earliest TTL deadline among cache tails and true,
@@ -635,13 +783,18 @@ func (m *Manager) NextExpiry() (time.Duration, bool) {
 	if !m.policy.AutoExpire() {
 		return 0, false
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	_, score, ok := m.expiry.peekFresh(nil)
-	if !ok {
-		return 0, false
+	var earliest time.Duration
+	found := false
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		_, score, ok := sh.expiry.peekFresh(nil)
+		sh.mu.Unlock()
+		if ok && (!found || time.Duration(score) < earliest) {
+			earliest = time.Duration(score)
+			found = true
+		}
 	}
-	return time.Duration(score), true
+	return earliest, found
 }
 
 // CacheInfo is a point-in-time summary of one result cache, used by the
@@ -664,22 +817,24 @@ type CacheInfo struct {
 
 // CacheInfos returns a summary of every cache, sorted by ID.
 func (m *Manager) CacheInfos() []CacheInfo {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]CacheInfo, 0, len(m.caches))
-	for _, c := range m.caches {
-		mean, n := c.holding.Mean(), c.holding.N()
-		out = append(out, CacheInfo{
-			ID:             c.id,
-			Objects:        c.n,
-			Bytes:          c.size,
-			Subscribers:    len(c.subs),
-			TTL:            c.ttl,
-			LastAccess:     c.lastAccess,
-			HoldingMean:    mean,
-			HoldingN:       n,
-			TTLStampedMean: c.ttlStamped.Mean(),
-		})
+	var out []CacheInfo
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, c := range sh.caches {
+			mean, n := c.holding.Mean(), c.holding.N()
+			out = append(out, CacheInfo{
+				ID:             c.id,
+				Objects:        c.n,
+				Bytes:          c.size,
+				Subscribers:    len(c.subs),
+				TTL:            c.ttl,
+				LastAccess:     c.lastAccess,
+				HoldingMean:    mean,
+				HoldingN:       n,
+				TTLStampedMean: c.ttlStamped.Mean(),
+			})
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -25,7 +26,7 @@ func (f *memFetcher) add(cacheID string, o *Object) {
 	f.store[cacheID] = append(f.store[cacheID], o)
 }
 
-func (f *memFetcher) Fetch(cacheID string, from, to time.Duration, inclusiveTo bool) ([]*Object, error) {
+func (f *memFetcher) Fetch(_ context.Context, cacheID string, from, to time.Duration, inclusiveTo bool) ([]*Object, error) {
 	f.calls++
 	if f.err != nil {
 		return nil, f.err

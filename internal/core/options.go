@@ -1,0 +1,46 @@
+package core
+
+import "gobad/internal/metrics"
+
+// Option mutates a Config before validation; NewManager applies options in
+// order after the struct literal, so options win over zero-valued fields and
+// later options win over earlier ones.
+type Option func(*Config)
+
+// WithShards sets the number of lock-striped shards the cache table is split
+// across. n <= 0 selects DefaultShards. Use WithShards(1) to reproduce the
+// pre-sharding single-mutex manager (the concurrency-benchmark baseline).
+func WithShards(n int) Option {
+	return func(c *Config) { c.Shards = n }
+}
+
+// WithTTLConfig replaces the TTL tuning block wholesale.
+func WithTTLConfig(ttl TTLConfig) Option {
+	return func(c *Config) { c.TTL = ttl }
+}
+
+// WithPolicy sets the caching policy.
+func WithPolicy(p Policy) Option {
+	return func(c *Config) { c.Policy = p }
+}
+
+// WithBudget sets the cache budget B in bytes.
+func WithBudget(b int64) Option {
+	return func(c *Config) { c.Budget = b }
+}
+
+// WithFetcher sets the miss fetcher.
+func WithFetcher(f Fetcher) Option {
+	return func(c *Config) { c.Fetcher = f }
+}
+
+// WithStats attaches the hit/miss accounting bundle.
+func WithStats(s *metrics.CacheStats) Option {
+	return func(c *Config) { c.Stats = s }
+}
+
+// WithLinearVictimScan toggles the O(N)-per-eviction victim scan used by the
+// complexity ablation instead of the default lazy min-heap.
+func WithLinearVictimScan(on bool) Option {
+	return func(c *Config) { c.LinearVictimScan = on }
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// flightGroup coalesces concurrent duplicate miss fetches: while one call is
+// fetching a given (cacheID, range) from the data cluster, later callers for
+// the same key wait for that in-flight fetch and share its result instead of
+// issuing their own backend request. This collapses the thundering herd that
+// otherwise forms when many subscribers miss on the same evicted range at
+// once. It is a minimal, dependency-free analogue of
+// golang.org/x/sync/singleflight specialised to []*Object results.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done    chan struct{}
+	objs    []*Object
+	err     error
+	waiters int
+}
+
+// do invokes fn once per key among concurrent callers and hands every caller
+// the same result. leader reports whether this caller executed fn itself;
+// shared reports whether the result was handed to more than one caller (so
+// callers know the slice's backing array is not theirs alone). The flight is
+// forgotten as soon as fn returns: later calls fetch anew.
+func (g *flightGroup) do(key string, fn func() ([]*Object, error)) (objs []*Object, leader, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		f.waiters++
+		g.mu.Unlock()
+		<-f.done
+		return f.objs, false, true, f.err
+	}
+	f := &flight{done: make(chan struct{}), waiters: 1}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.objs, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	shared = f.waiters > 1
+	g.mu.Unlock()
+	close(f.done)
+	return f.objs, true, shared, f.err
+}
+
+// flightKey identifies one backend fetch for coalescing purposes.
+func flightKey(id string, from, to time.Duration, inclusiveTo bool) string {
+	return fmt.Sprintf("%s\x00%d\x00%d\x00%t", id, from, to, inclusiveTo)
+}

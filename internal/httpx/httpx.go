@@ -1,9 +1,12 @@
 // Package httpx holds the small JSON-over-HTTP helpers shared by the data
-// cluster, broker and BCS servers and clients.
+// cluster, broker and BCS servers and clients: JSON body codecs, the
+// unified v1 error envelope, and dual (versioned + legacy) route
+// registration.
 package httpx
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,9 +16,73 @@ import (
 // MaxBodyBytes bounds request/response bodies read by this package.
 const MaxBodyBytes = 16 << 20
 
-// ErrorBody is the uniform JSON error payload.
-type ErrorBody struct {
+// Stable machine-readable error codes carried by the v1 error envelope.
+// Servers pick the code from the HTTP status via CodeForStatus unless they
+// write one explicitly with WriteErrorCode.
+const (
+	CodeBadRequest  = "bad_request"
+	CodeNotFound    = "not_found"
+	CodeConflict    = "conflict"
+	CodeRateLimited = "rate_limited"
+	CodeUnavailable = "unavailable"
+	CodeInternal    = "internal"
+)
+
+// ErrorInfo is the body of the unified v1 error envelope.
+type ErrorInfo struct {
+	// Code is a stable machine-readable error class (see the Code*
+	// constants).
+	Code string `json:"code"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+	// Retryable reports whether the caller may retry the identical
+	// request and expect it to eventually succeed.
+	Retryable bool `json:"retryable"`
+}
+
+// ErrorEnvelope is the uniform JSON error payload returned by every v1
+// route (and, during the deprecation window, by the legacy aliases):
+//
+//	{"error": {"code": "...", "message": "...", "retryable": false}}
+type ErrorEnvelope struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// legacyErrorBody is the pre-v1 payload shape ({"error": "message"}); DoJSON
+// still decodes it so mixed-version deployments interoperate.
+type legacyErrorBody struct {
 	Error string `json:"error"`
+}
+
+// CodeForStatus maps an HTTP status to the default envelope code.
+func CodeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusTooManyRequests:
+		return CodeRateLimited
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	default:
+		if status >= 500 {
+			return CodeInternal
+		}
+		return CodeBadRequest
+	}
+}
+
+// retryableStatus reports whether a status signals a transient condition.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
 }
 
 // WriteJSON encodes v as the response body with the given status.
@@ -30,9 +97,19 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// WriteError writes a JSON error payload.
+// WriteError writes the unified error envelope, deriving the code and
+// retryability from the status.
 func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
-	WriteJSON(w, status, ErrorBody{Error: fmt.Sprintf(format, args...)})
+	WriteErrorCode(w, status, CodeForStatus(status), format, args...)
+}
+
+// WriteErrorCode writes the unified error envelope with an explicit code.
+func WriteErrorCode(w http.ResponseWriter, status int, code, format string, args ...any) {
+	WriteJSON(w, status, ErrorEnvelope{Error: ErrorInfo{
+		Code:      code,
+		Message:   fmt.Sprintf(format, args...),
+		Retryable: retryableStatus(status),
+	}})
 }
 
 // ReadJSON decodes the request body into v, rejecting unknown fields and
@@ -45,10 +122,35 @@ func ReadJSON(r *http.Request, v any) error {
 	return nil
 }
 
+// Dual registers handler h under its versioned /v1 route and under the
+// legacy unversioned alias. pattern is a mux pattern WITHOUT the method,
+// e.g. "/v1/subscriptions/{id}"; legacy is the pre-v1 alias, e.g.
+// "/api/subscriptions/{id}". Legacy responses carry a "Deprecation: true"
+// header and a Link to the successor route so clients can migrate; the
+// aliases are kept for one release.
+func Dual(mux *http.ServeMux, method, pattern, legacy string, h http.HandlerFunc) {
+	mux.HandleFunc(method+" "+pattern, h)
+	if legacy == "" || legacy == pattern {
+		return
+	}
+	mux.HandleFunc(method+" "+legacy, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", pattern, "successor-version"))
+		h(w, r)
+	})
+}
+
 // DoJSON performs an HTTP request with a JSON body (nil for none) and
 // decodes the JSON response into out (nil to discard). Non-2xx responses
-// are returned as errors carrying the server's error payload.
+// are returned as errors carrying the server's error payload. It is
+// DoJSONContext with a background context.
 func DoJSON(client *http.Client, method, url string, in, out any) error {
+	return DoJSONContext(context.Background(), client, method, url, in, out)
+}
+
+// DoJSONContext is DoJSON bound to ctx: the request is cancelled when ctx
+// is done, so callers can impose deadlines on broker<->cluster fetches.
+func DoJSONContext(ctx context.Context, client *http.Client, method, url string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -57,7 +159,7 @@ func DoJSON(client *http.Client, method, url string, in, out any) error {
 		}
 		body = bytes.NewReader(b)
 	}
-	req, err := http.NewRequest(method, url, body)
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
 		return fmt.Errorf("httpx: build request: %w", err)
 	}
@@ -74,11 +176,7 @@ func DoJSON(client *http.Client, method, url string, in, out any) error {
 		return fmt.Errorf("httpx: read response: %w", err)
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var eb ErrorBody
-		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return fmt.Errorf("httpx: %s %s: %s (HTTP %d)", method, url, eb.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("httpx: %s %s: HTTP %d", method, url, resp.StatusCode)
+		return fmt.Errorf("httpx: %s %s: %w", method, url, decodeError(resp.StatusCode, data))
 	}
 	if out == nil {
 		return nil
@@ -87,4 +185,39 @@ func DoJSON(client *http.Client, method, url string, in, out any) error {
 		return fmt.Errorf("httpx: decode response: %w", err)
 	}
 	return nil
+}
+
+// StatusError is the client-side representation of a non-2xx response; it
+// carries the envelope fields so callers can branch on Code/Retryable.
+type StatusError struct {
+	Status    int
+	Code      string
+	Message   string
+	Retryable bool
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("%s (HTTP %d)", e.Message, e.Status)
+	}
+	return fmt.Sprintf("HTTP %d", e.Status)
+}
+
+// decodeError parses a non-2xx body into a StatusError, accepting both the
+// v1 envelope and the legacy {"error": "msg"} shape.
+func decodeError(status int, data []byte) *StatusError {
+	se := &StatusError{Status: status, Code: CodeForStatus(status), Retryable: retryableStatus(status)}
+	var env ErrorEnvelope
+	if json.Unmarshal(data, &env) == nil && env.Error.Message != "" {
+		se.Code = env.Error.Code
+		se.Message = env.Error.Message
+		se.Retryable = env.Error.Retryable
+		return se
+	}
+	var legacy legacyErrorBody
+	if json.Unmarshal(data, &legacy) == nil && legacy.Error != "" {
+		se.Message = legacy.Error
+	}
+	return se
 }

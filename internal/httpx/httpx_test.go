@@ -1,6 +1,8 @@
 package httpx
 
 import (
+	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -91,5 +93,138 @@ func TestReadJSONBadBody(t *testing.T) {
 	var v map[string]any
 	if err := ReadJSON(req, &v); err == nil {
 		t.Error("broken JSON should fail")
+	}
+}
+
+func TestWriteErrorEnvelopeShape(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, http.StatusNotFound, "no such %s", "thing")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("body is not the envelope: %v (%q)", err, rec.Body.String())
+	}
+	if env.Error.Code != CodeNotFound {
+		t.Errorf("code = %q, want %q", env.Error.Code, CodeNotFound)
+	}
+	if env.Error.Message != "no such thing" {
+		t.Errorf("message = %q", env.Error.Message)
+	}
+	if env.Error.Retryable {
+		t.Error("404 must not be retryable")
+	}
+}
+
+func TestWriteErrorRetryableStatuses(t *testing.T) {
+	for status, want := range map[int]bool{
+		http.StatusTooManyRequests:     true,
+		http.StatusBadGateway:          true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusGatewayTimeout:      true,
+		http.StatusBadRequest:          false,
+		http.StatusInternalServerError: false,
+	} {
+		rec := httptest.NewRecorder()
+		WriteError(rec, status, "x")
+		var env ErrorEnvelope
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+			t.Fatalf("status %d: %v", status, err)
+		}
+		if env.Error.Retryable != want {
+			t.Errorf("status %d: retryable = %v, want %v", status, env.Error.Retryable, want)
+		}
+	}
+}
+
+func TestWriteErrorCodeExplicit(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteErrorCode(rec, http.StatusBadRequest, CodeConflict, "taken")
+	var env ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != CodeConflict {
+		t.Errorf("code = %q, want explicit %q", env.Error.Code, CodeConflict)
+	}
+}
+
+func TestDoJSONStatusError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		WriteError(w, http.StatusServiceUnavailable, "backend down")
+	}))
+	defer srv.Close()
+	err := DoJSON(srv.Client(), http.MethodGet, srv.URL, nil, nil)
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is not a StatusError: %v", err)
+	}
+	if se.Status != http.StatusServiceUnavailable || se.Code != CodeUnavailable ||
+		se.Message != "backend down" || !se.Retryable {
+		t.Errorf("StatusError = %+v", se)
+	}
+}
+
+func TestDoJSONLegacyErrorBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		WriteJSON(w, http.StatusNotFound, map[string]string{"error": "old shape"})
+	}))
+	defer srv.Close()
+	err := DoJSON(srv.Client(), http.MethodGet, srv.URL, nil, nil)
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is not a StatusError: %v", err)
+	}
+	if se.Message != "old shape" || se.Code != CodeNotFound {
+		t.Errorf("legacy body not decoded: %+v", se)
+	}
+}
+
+func TestDualRegistersBothRoutes(t *testing.T) {
+	mux := http.NewServeMux()
+	Dual(mux, http.MethodGet, "/v1/things", "/api/things", func(w http.ResponseWriter, _ *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// Versioned route: plain 200, no deprecation headers.
+	resp, err := srv.Client().Get(srv.URL + "/v1/things")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/v1 status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "" {
+		t.Error("/v1 route must not carry a Deprecation header")
+	}
+
+	// Legacy alias: same handler, flagged deprecated with a successor link.
+	resp, err = srv.Client().Get(srv.URL + "/api/things")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("legacy status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("legacy alias must set Deprecation: true")
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1/things") ||
+		!strings.Contains(link, "successor-version") {
+		t.Errorf("legacy Link header = %q", link)
+	}
+}
+
+func TestCodeForStatusDefaults(t *testing.T) {
+	if got := CodeForStatus(http.StatusInternalServerError); got != CodeInternal {
+		t.Errorf("500 -> %q", got)
+	}
+	if got := CodeForStatus(http.StatusTeapot); got != CodeBadRequest {
+		t.Errorf("418 -> %q", got)
 	}
 }

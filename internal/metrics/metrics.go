@@ -17,25 +17,41 @@ import (
 // Counter is a monotonically increasing float64 counter. The zero value is
 // ready to use. Counter is safe for concurrent use.
 type Counter struct {
-	mu sync.Mutex
-	v  float64
-	n  int64
+	mu      sync.Mutex
+	v       float64
+	n       int64
+	dropped int64
 }
 
-// Add increases the counter by v (which may be fractional but must be >= 0;
-// negative deltas are ignored so that byte counters stay monotone).
-func (c *Counter) Add(v float64) {
-	if v < 0 {
-		return
+// Add increases the counter by v (which may be fractional) and reports
+// whether the delta was applied. Negative and NaN deltas are rejected so
+// byte counters stay monotone — but they are NOT silent: each rejection is
+// tallied and visible through Dropped, so byte-accounting bugs that produce
+// negative deltas cannot hide.
+func (c *Counter) Add(v float64) bool {
+	if v < 0 || math.IsNaN(v) {
+		c.mu.Lock()
+		c.dropped++
+		c.mu.Unlock()
+		return false
 	}
 	c.mu.Lock()
 	c.v += v
 	c.n++
 	c.mu.Unlock()
+	return true
 }
 
 // Inc increases the counter by one.
 func (c *Counter) Inc() { c.Add(1) }
+
+// Dropped returns how many Add calls were rejected for carrying a negative
+// or NaN delta. A non-zero value indicates an accounting bug upstream.
+func (c *Counter) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
 
 // Value returns the accumulated total.
 func (c *Counter) Value() float64 {

@@ -25,10 +25,33 @@ func TestCounterBasics(t *testing.T) {
 
 func TestCounterIgnoresNegative(t *testing.T) {
 	var c Counter
-	c.Add(10)
-	c.Add(-5)
+	if !c.Add(10) {
+		t.Error("Add(10) should report applied")
+	}
+	if c.Add(-5) {
+		t.Error("Add(-5) should report rejected")
+	}
 	if got := c.Value(); got != 10 {
 		t.Errorf("Value = %v, want 10 (negative deltas ignored)", got)
+	}
+	if got := c.Dropped(); got != 1 {
+		t.Errorf("Dropped = %v, want 1", got)
+	}
+	if got := c.Count(); got != 1 {
+		t.Errorf("Count = %v, want 1 (rejected Add must not count)", got)
+	}
+}
+
+func TestCounterRejectsNaN(t *testing.T) {
+	var c Counter
+	if c.Add(math.NaN()) {
+		t.Error("Add(NaN) should report rejected")
+	}
+	if got := c.Value(); got != 0 {
+		t.Errorf("Value = %v, want 0 after NaN", got)
+	}
+	if got := c.Dropped(); got != 1 {
+		t.Errorf("Dropped = %v, want 1", got)
 	}
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -408,8 +409,9 @@ func (s *simulator) scheduleExpiry() {
 	}
 }
 
-// fetch implements core.Fetcher against the persistent store.
-func (s *simulator) fetch(id string, from, to time.Duration, inclusiveTo bool) ([]*core.Object, error) {
+// fetch implements core.Fetcher against the persistent store. The context
+// is ignored: the store is in-memory and the simulator is single-threaded.
+func (s *simulator) fetch(_ context.Context, id string, from, to time.Duration, inclusiveTo bool) ([]*core.Object, error) {
 	var i int32
 	if _, err := fmt.Sscanf(id, "bs%d", &i); err != nil {
 		return nil, fmt.Errorf("sim: bad cache id %q", id)
