@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench verify
+.PHONY: build vet lint test race bench verify
 
 build:
 	$(GO) build ./...
@@ -8,14 +8,24 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint = vet plus staticcheck when it is installed (skipped gracefully
+# otherwise, so lint never needs network access).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 # Race tier: the packages with concurrent cache paths (sharded manager,
-# singleflight, broker handlers). Kept narrow so it stays fast enough to
-# run on every change.
+# singleflight, broker handlers) plus the lock-free measurement and
+# exposition primitives. Kept narrow so it stays fast enough to run on
+# every change.
 race:
-	$(GO) test -race ./internal/core/... ./internal/broker/...
+	$(GO) test -race ./internal/core/... ./internal/broker/... ./internal/metrics/... ./internal/obs/... ./internal/httpx/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

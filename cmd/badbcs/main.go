@@ -15,17 +15,28 @@ import (
 	"time"
 
 	"gobad/internal/bcs"
+	"gobad/internal/cliutil"
 )
 
 func main() {
 	addr := flag.String("addr", ":18000", "listen address")
 	liveness := flag.Duration("liveness", 30*time.Second, "heartbeat staleness bound")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and /debug/runtime (empty = off)")
 	flag.Parse()
+
+	observer, err := cliutil.NewObserver("badbcs", *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "badbcs:", err)
+		os.Exit(1)
+	}
+	stopDebug := cliutil.StartDebug(*debugAddr, observer.Logger)
+	defer stopDebug()
 
 	svc := bcs.NewService(bcs.WithLiveness(*liveness))
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           bcs.NewServer(svc).Handler(),
+		Handler:           bcs.NewServer(svc, bcs.WithObserver(observer)).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("badbcs listening on %s", *addr)

@@ -36,15 +36,23 @@ func main() {
 	budgetStr := flag.String("budget", "64MB", "cache budget")
 	ttlInterval := flag.Duration("ttl-interval", time.Minute, "TTL recompute interval")
 	shards := flag.Int("cache-shards", 0, "cache manager lock stripes (0 = default)")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and /debug/runtime (empty = off)")
 	flag.Parse()
 
-	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval, *shards); err != nil {
+	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval, *shards, *logLevel, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "badbroker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration, shards int) error {
+func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration, shards int, logLevel, debugAddr string) error {
+	observer, err := cliutil.NewObserver("badbroker", logLevel)
+	if err != nil {
+		return err
+	}
+	stopDebug := cliutil.StartDebug(debugAddr, observer.Logger)
+	defer stopDebug()
 	policy, err := core.PolicyByName(policyName)
 	if err != nil {
 		return err
@@ -69,6 +77,7 @@ func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttl
 		broker.WithCacheBudget(budget),
 		broker.WithTTLConfig(core.TTLConfig{RecomputeInterval: ttlInterval}),
 		broker.WithShards(shards),
+		broker.WithLogger(observer.Logger),
 	)
 	if err != nil {
 		return err
@@ -107,7 +116,7 @@ func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttl
 
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           broker.NewServer(b).Handler(),
+		Handler:           broker.NewServer(b, broker.WithObserver(observer)).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("badbroker %s listening on %s (policy %s, budget %s, cluster %s)",

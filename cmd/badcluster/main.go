@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"gobad/internal/bdms"
+	"gobad/internal/cliutil"
 	"gobad/internal/workload"
 )
 
@@ -28,15 +29,23 @@ func main() {
 	emergency := flag.Bool("emergency", true, "preload the city-emergency catalog (Table III)")
 	repTick := flag.Duration("repetitive-tick", time.Second, "how often repetitive channels are polled")
 	walPath := flag.String("wal", "", "write-ahead log path for durable publications (empty = in-memory only)")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and /debug/runtime (empty = off)")
 	flag.Parse()
 
-	if err := run(*addr, *nodes, *emergency, *repTick, *walPath); err != nil {
+	if err := run(*addr, *nodes, *emergency, *repTick, *walPath, *logLevel, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "badcluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, nodes int, emergency bool, repTick time.Duration, walPath string) error {
+func run(addr string, nodes int, emergency bool, repTick time.Duration, walPath, logLevel, debugAddr string) error {
+	observer, err := cliutil.NewObserver("badcluster", logLevel)
+	if err != nil {
+		return err
+	}
+	stopDebug := cliutil.StartDebug(debugAddr, observer.Logger)
+	defer stopDebug()
 	notifier := bdms.NewWebhookNotifier(4, 1024, nil)
 	defer notifier.Close()
 	opts := []bdms.Option{bdms.WithNodes(nodes), bdms.WithNotifier(notifier)}
@@ -83,7 +92,7 @@ func run(addr string, nodes int, emergency bool, repTick time.Duration, walPath 
 
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           bdms.NewServer(cluster).Handler(),
+		Handler:           bdms.NewServer(cluster, bdms.WithObserver(observer)).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("badcluster listening on %s (%d storage nodes)", addr, nodes)

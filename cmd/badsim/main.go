@@ -29,16 +29,17 @@ func main() {
 	backendSubs := flag.Int("backend-subs", 0, "override backend subscription count")
 	seed := flag.Int64("seed", 1, "random seed")
 	perCache := flag.Bool("per-cache", false, "include per-cache summaries in the output")
+	metricsOut := flag.String("metrics-out", "", "write the run's final metrics in Prometheus text format to this file ('-' = stderr)")
 	flag.Parse()
 
-	if err := run(*policy, *budget, *scale, *duration, *subscribers, *backendSubs, *seed, *perCache); err != nil {
+	if err := run(*policy, *budget, *scale, *duration, *subscribers, *backendSubs, *seed, *perCache, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "badsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(policyName, budgetStr string, scale float64, duration time.Duration,
-	subscribers, backendSubs int, seed int64, perCache bool) error {
+	subscribers, backendSubs int, seed int64, perCache bool, metricsOut string) error {
 	p, err := core.PolicyByName(policyName)
 	if err != nil {
 		return err
@@ -59,6 +60,18 @@ func run(policyName, budgetStr string, scale float64, duration time.Duration,
 	}
 	if backendSubs > 0 {
 		cfg.BackendSubs = backendSubs
+	}
+	switch metricsOut {
+	case "":
+	case "-":
+		cfg.ExpositionWriter = os.Stderr
+	default:
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.ExpositionWriter = f
 	}
 	res, err := sim.Run(cfg)
 	if err != nil {

@@ -1,0 +1,39 @@
+package bcs
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"testing"
+
+	"gobad/internal/obs"
+)
+
+func TestBCSMetricsEndpoint(t *testing.T) {
+	svc := NewService()
+	if err := svc.Register("b1", "http://b1:18080"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(svc).Handler())
+	t.Cleanup(srv.Close)
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.TextContentType {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	parsed, err := obs.ParseText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("bcs /metrics does not parse: %v\n%s", err, body)
+	}
+	if v, _ := parsed.Value("bad_bcs_brokers"); v != 1 {
+		t.Errorf("bad_bcs_brokers = %v, want 1", v)
+	}
+	if _, ok := parsed.Value("go_goroutines"); !ok {
+		t.Error("bcs /metrics missing runtime collector families")
+	}
+}

@@ -5,32 +5,64 @@ import (
 	"time"
 
 	"gobad/internal/httpx"
+	"gobad/internal/obs"
 )
 
-// Server exposes the coordination service over REST.
+// Server exposes the coordination service over REST, plus the Prometheus
+// exposition at /metrics.
 type Server struct {
 	svc *Service
 	mux *http.ServeMux
+	obs *httpx.Observer
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithObserver supplies the observability bundle (registry, logger, HTTP
+// metrics). Without it NewServer builds a silent default, so /metrics
+// always works.
+func WithObserver(o *httpx.Observer) ServerOption {
+	return func(s *Server) { s.obs = o }
 }
 
 // NewServer wraps a Service with its REST API.
-func NewServer(svc *Service) *Server {
+func NewServer(svc *Service, opts ...ServerOption) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.obs == nil {
+		s.obs = httpx.NewObserver("badbcs", nil)
+	}
+	s.obs.Registry.MustRegister(
+		obs.GaugeFunc("bad_bcs_brokers", "Brokers currently registered with the coordination service.",
+			func() float64 { return float64(len(svc.Brokers())) }),
+	)
+	s.mux.HandleFunc("GET /healthz", s.obs.Wrap("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	}))
+	s.mux.Handle("GET /metrics", s.obs.MetricsHandler())
 	// Versioned /v1 routes plus pre-v1 /api aliases (deprecated; kept for
 	// one release — see httpx.Dual).
-	httpx.Dual(s.mux, http.MethodPost, "/v1/brokers", "/api/brokers", s.handleRegister)
-	httpx.Dual(s.mux, http.MethodPost, "/v1/brokers/{id}/heartbeat", "/api/brokers/{id}/heartbeat", s.handleHeartbeat)
-	httpx.Dual(s.mux, http.MethodDelete, "/v1/brokers/{id}", "/api/brokers/{id}", s.handleDeregister)
-	httpx.Dual(s.mux, http.MethodGet, "/v1/brokers", "/api/brokers", s.handleList)
-	httpx.Dual(s.mux, http.MethodGet, "/v1/assign", "/api/assign", s.handleAssign)
+	s.route(http.MethodPost, "/v1/brokers", "/api/brokers", s.handleRegister)
+	s.route(http.MethodPost, "/v1/brokers/{id}/heartbeat", "/api/brokers/{id}/heartbeat", s.handleHeartbeat)
+	s.route(http.MethodDelete, "/v1/brokers/{id}", "/api/brokers/{id}", s.handleDeregister)
+	s.route(http.MethodGet, "/v1/brokers", "/api/brokers", s.handleList)
+	s.route(http.MethodGet, "/v1/assign", "/api/assign", s.handleAssign)
 	return s
 }
 
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Observer returns the server's observability bundle.
+func (s *Server) Observer() *httpx.Observer { return s.obs }
+
+// route registers one instrumented endpoint under its /v1 path plus alias.
+func (s *Server) route(method, pattern, legacy string, h http.HandlerFunc) {
+	httpx.Dual(s.mux, method, pattern, legacy, s.obs.Wrap(pattern, h))
+}
 
 // RegisterRequest is the broker registration payload.
 type RegisterRequest struct {

@@ -1,0 +1,43 @@
+package bdms
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"testing"
+
+	"gobad/internal/obs"
+)
+
+func TestClusterMetricsEndpoint(t *testing.T) {
+	cluster := NewCluster()
+	if err := cluster.CreateDataset("D", Schema{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Ingest("D", map[string]any{"k": "v"}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(cluster).Handler())
+	t.Cleanup(srv.Close)
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	parsed, err := obs.ParseText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("cluster /metrics does not parse: %v\n%s", err, body)
+	}
+	if v, _ := parsed.Value("bad_cluster_ingested_total"); v != 1 {
+		t.Errorf("bad_cluster_ingested_total = %v, want 1", v)
+	}
+	if v, _ := parsed.Value("bad_cluster_datasets"); v != 1 {
+		t.Errorf("bad_cluster_datasets = %v, want 1", v)
+	}
+	// HTTP metrics count the scrape-adjacent API traffic too.
+	if _, ok := parsed.Types["http_requests_total"]; !ok {
+		t.Error("cluster /metrics missing http_requests_total family")
+	}
+}

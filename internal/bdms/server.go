@@ -6,18 +6,49 @@ import (
 	"time"
 
 	"gobad/internal/httpx"
+	"gobad/internal/obs"
 )
 
 // Server exposes the cluster over the REST API the broker's
-// "Asterix-facing" part consumes. Mount Handler() on any net/http server.
+// "Asterix-facing" part consumes, plus the Prometheus exposition at
+// /metrics. Mount Handler() on any net/http server.
 type Server struct {
 	cluster *Cluster
 	mux     *http.ServeMux
+	obs     *httpx.Observer
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithObserver supplies the observability bundle (registry, logger, HTTP
+// metrics). Without it NewServer builds a silent default, so /metrics
+// always works.
+func WithObserver(o *httpx.Observer) ServerOption {
+	return func(s *Server) { s.obs = o }
 }
 
 // NewServer wraps a cluster with its REST API.
-func NewServer(cluster *Cluster) *Server {
+func NewServer(cluster *Cluster, opts ...ServerOption) *Server {
 	s := &Server{cluster: cluster, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.obs == nil {
+		s.obs = httpx.NewObserver("badcluster", nil)
+	}
+	st := cluster.Stats()
+	s.obs.Registry.MustRegister(
+		obs.CounterFunc("bad_cluster_ingested_total", "Records ingested into datasets.", st.Ingested.Value),
+		obs.CounterFunc("bad_cluster_results_produced_total", "Result objects produced by channel executions.", st.ResultsProduced.Value),
+		obs.CounterFunc("bad_cluster_result_bytes_total", "Bytes of result objects produced.", st.ResultBytes.Value),
+		obs.CounterFunc("bad_cluster_notifications_total", "Notifications pushed to broker callbacks.", st.Notifications.Value),
+		obs.CounterFunc("bad_cluster_fetched_bytes_total", "Bytes served to broker result fetches.", st.FetchedBytes.Value),
+		obs.GaugeFunc("bad_cluster_subscriptions", "Live backend subscriptions.",
+			func() float64 { return float64(cluster.NumSubscriptions()) }),
+		obs.GaugeFunc("bad_cluster_datasets", "Datasets defined on the cluster.",
+			func() float64 { return float64(len(cluster.DatasetNames())) }),
+	)
 	s.routes()
 	return s
 }
@@ -25,22 +56,31 @@ func NewServer(cluster *Cluster) *Server {
 // Handler returns the HTTP handler serving the cluster API.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Observer returns the server's observability bundle.
+func (s *Server) Observer() *httpx.Observer { return s.obs }
+
+// route registers one instrumented endpoint under its /v1 path plus alias.
+func (s *Server) route(method, pattern, legacy string, h http.HandlerFunc) {
+	httpx.Dual(s.mux, method, pattern, legacy, s.obs.Wrap(pattern, h))
+}
+
 // routes registers every endpoint under its versioned /v1 path plus the
 // pre-v1 /api alias (deprecated; kept for one release — see httpx.Dual).
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	httpx.Dual(s.mux, http.MethodGet, "/v1/stats", "/api/stats", s.handleStats)
-	httpx.Dual(s.mux, http.MethodPost, "/v1/datasets", "/api/datasets", s.handleCreateDataset)
-	httpx.Dual(s.mux, http.MethodGet, "/v1/datasets", "/api/datasets", s.handleListDatasets)
-	httpx.Dual(s.mux, http.MethodPost, "/v1/datasets/{name}/records", "/api/datasets/{name}/records", s.handleIngest)
-	httpx.Dual(s.mux, http.MethodPost, "/v1/channels", "/api/channels", s.handleDefineChannel)
-	httpx.Dual(s.mux, http.MethodGet, "/v1/channels", "/api/channels", s.handleListChannels)
-	httpx.Dual(s.mux, http.MethodDelete, "/v1/channels/{name}", "/api/channels/{name}", s.handleDeleteChannel)
-	httpx.Dual(s.mux, http.MethodPost, "/v1/query", "/api/query", s.handleQuery)
-	httpx.Dual(s.mux, http.MethodPost, "/v1/subscriptions", "/api/subscriptions", s.handleSubscribe)
-	httpx.Dual(s.mux, http.MethodDelete, "/v1/subscriptions/{id}", "/api/subscriptions/{id}", s.handleUnsubscribe)
-	httpx.Dual(s.mux, http.MethodGet, "/v1/subscriptions/{id}/results", "/api/subscriptions/{id}/results", s.handleResults)
-	httpx.Dual(s.mux, http.MethodGet, "/v1/subscriptions/{id}/latest", "/api/subscriptions/{id}/latest", s.handleLatest)
+	s.mux.HandleFunc("GET /healthz", s.obs.Wrap("/healthz", s.handleHealth))
+	s.mux.Handle("GET /metrics", s.obs.MetricsHandler())
+	s.route(http.MethodGet, "/v1/stats", "/api/stats", s.handleStats)
+	s.route(http.MethodPost, "/v1/datasets", "/api/datasets", s.handleCreateDataset)
+	s.route(http.MethodGet, "/v1/datasets", "/api/datasets", s.handleListDatasets)
+	s.route(http.MethodPost, "/v1/datasets/{name}/records", "/api/datasets/{name}/records", s.handleIngest)
+	s.route(http.MethodPost, "/v1/channels", "/api/channels", s.handleDefineChannel)
+	s.route(http.MethodGet, "/v1/channels", "/api/channels", s.handleListChannels)
+	s.route(http.MethodDelete, "/v1/channels/{name}", "/api/channels/{name}", s.handleDeleteChannel)
+	s.route(http.MethodPost, "/v1/query", "/api/query", s.handleQuery)
+	s.route(http.MethodPost, "/v1/subscriptions", "/api/subscriptions", s.handleSubscribe)
+	s.route(http.MethodDelete, "/v1/subscriptions/{id}", "/api/subscriptions/{id}", s.handleUnsubscribe)
+	s.route(http.MethodGet, "/v1/subscriptions/{id}/results", "/api/subscriptions/{id}/results", s.handleResults)
+	s.route(http.MethodGet, "/v1/subscriptions/{id}/latest", "/api/subscriptions/{id}/latest", s.handleLatest)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"gobad/internal/bdms"
 	"gobad/internal/core"
 	"gobad/internal/metrics"
+	"gobad/internal/obs"
 )
 
 // Backend is the data cluster abstraction the broker consumes (Section
@@ -82,6 +84,13 @@ type Config struct {
 	// Clock overrides the broker-local clock (tests/simulation); the
 	// default is wall time since construction.
 	Clock func() time.Duration
+	// Logger receives the broker's structured log lines (slow-fetch
+	// warnings, backend errors). Lines carry trace/request IDs when the
+	// triggering context has them. nil discards.
+	Logger *slog.Logger
+	// SlowFetchThreshold is the wall-clock duration above which a data
+	// cluster pull is logged as slow; <= 0 selects one second.
+	SlowFetchThreshold time.Duration
 }
 
 // Broker is a BAD broker node.
@@ -92,6 +101,8 @@ type Broker struct {
 	manager     *core.Manager
 	stats       *metrics.CacheStats
 	clock       func() time.Duration
+	log         *slog.Logger
+	slowFetch   time.Duration
 
 	rtt time.Duration
 	bw  float64
@@ -157,6 +168,12 @@ func New(cfg Config, opts ...Option) (*Broker, error) {
 	if cfg.BackendBandwidth <= 0 {
 		cfg.BackendBandwidth = 10 << 20
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	if cfg.SlowFetchThreshold <= 0 {
+		cfg.SlowFetchThreshold = time.Second
+	}
 	b := &Broker{
 		id:          cfg.ID,
 		backend:     cfg.Backend,
@@ -168,6 +185,8 @@ func New(cfg Config, opts ...Option) (*Broker, error) {
 		backendByID: make(map[string]*backendSub),
 		frontend:    make(map[string]*frontendSub),
 		sessions:    newSessionHub(),
+		log:         obs.WrapLogger(cfg.Logger),
+		slowFetch:   cfg.SlowFetchThreshold,
 	}
 	if cfg.Clock != nil {
 		b.clock = cfg.Clock
@@ -587,8 +606,21 @@ func (b *Broker) fetchLatency(size int64) time.Duration {
 }
 
 // backendResults pulls results from the data cluster, upgrading to the
-// context-aware call when the backend supports it.
-func (b *Broker) backendResults(ctx context.Context, subID string, from, to time.Duration, inclusiveTo bool) ([]bdms.ResultObject, error) {
+// context-aware call when the backend supports it. Pulls slower than the
+// configured threshold are logged with the request's trace, so a slow
+// subscriber retrieval can be followed into the cluster.
+func (b *Broker) backendResults(ctx context.Context, subID string, from, to time.Duration, inclusiveTo bool) (results []bdms.ResultObject, err error) {
+	start := time.Now()
+	defer func() {
+		if d := time.Since(start); d >= b.slowFetch {
+			b.log.WarnContext(ctx, "slow backend fetch",
+				slog.String("subscription", subID),
+				slog.Duration("duration", d),
+				slog.Int("results", len(results)),
+				slog.Bool("failed", err != nil),
+			)
+		}
+	}()
 	if bc, ok := b.backend.(ResultsBackendContext); ok {
 		return bc.ResultsContext(ctx, subID, from, to, inclusiveTo)
 	}

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"log/slog"
 	"time"
 
 	"gobad/internal/core"
@@ -35,6 +36,17 @@ func WithShards(n int) Option {
 // WithClock overrides the broker-local clock (tests/simulation).
 func WithClock(fn func() time.Duration) Option {
 	return func(c *Config) { c.Clock = fn }
+}
+
+// WithLogger sets the broker's structured logger.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *Config) { c.Logger = l }
+}
+
+// WithSlowFetchThreshold sets the duration above which a data cluster pull
+// is logged as slow.
+func WithSlowFetchThreshold(d time.Duration) Option {
+	return func(c *Config) { c.SlowFetchThreshold = d }
 }
 
 // WithCallbackURL sets the webhook URL registered with the data cluster.

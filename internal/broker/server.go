@@ -7,20 +7,51 @@ import (
 	"gobad/internal/bdms"
 	"gobad/internal/httpx"
 	"gobad/internal/metrics"
+	"gobad/internal/obs"
 	"gobad/internal/wsock"
 )
 
 // Server exposes the broker's two HTTP surfaces: the client-facing REST API
 // (subscribe/unsubscribe/getresults/ack + WebSocket push) and the
-// cluster-facing webhook callback.
+// cluster-facing webhook callback, plus the Prometheus exposition at
+// /metrics.
 type Server struct {
 	broker *Broker
 	mux    *http.ServeMux
+	obs    *httpx.Observer
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithObserver supplies the observability bundle (registry, logger, HTTP
+// metrics). Without it NewServer builds a silent default, so /metrics
+// always works.
+func WithObserver(o *httpx.Observer) ServerOption {
+	return func(s *Server) { s.obs = o }
 }
 
 // NewServer wraps a broker with its HTTP API.
-func NewServer(b *Broker) *Server {
+func NewServer(b *Broker, opts ...ServerOption) *Server {
 	s := &Server{broker: b, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.obs == nil {
+		s.obs = httpx.NewObserver("badbroker", nil)
+	}
+	// The broker's cache accounting and manager structure are part of this
+	// server's exposition.
+	s.obs.Registry.MustRegister(
+		obs.NewCacheStatsCollector(b.Stats(), b.Now),
+		obs.NewManagerCollector(b.Manager()),
+		obs.GaugeFunc("bad_frontend_subscriptions", "Live frontend subscriptions.",
+			func() float64 { return float64(b.NumFrontendSubs()) }),
+		obs.GaugeFunc("bad_backend_subscriptions", "Deduplicated backend subscriptions.",
+			func() float64 { return float64(b.NumBackendSubs()) }),
+		obs.GaugeFunc("bad_online_subscribers", "Subscribers with a live WebSocket session.",
+			func() float64 { return float64(b.sessions.count()) }),
+	)
 	s.routes()
 	return s
 }
@@ -28,20 +59,29 @@ func NewServer(b *Broker) *Server {
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Observer returns the server's observability bundle.
+func (s *Server) Observer() *httpx.Observer { return s.obs }
+
+// route registers one instrumented endpoint under its /v1 path plus alias.
+func (s *Server) route(method, pattern, legacy string, h http.HandlerFunc) {
+	httpx.Dual(s.mux, method, pattern, legacy, s.obs.Wrap(pattern, h))
+}
+
 // routes registers every endpoint under its versioned /v1 path plus the
 // pre-v1 alias (deprecated; kept for one release — see httpx.Dual). The
 // WebSocket upgrade lives at /v1/ws (alias /ws).
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	httpx.Dual(s.mux, http.MethodPost, "/v1/subscriptions", "/api/subscriptions", s.handleSubscribe)
-	httpx.Dual(s.mux, http.MethodDelete, "/v1/subscriptions/{fs}", "/api/subscriptions/{fs}", s.handleUnsubscribe)
-	httpx.Dual(s.mux, http.MethodGet, "/v1/subscriptions/{fs}/results", "/api/subscriptions/{fs}/results", s.handleGetResults)
-	httpx.Dual(s.mux, http.MethodPost, "/v1/subscriptions/{fs}/ack", "/api/subscriptions/{fs}/ack", s.handleAck)
-	httpx.Dual(s.mux, http.MethodGet, "/v1/subscribers/{id}/subscriptions", "/api/subscribers/{id}/subscriptions", s.handleListSubs)
-	httpx.Dual(s.mux, http.MethodGet, "/v1/stats", "/api/stats", s.handleStats)
-	httpx.Dual(s.mux, http.MethodGet, "/v1/caches", "/api/caches", s.handleCaches)
-	httpx.Dual(s.mux, http.MethodGet, "/v1/ws", "/ws", s.handleWS)
-	httpx.Dual(s.mux, http.MethodPost, "/v1/callbacks/results", "/callbacks/results", s.handleCallback)
+	s.mux.HandleFunc("GET /healthz", s.obs.Wrap("/healthz", s.handleHealth))
+	s.mux.Handle("GET /metrics", s.obs.MetricsHandler())
+	s.route(http.MethodPost, "/v1/subscriptions", "/api/subscriptions", s.handleSubscribe)
+	s.route(http.MethodDelete, "/v1/subscriptions/{fs}", "/api/subscriptions/{fs}", s.handleUnsubscribe)
+	s.route(http.MethodGet, "/v1/subscriptions/{fs}/results", "/api/subscriptions/{fs}/results", s.handleGetResults)
+	s.route(http.MethodPost, "/v1/subscriptions/{fs}/ack", "/api/subscriptions/{fs}/ack", s.handleAck)
+	s.route(http.MethodGet, "/v1/subscribers/{id}/subscriptions", "/api/subscribers/{id}/subscriptions", s.handleListSubs)
+	s.route(http.MethodGet, "/v1/stats", "/api/stats", s.handleStats)
+	s.route(http.MethodGet, "/v1/caches", "/api/caches", s.handleCaches)
+	s.route(http.MethodGet, "/v1/ws", "/ws", s.handleWS)
+	s.route(http.MethodPost, "/v1/callbacks/results", "/callbacks/results", s.handleCallback)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

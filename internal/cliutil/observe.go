@@ -1,0 +1,50 @@
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	"gobad/internal/httpx"
+	"gobad/internal/obs"
+)
+
+// NewObserver builds the process-wide observability bundle for a binary:
+// JSON structured logs to stderr at the given level ("debug", "info",
+// "warn", "error") and a fresh metric registry served by the returned
+// observer's MetricsHandler.
+func NewObserver(service, logLevel string) (*httpx.Observer, error) {
+	level, err := obs.ParseLevel(logLevel)
+	if err != nil {
+		return nil, err
+	}
+	return httpx.NewObserver(service, obs.NewLogger(os.Stderr, level, service)), nil
+}
+
+// StartDebug serves the opt-in debug mux (net/http/pprof plus the runtime
+// snapshot at /debug/runtime) on addr in the background. An empty addr is a
+// no-op. The returned func shuts the listener down.
+func StartDebug(addr string, logger *slog.Logger) func() {
+	if addr == "" {
+		return func() {}
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           obs.NewDebugMux(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("debug server", slog.String("addr", addr), slog.Any("error", err))
+		}
+	}()
+	logger.Info("debug server listening", slog.String("addr", addr))
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+}

@@ -209,6 +209,43 @@ func (m *Manager) NumCaches() int {
 	return n
 }
 
+// ShardStats is a point-in-time summary of one lock stripe, exposed per
+// shard on /metrics so lock-stripe imbalance (one hot shard absorbing the
+// popular caches) is visible on a live broker.
+type ShardStats struct {
+	// Shard is the stripe index.
+	Shard int
+	// Caches is the number of result caches hashed onto this stripe.
+	Caches int
+	// Objects is the number of cached result objects across them.
+	Objects int
+	// Bytes is their total cached size.
+	Bytes int64
+}
+
+// ShardStatsSnapshot summarizes every shard, locking one stripe at a time.
+func (m *Manager) ShardStatsSnapshot() []ShardStats {
+	out := make([]ShardStats, len(m.shards))
+	for i, sh := range m.shards {
+		sh.mu.Lock()
+		st := ShardStats{Shard: i, Caches: len(sh.caches)}
+		for _, c := range sh.caches {
+			st.Objects += c.n
+			st.Bytes += c.size
+		}
+		sh.mu.Unlock()
+		out[i] = st
+	}
+	return out
+}
+
+// FlightStats reports the singleflight layer's lifetime tallies: leaders
+// executed a backend fetch themselves, coalesced callers joined one already
+// in flight.
+func (m *Manager) FlightStats() (leaders, coalesced uint64) {
+	return m.flights.leaders.Load(), m.flights.coalesced.Load()
+}
+
 // shardFor maps a cache ID to its shard (FNV-1a over the ID).
 func (m *Manager) shardFor(id string) *managerShard {
 	if len(m.shards) == 1 {

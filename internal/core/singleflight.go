@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,6 +17,13 @@ import (
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flight
+
+	// leaders counts calls that executed the fetch themselves; coalesced
+	// counts calls that joined an in-flight fetch instead. Exposed through
+	// Manager.FlightStats for the /metrics exposition — the ratio shows
+	// how much thundering herd the layer is absorbing.
+	leaders   atomic.Uint64
+	coalesced atomic.Uint64
 }
 
 type flight struct {
@@ -38,12 +46,14 @@ func (g *flightGroup) do(key string, fn func() ([]*Object, error)) (objs []*Obje
 	if f, ok := g.m[key]; ok {
 		f.waiters++
 		g.mu.Unlock()
+		g.coalesced.Add(1)
 		<-f.done
 		return f.objs, false, true, f.err
 	}
 	f := &flight{done: make(chan struct{}), waiters: 1}
 	g.m[key] = f
 	g.mu.Unlock()
+	g.leaders.Add(1)
 
 	f.objs, f.err = fn()
 

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"gobad/internal/obs"
 )
 
 // MaxBodyBytes bounds request/response bodies read by this package.
@@ -165,6 +167,16 @@ func DoJSONContext(ctx context.Context, client *http.Client, method, url string,
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the trace across the wire: the outbound call is a child
+	// span of whatever span the context carries (e.g. the broker handler
+	// that triggered this cluster fetch), so broker and cluster log lines
+	// share one trace ID.
+	if sc, ok := obs.SpanFromContext(ctx); ok {
+		req.Header.Set(obs.TraceparentHeader, sc.Child().Traceparent())
+	}
+	if id := obs.RequestIDFromContext(ctx); id != "" {
+		req.Header.Set(RequestIDHeader, id)
 	}
 	resp, err := client.Do(req)
 	if err != nil {

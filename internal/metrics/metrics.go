@@ -9,18 +9,24 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Counter is a monotonically increasing float64 counter. The zero value is
 // ready to use. Counter is safe for concurrent use.
+//
+// The total is kept as the IEEE-754 bit pattern of a float64 inside an
+// atomic.Uint64 and updated by a compare-and-swap loop, so Add takes no
+// mutex: it sits inside every shard GET/PUT of the cache manager, where a
+// lock would serialise otherwise independent shards.
 type Counter struct {
-	mu      sync.Mutex
-	v       float64
-	n       int64
-	dropped int64
+	bits    atomic.Uint64 // math.Float64bits of the running total
+	n       atomic.Int64
+	dropped atomic.Int64
 }
 
 // Add increases the counter by v (which may be fractional) and reports
@@ -30,15 +36,16 @@ type Counter struct {
 // negative deltas cannot hide.
 func (c *Counter) Add(v float64) bool {
 	if v < 0 || math.IsNaN(v) {
-		c.mu.Lock()
-		c.dropped++
-		c.mu.Unlock()
+		c.dropped.Add(1)
 		return false
 	}
-	c.mu.Lock()
-	c.v += v
-	c.n++
-	c.mu.Unlock()
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	c.n.Add(1)
 	return true
 }
 
@@ -47,25 +54,13 @@ func (c *Counter) Inc() { c.Add(1) }
 
 // Dropped returns how many Add calls were rejected for carrying a negative
 // or NaN delta. A non-zero value indicates an accounting bug upstream.
-func (c *Counter) Dropped() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dropped
-}
+func (c *Counter) Dropped() int64 { return c.dropped.Load() }
 
 // Value returns the accumulated total.
-func (c *Counter) Value() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
-}
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
 
 // Count returns how many times Add/Inc was called.
-func (c *Counter) Count() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
+func (c *Counter) Count() int64 { return c.n.Load() }
 
 // Mean is an online arithmetic mean with variance tracking (Welford's
 // algorithm). The zero value is ready to use. Mean is safe for concurrent
@@ -161,6 +156,11 @@ type TimeWeighted struct {
 func (w *TimeWeighted) Set(at time.Duration, v float64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.setLocked(at, v)
+}
+
+// setLocked is Set's body; the caller holds w.mu.
+func (w *TimeWeighted) setLocked(at time.Duration, v float64) {
 	if !w.started {
 		w.started = true
 		w.lastAt = at
@@ -181,12 +181,14 @@ func (w *TimeWeighted) Set(at time.Duration, v float64) {
 	}
 }
 
-// Add shifts the tracked quantity by delta at time at.
+// Add shifts the tracked quantity by delta at time at. The read of the
+// current value and the write of the shifted one happen under one lock
+// acquisition: two concurrent Adds can never both read the same base value
+// and lose one delta.
 func (w *TimeWeighted) Add(at time.Duration, delta float64) {
 	w.mu.Lock()
-	cur := w.lastVal
-	w.mu.Unlock()
-	w.Set(at, cur+delta)
+	defer w.mu.Unlock()
+	w.setLocked(at, w.lastVal+delta)
 }
 
 // Average returns the time-weighted average up to time at.
@@ -222,29 +224,72 @@ func (w *TimeWeighted) Current() float64 {
 	return w.lastVal
 }
 
-// Sampler keeps every observed sample so exact quantiles can be computed at
-// the end of a run. For the population sizes used in the evaluation (tens of
-// thousands of retrievals) exact samples are cheap and avoid sketch error.
+// Sampler keeps observed samples so quantiles can be computed at the end of
+// a run. By default it retains every sample — for the population sizes used
+// in the evaluation (tens of thousands of retrievals) exact samples are
+// cheap and avoid sketch error, and sim runs stay paper-exact. Long-lived
+// deployments should bound memory with SetCap, which switches to uniform
+// reservoir sampling (Vitter's Algorithm R): retained samples stay a
+// uniform subset of everything observed, so quantiles remain unbiased.
 // The zero value is ready to use. Sampler is safe for concurrent use.
 type Sampler struct {
 	mu      sync.Mutex
 	samples []float64
 	sorted  bool
+	cap     int
+	seen    int64
+	rng     *rand.Rand
 }
 
-// Observe records one sample.
+// SetCap bounds the retained sample count to n (n <= 0 removes the bound,
+// restoring exact retention for samples observed from then on). seed drives
+// the reservoir's replacement choices so capped runs are reproducible.
+// Call it before observing; shrinking an already-overfull reservoir
+// truncates it.
+func (s *Sampler) SetCap(n int, seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cap = n
+	s.rng = rand.New(rand.NewSource(seed))
+	if n > 0 && len(s.samples) > n {
+		s.samples = s.samples[:n]
+	}
+}
+
+// Observe records one sample. Uncapped it appends; capped and full it
+// replaces a uniformly chosen victim with probability cap/seen, keeping the
+// reservoir a uniform sample of the whole stream.
 func (s *Sampler) Observe(x float64) {
 	s.mu.Lock()
+	s.seen++
+	if s.cap > 0 && len(s.samples) >= s.cap {
+		// The reservoir slot order may have been permuted by a Quantile
+		// sort; uniformity is order-independent, so that is harmless.
+		if j := s.rng.Int63n(s.seen); j < int64(s.cap) {
+			s.samples[j] = x
+			s.sorted = false
+		}
+		s.mu.Unlock()
+		return
+	}
 	s.samples = append(s.samples, x)
 	s.sorted = false
 	s.mu.Unlock()
 }
 
-// N returns the number of recorded samples.
+// N returns the number of retained samples (= observations when uncapped).
 func (s *Sampler) N() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.samples)
+}
+
+// Seen returns how many samples were observed, including ones the capped
+// reservoir has since displaced.
+func (s *Sampler) Seen() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank on the

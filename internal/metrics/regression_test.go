@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTimeWeightedAddConcurrent is the regression test for the
+// check-then-act race in TimeWeighted.Add: the old implementation read
+// lastVal under the lock, unlocked, then called Set — two concurrent Adds
+// could read the same base and lose a delta. Run with -race; the final
+// value must equal the sum of every delta regardless of interleaving.
+func TestTimeWeightedAddConcurrent(t *testing.T) {
+	const goroutines = 16
+	const perG = 2000
+	var w TimeWeighted
+	w.Set(0, 0)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				at := time.Duration(g*perG+i) * time.Microsecond
+				w.Add(at, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got, want := w.Current(), float64(goroutines*perG); got != want {
+		t.Fatalf("Current() = %v after concurrent Adds, want %v (lost deltas)", got, want)
+	}
+	if max := w.Max(); max != float64(goroutines*perG) {
+		t.Fatalf("Max() = %v, want %v", max, float64(goroutines*perG))
+	}
+}
+
+// TestTimeWeightedAddNegativeDelta checks Add also shifts downward
+// atomically (cache-size accounting uses negative deltas on drops).
+func TestTimeWeightedAddNegativeDelta(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 10)
+	w.Add(time.Second, -4)
+	if got := w.Current(); got != 6 {
+		t.Fatalf("Current() = %v, want 6", got)
+	}
+}
+
+// TestCounterConcurrentAdd exercises the CAS loop of the atomic Counter
+// under -race: totals, counts and drop tallies must all be exact.
+func TestCounterConcurrentAdd(t *testing.T) {
+	const goroutines = 16
+	const perG = 5000
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Add(0.5)
+				c.Add(-1) // rejected, tallied
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), float64(goroutines*perG)*0.5; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Value() = %v, want %v", got, want)
+	}
+	if got, want := c.Count(), int64(goroutines*perG); got != want {
+		t.Fatalf("Count() = %d, want %d", got, want)
+	}
+	if got, want := c.Dropped(), int64(goroutines*perG); got != want {
+		t.Fatalf("Dropped() = %d, want %d", got, want)
+	}
+}
+
+// TestSamplerReservoirAgreesWithExact feeds the same fixed-seed stream to
+// an uncapped and a capped sampler and requires their quantiles to agree
+// within tolerance — the reservoir must stay a uniform subset.
+func TestSamplerReservoirAgreesWithExact(t *testing.T) {
+	const n = 50000
+	const capN = 4000
+	rng := rand.New(rand.NewSource(7))
+
+	var exact, capped Sampler
+	capped.SetCap(capN, 42)
+	for i := 0; i < n; i++ {
+		// Lognormal-ish latency shape: heavy right tail.
+		x := math.Exp(rng.NormFloat64()*0.8 - 1)
+		exact.Observe(x)
+		capped.Observe(x)
+	}
+
+	if capped.N() != capN {
+		t.Fatalf("capped.N() = %d, want %d", capped.N(), capN)
+	}
+	if capped.Seen() != n {
+		t.Fatalf("capped.Seen() = %d, want %d", capped.Seen(), n)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		e, c := exact.Quantile(q), capped.Quantile(q)
+		if e <= 0 {
+			t.Fatalf("exact quantile %v = %v, want > 0", q, e)
+		}
+		if rel := math.Abs(c-e) / e; rel > 0.10 {
+			t.Errorf("q%v: capped %v vs exact %v (rel err %.3f > 0.10)", q, c, e, rel)
+		}
+	}
+}
+
+// TestSamplerUncappedStaysExact guards the default: without SetCap every
+// sample is retained, preserving paper-exact quantiles in sim runs.
+func TestSamplerUncappedStaysExact(t *testing.T) {
+	var s Sampler
+	for i := 1; i <= 1000; i++ {
+		s.Observe(float64(i))
+	}
+	if s.N() != 1000 {
+		t.Fatalf("N() = %d, want 1000", s.N())
+	}
+	if got := s.Quantile(0.95); got != 950 {
+		t.Fatalf("Quantile(0.95) = %v, want 950", got)
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// NewDebugMux returns the opt-in debug surface the binaries serve on
+// -debug-addr: the full net/http/pprof suite under /debug/pprof/ plus an
+// expvar-style JSON runtime snapshot at /debug/runtime. It is a separate
+// mux (and, in the binaries, a separate listener) so profiling endpoints
+// are never exposed on the public API port.
+func NewDebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	start := time.Now()
+	mux.HandleFunc("GET /debug/runtime", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(RuntimeSnapshot(time.Since(start)))
+	})
+	return mux
+}
+
+// RuntimeInfo is the /debug/runtime payload: the process-level numbers an
+// operator wants before reaching for a profile.
+type RuntimeInfo struct {
+	GoVersion     string  `json:"go_version"`
+	NumCPU        int     `json:"num_cpu"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	NumGoroutine  int     `json:"num_goroutine"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	HeapObjects    uint64 `json:"heap_objects"`
+	StackSysBytes  uint64 `json:"stack_sys_bytes"`
+	SysBytes       uint64 `json:"sys_bytes"`
+	TotalAllocated uint64 `json:"total_alloc_bytes"`
+
+	NumGC          uint32  `json:"num_gc"`
+	PauseTotalSecs float64 `json:"gc_pause_total_seconds"`
+	LastGCUnixNano uint64  `json:"last_gc_unix_nano"`
+	NextGCBytes    uint64  `json:"next_gc_bytes"`
+}
+
+// RuntimeSnapshot captures the current runtime state.
+func RuntimeSnapshot(uptime time.Duration) RuntimeInfo {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeInfo{
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumGoroutine:   runtime.NumGoroutine(),
+		UptimeSeconds:  uptime.Seconds(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		HeapObjects:    ms.HeapObjects,
+		StackSysBytes:  ms.StackSys,
+		SysBytes:       ms.Sys,
+		TotalAllocated: ms.TotalAlloc,
+		NumGC:          ms.NumGC,
+		PauseTotalSecs: time.Duration(ms.PauseTotalNs).Seconds(),
+		LastGCUnixNano: ms.LastGC,
+		NextGCBytes:    ms.NextGC,
+	}
+}
+
+// NewRuntimeCollector exposes Go runtime health as metrics
+// (go_goroutines, go_memstats_*, go_gc_*), read at scrape time.
+func NewRuntimeCollector() Collector {
+	return CollectorFunc(func(emit func(Family)) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		emit(Family{Name: "go_goroutines", Help: "Number of goroutines.", Type: GaugeType,
+			Points: []Point{{Value: float64(runtime.NumGoroutine())}}})
+		emit(Family{Name: "go_memstats_heap_alloc_bytes", Help: "Heap bytes allocated and in use.", Type: GaugeType,
+			Points: []Point{{Value: float64(ms.HeapAlloc)}}})
+		emit(Family{Name: "go_memstats_sys_bytes", Help: "Bytes obtained from the OS.", Type: GaugeType,
+			Points: []Point{{Value: float64(ms.Sys)}}})
+		emit(Family{Name: "go_memstats_heap_objects", Help: "Live heap objects.", Type: GaugeType,
+			Points: []Point{{Value: float64(ms.HeapObjects)}}})
+		emit(Family{Name: "go_gc_cycles_total", Help: "Completed GC cycles.", Type: CounterType,
+			Points: []Point{{Value: float64(ms.NumGC)}}})
+		emit(Family{Name: "go_gc_pause_seconds_total", Help: "Cumulative GC stop-the-world pause.", Type: CounterType,
+			Points: []Point{{Value: time.Duration(ms.PauseTotalNs).Seconds()}}})
+	})
+}

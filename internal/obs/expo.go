@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format version this package writes.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered family in Prometheus text format
+// (version 0.0.4): one # HELP and # TYPE line per family, then its sample
+// rows. Families are sorted by name and points by label signature, so the
+// output is deterministic for a fixed metric state.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.Gather() {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, p := range f.Points {
+			switch {
+			case p.Hist != nil:
+				writeHistogram(bw, f.Name, p)
+			case p.Summary != nil:
+				writeSummary(bw, f.Name, p)
+			default:
+				writeSample(bw, f.Name, p.Labels, p.Value)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the exposition over HTTP (mount at /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		_ = r.WriteText(w)
+	})
+}
+
+func writeHistogram(w io.Writer, name string, p Point) {
+	h := p.Hist
+	for i, ub := range h.UpperBounds {
+		writeSample(w, name+"_bucket", withLabel(p.Labels, "le", formatFloat(ub)), float64(h.CumCounts[i]))
+	}
+	writeSample(w, name+"_bucket", withLabel(p.Labels, "le", "+Inf"), float64(h.Count))
+	writeSample(w, name+"_sum", p.Labels, h.Sum)
+	writeSample(w, name+"_count", p.Labels, float64(h.Count))
+}
+
+func writeSummary(w io.Writer, name string, p Point) {
+	qs := make([]float64, 0, len(p.Summary.Quantiles))
+	for q := range p.Summary.Quantiles {
+		qs = append(qs, q)
+	}
+	sort.Float64s(qs)
+	for _, q := range qs {
+		writeSample(w, name, withLabel(p.Labels, "quantile", formatFloat(q)), p.Summary.Quantiles[q])
+	}
+	writeSample(w, name+"_sum", p.Labels, p.Summary.Sum)
+	writeSample(w, name+"_count", p.Labels, float64(p.Summary.Count))
+}
+
+func writeSample(w io.Writer, name string, labels []Label, v float64) {
+	if len(labels) == 0 {
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+		return
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	fmt.Fprintf(w, "%s %s\n", b.String(), formatFloat(v))
+}
+
+// withLabel returns labels plus one extra pair (input left untouched).
+func withLabel(labels []Label, name, value string) []Label {
+	out := make([]Label, 0, len(labels)+1)
+	out = append(out, labels...)
+	return append(out, Label{Name: name, Value: value})
+}
+
+// formatFloat renders a sample value: shortest round-trip representation,
+// with the format's spellings for infinities.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline, per the
+// text format's label value rules.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in # HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

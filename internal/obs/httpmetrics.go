@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics is the per-route server-side HTTP instrumentation every
+// gobad server exposes: request counts by route/method/status, a latency
+// histogram per route and an in-flight gauge. Construct with
+// NewHTTPMetrics, which registers the families on the given registry.
+type HTTPMetrics struct {
+	requests *CounterVec
+	latency  *HistogramVec
+	inflight *Gauge
+}
+
+// NewHTTPMetrics creates and registers the HTTP metric families.
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
+	m := &HTTPMetrics{
+		requests: NewCounterVec("http_requests_total",
+			"HTTP requests served, by route pattern, method and status code.",
+			"route", "method", "code"),
+		latency: NewHistogramVec("http_request_duration_seconds",
+			"HTTP request latency by route pattern.", DefBuckets, "route"),
+	}
+	m.inflight = &Gauge{}
+	reg.MustRegister(m.requests, m.latency,
+		GaugeFunc("http_requests_in_flight", "Requests currently being served.", m.inflight.Value))
+	return m
+}
+
+// Begin marks a request in flight; call the returned func when it ends.
+func (m *HTTPMetrics) Begin() func() {
+	m.inflight.Inc()
+	return m.inflight.Dec
+}
+
+// Observe records one served request.
+func (m *HTTPMetrics) Observe(route, method string, code int, d time.Duration) {
+	m.requests.With(route, method, strconv.Itoa(code)).Inc()
+	m.latency.With(route).Observe(d.Seconds())
+}

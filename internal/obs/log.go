@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// contextHandler decorates a slog.Handler so every record emitted through a
+// context-carrying call (InfoContext, WarnContext, ...) is stamped with the
+// trace, span and request IDs the httpx middleware put into the context.
+// One notification delivery then shares one trace_id across the broker's
+// and the data cluster's log lines.
+type contextHandler struct{ inner slog.Handler }
+
+// Enabled implements slog.Handler.
+func (h contextHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler.
+func (h contextHandler) Handle(ctx context.Context, r slog.Record) error {
+	if sc, ok := SpanFromContext(ctx); ok {
+		r.AddAttrs(
+			slog.String("trace_id", sc.TraceIDString()),
+			slog.String("span_id", sc.SpanIDString()),
+		)
+	}
+	if id := RequestIDFromContext(ctx); id != "" {
+		r.AddAttrs(slog.String("request_id", id))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs implements slog.Handler.
+func (h contextHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return contextHandler{h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler.
+func (h contextHandler) WithGroup(name string) slog.Handler {
+	return contextHandler{h.inner.WithGroup(name)}
+}
+
+// NewLogger returns a JSON structured logger writing to w at the given
+// level, trace-aware via the context handler, with a constant service
+// attribute identifying the emitting process (badbroker, badcluster,
+// badbcs).
+func NewLogger(w io.Writer, level slog.Leveler, service string) *slog.Logger {
+	base := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	l := slog.New(contextHandler{base})
+	if service != "" {
+		l = l.With(slog.String("service", service))
+	}
+	return l
+}
+
+// WrapLogger makes an existing logger trace-aware (no-op if it already is).
+func WrapLogger(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		l = slog.Default()
+	}
+	if _, ok := l.Handler().(contextHandler); ok {
+		return l
+	}
+	return slog.New(contextHandler{l.Handler()})
+}
+
+// NopLogger returns a logger that discards everything; components use it as
+// the default so logging stays opt-in for tests and library embedders.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// ParseLevel maps "debug", "info", "warn", "error" (case-insensitive) to a
+// slog level for -log-level flags.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}

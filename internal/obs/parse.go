@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TextMetrics is a parsed Prometheus text exposition: family metadata plus
+// every sample row keyed by its full name-with-labels spelling, e.g.
+// `http_requests_total{code="200",method="GET",route="/v1/stats"}`. It
+// exists so tests (and small tools) can diff an exposition against another
+// metric source without a Prometheus client dependency.
+type TextMetrics struct {
+	// Types maps family name to its declared # TYPE.
+	Types map[string]MetricType
+	// Help maps family name to its declared # HELP text.
+	Help map[string]string
+	// Samples maps each sample row (name plus label set, verbatim) to its
+	// value.
+	Samples map[string]float64
+}
+
+// Value returns the sample with the exact key, e.g. `up` or
+// `foo{bar="baz"}`, and whether it exists.
+func (m *TextMetrics) Value(key string) (float64, bool) {
+	v, ok := m.Samples[key]
+	return v, ok
+}
+
+// ParseText parses a text exposition as written by Registry.WriteText. It
+// rejects rows it cannot split into a sample key and a float value, and
+// sample names that lack a preceding # TYPE declaration.
+func ParseText(r io.Reader) (*TextMetrics, error) {
+	out := &TextMetrics{
+		Types:   make(map[string]MetricType),
+		Help:    make(map[string]string),
+		Samples: make(map[string]float64),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 {
+				continue // free-form comment
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("obs: line %d: malformed TYPE: %q", line, text)
+				}
+				out.Types[fields[2]] = MetricType(fields[3])
+			case "HELP":
+				help := ""
+				if len(fields) == 4 {
+					help = fields[3]
+				}
+				out.Help[fields[2]] = help
+			}
+			continue
+		}
+		// Sample row: `key value`, where key may contain spaces only inside
+		// quoted label values — WriteText never emits those unescaped, so
+		// splitting at the last space is safe.
+		cut := strings.LastIndexByte(text, ' ')
+		if cut <= 0 {
+			return nil, fmt.Errorf("obs: line %d: malformed sample: %q", line, text)
+		}
+		key, valStr := text[:cut], text[cut+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: bad value %q: %v", line, valStr, err)
+		}
+		base := key
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if !declaredType(out.Types, base) {
+			return nil, fmt.Errorf("obs: line %d: sample %q has no TYPE declaration", line, base)
+		}
+		if _, dup := out.Samples[key]; dup {
+			return nil, fmt.Errorf("obs: line %d: duplicate sample %q", line, key)
+		}
+		out.Samples[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: scan exposition: %w", err)
+	}
+	return out, nil
+}
+
+// declaredType reports whether base (or the family it is derived from via
+// the _bucket/_sum/_count suffixes) has a TYPE declaration.
+func declaredType(types map[string]MetricType, base string) bool {
+	if _, ok := types[base]; ok {
+		return true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if fam, found := strings.CutSuffix(base, suffix); found {
+			if _, ok := types[fam]; ok {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"io"
 	"time"
 
 	"gobad/internal/core"
@@ -70,6 +71,12 @@ type Config struct {
 
 	// JoinWindow spreads initial subscriber arrivals over this span.
 	JoinWindow time.Duration
+
+	// ExpositionWriter, when non-nil, receives the run's final metric
+	// state in Prometheus text format after the event loop drains — the
+	// same families a live broker serves at /metrics, so a sim run can be
+	// diffed against a scrape (or against Result.Metrics).
+	ExpositionWriter io.Writer
 }
 
 // DefaultConfig returns the Table II settings with the LSC policy and a

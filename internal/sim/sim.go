@@ -3,12 +3,14 @@ package sim
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 	"time"
 
 	"gobad/internal/core"
 	"gobad/internal/metrics"
+	"gobad/internal/obs"
 	"gobad/internal/workload"
 )
 
@@ -116,7 +118,24 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	s.loop()
+	if cfg.ExpositionWriter != nil {
+		if err := s.writeExposition(cfg.ExpositionWriter); err != nil {
+			return Result{}, fmt.Errorf("sim: write exposition: %w", err)
+		}
+	}
 	return s.result(), nil
+}
+
+// writeExposition dumps the run's final metric state in Prometheus text
+// format: the cache stats bundle closed out at the configured duration plus
+// the manager's structural gauges.
+func (s *simulator) writeExposition(w io.Writer) error {
+	reg := obs.NewRegistry()
+	reg.MustRegister(
+		obs.NewCacheStatsCollector(s.stats, func() time.Duration { return s.cfg.Duration }),
+		obs.NewManagerCollector(s.manager),
+	)
+	return reg.WriteText(w)
 }
 
 // setup seeds the initial event population.
