@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench verify
+.PHONY: build vet lint test race bench chaos verify
 
 build:
 	$(GO) build ./...
@@ -30,5 +30,17 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Chaos tier: the fault-injection harness and every resilience path it
+# drives — retries/breakers (httpx), client wiring and webhook redelivery
+# (bdms), stale-serve (core, broker) and the kill-the-cluster simulation
+# scenario. Runs race-enabled and twice, because these tests assert exact
+# deterministic counts: a flake here is a real ordering bug.
+chaos:
+	$(GO) test -race -count=2 \
+		./internal/faults/... ./internal/httpx/... ./internal/bdms/... \
+		./internal/core/... ./internal/broker/... ./internal/sim/...
+
 # Everything CI runs: build, vet, full test suite, then the race tier.
+# The chaos tier is its own CI step (it re-runs several suites race-enabled
+# with -count=2, which would double up here).
 verify: build vet test race

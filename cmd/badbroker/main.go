@@ -24,6 +24,7 @@ import (
 	"gobad/internal/broker"
 	"gobad/internal/cliutil"
 	"gobad/internal/core"
+	"gobad/internal/httpx"
 )
 
 func main() {
@@ -38,15 +39,34 @@ func main() {
 	shards := flag.Int("cache-shards", 0, "cache manager lock stripes (0 = default)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and /debug/runtime (empty = off)")
+	res := resilienceFlags{}
+	flag.IntVar(&res.retries, "cluster-retries", 4, "max attempts per cluster call (1 = no retries)")
+	flag.DurationVar(&res.retryBase, "retry-base", 100*time.Millisecond, "base backoff between cluster retries")
+	flag.DurationVar(&res.retryMax, "retry-max", 2*time.Second, "backoff cap between cluster retries")
+	flag.IntVar(&res.breakerFailures, "breaker-failures", 5, "consecutive cluster failures that trip the circuit open (0 = no breaker)")
+	flag.DurationVar(&res.breakerOpen, "breaker-open", 10*time.Second, "how long a tripped circuit stays open before probing")
+	flag.BoolVar(&res.staleServe, "stale-serve", true, "serve cached results stale (zero ack marker) when a cluster fetch fails")
 	flag.Parse()
 
-	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval, *shards, *logLevel, *debugAddr); err != nil {
+	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval, *shards, *logLevel, *debugAddr, res); err != nil {
 		fmt.Fprintln(os.Stderr, "badbroker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration, shards int, logLevel, debugAddr string) error {
+// resilienceFlags groups the cluster-facing fault-tolerance knobs: the
+// retry schedule and circuit breaker on the bdms client, and stale-serve on
+// the broker cache.
+type resilienceFlags struct {
+	retries         int
+	retryBase       time.Duration
+	retryMax        time.Duration
+	breakerFailures int
+	breakerOpen     time.Duration
+	staleServe      bool
+}
+
+func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration, shards int, logLevel, debugAddr string, res resilienceFlags) error {
 	observer, err := cliutil.NewObserver("badbroker", logLevel)
 	if err != nil {
 		return err
@@ -68,9 +88,31 @@ func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttl
 		}
 	}
 
+	// The cluster client runs retry-around-breaker; both surfaces export
+	// their counters on this broker's /metrics.
+	retryStats := &httpx.RetryStats{}
+	var clientOpts []bdms.ClientOption
+	if res.retries > 1 {
+		clientOpts = append(clientOpts, bdms.WithClientRetryer(&httpx.Retryer{
+			MaxAttempts: res.retries,
+			BaseDelay:   res.retryBase,
+			MaxDelay:    res.retryMax,
+			Stats:       retryStats,
+		}))
+		observer.Registry.MustRegister(retryStats.Collector())
+	}
+	if res.breakerFailures > 0 {
+		breakers := httpx.NewBreakerSet(httpx.BreakerConfig{
+			FailureThreshold: res.breakerFailures,
+			OpenTimeout:      res.breakerOpen,
+		})
+		clientOpts = append(clientOpts, bdms.WithClientBreaker(breakers.For("cluster")))
+		observer.Registry.MustRegister(breakers.Collector())
+	}
+
 	b, err := broker.New(broker.Config{
 		ID:          id,
-		Backend:     bdms.NewClient(clusterURL, nil),
+		Backend:     bdms.NewClient(clusterURL, nil, clientOpts...),
 		CallbackURL: public + "/v1/callbacks/results",
 	},
 		broker.WithPolicy(policy),
@@ -78,6 +120,7 @@ func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttl
 		broker.WithTTLConfig(core.TTLConfig{RecomputeInterval: ttlInterval}),
 		broker.WithShards(shards),
 		broker.WithLogger(observer.Logger),
+		broker.WithStaleServe(res.staleServe),
 	)
 	if err != nil {
 		return err

@@ -28,26 +28,34 @@ func main() {
 	nodes := flag.Int("nodes", 3, "storage nodes per dataset")
 	emergency := flag.Bool("emergency", true, "preload the city-emergency catalog (Table III)")
 	repTick := flag.Duration("repetitive-tick", time.Second, "how often repetitive channels are polled")
+	webhookAttempts := flag.Int("webhook-attempts", 8, "delivery attempts per webhook notification before it is abandoned")
 	walPath := flag.String("wal", "", "write-ahead log path for durable publications (empty = in-memory only)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and /debug/runtime (empty = off)")
 	flag.Parse()
 
-	if err := run(*addr, *nodes, *emergency, *repTick, *walPath, *logLevel, *debugAddr); err != nil {
+	if err := run(*addr, *nodes, *emergency, *repTick, *webhookAttempts, *walPath, *logLevel, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "badcluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, nodes int, emergency bool, repTick time.Duration, walPath, logLevel, debugAddr string) error {
+func run(addr string, nodes int, emergency bool, repTick time.Duration, webhookAttempts int, walPath, logLevel, debugAddr string) error {
 	observer, err := cliutil.NewObserver("badcluster", logLevel)
 	if err != nil {
 		return err
 	}
 	stopDebug := cliutil.StartDebug(debugAddr, observer.Logger)
 	defer stopDebug()
-	notifier := bdms.NewWebhookNotifier(4, 1024, nil)
+	// Webhook deliveries are at-least-once: failures are WARN-logged with
+	// their trace ID, redelivered with backoff and tallied on /metrics.
+	notifierStats := &bdms.NotifierStats{}
+	notifier := bdms.NewWebhookNotifier(4, 1024, nil,
+		bdms.WithNotifierLogger(observer.Logger),
+		bdms.WithNotifierMaxAttempts(webhookAttempts),
+		bdms.WithNotifierStats(notifierStats))
 	defer notifier.Close()
+	observer.Registry.MustRegister(notifierStats.Collector())
 	opts := []bdms.Option{bdms.WithNodes(nodes), bdms.WithNotifier(notifier)}
 	var cluster *bdms.Cluster
 	if walPath != "" {

@@ -17,6 +17,7 @@ import (
 	"gobad/internal/cliutil"
 	"gobad/internal/core"
 	"gobad/internal/experiments"
+	"gobad/internal/faults"
 	"gobad/internal/sim"
 )
 
@@ -30,16 +31,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	perCache := flag.Bool("per-cache", false, "include per-cache summaries in the output")
 	metricsOut := flag.String("metrics-out", "", "write the run's final metrics in Prometheus text format to this file ('-' = stderr)")
+	faultPlan := flag.String("fault-plan", "", "inject data-cluster failures from this JSON fault plan (see internal/faults)")
+	staleServe := flag.Bool("stale-serve", false, "serve cached results stale when a cluster fetch fails")
 	flag.Parse()
 
-	if err := run(*policy, *budget, *scale, *duration, *subscribers, *backendSubs, *seed, *perCache, *metricsOut); err != nil {
+	if err := run(*policy, *budget, *scale, *duration, *subscribers, *backendSubs, *seed, *perCache, *metricsOut, *faultPlan, *staleServe); err != nil {
 		fmt.Fprintln(os.Stderr, "badsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(policyName, budgetStr string, scale float64, duration time.Duration,
-	subscribers, backendSubs int, seed int64, perCache bool, metricsOut string) error {
+	subscribers, backendSubs int, seed int64, perCache bool, metricsOut, faultPlan string, staleServe bool) error {
 	p, err := core.PolicyByName(policyName)
 	if err != nil {
 		return err
@@ -61,6 +64,14 @@ func run(policyName, budgetStr string, scale float64, duration time.Duration,
 	if backendSubs > 0 {
 		cfg.BackendSubs = backendSubs
 	}
+	if faultPlan != "" {
+		plan, err := faults.LoadPlan(faultPlan)
+		if err != nil {
+			return err
+		}
+		cfg.FaultPlan = &plan
+	}
+	cfg.StaleServe = staleServe
 	switch metricsOut {
 	case "":
 	case "-":

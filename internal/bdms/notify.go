@@ -1,11 +1,15 @@
 package bdms
 
 import (
+	"context"
+	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gobad/internal/httpx"
+	"gobad/internal/obs"
 )
 
 // NotificationPayload is the JSON body POSTed to a subscription's callback
@@ -28,27 +32,133 @@ type NotificationPayloadTo struct {
 	Payload  NotificationPayload
 }
 
+// NotifierStats tallies a WebhookNotifier's delivery outcomes. At-least-once
+// accounting: every accepted notification ends as exactly one of Delivered,
+// or Lost (abandoned after the attempt budget / shed on shutdown); Dropped
+// counts notifications never accepted because the intake queue was full.
+type NotifierStats struct {
+	// Delivered counts successful callback POSTs.
+	Delivered atomic.Uint64
+	// Failed counts individual failed delivery attempts (one notification
+	// may fail several times before succeeding or being abandoned).
+	Failed atomic.Uint64
+	// Redelivered counts re-enqueues after a failed attempt.
+	Redelivered atomic.Uint64
+	// Dropped counts notifications shed at intake (full queue).
+	Dropped atomic.Uint64
+	// Lost counts notifications abandoned after exhausting the attempt
+	// budget or because the notifier shut down with redeliveries pending.
+	Lost atomic.Uint64
+}
+
+// Collector exports the delivery tallies as counter families.
+func (s *NotifierStats) Collector() obs.Collector {
+	return obs.CollectorFunc(func(emit func(obs.Family)) {
+		counter := func(name, help string, v uint64) {
+			emit(obs.Family{Name: name, Help: help, Type: obs.CounterType,
+				Points: []obs.Point{{Value: float64(v)}}})
+		}
+		counter("bad_webhook_delivered_total", "Webhook notifications delivered.", s.Delivered.Load())
+		counter("bad_webhook_failed_total", "Failed webhook delivery attempts.", s.Failed.Load())
+		counter("bad_webhook_redelivered_total", "Webhook notifications re-enqueued after a failed attempt.", s.Redelivered.Load())
+		counter("bad_webhook_dropped_total", "Webhook notifications shed at intake (full queue).", s.Dropped.Load())
+		counter("bad_webhook_lost_total", "Webhook notifications abandoned after the attempt budget.", s.Lost.Load())
+	})
+}
+
+// queueItem is one in-flight delivery: the payload plus its attempt count
+// and the trace span minted at enqueue, so every retry of one notification
+// logs (and propagates) the same trace ID.
+type queueItem struct {
+	NotificationPayloadTo
+	attempts int
+	span     obs.SpanContext
+}
+
 // WebhookNotifier delivers notifications by POSTing to each subscription's
-// callback URL. Deliveries run on a fixed worker pool fed by a bounded
-// queue; when the queue is full new notifications are shed, which is safe:
-// PULL notifications are cumulative (only the latest timestamp matters)
-// and a dropped PUSH is recovered by the broker's next pull, because its
-// backend marker still lags the dropped object.
+// callback URL with at-least-once semantics. Deliveries run on a fixed
+// worker pool fed by a bounded queue; a failed attempt is logged at WARN
+// (with its trace ID), counted, and re-enqueued after a capped exponential
+// backoff until the attempt budget is exhausted, at which point the
+// notification is counted as lost. Intake still sheds when the queue is
+// full — that is safe for the protocol: PULL notifications are cumulative
+// (only the latest timestamp matters) and a dropped PUSH is recovered by
+// the broker's next pull, because its backend marker still lags the
+// dropped object.
 type WebhookNotifier struct {
-	client *http.Client
+	client      *http.Client
+	logger      *slog.Logger
+	maxAttempts int
+	baseDelay   time.Duration
+	maxDelay    time.Duration
+	sleep       func(ctx context.Context, d time.Duration) error
+	stats       *NotifierStats
 
 	mu     sync.Mutex
-	queue  chan NotificationPayloadTo
+	queue  chan queueItem
 	wg     sync.WaitGroup
 	closed bool
+}
 
-	dropped int
+// NotifierOption tunes a WebhookNotifier.
+type NotifierOption func(*WebhookNotifier)
+
+// WithNotifierLogger sets the logger for delivery failures (wrapped to be
+// trace-aware). The default discards.
+func WithNotifierLogger(l *slog.Logger) NotifierOption {
+	return func(n *WebhookNotifier) {
+		if l != nil {
+			n.logger = obs.WrapLogger(l)
+		}
+	}
+}
+
+// WithNotifierMaxAttempts bounds delivery attempts per notification
+// (default 8); 1 disables redelivery.
+func WithNotifierMaxAttempts(max int) NotifierOption {
+	return func(n *WebhookNotifier) {
+		if max > 0 {
+			n.maxAttempts = max
+		}
+	}
+}
+
+// WithNotifierBackoff sets the redelivery backoff envelope: attempt k waits
+// min(maxDelay, base<<k). Defaults: 100ms base, 5s cap.
+func WithNotifierBackoff(base, maxDelay time.Duration) NotifierOption {
+	return func(n *WebhookNotifier) {
+		if base > 0 {
+			n.baseDelay = base
+		}
+		if maxDelay > 0 {
+			n.maxDelay = maxDelay
+		}
+	}
+}
+
+// WithNotifierSleep injects the backoff sleeper (tests pass a virtual one).
+func WithNotifierSleep(sleep func(ctx context.Context, d time.Duration) error) NotifierOption {
+	return func(n *WebhookNotifier) {
+		if sleep != nil {
+			n.sleep = sleep
+		}
+	}
+}
+
+// WithNotifierStats shares an externally-owned stats bundle (e.g. one
+// registered on /metrics).
+func WithNotifierStats(s *NotifierStats) NotifierOption {
+	return func(n *WebhookNotifier) {
+		if s != nil {
+			n.stats = s
+		}
+	}
 }
 
 // NewWebhookNotifier starts a notifier with the given number of delivery
 // workers (min 1) and queue capacity (min 16). Close must be called to
 // release the workers.
-func NewWebhookNotifier(workers, queueCap int, client *http.Client) *WebhookNotifier {
+func NewWebhookNotifier(workers, queueCap int, client *http.Client, opts ...NotifierOption) *WebhookNotifier {
 	if workers < 1 {
 		workers = 1
 	}
@@ -59,14 +169,37 @@ func NewWebhookNotifier(workers, queueCap int, client *http.Client) *WebhookNoti
 		client = &http.Client{Timeout: 10 * time.Second}
 	}
 	n := &WebhookNotifier{
-		client: client,
-		queue:  make(chan NotificationPayloadTo, queueCap),
+		client:      client,
+		logger:      obs.NopLogger(),
+		maxAttempts: 8,
+		baseDelay:   100 * time.Millisecond,
+		maxDelay:    5 * time.Second,
+		stats:       &NotifierStats{},
+		queue:       make(chan queueItem, queueCap),
+	}
+	n.sleep = realSleep
+	for _, opt := range opts {
+		opt(n)
 	}
 	n.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go n.worker()
 	}
 	return n
+}
+
+func realSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Notify implements Notifier (PULL model): it enqueues the delivery,
@@ -99,27 +232,52 @@ func (n *WebhookNotifier) NotifyPush(subID, callback string, obj ResultObject) {
 
 func (n *WebhookNotifier) enqueue(item NotificationPayloadTo) {
 	n.mu.Lock()
+	defer n.mu.Unlock()
 	if n.closed {
-		n.mu.Unlock()
+		return
+	}
+	select {
+	case n.queue <- queueItem{NotificationPayloadTo: item, span: obs.NewSpan()}:
+	default:
+		n.stats.Dropped.Add(1)
+	}
+}
+
+// requeue puts a failed item back for another attempt; when the queue is
+// full or the notifier is shutting down the notification is lost instead.
+func (n *WebhookNotifier) requeue(item queueItem) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		n.stats.Lost.Add(1)
 		return
 	}
 	select {
 	case n.queue <- item:
+		n.stats.Redelivered.Add(1)
 	default:
-		n.dropped++
+		n.stats.Lost.Add(1)
 	}
-	n.mu.Unlock()
 }
 
-// Dropped reports how many notifications were shed due to a full queue.
-func (n *WebhookNotifier) Dropped() int {
+// isClosed reports whether Close has begun (workers skip backoff sleeps so
+// shutdown drains promptly).
+func (n *WebhookNotifier) isClosed() bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.dropped
+	return n.closed
 }
 
-// Close stops accepting notifications, drains the queue and waits for the
-// workers to finish.
+// Stats returns the notifier's delivery tallies.
+func (n *WebhookNotifier) Stats() *NotifierStats { return n.stats }
+
+// Dropped reports how many notifications were shed at intake due to a full
+// queue.
+func (n *WebhookNotifier) Dropped() int { return int(n.stats.Dropped.Load()) }
+
+// Close stops accepting notifications, drains the queue (redeliveries
+// pending at shutdown are counted lost rather than retried) and waits for
+// the workers to finish.
 func (n *WebhookNotifier) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -135,10 +293,43 @@ func (n *WebhookNotifier) Close() {
 func (n *WebhookNotifier) worker() {
 	defer n.wg.Done()
 	for item := range n.queue {
-		// Delivery failures are tolerated: the broker can always catch
-		// up by polling /latest, and the next result re-notifies.
-		_ = httpx.DoJSON(n.client, http.MethodPost, item.Callback, item.Payload, nil)
+		ctx := obs.ContextWithSpan(context.Background(), item.span)
+		err := httpx.DoJSONContext(ctx, n.client, http.MethodPost, item.Callback, item.Payload, nil)
+		if err == nil {
+			n.stats.Delivered.Add(1)
+			continue
+		}
+		n.stats.Failed.Add(1)
+		item.attempts++
+		if item.attempts >= n.maxAttempts {
+			n.stats.Lost.Add(1)
+			n.logger.WarnContext(ctx, "webhook delivery abandoned",
+				"callback", item.Callback,
+				"subscription_id", item.Payload.SubscriptionID,
+				"attempts", item.attempts,
+				"error", err)
+			continue
+		}
+		n.logger.WarnContext(ctx, "webhook delivery failed; redelivering",
+			"callback", item.Callback,
+			"subscription_id", item.Payload.SubscriptionID,
+			"attempt", item.attempts,
+			"error", err)
+		if !n.isClosed() {
+			_ = n.sleep(ctx, n.backoff(item.attempts))
+		}
+		n.requeue(item)
 	}
+}
+
+// backoff is the delay before redelivery attempt k+1: min(maxDelay,
+// base<<(k-1)).
+func (n *WebhookNotifier) backoff(attempts int) time.Duration {
+	d := n.baseDelay << uint(attempts-1)
+	if d > n.maxDelay || d <= 0 {
+		d = n.maxDelay
+	}
+	return d
 }
 
 // Interface compliance.

@@ -91,6 +91,13 @@ type Config struct {
 	// SlowFetchThreshold is the wall-clock duration above which a data
 	// cluster pull is logged as slow; <= 0 selects one second.
 	SlowFetchThreshold time.Duration
+	// StaleServe degrades gracefully when the data cluster is
+	// unreachable: a retrieval whose backend fetch fails is answered
+	// from the cache alone and marked stale instead of erroring. The
+	// returned marker stays 0, so the subscriber cannot ack past the
+	// missed range — the older objects are re-delivered once the
+	// cluster recovers (at-least-once, possible duplicates).
+	StaleServe bool
 }
 
 // Broker is a BAD broker node.
@@ -195,12 +202,13 @@ func New(cfg Config, opts ...Option) (*Broker, error) {
 		b.clock = func() time.Duration { return time.Since(epoch) }
 	}
 	mgr, err := core.NewManager(core.Config{
-		Policy:  cfg.Policy,
-		Budget:  cfg.CacheBudget,
-		Fetcher: core.FetcherFunc(b.fetchFromBackend),
-		TTL:     cfg.TTL,
-		Stats:   b.stats,
-		Shards:  cfg.CacheShards,
+		Policy:     cfg.Policy,
+		Budget:     cfg.CacheBudget,
+		Fetcher:    core.FetcherFunc(b.fetchFromBackend),
+		TTL:        cfg.TTL,
+		Stats:      b.stats,
+		Shards:     cfg.CacheShards,
+		StaleServe: cfg.StaleServe,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("broker: %w", err)
@@ -369,27 +377,54 @@ func (b *Broker) GetResults(subscriber, fsID string) ([]ResultItem, time.Duratio
 	return b.GetResultsContext(context.Background(), subscriber, fsID)
 }
 
-// GetResultsContext implements Algorithm 1's GETRESULTS: it returns the
+// GetResultsContext is RetrieveContext without the staleness marker, kept
+// for existing call sites; stale serves (StaleServe on) surface here as an
+// error-free answer with a zero marker.
+func (b *Broker) GetResultsContext(ctx context.Context, subscriber, fsID string) ([]ResultItem, time.Duration, error) {
+	ret, err := b.RetrieveContext(ctx, subscriber, fsID)
+	return ret.Items, ret.Latest, err
+}
+
+// Retrieval is a retrieval's full answer.
+type Retrieval struct {
+	// Items are the results, oldest first.
+	Items []ResultItem
+	// Latest is the marker the subscriber should Ack; it stays 0 when
+	// nothing may be acked (fetch failure or stale serve), so the
+	// undelivered range is retried on the next retrieval.
+	Latest time.Duration
+	// Stale reports a degraded answer: the backend fetch failed and
+	// Items is the cached portion only. Older objects may follow once
+	// the data cluster recovers.
+	Stale bool
+}
+
+// RetrieveContext implements Algorithm 1's GETRESULTS: it returns the
 // results of fsID's backend subscription in (fts, bts], serving from the
 // cache where possible. ctx bounds any miss re-fetch from the data cluster.
 // The subscriber must Ack the returned latest timestamp to advance its
 // marker.
-func (b *Broker) GetResultsContext(ctx context.Context, subscriber, fsID string) ([]ResultItem, time.Duration, error) {
+//
+// Under StaleServe a backend-fetch failure degrades instead of erroring:
+// the cached portion is returned with Stale set and a zero marker, so the
+// subscriber sees results — never an error — while the missed older range
+// stays pending for redelivery.
+func (b *Broker) RetrieveContext(ctx context.Context, subscriber, fsID string) (Retrieval, error) {
 	now := b.clock()
 	b.mu.Lock()
 	fs, ok := b.frontend[fsID]
 	if !ok || fs.subscriber != subscriber {
 		b.mu.Unlock()
-		return nil, 0, fmt.Errorf("broker: unknown frontend subscription %q", fsID)
+		return Retrieval{}, fmt.Errorf("broker: unknown frontend subscription %q", fsID)
 	}
 	bsID := fs.bs.id
 	from, to := fs.fts, fs.bs.bts
 	b.mu.Unlock()
 
 	// On a backend-fetch failure the manager still returns the cached
-	// part; pass it through with the error so the subscriber keeps what
-	// the cache could serve.
-	objs, err := b.manager.GetResultsContext(ctx, bsID, subscriber, from, to, now)
+	// part; pass it through (with the error, or marked stale under
+	// StaleServe) so the subscriber keeps what the cache could serve.
+	objs, info, err := b.manager.Retrieve(ctx, bsID, subscriber, from, to, now)
 	items := make([]ResultItem, 0, len(objs))
 	for _, o := range objs {
 		rows, _ := o.Payload.([]map[string]any)
@@ -405,9 +440,15 @@ func (b *Broker) GetResultsContext(ctx context.Context, subscriber, fsID string)
 		// Partial answer: cached items only. Returning to as the marker
 		// would be wrong — the missed range was never delivered — so the
 		// caller must not ack past what it received.
-		return items, 0, err
+		return Retrieval{Items: items}, err
 	}
-	return items, to, nil
+	if info.Stale {
+		b.log.WarnContext(ctx, "serving stale results after backend fetch failure",
+			"backend_sub", bsID, "subscriber", subscriber,
+			"served", len(items), "error", info.FetchErr)
+		return Retrieval{Items: items, Stale: true}, nil
+	}
+	return Retrieval{Items: items, Latest: to}, nil
 }
 
 // Ack advances fsID's retrieval marker to ts (never backwards, never past

@@ -62,3 +62,10 @@ func WithBackendLink(rtt time.Duration, bandwidth float64) Option {
 		c.BackendBandwidth = bandwidth
 	}
 }
+
+// WithStaleServe enables graceful degradation: retrievals whose backend
+// fetch fails are answered from the cache alone and marked stale instead
+// of erroring.
+func WithStaleServe(on bool) Option {
+	return func(c *Config) { c.StaleServe = on }
+}

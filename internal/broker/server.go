@@ -129,16 +129,20 @@ func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
 type ResultsResponse struct {
 	Results  []ResultItem `json:"results"`
 	LatestNS int64        `json:"latest_ns"`
+	// Stale marks a degraded answer served from the cache alone after a
+	// data-cluster failure; the marker is 0 and older results may follow
+	// once the cluster recovers.
+	Stale bool `json:"stale,omitempty"`
 }
 
 func (s *Server) handleGetResults(w http.ResponseWriter, r *http.Request) {
 	subscriber := r.URL.Query().Get("subscriber")
-	items, latest, err := s.broker.GetResultsContext(r.Context(), subscriber, r.PathValue("fs"))
+	ret, err := s.broker.RetrieveContext(r.Context(), subscriber, r.PathValue("fs"))
 	if err != nil {
 		httpx.WriteError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	httpx.WriteJSON(w, http.StatusOK, ResultsResponse{Results: items, LatestNS: int64(latest)})
+	httpx.WriteJSON(w, http.StatusOK, ResultsResponse{Results: ret.Items, LatestNS: int64(ret.Latest), Stale: ret.Stale})
 }
 
 // AckRequest advances a frontend subscription's marker.

@@ -114,6 +114,11 @@ type Config struct {
 	// the heap makes tail-based eviction scale; the benchmark
 	// BenchmarkAblationVictimSelection quantifies it.
 	LinearVictimScan bool
+	// StaleServe degrades gracefully when the data cluster is
+	// unreachable: instead of failing a retrieval whose miss fetch
+	// errored, serve whatever the cache holds and mark the result stale
+	// (RetrievalInfo.Stale). Off, fetch errors propagate as before.
+	StaleServe bool
 }
 
 // managerShard is one lock stripe of the cache table: a subset of the caches
@@ -140,6 +145,7 @@ type Manager struct {
 	ttlCfg     TTLConfig
 	stats      *metrics.CacheStats
 	linearScan bool
+	staleServe bool
 
 	shards []*managerShard
 	total  atomic.Int64 // total cached bytes across all shards
@@ -182,6 +188,7 @@ func NewManager(cfg Config, opts ...Option) (*Manager, error) {
 		ttlCfg:     cfg.TTL,
 		stats:      cfg.Stats,
 		linearScan: cfg.LinearVictimScan,
+		staleServe: cfg.StaleServe,
 		shards:     shards,
 	}, nil
 }
@@ -601,7 +608,25 @@ func (m *Manager) GetResults(id, k string, from, to, now time.Duration) ([]*Obje
 	return m.GetResultsContext(context.Background(), id, k, from, to, now)
 }
 
-// GetResultsContext serves a subscriber's retrieval of the results of
+// GetResultsContext is Retrieve without the serving metadata; stale serves
+// (StaleServe on) surface here as a short — but error-free — result.
+func (m *Manager) GetResultsContext(ctx context.Context, id, k string, from, to, now time.Duration) ([]*Object, error) {
+	objs, _, err := m.Retrieve(ctx, id, k, from, to, now)
+	return objs, err
+}
+
+// RetrievalInfo describes how Retrieve served a request.
+type RetrievalInfo struct {
+	// Stale is set when the miss fetch failed and the cached portion was
+	// served anyway (StaleServe on): the result is complete above the
+	// coverage mark but may be missing older objects.
+	Stale bool
+	// FetchErr is the data-cluster failure behind a stale serve (nil
+	// when the retrieval was fully served).
+	FetchErr error
+}
+
+// Retrieve serves a subscriber's retrieval of the results of
 // backend subscription id in the half-open timestamp interval (from, to]
 // (Algorithm 1 GET): objects present in the cache are returned as hits and
 // marked retrieved by k (consuming objects whose pending set drains);
@@ -611,16 +636,24 @@ func (m *Manager) GetResults(id, k string, from, to, now time.Duration) ([]*Obje
 // combined result is ordered oldest first. ctx bounds the miss fetch;
 // concurrent identical misses coalesce into one backend call, governed by
 // the first caller's context.
-func (m *Manager) GetResultsContext(ctx context.Context, id, k string, from, to, now time.Duration) ([]*Object, error) {
+//
+// When the miss fetch fails and StaleServe is on, Retrieve degrades
+// instead of erroring: the cached objects are returned with Stale set so
+// the caller can tell the subscriber (and its ack bookkeeping) that older
+// objects may follow once the cluster recovers.
+func (m *Manager) Retrieve(ctx context.Context, id, k string, from, to, now time.Duration) ([]*Object, RetrievalInfo, error) {
 	if to <= from {
-		return nil, nil
+		return nil, RetrievalInfo{}, nil
 	}
 	sh := m.shardFor(id)
 	sh.mu.Lock()
 	c := sh.caches[id]
 	if m.isNC() || c == nil {
 		sh.mu.Unlock()
-		return m.fetchMissed(ctx, id, from, to, true)
+		// Nothing cached: there is no stale copy to degrade to, so a
+		// fetch failure propagates even under StaleServe.
+		objs, err := m.fetchMissed(ctx, id, from, to, true)
+		return objs, RetrievalInfo{FetchErr: err}, err
 	}
 
 	c.lastAccess = now
@@ -673,14 +706,20 @@ func (m *Manager) GetResultsContext(ctx context.Context, id, k string, from, to,
 	}
 
 	if !haveMiss {
-		return cached, nil
+		return cached, RetrievalInfo{}, nil
 	}
 	missed, err := m.fetchMissed(ctx, id, missFrom, missTo, true)
 	if err != nil {
-		return cached, err
+		if m.staleServe {
+			if m.stats != nil {
+				m.stats.StaleServed.Add(1)
+			}
+			return cached, RetrievalInfo{Stale: true, FetchErr: err}, nil
+		}
+		return cached, RetrievalInfo{FetchErr: err}, err
 	}
 	// Missed objects are older than every cached one.
-	return append(missed, cached...), nil
+	return append(missed, cached...), RetrievalInfo{}, nil
 }
 
 // fetchMissed retrieves evicted/expired objects from the data cluster and
@@ -698,6 +737,9 @@ func (m *Manager) fetchMissed(ctx context.Context, id string, from, to time.Dura
 		return m.fetcher.Fetch(ctx, id, from, to, inclusiveTo)
 	})
 	if err != nil {
+		if m.stats != nil {
+			m.stats.FetchErrors.Add(1)
+		}
 		return nil, fmt.Errorf("core: fetch from data cluster: %w", err)
 	}
 	if shared {

@@ -44,3 +44,10 @@ func WithStats(s *metrics.CacheStats) Option {
 func WithLinearVictimScan(on bool) Option {
 	return func(c *Config) { c.LinearVictimScan = on }
 }
+
+// WithStaleServe enables graceful degradation: retrievals whose miss fetch
+// fails are answered from the cache alone and marked stale instead of
+// erroring.
+func WithStaleServe(on bool) Option {
+	return func(c *Config) { c.StaleServe = on }
+}

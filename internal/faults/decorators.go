@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"context"
+	"time"
+
+	"gobad/internal/bdms"
+	"gobad/internal/core"
+	"gobad/internal/httpx"
+)
+
+// applyInProcess decides and applies one fault for an in-process call.
+// Status faults surface as *httpx.StatusError — the same shape DoJSON
+// produces when a real server writes the v1 envelope — so the retry and
+// stale-serve paths can't tell injection from the real thing.
+func (in *Injector) applyInProcess(ctx context.Context, target string) error {
+	f := in.Decide(target)
+	if f.None() {
+		return nil
+	}
+	if f.Latency > 0 {
+		if err := in.sleep(ctx, f.Latency); err != nil {
+			return err
+		}
+	}
+	if f.Kind == KindStatus {
+		return &httpx.StatusError{
+			Status:    f.Status,
+			Code:      httpx.CodeForStatus(f.Status),
+			Message:   "injected fault",
+			Retryable: f.Status == 429 || f.Status >= 500,
+		}
+	}
+	return f.Err()
+}
+
+// Fetcher decorates a core.Fetcher: each Fetch first consults the injector
+// under the given target name, failing or delaying before (ever) reaching
+// next.
+func Fetcher(in *Injector, target string, next core.Fetcher) core.Fetcher {
+	return core.FetcherFunc(func(ctx context.Context, cacheID string, from, to time.Duration, inclusiveTo bool) ([]*core.Object, error) {
+		if err := in.applyInProcess(ctx, target); err != nil {
+			return nil, err
+		}
+		return next.Fetch(ctx, cacheID, from, to, inclusiveTo)
+	})
+}
+
+// Backend mirrors broker.Backend structurally (declared here so faults does
+// not import broker): the data-cluster surface the broker depends on.
+type Backend interface {
+	Subscribe(channel string, params []any, callback string) (string, error)
+	Unsubscribe(subID string) error
+	Results(subID string, from, to time.Duration, inclusiveTo bool) ([]bdms.ResultObject, error)
+	LatestTimestamp(subID string) (time.Duration, error)
+}
+
+// resultsBackendContext is the broker's optional context-aware upgrade.
+type resultsBackendContext interface {
+	ResultsContext(ctx context.Context, subID string, from, to time.Duration, inclusiveTo bool) ([]bdms.ResultObject, error)
+}
+
+// FaultyBackend injects faults in front of a Backend, one target per
+// method: prefix+".subscribe", ".unsubscribe", ".results", ".latest". It
+// always exposes ResultsContext so the broker's optional-interface upgrade
+// holds whether or not the wrapped backend is context-aware.
+type FaultyBackend struct {
+	in     *Injector
+	prefix string
+	next   Backend
+}
+
+// WrapBackend decorates next; prefix namespaces the per-method targets
+// (typically "cluster").
+func WrapBackend(in *Injector, prefix string, next Backend) *FaultyBackend {
+	return &FaultyBackend{in: in, prefix: prefix, next: next}
+}
+
+// Subscribe implements Backend.
+func (b *FaultyBackend) Subscribe(channel string, params []any, callback string) (string, error) {
+	if err := b.in.applyInProcess(context.Background(), b.prefix+".subscribe"); err != nil {
+		return "", err
+	}
+	return b.next.Subscribe(channel, params, callback)
+}
+
+// Unsubscribe implements Backend.
+func (b *FaultyBackend) Unsubscribe(subID string) error {
+	if err := b.in.applyInProcess(context.Background(), b.prefix+".unsubscribe"); err != nil {
+		return err
+	}
+	return b.next.Unsubscribe(subID)
+}
+
+// Results implements Backend.
+func (b *FaultyBackend) Results(subID string, from, to time.Duration, inclusiveTo bool) ([]bdms.ResultObject, error) {
+	if err := b.in.applyInProcess(context.Background(), b.prefix+".results"); err != nil {
+		return nil, err
+	}
+	return b.next.Results(subID, from, to, inclusiveTo)
+}
+
+// ResultsContext injects under the same ".results" target as Results and
+// delegates to the wrapped backend's context variant when it has one.
+func (b *FaultyBackend) ResultsContext(ctx context.Context, subID string, from, to time.Duration, inclusiveTo bool) ([]bdms.ResultObject, error) {
+	if err := b.in.applyInProcess(ctx, b.prefix+".results"); err != nil {
+		return nil, err
+	}
+	if rc, ok := b.next.(resultsBackendContext); ok {
+		return rc.ResultsContext(ctx, subID, from, to, inclusiveTo)
+	}
+	return b.next.Results(subID, from, to, inclusiveTo)
+}
+
+// LatestTimestamp implements Backend.
+func (b *FaultyBackend) LatestTimestamp(subID string) (time.Duration, error) {
+	if err := b.in.applyInProcess(context.Background(), b.prefix+".latest"); err != nil {
+		return 0, err
+	}
+	return b.next.LatestTimestamp(subID)
+}

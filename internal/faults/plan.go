@@ -1,0 +1,103 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// planJSON is the on-disk shape of a Plan. Durations are accepted as Go
+// duration strings ("150ms", "2s") so hand-written plans stay readable;
+// the in-memory Rule keeps time.Duration for test ergonomics.
+type planJSON struct {
+	Name  string     `json:"name,omitempty"`
+	Seed  int64      `json:"seed,omitempty"`
+	Rules []ruleJSON `json:"rules"`
+}
+
+type ruleJSON struct {
+	Target      string  `json:"target,omitempty"`
+	Kind        Kind    `json:"kind"`
+	Status      int     `json:"status,omitempty"`
+	Latency     string  `json:"latency,omitempty"`
+	FromCall    int     `json:"from_call,omitempty"`
+	ToCall      int     `json:"to_call,omitempty"`
+	Probability float64 `json:"probability,omitempty"`
+	From        string  `json:"from,omitempty"`
+	Until       string  `json:"until,omitempty"`
+}
+
+// ParsePlan decodes a JSON fault plan, validating kinds, probabilities,
+// call ranges and duration strings.
+func ParsePlan(data []byte) (Plan, error) {
+	var pj planJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return Plan{}, fmt.Errorf("faults: parse plan: %w", err)
+	}
+	p := Plan{Name: pj.Name, Seed: pj.Seed, Rules: make([]Rule, 0, len(pj.Rules))}
+	for i, rj := range pj.Rules {
+		r := Rule{
+			Target:      rj.Target,
+			Kind:        rj.Kind,
+			Status:      rj.Status,
+			FromCall:    rj.FromCall,
+			ToCall:      rj.ToCall,
+			Probability: rj.Probability,
+		}
+		switch r.Kind {
+		case KindError, KindStatus, KindLatency, KindTimeout, KindPartition:
+		default:
+			return Plan{}, fmt.Errorf("faults: rule %d: unknown kind %q", i, rj.Kind)
+		}
+		if r.Probability < 0 || r.Probability > 1 {
+			return Plan{}, fmt.Errorf("faults: rule %d: probability %v outside [0, 1]", i, rj.Probability)
+		}
+		if r.FromCall < 0 || r.ToCall < 0 || (r.ToCall > 0 && r.FromCall > r.ToCall) {
+			return Plan{}, fmt.Errorf("faults: rule %d: bad call range [%d, %d]", i, rj.FromCall, rj.ToCall)
+		}
+		var err error
+		if r.Latency, err = parseDuration(rj.Latency); err != nil {
+			return Plan{}, fmt.Errorf("faults: rule %d: latency: %w", i, err)
+		}
+		if r.From, err = parseDuration(rj.From); err != nil {
+			return Plan{}, fmt.Errorf("faults: rule %d: from: %w", i, err)
+		}
+		if r.Until, err = parseDuration(rj.Until); err != nil {
+			return Plan{}, fmt.Errorf("faults: rule %d: until: %w", i, err)
+		}
+		if r.Until > 0 && r.Until <= r.From {
+			return Plan{}, fmt.Errorf("faults: rule %d: until %v not after from %v", i, r.Until, r.From)
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	return p, nil
+}
+
+// LoadPlan reads and parses a JSON fault plan from path (badsim's
+// -fault-plan flag).
+func LoadPlan(path string) (Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, fmt.Errorf("faults: load plan: %w", err)
+	}
+	p, err := ParsePlan(data)
+	if err != nil {
+		return Plan{}, fmt.Errorf("faults: load plan %s: %w", path, err)
+	}
+	return p, nil
+}
+
+func parseDuration(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %v", d)
+	}
+	return d, nil
+}

@@ -1,0 +1,79 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"gobad/internal/httpx"
+)
+
+// RoundTripper injects faults at the HTTP transport seam: wrap an
+// http.Client's Transport with it and the same Plan that drives the
+// in-process decorators drives real-socket integration tests. Error-class
+// faults surface before the request leaves the process (http.Client wraps
+// them in *url.Error, exactly like a real dial failure); status faults
+// synthesize a response carrying the v1 error envelope so client-side
+// decoding paths are exercised too.
+type RoundTripper struct {
+	// Injector decides the faults.
+	Injector *Injector
+	// Base performs non-faulted requests; nil uses
+	// http.DefaultTransport.
+	Base http.RoundTripper
+	// TargetFor derives the injection target from a request; nil uses
+	// "host/path" (e.g. "127.0.0.1:8080/v1/results").
+	TargetFor func(*http.Request) string
+}
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	target := req.URL.Host + req.URL.Path
+	if rt.TargetFor != nil {
+		target = rt.TargetFor(req)
+	}
+	f := rt.Injector.Decide(target)
+	if f.Latency > 0 {
+		if err := rt.Injector.sleep(req.Context(), f.Latency); err != nil {
+			return nil, err
+		}
+	}
+	switch f.Kind {
+	case "", KindLatency:
+	case KindStatus:
+		return synthesizeStatus(req, f.Status), nil
+	default:
+		return nil, f.Err()
+	}
+	base := rt.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}
+
+// synthesizeStatus builds a fake server response with the v1 error envelope
+// body, as a healthy gobad server would have written it.
+func synthesizeStatus(req *http.Request, status int) *http.Response {
+	env := httpx.ErrorEnvelope{Error: httpx.ErrorInfo{
+		Code:      httpx.CodeForStatus(status),
+		Message:   fmt.Sprintf("injected fault (HTTP %d)", status),
+		Retryable: status == 429 || status >= 500,
+	}}
+	body, _ := json.Marshal(env)
+	h := http.Header{}
+	h.Set("Content-Type", "application/json")
+	return &http.Response{
+		StatusCode:    status,
+		Status:        fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

@@ -1,0 +1,284 @@
+package httpx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gobad/internal/obs"
+)
+
+// ErrBreakerOpen is returned by Breaker.Allow (and Do) while the circuit is
+// open: the target failed repeatedly and calls are being shed until the
+// cool-down elapses. It is not retryable — backing off through the breaker
+// is the point.
+var ErrBreakerOpen = errors.New("httpx: circuit breaker open")
+
+// BreakerState enumerates the classic three states.
+type BreakerState int32
+
+// Breaker states. The numeric values are exported on /metrics as the
+// bad_breaker_state gauge.
+const (
+	BreakerClosed   BreakerState = 0
+	BreakerHalfOpen BreakerState = 1
+	BreakerOpen     BreakerState = 2
+)
+
+// String renders the state for logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int32(s))
+}
+
+// BreakerConfig tunes a Breaker. The zero value selects the documented
+// defaults.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip the circuit
+	// open. Default 5.
+	FailureThreshold int
+	// OpenTimeout is how long the circuit stays open before a probe is
+	// allowed (half-open). Default 10s.
+	OpenTimeout time.Duration
+	// HalfOpenProbes is how many concurrent probes half-open admits;
+	// the first success closes the circuit, any failure re-opens it.
+	// Default 1.
+	HalfOpenProbes int
+	// Clock supplies monotonic time; nil uses wall time since the breaker
+	// was created. Tests and the simulator inject a virtual clock.
+	Clock func() time.Duration
+}
+
+func (c *BreakerConfig) fillDefaults() {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 10 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Clock == nil {
+		epoch := time.Now()
+		c.Clock = func() time.Duration { return time.Since(epoch) }
+	}
+}
+
+// Breaker is a per-target circuit breaker: closed (all calls pass, counting
+// consecutive failures), open (calls shed with ErrBreakerOpen until the
+// cool-down elapses), half-open (a bounded number of probes pass; one
+// success closes the circuit, one failure re-opens it). Context errors do
+// not count as target failures — a caller hanging up says nothing about the
+// target's health. A Breaker is safe for concurrent use.
+type Breaker struct {
+	cfg    BreakerConfig
+	target string
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int
+	openedAt    time.Duration
+	probes      int // in-flight half-open probes
+
+	opens      uint64 // closed/half-open -> open transitions
+	rejections uint64 // calls shed while open
+}
+
+// NewBreaker returns a breaker for the named target (the label on its
+// /metrics series).
+func NewBreaker(target string, cfg BreakerConfig) *Breaker {
+	cfg.fillDefaults()
+	return &Breaker{cfg: cfg, target: target}
+}
+
+// Target returns the breaker's target name.
+func (b *Breaker) Target() string { return b.target }
+
+// State returns the current state, applying the open -> half-open
+// transition if the cool-down has elapsed.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.state
+}
+
+// maybeHalfOpen moves open -> half-open once the cool-down elapses. Caller
+// holds b.mu.
+func (b *Breaker) maybeHalfOpen() {
+	if b.state == BreakerOpen && b.cfg.Clock()-b.openedAt >= b.cfg.OpenTimeout {
+		b.state = BreakerHalfOpen
+		b.probes = 0
+	}
+}
+
+// Allow reports whether a call may proceed, reserving a probe slot when
+// half-open. Every Allow that returns nil MUST be matched by one Record.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	switch b.state {
+	case BreakerOpen:
+		b.rejections++
+		return ErrBreakerOpen
+	case BreakerHalfOpen:
+		if b.probes >= b.cfg.HalfOpenProbes {
+			b.rejections++
+			return ErrBreakerOpen
+		}
+		b.probes++
+	}
+	return nil
+}
+
+// Record reports a call's outcome. Success closes a half-open circuit and
+// resets the failure run; failure counts toward the threshold (closed) or
+// re-opens the circuit (half-open). Context cancellation is neutral: it
+// releases the probe slot without judging the target.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen && b.probes > 0 {
+		b.probes--
+	}
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return
+	}
+	if err == nil {
+		b.consecFails = 0
+		if b.state == BreakerHalfOpen {
+			b.state = BreakerClosed
+		}
+		return
+	}
+	b.consecFails++
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		if b.consecFails >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the circuit. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.Clock()
+	b.opens++
+	b.probes = 0
+}
+
+// Do guards op with the breaker: shed when open, outcome recorded otherwise.
+func (b *Breaker) Do(ctx context.Context, op func(ctx context.Context) error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := op(ctx)
+	b.Record(err)
+	return err
+}
+
+// BreakerInfo is one breaker's point-in-time summary for /metrics.
+type BreakerInfo struct {
+	Target              string
+	State               BreakerState
+	Opens               uint64
+	Rejections          uint64
+	ConsecutiveFailures int
+}
+
+// Info snapshots the breaker.
+func (b *Breaker) Info() BreakerInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return BreakerInfo{
+		Target:              b.target,
+		State:               b.state,
+		Opens:               b.opens,
+		Rejections:          b.rejections,
+		ConsecutiveFailures: b.consecFails,
+	}
+}
+
+// BreakerSet lazily creates one Breaker per target, all sharing one config;
+// the broker uses one per data cluster, the cluster's webhook notifier one
+// per callback URL. A BreakerSet is safe for concurrent use.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+}
+
+// NewBreakerSet returns an empty set; breakers inherit cfg.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	cfg.fillDefaults()
+	return &BreakerSet{cfg: cfg, breakers: make(map[string]*Breaker)}
+}
+
+// For returns the breaker for target, creating it on first use.
+func (s *BreakerSet) For(target string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.breakers[target]
+	if b == nil {
+		b = NewBreaker(target, s.cfg)
+		s.breakers[target] = b
+	}
+	return b
+}
+
+// Infos snapshots every breaker, sorted by target.
+func (s *BreakerSet) Infos() []BreakerInfo {
+	s.mu.Lock()
+	bs := make([]*Breaker, 0, len(s.breakers))
+	for _, b := range s.breakers {
+		bs = append(bs, b)
+	}
+	s.mu.Unlock()
+	out := make([]BreakerInfo, 0, len(bs))
+	for _, b := range bs {
+		out = append(out, b.Info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Target < out[j].Target })
+	return out
+}
+
+// Collector exports every breaker's state and tallies:
+// bad_breaker_state{target} (0 closed, 1 half-open, 2 open),
+// bad_breaker_opens_total{target}, bad_breaker_rejections_total{target}.
+func (s *BreakerSet) Collector() obs.Collector {
+	return obs.CollectorFunc(func(emit func(obs.Family)) {
+		infos := s.Infos()
+		state := make([]obs.Point, 0, len(infos))
+		opens := make([]obs.Point, 0, len(infos))
+		rejects := make([]obs.Point, 0, len(infos))
+		for _, in := range infos {
+			ls := []obs.Label{{Name: "target", Value: in.Target}}
+			state = append(state, obs.Point{Labels: ls, Value: float64(in.State)})
+			opens = append(opens, obs.Point{Labels: ls, Value: float64(in.Opens)})
+			rejects = append(rejects, obs.Point{Labels: ls, Value: float64(in.Rejections)})
+		}
+		emit(obs.Family{Name: "bad_breaker_state", Help: "Circuit breaker state per target (0 closed, 1 half-open, 2 open).",
+			Type: obs.GaugeType, Points: state})
+		emit(obs.Family{Name: "bad_breaker_opens_total", Help: "Circuit breaker trips per target.",
+			Type: obs.CounterType, Points: opens})
+		emit(obs.Family{Name: "bad_breaker_rejections_total", Help: "Calls shed by an open circuit per target.",
+			Type: obs.CounterType, Points: rejects})
+	})
+}

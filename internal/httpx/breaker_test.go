@@ -1,0 +1,189 @@
+package httpx
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gobad/internal/obs"
+)
+
+// breakerClock is a settable virtual clock.
+type breakerClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *breakerClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *breakerClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// TestBreakerTransitions walks the full closed -> open -> half-open ->
+// closed cycle on a virtual clock, asserting each state along the way.
+func TestBreakerTransitions(t *testing.T) {
+	clk := &breakerClock{}
+	b := NewBreaker("cluster", BreakerConfig{
+		FailureThreshold: 3,
+		OpenTimeout:      10 * time.Second,
+		Clock:            clk.Now,
+	})
+	fail := errors.New("boom")
+
+	// Closed: failures below the threshold keep it closed.
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected call %d: %v", i, err)
+		}
+		b.Record(fail)
+	}
+	if s := b.State(); s != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", s)
+	}
+
+	// Third consecutive failure trips it open.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(fail)
+	if s := b.State(); s != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", s)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed a call (err=%v)", err)
+	}
+
+	// Cool-down elapses -> half-open, one probe allowed.
+	clk.Advance(10 * time.Second)
+	if s := b.State(); s != BreakerHalfOpen {
+		t.Fatalf("state after cool-down = %v, want half-open", s)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open rejected the probe: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("half-open allowed a second concurrent probe")
+	}
+
+	// Probe succeeds -> closed.
+	b.Record(nil)
+	if s := b.State(); s != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", s)
+	}
+	info := b.Info()
+	if info.Opens != 1 {
+		t.Errorf("opens = %d, want 1", info.Opens)
+	}
+	if info.Rejections != 2 {
+		t.Errorf("rejections = %d, want 2", info.Rejections)
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens: a failed probe re-opens the circuit and
+// restarts the cool-down.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := &breakerClock{}
+	b := NewBreaker("cluster", BreakerConfig{FailureThreshold: 1, OpenTimeout: 5 * time.Second, Clock: clk.Now})
+	_ = b.Allow()
+	b.Record(errors.New("boom"))
+	clk.Advance(5 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(errors.New("still down"))
+	if s := b.State(); s != BreakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", s)
+	}
+	// The cool-down restarted at the probe failure.
+	clk.Advance(4 * time.Second)
+	if s := b.State(); s != BreakerOpen {
+		t.Fatalf("state 4s after re-open = %v, want still open", s)
+	}
+	clk.Advance(time.Second)
+	if s := b.State(); s != BreakerHalfOpen {
+		t.Fatalf("state 5s after re-open = %v, want half-open", s)
+	}
+}
+
+// TestBreakerContextErrorsNeutral: caller cancellation neither trips nor
+// heals the breaker.
+func TestBreakerContextErrorsNeutral(t *testing.T) {
+	b := NewBreaker("cluster", BreakerConfig{FailureThreshold: 2})
+	_ = b.Allow()
+	b.Record(errors.New("boom"))
+	_ = b.Allow()
+	b.Record(context.DeadlineExceeded) // neutral: run stays at 1
+	_ = b.Allow()
+	b.Record(errors.New("boom"))
+	if s := b.State(); s != BreakerOpen {
+		t.Fatalf("state = %v, want open (2 real failures)", s)
+	}
+}
+
+// TestBreakerSuccessResetsRun: an intervening success clears the
+// consecutive-failure count.
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b := NewBreaker("cluster", BreakerConfig{FailureThreshold: 2})
+	_ = b.Allow()
+	b.Record(errors.New("a"))
+	_ = b.Allow()
+	b.Record(nil)
+	_ = b.Allow()
+	b.Record(errors.New("b"))
+	if s := b.State(); s != BreakerClosed {
+		t.Fatalf("state = %v, want closed (run reset by success)", s)
+	}
+}
+
+// TestBreakerSetCollector: per-target series appear with the right states.
+func TestBreakerSetCollector(t *testing.T) {
+	clk := &breakerClock{}
+	set := NewBreakerSet(BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Minute, Clock: clk.Now})
+	a, bb := set.For("a"), set.For("b")
+	if set.For("a") != a {
+		t.Fatal("For must return the same breaker per target")
+	}
+	_ = a.Allow()
+	a.Record(errors.New("boom")) // trips a open; b stays closed
+	_ = bb.Allow()
+	bb.Record(nil)
+
+	families := map[string][]float64{}
+	set.Collector().Collect(func(f obs.Family) {
+		for _, p := range f.Points {
+			families[f.Name] = append(families[f.Name], p.Value)
+		}
+	})
+	if got := families["bad_breaker_state"]; len(got) != 2 || got[0] != float64(BreakerOpen) || got[1] != float64(BreakerClosed) {
+		t.Errorf("bad_breaker_state points = %v, want [2 0] (a open, b closed)", got)
+	}
+	if got := families["bad_breaker_opens_total"]; len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Errorf("bad_breaker_opens_total = %v, want [1 0]", got)
+	}
+}
+
+// TestBreakerDo: Do sheds when open and records outcomes.
+func TestBreakerDo(t *testing.T) {
+	b := NewBreaker("x", BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Hour})
+	err := b.Do(context.Background(), func(context.Context) error { return errors.New("boom") })
+	if err == nil {
+		t.Fatal("want op error")
+	}
+	calls := 0
+	err = b.Do(context.Background(), func(context.Context) error { calls++; return nil })
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if calls != 0 {
+		t.Error("open breaker must not execute the op")
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"gobad/internal/obs"
 )
@@ -188,7 +190,9 @@ func DoJSONContext(ctx context.Context, client *http.Client, method, url string,
 		return fmt.Errorf("httpx: read response: %w", err)
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return fmt.Errorf("httpx: %s %s: %w", method, url, decodeError(resp.StatusCode, data))
+		se := decodeError(resp.StatusCode, data)
+		se.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+		return fmt.Errorf("httpx: %s %s: %w", method, url, se)
 	}
 	if out == nil {
 		return nil
@@ -206,6 +210,9 @@ type StatusError struct {
 	Code      string
 	Message   string
 	Retryable bool
+	// RetryAfter is the server's Retry-After hint (0 when absent); the
+	// Retryer uses it as a floor under its computed backoff delay.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -232,4 +239,24 @@ func decodeError(status int, data []byte) *StatusError {
 		se.Message = legacy.Error
 	}
 	return se
+}
+
+// parseRetryAfter interprets a Retry-After header value: either a decimal
+// number of seconds or an HTTP-date. Unparseable or past values yield 0.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }

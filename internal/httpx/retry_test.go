@@ -1,0 +1,276 @@
+package httpx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// virtualSleeper records requested backoff delays and advances a virtual
+// clock instead of sleeping.
+type virtualSleeper struct {
+	now    time.Duration
+	delays []time.Duration
+}
+
+func (v *virtualSleeper) sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	v.now += d
+	v.delays = append(v.delays, d)
+	return nil
+}
+
+// TestRetryerBackoffSchedule pins the exact schedule: with Rand fixed at 1.0
+// the delays are the capped exponential envelope itself.
+func TestRetryerBackoffSchedule(t *testing.T) {
+	vs := &virtualSleeper{}
+	r := &Retryer{
+		MaxAttempts: 5,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+		Rand:        func() float64 { return 1.0 },
+		Sleep:       vs.sleep,
+	}
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error {
+		calls++
+		return &StatusError{Status: 503, Code: CodeUnavailable, Retryable: true}
+	})
+	if err == nil {
+		t.Fatal("want error after exhausting attempts")
+	}
+	if calls != 5 {
+		t.Fatalf("attempts = %d, want 5", calls)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond, 500 * time.Millisecond}
+	if len(vs.delays) != len(want) {
+		t.Fatalf("delays = %v, want %v", vs.delays, want)
+	}
+	for i := range want {
+		if vs.delays[i] != want[i] {
+			t.Errorf("delay[%d] = %v, want %v (capped exponential)", i, vs.delays[i], want[i])
+		}
+	}
+}
+
+// TestRetryerFullJitter: delays scale with the injected rand sample.
+func TestRetryerFullJitter(t *testing.T) {
+	vs := &virtualSleeper{}
+	r := &Retryer{
+		MaxAttempts: 3,
+		BaseDelay:   time.Second,
+		MaxDelay:    time.Minute,
+		Rand:        func() float64 { return 0.25 },
+		Sleep:       vs.sleep,
+	}
+	_ = r.Do(context.Background(), func(context.Context) error {
+		return &StatusError{Status: 503, Retryable: true}
+	})
+	want := []time.Duration{250 * time.Millisecond, 500 * time.Millisecond}
+	for i := range want {
+		if vs.delays[i] != want[i] {
+			t.Errorf("delay[%d] = %v, want %v (full jitter 0.25)", i, vs.delays[i], want[i])
+		}
+	}
+}
+
+// TestRetryerRetryAfterFloor: the server's Retry-After hint floors the
+// jittered delay.
+func TestRetryerRetryAfterFloor(t *testing.T) {
+	vs := &virtualSleeper{}
+	r := &Retryer{
+		MaxAttempts: 2,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Rand:        func() float64 { return 0 }, // jitter would pick 0
+		Sleep:       vs.sleep,
+	}
+	_ = r.Do(context.Background(), func(context.Context) error {
+		return &StatusError{Status: 429, Retryable: true, RetryAfter: 2 * time.Second}
+	})
+	if len(vs.delays) != 1 || vs.delays[0] != 2*time.Second {
+		t.Errorf("delays = %v, want [2s] (Retry-After floor)", vs.delays)
+	}
+}
+
+// TestRetryerStatusErrorRetryability is the envelope-retryability table:
+// retryable true/false crossed with status classes, plus transport and
+// context errors.
+func TestRetryerStatusErrorRetryability(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"envelope retryable 503", &StatusError{Status: 503, Code: CodeUnavailable, Retryable: true}, true},
+		{"envelope retryable 429", &StatusError{Status: 429, Code: CodeRateLimited, Retryable: true}, true},
+		{"envelope retryable 500", &StatusError{Status: 500, Code: CodeInternal, Retryable: true}, true},
+		{"envelope non-retryable 500", &StatusError{Status: 500, Code: CodeInternal, Retryable: false}, false},
+		{"envelope non-retryable 400", &StatusError{Status: 400, Code: CodeBadRequest, Retryable: false}, false},
+		{"envelope non-retryable 404", &StatusError{Status: 404, Code: CodeNotFound, Retryable: false}, false},
+		{"envelope non-retryable 409", &StatusError{Status: 409, Code: CodeConflict, Retryable: false}, false},
+		{"envelope retryable 409", &StatusError{Status: 409, Code: CodeConflict, Retryable: true}, true},
+		{"wrapped envelope", fmt.Errorf("httpx: GET x: %w", &StatusError{Status: 503, Retryable: true}), true},
+		{"transport error", errors.New("connection refused"), true},
+		{"context canceled", context.Canceled, false},
+		{"context deadline", context.DeadlineExceeded, false},
+		{"wrapped deadline", fmt.Errorf("op: %w", context.DeadlineExceeded), false},
+		{"breaker open", ErrBreakerOpen, false},
+		{"wrapped breaker open", fmt.Errorf("do: %w", ErrBreakerOpen), false},
+		{"nil", nil, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Retryable(tc.err); got != tc.want {
+				t.Errorf("Retryable(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRetryableEnvelopeOnly: the non-idempotent classifier trusts only the
+// server's explicit retryable flag.
+func TestRetryableEnvelopeOnly(t *testing.T) {
+	if RetryableEnvelopeOnly(errors.New("connection reset")) {
+		t.Error("transport error must not retry a non-idempotent request")
+	}
+	if !RetryableEnvelopeOnly(&StatusError{Status: 503, Retryable: true}) {
+		t.Error("server-vouched retryable must retry")
+	}
+	if RetryableEnvelopeOnly(&StatusError{Status: 500, Retryable: false}) {
+		t.Error("non-retryable envelope must not retry")
+	}
+}
+
+// TestRetryerDeadlineAware: a backoff that would outlive the context
+// deadline is skipped and the last real error surfaces immediately.
+func TestRetryerDeadlineAware(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(50*time.Millisecond))
+	defer cancel()
+	slept := false
+	r := &Retryer{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Second, // any backoff overshoots the deadline
+		MaxDelay:    10 * time.Second,
+		Rand:        func() float64 { return 1 },
+		Sleep: func(context.Context, time.Duration) error {
+			slept = true
+			return nil
+		},
+	}
+	start := time.Now()
+	err := r.Do(ctx, func(context.Context) error {
+		return &StatusError{Status: 503, Retryable: true}
+	})
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want the last StatusError", err)
+	}
+	if slept {
+		t.Error("slept into a backoff that could not finish before the deadline")
+	}
+	if time.Since(start) > 40*time.Millisecond {
+		t.Error("deadline-aware giveup should return immediately")
+	}
+}
+
+// TestRetryerStats: attempt/retry/giveup tallies.
+func TestRetryerStats(t *testing.T) {
+	stats := &RetryStats{}
+	vs := &virtualSleeper{}
+	r := &Retryer{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond,
+		Rand: func() float64 { return 1 }, Sleep: vs.sleep, Stats: stats}
+	_ = r.Do(context.Background(), func(context.Context) error {
+		return &StatusError{Status: 503, Retryable: true}
+	})
+	if got := stats.Attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+	if got := stats.Retries.Load(); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	if got := stats.GiveUps.Load(); got != 1 {
+		t.Errorf("giveups = %d, want 1", got)
+	}
+	// A success resets nothing but adds an attempt.
+	_ = r.Do(context.Background(), func(context.Context) error { return nil })
+	if got := stats.Attempts.Load(); got != 4 {
+		t.Errorf("attempts after success = %d, want 4", got)
+	}
+}
+
+// TestDoJSONRetryAfterHeader: DoJSON surfaces Retry-After through the
+// StatusError so the Retryer can honor it.
+func TestDoJSONRetryAfterHeader(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		WriteError(w, http.StatusServiceUnavailable, "overloaded")
+	}))
+	defer srv.Close()
+	err := DoJSON(srv.Client(), http.MethodGet, srv.URL, nil, nil)
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want StatusError", err)
+	}
+	if se.RetryAfter != 7*time.Second {
+		t.Errorf("RetryAfter = %v, want 7s", se.RetryAfter)
+	}
+	if !se.Retryable {
+		t.Error("503 envelope must be retryable")
+	}
+}
+
+// TestParseRetryAfter covers the header forms.
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter("3"); d != 3*time.Second {
+		t.Errorf("seconds form = %v, want 3s", d)
+	}
+	if d := parseRetryAfter(""); d != 0 {
+		t.Errorf("empty = %v, want 0", d)
+	}
+	if d := parseRetryAfter("-5"); d != 0 {
+		t.Errorf("negative = %v, want 0", d)
+	}
+	if d := parseRetryAfter("garbage"); d != 0 {
+		t.Errorf("garbage = %v, want 0", d)
+	}
+	future := time.Now().Add(time.Hour).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d < 59*time.Minute || d > time.Hour {
+		t.Errorf("http-date = %v, want ~1h", d)
+	}
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(past); d != 0 {
+		t.Errorf("past http-date = %v, want 0", d)
+	}
+}
+
+// FuzzDecodeError: the envelope decoder must never panic and must always
+// produce a StatusError carrying the original status, whatever bytes a
+// (possibly hostile or half-dead) server returns.
+func FuzzDecodeError(f *testing.F) {
+	f.Add(500, []byte(`{"error":{"code":"internal","message":"boom","retryable":true}}`))
+	f.Add(400, []byte(`{"error":"legacy message"}`))
+	f.Add(503, []byte(``))
+	f.Add(429, []byte(`{"error":{}}`))
+	f.Add(502, []byte(`not json at all`))
+	f.Add(599, []byte(`{"error":{"message":123}}`))
+	f.Add(404, []byte(`{"error":{"code":"x","message":"m","retryable":"yes"}}`))
+	f.Fuzz(func(t *testing.T, status int, data []byte) {
+		se := decodeError(status, data)
+		if se == nil {
+			t.Fatal("decodeError returned nil")
+		}
+		if se.Status != status {
+			t.Fatalf("Status = %d, want %d", se.Status, status)
+		}
+		if se.Error() == "" {
+			t.Fatal("empty error string")
+		}
+	})
+}

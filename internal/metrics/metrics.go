@@ -368,6 +368,12 @@ type CacheStats struct {
 	Consumed Counter
 	// Delivered counts notifications delivered to subscribers.
 	Delivered Counter
+	// FetchErrors counts failed data-cluster fetches (the broker's
+	// degraded-path trigger).
+	FetchErrors Counter
+	// StaleServed counts retrievals answered from the cache alone after a
+	// fetch failure (graceful degradation instead of a subscriber error).
+	StaleServed Counter
 }
 
 // HitRatio returns Hits/Requests (0 when no requests were made).
@@ -398,6 +404,8 @@ type Snapshot struct {
 	Expirations  float64 `json:"expirations"`
 	Consumed     float64 `json:"consumed"`
 	Delivered    float64 `json:"delivered"`
+	FetchErrors  float64 `json:"fetch_errors"`
+	StaleServed  float64 `json:"stale_served"`
 }
 
 // SnapshotAt captures all metrics; at is the run's final (virtual) time used
@@ -420,6 +428,8 @@ func (s *CacheStats) SnapshotAt(at time.Duration) Snapshot {
 		Expirations:  s.Expirations.Value(),
 		Consumed:     s.Consumed.Value(),
 		Delivered:    s.Delivered.Value(),
+		FetchErrors:  s.FetchErrors.Value(),
+		StaleServed:  s.StaleServed.Value(),
 	}
 }
 
@@ -448,6 +458,8 @@ func AverageSnapshots(snaps []Snapshot) Snapshot {
 		out.Expirations += s.Expirations / n
 		out.Consumed += s.Consumed / n
 		out.Delivered += s.Delivered / n
+		out.FetchErrors += s.FetchErrors / n
+		out.StaleServed += s.StaleServed / n
 	}
 	return out
 }

@@ -36,6 +36,8 @@ func NewCacheStatsCollector(stats *metrics.CacheStats, now func() time.Duration)
 		counter("bad_cache_expirations_total", "Objects dropped by TTL expiry.", stats.Expirations.Value())
 		counter("bad_cache_consumed_total", "Objects dropped because every attached subscriber retrieved them.", stats.Consumed.Value())
 		counter("bad_notifications_delivered_total", "Notifications delivered to subscribers.", stats.Delivered.Value())
+		counter("bad_cache_fetch_errors_total", "Failed data-cluster fetches.", stats.FetchErrors.Value())
+		counter("bad_cache_stale_serves_total", "Retrievals served stale from cache after a fetch failure.", stats.StaleServed.Value())
 
 		at := now()
 		gauge("bad_cache_size_bytes", "Currently cached bytes.", stats.CacheSize.Current())

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"gobad/internal/core"
+	"gobad/internal/faults"
+)
+
+// outagePlan kills the broker→cluster link for minutes 8–14 of a 20-minute
+// run: every miss fetch inside the window fails as a partition. The rule is
+// time-windowed (not probabilistic), so the injection set is independent of
+// same-instant event interleaving and the run is exactly reproducible.
+func outagePlan() *faults.Plan {
+	return &faults.Plan{
+		Name: "kill-cluster-mid-run",
+		Rules: []faults.Rule{{
+			Target: "cluster.fetch",
+			Kind:   faults.KindPartition,
+			From:   8 * time.Minute,
+			Until:  14 * time.Minute,
+		}},
+	}
+}
+
+// TestChaosClusterOutageStaleServe is the end-to-end degradation scenario:
+// the cluster dies mid-run, stale-serve is on, and the run must match the
+// golden snapshot — in particular, every retrieval still delivers (zero
+// subscriber-visible failures) because the cached portion is served stale
+// and the withheld range is retried after recovery.
+func TestChaosClusterOutageStaleServe(t *testing.T) {
+	cfg := tinyConfig(core.LSC{}, 5<<20)
+	cfg.StaleServe = true
+	cfg.FaultPlan = outagePlan()
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+
+	// Golden snapshot for seed 1 (the tinyConfig default). These are exact:
+	// the workload, the virtual clock and the injection window are all
+	// deterministic, and the probe runs were bit-identical across repeats.
+	if res.FaultsInjected != 1170 {
+		t.Errorf("faults injected = %d, golden says 1170", res.FaultsInjected)
+	}
+	if m.FetchErrors != 1170 {
+		t.Errorf("fetch errors = %v, golden says 1170", m.FetchErrors)
+	}
+	if m.StaleServed != 1170 {
+		t.Errorf("stale serves = %v, golden says 1170", m.StaleServed)
+	}
+	if m.Requests != 22661 || m.Delivered != 22661 {
+		t.Errorf("requests/delivered = %v/%v, golden says 22661/22661", m.Requests, m.Delivered)
+	}
+	if diff := m.HitRatio - 0.862186134769; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("hit ratio = %v, golden says 0.862186134769", m.HitRatio)
+	}
+
+	// The invariant behind the golden numbers: graceful degradation means
+	// no retrieval surfaces an error while the cluster is down.
+	if m.Delivered != m.Requests {
+		t.Errorf("%v of %v retrievals failed subscriber-visibly; stale-serve promises zero",
+			m.Requests-m.Delivered, m.Requests)
+	}
+
+	// Same seed, same plan: the whole chaos run must reproduce exactly.
+	// MeanLatency alone is compared with an epsilon — same-instant events
+	// may interleave differently, reordering a float sum without changing
+	// any count.
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := res.Metrics, again.Metrics
+	if d := a.MeanLatency - b.MeanLatency; d > 1e-9 || d < -1e-9 {
+		t.Errorf("mean latency not reproducible: %v vs %v", a.MeanLatency, b.MeanLatency)
+	}
+	a.MeanLatency, b.MeanLatency = 0, 0
+	if a != b || again.FaultsInjected != res.FaultsInjected {
+		t.Errorf("chaos run is not deterministic:\n%+v (%d faults)\n%+v (%d faults)",
+			a, res.FaultsInjected, b, again.FaultsInjected)
+	}
+}
+
+// TestChaosClusterOutageNoStaleServe is the control: the identical outage
+// without degradation loses deliveries — retrievals whose miss fetch fails
+// return errors and the subscriber gets nothing for that notification.
+func TestChaosClusterOutageNoStaleServe(t *testing.T) {
+	cfg := tinyConfig(core.LSC{}, 5<<20)
+	cfg.FaultPlan = outagePlan()
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.StaleServed != 0 {
+		t.Errorf("stale serves = %v, want 0 with StaleServe off", m.StaleServed)
+	}
+	if m.FetchErrors != 1170 {
+		t.Errorf("fetch errors = %v, golden says 1170 (same outage as the stale-serve run)", m.FetchErrors)
+	}
+	// Golden: 1068 retrievals fail subscriber-visibly (22661 - 21593).
+	if m.Requests != 22661 || m.Delivered != 21593 {
+		t.Errorf("requests/delivered = %v/%v, golden says 22661/21593", m.Requests, m.Delivered)
+	}
+	if m.Delivered >= m.Requests {
+		t.Error("the control run must show subscriber-visible failures")
+	}
+}
+
+// TestChaosOutageDepressesHitRatio: the outage must leave a trace in the
+// cache economics — the faulted run's hit ratio dips below the same seed's
+// fault-free baseline, because post-recovery retries re-fetch the withheld
+// ranges as misses.
+func TestChaosOutageDepressesHitRatio(t *testing.T) {
+	base, err := Run(tinyConfig(core.LSC{}, 5<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig(core.LSC{}, 5<<20)
+	cfg.StaleServe = true
+	cfg.FaultPlan = outagePlan()
+	faulted, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulted.Metrics.HitRatio >= base.Metrics.HitRatio {
+		t.Errorf("hit ratio under outage = %v, baseline = %v; outage should depress it",
+			faulted.Metrics.HitRatio, base.Metrics.HitRatio)
+	}
+	if base.FaultsInjected != 0 {
+		t.Errorf("baseline injected %d faults, want 0", base.FaultsInjected)
+	}
+}

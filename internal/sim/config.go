@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gobad/internal/core"
+	"gobad/internal/faults"
 	"gobad/internal/workload"
 )
 
@@ -77,6 +78,20 @@ type Config struct {
 	// same families a live broker serves at /metrics, so a sim run can be
 	// diffed against a scrape (or against Result.Metrics).
 	ExpositionWriter io.Writer
+
+	// FaultPlan injects data-cluster failures into the run: every miss
+	// fetch against the persistent store first consults the plan under
+	// the target "cluster.fetch", evaluated on the simulation's virtual
+	// clock (rule time windows are simulated time; latency faults cost
+	// nothing real). nil injects nothing. For reproducible runs use
+	// call-count or time-window rules; probability rules stay seeded but
+	// their decision sequence depends on same-instant event interleaving.
+	FaultPlan *faults.Plan
+	// StaleServe enables the broker cache's graceful degradation:
+	// retrievals whose miss fetch was failed by the fault plan (or the
+	// store) are served from cache and counted in StaleServed instead of
+	// being dropped.
+	StaleServe bool
 }
 
 // DefaultConfig returns the Table II settings with the LSC policy and a

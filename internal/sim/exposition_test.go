@@ -45,6 +45,8 @@ func TestExpositionMatchesSnapshot(t *testing.T) {
 		"bad_cache_evictions_total":           snap.Evictions,
 		"bad_cache_expirations_total":         snap.Expirations,
 		"bad_cache_consumed_total":            snap.Consumed,
+		"bad_cache_fetch_errors_total":        snap.FetchErrors,
+		"bad_cache_stale_serves_total":        snap.StaleServed,
 		"bad_notifications_delivered_total":   snap.Delivered,
 		"bad_cache_size_bytes_avg":            snap.AvgCacheSize,
 		"bad_cache_size_bytes_max":            snap.MaxCacheSize,

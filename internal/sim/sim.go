@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gobad/internal/core"
+	"gobad/internal/faults"
 	"gobad/internal/metrics"
 	"gobad/internal/obs"
 	"gobad/internal/workload"
@@ -34,6 +35,9 @@ type Result struct {
 	Metrics metrics.Snapshot `json:"metrics"`
 	// RhoTTLSum is the mean observed sum_i(rho_i*T_i) (TTL policies).
 	RhoTTLSum float64 `json:"rho_ttl_sum"`
+	// FaultsInjected is how many faults the plan fired (0 without a
+	// plan).
+	FaultsInjected uint64 `json:"faults_injected,omitempty"`
 	// PerCache summarizes every cache at the end of the run.
 	PerCache []CacheSummary `json:"per_cache,omitempty"`
 	// Events is the number of processed simulation events.
@@ -65,8 +69,9 @@ type simulator struct {
 	onoffRng   *rand.Rand
 	attachRng  *rand.Rand
 
-	manager *core.Manager
-	stats   *metrics.CacheStats
+	manager  *core.Manager
+	stats    *metrics.CacheStats
+	injector *faults.Injector // nil without a fault plan
 
 	// per backend subscription
 	store     [][]*core.Object // persistent result store (the data cluster)
@@ -103,12 +108,24 @@ func Run(cfg Config) (Result, error) {
 		attachRng:  rand.New(rand.NewSource(workload.DeriveSeed(cfg.Seed, "attach", 0))),
 		stats:      &metrics.CacheStats{},
 	}
+	var fetcher core.Fetcher = core.FetcherFunc(s.fetch)
+	if cfg.FaultPlan != nil {
+		s.injector = faults.NewInjector(*cfg.FaultPlan,
+			faults.WithClock(func() time.Duration { return s.now }),
+			// Injected latency is modelled, not slept: simulated fetches
+			// are instantaneous and latency faults only matter through
+			// their error semantics here.
+			faults.WithSleep(func(context.Context, time.Duration) error { return nil }),
+		)
+		fetcher = faults.Fetcher(s.injector, "cluster.fetch", fetcher)
+	}
 	mgr, err := core.NewManager(core.Config{
-		Policy:  cfg.Policy,
-		Budget:  cfg.CacheBudget,
-		Fetcher: core.FetcherFunc(s.fetch),
-		TTL:     cfg.TTL,
-		Stats:   s.stats,
+		Policy:     cfg.Policy,
+		Budget:     cfg.CacheBudget,
+		Fetcher:    fetcher,
+		TTL:        cfg.TTL,
+		Stats:      s.stats,
+		StaleServe: cfg.StaleServe,
 	})
 	if err != nil {
 		return Result{}, err
@@ -294,11 +311,16 @@ func (s *simulator) handleRetrieve(k, i int32) {
 	if to <= from {
 		return
 	}
-	objs, err := s.manager.GetResults(cacheID(i), subName(k), from, to, s.now)
+	objs, info, err := s.manager.Retrieve(context.Background(), cacheID(i), subName(k), from, to, s.now)
 	if err != nil {
-		return
+		return // nothing delivered; the range stays pending for the next notification
 	}
-	slot.marker = to
+	if !info.Stale {
+		slot.marker = to
+	}
+	// A stale serve delivers the cached portion but leaves the marker,
+	// exactly like the live broker's zero ack: the missed older range is
+	// retried on the next notification once the cluster recovers.
 	if len(objs) == 0 {
 		return
 	}
@@ -458,6 +480,11 @@ func secs(v float64) time.Duration {
 
 // result snapshots the run.
 func (s *simulator) result() Result {
+	var injected uint64
+	if s.injector != nil {
+		injected, _ = s.injector.Injected()
+	}
+
 	infos := s.manager.CacheInfos()
 	per := make([]CacheSummary, 0, len(infos))
 	for _, ci := range infos {
@@ -471,11 +498,12 @@ func (s *simulator) result() Result {
 		})
 	}
 	return Result{
-		Policy:    s.cfg.Policy.Name(),
-		Budget:    s.cfg.CacheBudget,
-		Metrics:   s.stats.SnapshotAt(s.cfg.Duration),
-		RhoTTLSum: s.manager.RhoTTLSum(),
-		PerCache:  per,
-		Events:    s.events,
+		Policy:         s.cfg.Policy.Name(),
+		Budget:         s.cfg.CacheBudget,
+		Metrics:        s.stats.SnapshotAt(s.cfg.Duration),
+		RhoTTLSum:      s.manager.RhoTTLSum(),
+		FaultsInjected: injected,
+		PerCache:       per,
+		Events:         s.events,
 	}
 }
