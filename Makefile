@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench chaos verify
+.PHONY: build vet lint test race bench bench-json bench-smoke chaos verify
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,20 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Delivery-pipeline benchmarks as a committed JSON artifact. The
+# before/after pair is in the run itself: BenchmarkFanoutLegacySync is the
+# pre-pipeline dispatch loop, BenchmarkFanout the async encode-once one.
+bench-json:
+	$(GO) test -run=NONE -bench='BenchmarkFanout|BenchmarkObjectsInRange|BenchmarkWritePrepared|BenchmarkWriteMessage' \
+		-benchmem -benchtime=200x ./internal/broker ./internal/wsock ./internal/core \
+		| $(GO) run ./cmd/benchjson -note "LegacySync is the pre-change dispatch loop (1000 drained subscribers; it cannot run with a stalled one). Fanout adds a stalled subscriber on top. objectsInRange pre-change: span=1 4513ns/1alloc, span=16 4963ns/5allocs, span=256 6647ns/9allocs." \
+		> BENCH_fanout.json
+
+# CI smoke: compile and run every delivery-path benchmark once, so a broken
+# benchmark is caught without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/broker ./internal/wsock ./internal/core
 
 # Chaos tier: the fault-injection harness and every resilience path it
 # drives — retries/breakers (httpx), client wiring and webhook redelivery

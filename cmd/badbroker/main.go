@@ -37,6 +37,7 @@ func main() {
 	budgetStr := flag.String("budget", "64MB", "cache budget")
 	ttlInterval := flag.Duration("ttl-interval", time.Minute, "TTL recompute interval")
 	shards := flag.Int("cache-shards", 0, "cache manager lock stripes (0 = default)")
+	pushQueue := flag.Int("push-queue", 0, "per-session outbound notification queue bound (0 = default)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and /debug/runtime (empty = off)")
 	res := resilienceFlags{}
@@ -48,7 +49,7 @@ func main() {
 	flag.BoolVar(&res.staleServe, "stale-serve", true, "serve cached results stale (zero ack marker) when a cluster fetch fails")
 	flag.Parse()
 
-	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval, *shards, *logLevel, *debugAddr, res); err != nil {
+	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval, *shards, *pushQueue, *logLevel, *debugAddr, res); err != nil {
 		fmt.Fprintln(os.Stderr, "badbroker:", err)
 		os.Exit(1)
 	}
@@ -66,7 +67,7 @@ type resilienceFlags struct {
 	staleServe      bool
 }
 
-func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration, shards int, logLevel, debugAddr string, res resilienceFlags) error {
+func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration, shards, pushQueue int, logLevel, debugAddr string, res resilienceFlags) error {
 	observer, err := cliutil.NewObserver("badbroker", logLevel)
 	if err != nil {
 		return err
@@ -119,6 +120,7 @@ func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttl
 		broker.WithCacheBudget(budget),
 		broker.WithTTLConfig(core.TTLConfig{RecomputeInterval: ttlInterval}),
 		broker.WithShards(shards),
+		broker.WithPushQueue(pushQueue),
 		broker.WithLogger(observer.Logger),
 		broker.WithStaleServe(res.staleServe),
 	)

@@ -29,18 +29,19 @@ func main() {
 	emergency := flag.Bool("emergency", true, "preload the city-emergency catalog (Table III)")
 	repTick := flag.Duration("repetitive-tick", time.Second, "how often repetitive channels are polled")
 	webhookAttempts := flag.Int("webhook-attempts", 8, "delivery attempts per webhook notification before it is abandoned")
+	webhookBatch := flag.Duration("webhook-batch-window", 0, "coalesce webhook notifications per (subscription, callback) for this window before one combined POST (0 = immediate)")
 	walPath := flag.String("wal", "", "write-ahead log path for durable publications (empty = in-memory only)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and /debug/runtime (empty = off)")
 	flag.Parse()
 
-	if err := run(*addr, *nodes, *emergency, *repTick, *webhookAttempts, *walPath, *logLevel, *debugAddr); err != nil {
+	if err := run(*addr, *nodes, *emergency, *repTick, *webhookAttempts, *webhookBatch, *walPath, *logLevel, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "badcluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, nodes int, emergency bool, repTick time.Duration, webhookAttempts int, walPath, logLevel, debugAddr string) error {
+func run(addr string, nodes int, emergency bool, repTick time.Duration, webhookAttempts int, webhookBatch time.Duration, walPath, logLevel, debugAddr string) error {
 	observer, err := cliutil.NewObserver("badcluster", logLevel)
 	if err != nil {
 		return err
@@ -53,6 +54,7 @@ func run(addr string, nodes int, emergency bool, repTick time.Duration, webhookA
 	notifier := bdms.NewWebhookNotifier(4, 1024, nil,
 		bdms.WithNotifierLogger(observer.Logger),
 		bdms.WithNotifierMaxAttempts(webhookAttempts),
+		bdms.WithNotifierBatchWindow(webhookBatch),
 		bdms.WithNotifierStats(notifierStats))
 	defer notifier.Close()
 	observer.Registry.MustRegister(notifierStats.Collector())

@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document, so benchmark runs can be committed and diffed (see `make
+// bench-json`, which maintains BENCH_fanout.json).
+//
+// Each benchmark line of the form
+//
+//	BenchmarkFanout-8   200   183098 ns/op   69590 B/op   56 allocs/op
+//
+// becomes {"name": "BenchmarkFanout", "iterations": 200, "metrics":
+// {"ns/op": 183098, ...}}; custom b.ReportMetric units pass through
+// unchanged. Non-benchmark lines are ignored, except goos/goarch/pkg/cpu
+// headers, which are captured into the environment block.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Note        string            `json:"note,omitempty"`
+	Environment map[string]string `json:"environment,omitempty"`
+	Benchmarks  []benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	note := flag.String("note", "", "free-form note embedded in the output (e.g. what baseline this run is compared against)")
+	flag.Parse()
+
+	rep := report{Note: *note, Environment: map[string]string{}}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			rep.Environment[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "pkg:"):
+			_, v, _ := strings.Cut(line, ":")
+			pkg = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				b.Package = pkg
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench decodes one result line: name, iteration count, then
+// value/unit pairs.
+func parseBench(line string) (benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix; it is environment, not identity.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}

@@ -24,6 +24,11 @@ type NotificationPayload struct {
 	// Result carries the result object itself under the PUSH model
 	// (nil under the PULL model).
 	Result *ResultObject `json:"result,omitempty"`
+	// Results carries a coalesced batch of pushed result objects, oldest
+	// first, when the notifier batches deliveries within a flush window;
+	// the receiver ingests the whole batch in one call. Result stays nil
+	// when Results is set.
+	Results []ResultObject `json:"results,omitempty"`
 }
 
 // NotificationPayloadTo pairs a payload with its destination.
@@ -49,6 +54,9 @@ type NotifierStats struct {
 	// Lost counts notifications abandoned after exhausting the attempt
 	// budget or because the notifier shut down with redeliveries pending.
 	Lost atomic.Uint64
+	// Coalesced counts notifications merged into a pending batch instead
+	// of being POSTed individually (batching enabled).
+	Coalesced atomic.Uint64
 }
 
 // Collector exports the delivery tallies as counter families.
@@ -63,6 +71,7 @@ func (s *NotifierStats) Collector() obs.Collector {
 		counter("bad_webhook_redelivered_total", "Webhook notifications re-enqueued after a failed attempt.", s.Redelivered.Load())
 		counter("bad_webhook_dropped_total", "Webhook notifications shed at intake (full queue).", s.Dropped.Load())
 		counter("bad_webhook_lost_total", "Webhook notifications abandoned after the attempt budget.", s.Lost.Load())
+		counter("bad_webhook_coalesced_total", "Webhook notifications merged into a pending batch.", s.Coalesced.Load())
 	})
 }
 
@@ -98,6 +107,30 @@ type WebhookNotifier struct {
 	queue  chan queueItem
 	wg     sync.WaitGroup
 	closed bool
+
+	// batchWindow > 0 coalesces notifications per (subscription, callback)
+	// for that long before one combined POST goes out; 0 keeps the
+	// immediate per-notification form.
+	batchWindow time.Duration
+	batchMu     sync.Mutex
+	batches     map[batchKey]*pendingBatch
+}
+
+// batchKey identifies a coalescing bucket: one subscription's deliveries to
+// one callback URL.
+type batchKey struct {
+	subID    string
+	callback string
+}
+
+// pendingBatch accumulates one bucket's notifications during the flush
+// window. PULL notifications only advance latest (they are cumulative);
+// PUSH notifications also collect their result objects, oldest first.
+type pendingBatch struct {
+	latest  int64
+	results []ResultObject
+	span    obs.SpanContext
+	timer   *time.Timer
 }
 
 // NotifierOption tunes a WebhookNotifier.
@@ -145,6 +178,19 @@ func WithNotifierSleep(sleep func(ctx context.Context, d time.Duration) error) N
 	}
 }
 
+// WithNotifierBatchWindow coalesces notifications per (subscription,
+// callback) for the given window before one combined POST goes out: PULL
+// notifications collapse to the latest timestamp, PUSH notifications
+// accumulate into one Results batch the receiver ingests in a single
+// call. d <= 0 keeps immediate per-notification delivery.
+func WithNotifierBatchWindow(d time.Duration) NotifierOption {
+	return func(n *WebhookNotifier) {
+		if d > 0 {
+			n.batchWindow = d
+		}
+	}
+}
+
 // WithNotifierStats shares an externally-owned stats bundle (e.g. one
 // registered on /metrics).
 func WithNotifierStats(s *NotifierStats) NotifierOption {
@@ -176,6 +222,7 @@ func NewWebhookNotifier(workers, queueCap int, client *http.Client, opts ...Noti
 		maxDelay:    5 * time.Second,
 		stats:       &NotifierStats{},
 		queue:       make(chan queueItem, queueCap),
+		batches:     make(map[batchKey]*pendingBatch),
 	}
 	n.sleep = realSleep
 	for _, opt := range opts {
@@ -202,10 +249,15 @@ func realSleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// Notify implements Notifier (PULL model): it enqueues the delivery,
-// dropping it when the queue is full.
+// Notify implements Notifier (PULL model): it enqueues the delivery (or
+// folds it into the pending batch when coalescing is on), dropping it when
+// the queue is full.
 func (n *WebhookNotifier) Notify(subID, callback string, latest time.Duration) {
 	if callback == "" {
+		return
+	}
+	if n.batchWindow > 0 {
+		n.addToBatch(subID, callback, int64(latest), nil)
 		return
 	}
 	n.enqueue(NotificationPayloadTo{
@@ -215,9 +267,14 @@ func (n *WebhookNotifier) Notify(subID, callback string, latest time.Duration) {
 }
 
 // NotifyPush implements PushNotifier: the payload carries the result
-// object itself.
+// object itself; with coalescing on, results accumulate into one batched
+// POST per flush window.
 func (n *WebhookNotifier) NotifyPush(subID, callback string, obj ResultObject) {
 	if callback == "" {
+		return
+	}
+	if n.batchWindow > 0 {
+		n.addToBatch(subID, callback, int64(obj.Timestamp), &obj)
 		return
 	}
 	n.enqueue(NotificationPayloadTo{
@@ -230,14 +287,78 @@ func (n *WebhookNotifier) NotifyPush(subID, callback string, obj ResultObject) {
 	})
 }
 
+// addToBatch folds one notification into its (subscription, callback)
+// bucket, opening the bucket — and arming its flush timer — on first use.
+func (n *WebhookNotifier) addToBatch(subID, callback string, latest int64, obj *ResultObject) {
+	key := batchKey{subID: subID, callback: callback}
+	n.batchMu.Lock()
+	b, ok := n.batches[key]
+	if !ok {
+		b = &pendingBatch{span: obs.NewSpan()}
+		b.timer = time.AfterFunc(n.batchWindow, func() { n.flushBatch(key) })
+		n.batches[key] = b
+	} else {
+		n.stats.Coalesced.Add(1)
+	}
+	if latest > b.latest {
+		b.latest = latest
+	}
+	if obj != nil {
+		b.results = append(b.results, *obj)
+	}
+	n.batchMu.Unlock()
+}
+
+// flushBatch turns a bucket into one queued delivery. A single pushed
+// result keeps the legacy Result form; several ride in Results; a
+// PULL-only bucket carries just the (latest-wins) timestamp.
+func (n *WebhookNotifier) flushBatch(key batchKey) {
+	n.batchMu.Lock()
+	b, ok := n.batches[key]
+	if !ok {
+		n.batchMu.Unlock()
+		return
+	}
+	delete(n.batches, key)
+	n.batchMu.Unlock()
+
+	payload := NotificationPayload{SubscriptionID: key.subID, LatestNS: b.latest}
+	switch len(b.results) {
+	case 0:
+	case 1:
+		payload.Result = &b.results[0]
+	default:
+		payload.Results = b.results
+	}
+	n.enqueueSpan(NotificationPayloadTo{Callback: key.callback, Payload: payload}, b.span)
+}
+
+// flushAllBatches drains every pending bucket immediately (shutdown path).
+func (n *WebhookNotifier) flushAllBatches() {
+	n.batchMu.Lock()
+	keys := make([]batchKey, 0, len(n.batches))
+	for key, b := range n.batches {
+		b.timer.Stop()
+		keys = append(keys, key)
+	}
+	n.batchMu.Unlock()
+	for _, key := range keys {
+		n.flushBatch(key)
+	}
+}
+
 func (n *WebhookNotifier) enqueue(item NotificationPayloadTo) {
+	n.enqueueSpan(item, obs.NewSpan())
+}
+
+func (n *WebhookNotifier) enqueueSpan(item NotificationPayloadTo, span obs.SpanContext) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
 		return
 	}
 	select {
-	case n.queue <- queueItem{NotificationPayloadTo: item, span: obs.NewSpan()}:
+	case n.queue <- queueItem{NotificationPayloadTo: item, span: span}:
 	default:
 		n.stats.Dropped.Add(1)
 	}
@@ -275,10 +396,11 @@ func (n *WebhookNotifier) Stats() *NotifierStats { return n.stats }
 // queue.
 func (n *WebhookNotifier) Dropped() int { return int(n.stats.Dropped.Load()) }
 
-// Close stops accepting notifications, drains the queue (redeliveries
-// pending at shutdown are counted lost rather than retried) and waits for
-// the workers to finish.
+// Close flushes any pending batches, stops accepting notifications, drains
+// the queue (redeliveries pending at shutdown are counted lost rather than
+// retried) and waits for the workers to finish.
 func (n *WebhookNotifier) Close() {
+	n.flushAllBatches()
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()

@@ -1,0 +1,163 @@
+package bdms_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"gobad/internal/bdms"
+	"gobad/internal/httpx"
+)
+
+// payloadRecorder is a callback endpoint that decodes and keeps every
+// NotificationPayload it receives.
+type payloadRecorder struct {
+	mu       sync.Mutex
+	payloads []bdms.NotificationPayload
+}
+
+func (rec *payloadRecorder) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var p bdms.NotificationPayload
+		if err := httpx.ReadJSON(r, &p); err != nil {
+			httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		rec.mu.Lock()
+		rec.payloads = append(rec.payloads, p)
+		rec.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}
+}
+
+func (rec *payloadRecorder) snapshot() []bdms.NotificationPayload {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return append([]bdms.NotificationPayload(nil), rec.payloads...)
+}
+
+func pushObj(id string, ts time.Duration) bdms.ResultObject {
+	return bdms.ResultObject{ID: id, SubscriptionID: "sub-1", Timestamp: ts, Size: 10}
+}
+
+// TestWebhookBatchCoalescesPush: pushed results arriving within the flush
+// window ride in one POST as a Results batch, oldest first, and the merges
+// are tallied.
+func TestWebhookBatchCoalescesPush(t *testing.T) {
+	rec := &payloadRecorder{}
+	cb := httptest.NewServer(rec.handler())
+	defer cb.Close()
+
+	n := bdms.NewWebhookNotifier(1, 16, cb.Client(),
+		bdms.WithNotifierBatchWindow(30*time.Millisecond))
+	n.NotifyPush("sub-1", cb.URL, pushObj("r1", 1*time.Second))
+	n.NotifyPush("sub-1", cb.URL, pushObj("r2", 2*time.Second))
+	n.NotifyPush("sub-1", cb.URL, pushObj("r3", 3*time.Second))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Stats().Delivered.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	n.Close()
+
+	got := rec.snapshot()
+	if len(got) != 1 {
+		t.Fatalf("POSTs = %d, want 1 coalesced delivery (payloads %+v)", len(got), got)
+	}
+	p := got[0]
+	if p.SubscriptionID != "sub-1" || p.LatestNS != int64(3*time.Second) || p.Result != nil {
+		t.Errorf("payload = %+v, want latest 3s with Results only", p)
+	}
+	if len(p.Results) != 3 || p.Results[0].ID != "r1" || p.Results[2].ID != "r3" {
+		t.Errorf("results = %+v, want r1..r3 oldest first", p.Results)
+	}
+	if c := n.Stats().Coalesced.Load(); c != 2 {
+		t.Errorf("coalesced = %d, want 2", c)
+	}
+}
+
+// TestWebhookBatchPullLatestWins: PULL notifications are cumulative, so a
+// window's worth collapses to a single POST carrying only the newest
+// timestamp.
+func TestWebhookBatchPullLatestWins(t *testing.T) {
+	rec := &payloadRecorder{}
+	cb := httptest.NewServer(rec.handler())
+	defer cb.Close()
+
+	n := bdms.NewWebhookNotifier(1, 16, cb.Client(),
+		bdms.WithNotifierBatchWindow(30*time.Millisecond))
+	n.Notify("sub-1", cb.URL, 1*time.Second)
+	n.Notify("sub-1", cb.URL, 3*time.Second)
+	n.Notify("sub-1", cb.URL, 2*time.Second)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Stats().Delivered.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	n.Close()
+
+	got := rec.snapshot()
+	if len(got) != 1 {
+		t.Fatalf("POSTs = %d, want 1", len(got))
+	}
+	p := got[0]
+	if p.LatestNS != int64(3*time.Second) || p.Result != nil || len(p.Results) != 0 {
+		t.Errorf("payload = %+v, want bare latest 3s", p)
+	}
+}
+
+// TestWebhookBatchCloseFlushes: Close must not strand a pending batch —
+// and a batch holding a single pushed result keeps the legacy Result form
+// for receivers that predate the Results field.
+func TestWebhookBatchCloseFlushes(t *testing.T) {
+	rec := &payloadRecorder{}
+	cb := httptest.NewServer(rec.handler())
+	defer cb.Close()
+
+	n := bdms.NewWebhookNotifier(1, 16, cb.Client(),
+		bdms.WithNotifierBatchWindow(time.Minute)) // never fires on its own
+	n.NotifyPush("sub-1", cb.URL, pushObj("r1", 1*time.Second))
+	n.Close()
+
+	got := rec.snapshot()
+	if len(got) != 1 {
+		t.Fatalf("POSTs = %d, want 1 flushed on Close", len(got))
+	}
+	p := got[0]
+	if p.Result == nil || p.Result.ID != "r1" || len(p.Results) != 0 {
+		t.Errorf("payload = %+v, want legacy single-Result form", p)
+	}
+}
+
+// TestWebhookBatchSeparateBuckets: different subscriptions never share a
+// batch even when they target the same callback.
+func TestWebhookBatchSeparateBuckets(t *testing.T) {
+	rec := &payloadRecorder{}
+	cb := httptest.NewServer(rec.handler())
+	defer cb.Close()
+
+	n := bdms.NewWebhookNotifier(1, 16, cb.Client(),
+		bdms.WithNotifierBatchWindow(30*time.Millisecond))
+	n.Notify("sub-1", cb.URL, 1*time.Second)
+	n.Notify("sub-2", cb.URL, 2*time.Second)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Stats().Delivered.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	n.Close()
+
+	got := rec.snapshot()
+	if len(got) != 2 {
+		t.Fatalf("POSTs = %d, want one per subscription", len(got))
+	}
+	seen := map[string]int64{}
+	for _, p := range got {
+		seen[p.SubscriptionID] = p.LatestNS
+	}
+	if seen["sub-1"] != int64(1*time.Second) || seen["sub-2"] != int64(2*time.Second) {
+		t.Errorf("deliveries = %+v", seen)
+	}
+}

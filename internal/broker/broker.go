@@ -98,6 +98,11 @@ type Config struct {
 	// missed range — the older objects are re-delivered once the
 	// cluster recovers (at-least-once, possible duplicates).
 	StaleServe bool
+	// PushQueue bounds each WebSocket session's outbound notification
+	// queue (distinct frontend subscriptions with a pending marker);
+	// <= 0 selects DefaultPushQueue. Markers beyond the bound evict the
+	// oldest pending one (latest-wins, recoverable via GetResults).
+	PushQueue int
 }
 
 // Broker is a BAD broker node.
@@ -191,10 +196,10 @@ func New(cfg Config, opts ...Option) (*Broker, error) {
 		backendSubs: make(map[string]*backendSub),
 		backendByID: make(map[string]*backendSub),
 		frontend:    make(map[string]*frontendSub),
-		sessions:    newSessionHub(),
 		log:         obs.WrapLogger(cfg.Logger),
 		slowFetch:   cfg.SlowFetchThreshold,
 	}
+	b.sessions = newSessionHub(cfg.PushQueue, &b.stats.Delivered, b.log)
 	if cfg.Clock != nil {
 		b.clock = cfg.Clock
 	} else {
@@ -222,6 +227,9 @@ func (b *Broker) ID() string { return b.id }
 
 // Stats returns the broker's cache statistics.
 func (b *Broker) Stats() *metrics.CacheStats { return b.stats }
+
+// PushStats snapshots the WebSocket push pipeline's counters.
+func (b *Broker) PushStats() PushStats { return b.sessions.snapshot() }
 
 // Manager exposes the cache manager (experiments and operational
 // endpoints).
@@ -451,6 +459,19 @@ func (b *Broker) RetrieveContext(ctx context.Context, subscriber, fsID string) (
 	return Retrieval{Items: items, Latest: to}, nil
 }
 
+// BackendSubID returns the data cluster subscription ID a frontend
+// subscription attaches to. Push notifications over WebSocket carry this
+// shared ID, so clients route them with it.
+func (b *Broker) BackendSubID(subscriber, fsID string) (string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fs, ok := b.frontend[fsID]
+	if !ok || fs.subscriber != subscriber {
+		return "", fmt.Errorf("broker: unknown frontend subscription %q", fsID)
+	}
+	return fs.bs.id, nil
+}
+
 // Ack advances fsID's retrieval marker to ts (never backwards, never past
 // the backend marker).
 func (b *Broker) Ack(subscriber, fsID string, ts time.Duration) error {
@@ -532,19 +553,30 @@ func (b *Broker) HandleNotificationContext(ctx context.Context, backendSubID str
 	}
 	b.mu.Unlock()
 
-	for sub, fsID := range notifyList {
-		n := PushNotification{Type: "results", FrontendSub: fsID, LatestNS: int64(latest)}
-		delivered := false
-		if b.push != nil {
-			delivered = b.push(sub, n)
-		} else {
-			delivered = b.sessions.notify(sub, n)
-		}
-		if delivered {
-			b.stats.Delivered.Inc()
-		}
-	}
+	b.fanout(ctx, backendSubID, notifyList, latest)
 	return nil
+}
+
+// fanout pushes one "new results" event to the attached subscribers. On
+// the WebSocket path the payload is encoded once per event and enqueued
+// onto the online sessions' outbound queues without blocking — delivery
+// (and the Delivered counter) happens on the sessions' writer goroutines.
+// A push-func override (experiments) keeps the synchronous per-subscriber
+// form.
+func (b *Broker) fanout(ctx context.Context, backendSubID string, targets map[string]string, latest time.Duration) {
+	if b.push != nil {
+		for sub, fsID := range targets {
+			n := PushNotification{
+				Type: "results", FrontendSub: fsID,
+				BackendSub: backendSubID, LatestNS: int64(latest),
+			}
+			if b.push(sub, n) {
+				b.stats.Delivered.Inc()
+			}
+		}
+		return
+	}
+	b.sessions.broadcast(ctx, backendSubID, targets, int64(latest))
 }
 
 // SetPushFunc overrides notification delivery; the experiment rigs use it
@@ -624,18 +656,95 @@ func (b *Broker) HandlePushedResultContext(ctx context.Context, backendSubID str
 	}
 	b.mu.Unlock()
 
-	for sub, fsID := range notifyList {
-		n := PushNotification{Type: "results", FrontendSub: fsID, LatestNS: int64(r.Timestamp)}
-		delivered := false
-		if b.push != nil {
-			delivered = b.push(sub, n)
-		} else {
-			delivered = b.sessions.notify(sub, n)
+	b.fanout(ctx, backendSubID, notifyList, r.Timestamp)
+	return nil
+}
+
+// HandlePushedResults ingests a coalesced batch of pushed results (the
+// cluster-side notifier batches per callback within its flush window) in
+// one call: a single gap back-fill below the batch, one cache Put per
+// object and one notification fan-out for the whole batch.
+func (b *Broker) HandlePushedResults(backendSubID string, rs []bdms.ResultObject) error {
+	return b.HandlePushedResultsContext(context.Background(), backendSubID, rs)
+}
+
+// HandlePushedResultsContext is HandlePushedResults bound to ctx, which
+// bounds the gap back-fill pull.
+func (b *Broker) HandlePushedResultsContext(ctx context.Context, backendSubID string, rs []bdms.ResultObject) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	now := b.clock()
+	b.mu.Lock()
+	bs, ok := b.backendByID[backendSubID]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("broker: pushed results for unknown subscription %q", backendSubID)
+	}
+	b.mu.Unlock()
+
+	// Batches arrive oldest-first from the notifier, but sort defensively:
+	// Puts must be timestamp-ordered.
+	sorted := make([]bdms.ResultObject, len(rs))
+	copy(sorted, rs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Timestamp < sorted[j].Timestamp })
+
+	bs.pullMu.Lock()
+	defer bs.pullMu.Unlock()
+	b.mu.Lock()
+	from := bs.bts
+	b.mu.Unlock()
+	latest := sorted[len(sorted)-1].Timestamp
+	if latest <= from {
+		return nil // whole batch already ingested
+	}
+
+	if _, isNC := b.manager.Policy().(core.NC); !isNC {
+		// One back-fill below the oldest new object covers any gap for the
+		// entire batch; intra-batch gaps cannot exist because the notifier
+		// accumulates every pushed result in the window.
+		first := sorted[0].Timestamp
+		if first > from {
+			missed, err := b.backendResults(ctx, backendSubID, from, first, false)
+			if err == nil {
+				for _, m := range missed {
+					obj := &core.Object{
+						ID: m.ID, Timestamp: m.Timestamp, Size: m.Size,
+						FetchLatency: b.fetchLatency(m.Size), Payload: m.Rows,
+					}
+					if err := b.manager.Put(backendSubID, obj, now); err == nil {
+						b.stats.VolumeBytes.Add(float64(m.Size))
+						b.stats.FetchBytes.Add(float64(m.Size))
+					}
+				}
+			}
 		}
-		if delivered {
-			b.stats.Delivered.Inc()
+		for _, r := range sorted {
+			if r.Timestamp <= from {
+				continue // duplicate of an already-ingested object
+			}
+			obj := &core.Object{
+				ID: r.ID, Timestamp: r.Timestamp, Size: r.Size,
+				FetchLatency: b.fetchLatency(r.Size), Payload: r.Rows,
+			}
+			if err := b.manager.Put(backendSubID, obj, now); err != nil {
+				return fmt.Errorf("broker: cache pushed result: %w", err)
+			}
+			b.stats.VolumeBytes.Add(float64(r.Size))
 		}
 	}
+
+	b.mu.Lock()
+	if latest > bs.bts {
+		bs.bts = latest
+	}
+	notifyList := make(map[string]string, len(bs.attached))
+	for sub, fsID := range bs.attached {
+		notifyList[sub] = fsID
+	}
+	b.mu.Unlock()
+
+	b.fanout(ctx, backendSubID, notifyList, latest)
 	return nil
 }
 

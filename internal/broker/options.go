@@ -63,6 +63,12 @@ func WithBackendLink(rtt time.Duration, bandwidth float64) Option {
 	}
 }
 
+// WithPushQueue bounds each WebSocket session's outbound notification
+// queue; n <= 0 selects DefaultPushQueue.
+func WithPushQueue(n int) Option {
+	return func(c *Config) { c.PushQueue = n }
+}
+
 // WithStaleServe enables graceful degradation: retrievals whose backend
 // fetch fails are answered from the cache alone and marked stale instead
 // of erroring.

@@ -150,6 +150,54 @@ func TestPushModelBackfillsGaps(t *testing.T) {
 	_ = bsID
 }
 
+// TestPushedBatchIngestsOnce: a coalesced webhook batch (Results array)
+// lands in the cache with one call — every object cached, the backend
+// marker advanced to the batch's newest timestamp, and a redelivered batch
+// ignored as a duplicate.
+func TestPushedBatchIngestsOnce(t *testing.T) {
+	env := newPushEnv(t, core.LSC{}, 1<<20)
+	b := env.broker
+	fs, err := b.Subscribe("alice", "Alerts", []any{"fire"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsID := cacheIDOf(t, b)
+	batch := []bdms.ResultObject{
+		// Deliberately out of order: the handler must sort before caching.
+		{ID: "r2", SubscriptionID: bsID, Timestamp: 2 * time.Second, Size: 10},
+		{ID: "r1", SubscriptionID: bsID, Timestamp: 1 * time.Second, Size: 10},
+		{ID: "r3", SubscriptionID: bsID, Timestamp: 3 * time.Second, Size: 10},
+	}
+	if err := b.HandlePushedResults(bsID, batch); err != nil {
+		t.Fatal(err)
+	}
+	// Redelivery of the same batch (at-least-once webhooks) is a no-op.
+	if err := b.HandlePushedResults(bsID, batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Manager().Cache(bsID).Len(); got != 3 {
+		t.Errorf("cache has %d objects after duplicate batch, want 3", got)
+	}
+	items, latest, err := b.GetResults("alice", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 || items[0].ID != "r1" || items[2].ID != "r3" {
+		t.Fatalf("items = %+v, want r1..r3 oldest first", items)
+	}
+	if latest != 3*time.Second {
+		t.Errorf("latest = %v, want 3s", latest)
+	}
+	if err := b.Ack("alice", fs, latest); err != nil {
+		t.Fatal(err)
+	}
+	// Pushed batches must not trigger fetches: the batch itself carried
+	// everything.
+	if got := b.Stats().FetchBytes.Value(); got != 0 {
+		t.Errorf("fetch bytes = %v, want 0", got)
+	}
+}
+
 // publishWithoutNotify produces a matching publication whose push delivery
 // is "lost" (the notifier is bypassed by swapping it out temporarily).
 func (env *testEnv) publishWithoutNotify(t *testing.T, etype string, sev float64) {

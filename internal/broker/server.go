@@ -51,6 +51,16 @@ func NewServer(b *Broker, opts ...ServerOption) *Server {
 			func() float64 { return float64(b.NumBackendSubs()) }),
 		obs.GaugeFunc("bad_online_subscribers", "Subscribers with a live WebSocket session.",
 			func() float64 { return float64(b.sessions.count()) }),
+		obs.CounterFunc("bad_push_enqueued_total", "Push markers accepted into session queues.",
+			func() float64 { return float64(b.PushStats().Enqueued) }),
+		obs.CounterFunc("bad_push_coalesced_total", "Push markers merged latest-wins into an already-queued marker.",
+			func() float64 { return float64(b.PushStats().Coalesced) }),
+		obs.CounterFunc("bad_push_dropped_total", "Oldest pending push markers evicted on session queue overflow.",
+			func() float64 { return float64(b.PushStats().Dropped) }),
+		obs.CounterFunc("bad_push_failures_total", "Push notification encode errors and failed socket writes.",
+			func() float64 { return float64(b.PushStats().Failures) }),
+		obs.GaugeFunc("bad_push_queue_depth", "Pending push markers across live sessions.",
+			func() float64 { return float64(b.PushStats().QueueDepth) }),
 	)
 	s.routes()
 	return s
@@ -97,9 +107,12 @@ type SubscribeRequest struct {
 	Params     []any  `json:"params"`
 }
 
-// SubscribeResponse returns the frontend subscription ID.
+// SubscribeResponse returns the frontend subscription ID plus the shared
+// backend subscription it attaches to; WebSocket push notifications carry
+// the latter, so clients key their routing on it.
 type SubscribeResponse struct {
 	FrontendSub string `json:"fs"`
+	BackendSub  string `json:"bs"`
 }
 
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
@@ -113,7 +126,8 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	httpx.WriteJSON(w, http.StatusCreated, SubscribeResponse{FrontendSub: fs})
+	bs, _ := s.broker.BackendSubID(req.Subscriber, fs)
+	httpx.WriteJSON(w, http.StatusCreated, SubscribeResponse{FrontendSub: fs, BackendSub: bs})
 }
 
 func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
@@ -230,9 +244,12 @@ func (s *Server) handleCallback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var err error
-	if p.Result != nil {
+	switch {
+	case len(p.Results) > 0:
+		err = s.broker.HandlePushedResultsContext(r.Context(), p.SubscriptionID, p.Results)
+	case p.Result != nil:
 		err = s.broker.HandlePushedResultContext(r.Context(), p.SubscriptionID, *p.Result)
-	} else {
+	default:
 		err = s.broker.HandleNotificationContext(r.Context(), p.SubscriptionID, time.Duration(p.LatestNS))
 	}
 	if err != nil {

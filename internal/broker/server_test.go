@@ -163,8 +163,15 @@ func TestServerWebSocketPush(t *testing.T) {
 	if err := json.Unmarshal(payload, &n); err != nil {
 		t.Fatal(err)
 	}
-	if n.FrontendSub != fs || n.Type != "results" {
-		t.Errorf("push = %+v", n)
+	// The shared wire form names the backend subscription, not the
+	// per-subscriber frontend one — that's what lets the broker encode it
+	// once per event.
+	bs, err := env.broker.BackendSubID("alice", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.BackendSub != bs || n.FrontendSub != "" || n.Type != "results" {
+		t.Errorf("push = %+v, want bs %q", n, bs)
 	}
 }
 

@@ -1,19 +1,185 @@
 package broker
 
 import (
+	"context"
 	"encoding/json"
+	"log/slog"
 	"sync"
+	"sync/atomic"
 
+	"gobad/internal/metrics"
+	"gobad/internal/obs"
 	"gobad/internal/wsock"
 )
 
 // PushNotification is the JSON message pushed to subscribers over their
-// WebSocket: "new results are available for your frontend subscription up
-// to LatestNS — come and get them".
+// WebSocket: "new results are available up to LatestNS — come and get
+// them". The WebSocket wire form carries the (shared) backend subscription
+// in "bs" and omits "fs", so one encoded payload serves every subscriber
+// attached to that backend subscription; the client library maps "bs" back
+// to its own frontend subscription and fills FrontendSub before handing the
+// notification to the application.
 type PushNotification struct {
-	Type        string `json:"type"`
-	FrontendSub string `json:"fs"`
-	LatestNS    int64  `json:"latest_ns"`
+	Type string `json:"type"`
+	// FrontendSub identifies the receiving subscriber's frontend
+	// subscription. Populated on the push-func (experiment) path and by
+	// the client library; empty on the shared WebSocket wire form.
+	FrontendSub string `json:"fs,omitempty"`
+	// BackendSub identifies the deduplicated backend subscription the
+	// results belong to.
+	BackendSub string `json:"bs,omitempty"`
+	LatestNS   int64  `json:"latest_ns"`
+}
+
+// DefaultPushQueue is the default per-session outbound queue length
+// (distinct frontend subscriptions with a pending marker).
+const DefaultPushQueue = 128
+
+// pushEvent is one "new results" marker, encoded once per backend
+// subscription event and shared by every session it fans out to.
+type pushEvent struct {
+	latest int64
+	pm     *wsock.PreparedMessage
+	span   obs.SpanContext
+}
+
+// pushStats tallies the asynchronous delivery pipeline's outcomes.
+// Delivered lives in the broker's CacheStats (the paper's metric); these
+// cover the pipeline mechanics.
+type pushStats struct {
+	// enqueued counts markers accepted into a session queue.
+	enqueued atomic.Uint64
+	// coalesced counts markers that replaced a queued marker for the same
+	// frontend subscription (latest-wins: nothing is lost).
+	coalesced atomic.Uint64
+	// dropped counts markers evicted because a session queue overflowed
+	// with distinct frontend subscriptions. A dropped marker is re-issued
+	// by the next event on its subscription, and GetResults at any time
+	// catches the subscriber up regardless.
+	dropped atomic.Uint64
+	// failures counts encode errors and failed socket writes.
+	failures atomic.Uint64
+}
+
+// session is one subscriber's live WebSocket connection plus its bounded
+// outbound queue, drained by a dedicated writer goroutine. Enqueueing never
+// blocks and never does I/O, so a slow reader cannot stall the notification
+// arrival path; because markers are idempotent and latest-wins, a new
+// marker for an already-queued frontend subscription replaces the queued
+// one instead of growing the queue.
+type session struct {
+	hub        *sessionHub
+	subscriber string
+	conn       *wsock.Conn
+
+	mu     sync.Mutex
+	queued map[string]*pushEvent // frontend sub -> pending marker
+	order  []string              // FIFO of frontend subs with a pending marker
+	closed bool
+	wake   chan struct{} // cap-1 doorbell for the writer goroutine
+}
+
+// enqueue adds (or coalesces) a marker for fs; it reports false when the
+// session is already closed.
+func (s *session) enqueue(fs string, ev *pushEvent) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if old, dup := s.queued[fs]; dup {
+		// Latest-wins: the marker is cumulative, so replacing the queued
+		// one loses nothing — the subscriber still sees the final marker.
+		if ev.latest >= old.latest {
+			s.queued[fs] = ev
+		}
+		s.mu.Unlock()
+		s.hub.stats.coalesced.Add(1)
+		return true
+	}
+	if len(s.order) >= s.hub.queueCap {
+		// Overflow of distinct subscriptions: evict the oldest pending
+		// marker to admit the newest. The evicted subscription is
+		// re-notified by its next event and GetResults catches up anyway.
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.queued, oldest)
+		s.hub.stats.dropped.Add(1)
+	}
+	s.queued[fs] = ev
+	s.order = append(s.order, fs)
+	s.mu.Unlock()
+	s.hub.stats.enqueued.Add(1)
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// pop removes the oldest pending marker, or returns ok=false when the
+// queue is empty.
+func (s *session) pop() (ev *pushEvent, closed, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.order) == 0 {
+		return nil, s.closed, false
+	}
+	fs := s.order[0]
+	s.order = s.order[1:]
+	ev = s.queued[fs]
+	delete(s.queued, fs)
+	return ev, s.closed, true
+}
+
+// depth returns the number of pending markers.
+func (s *session) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// close marks the session dead, wakes the writer and closes the socket
+// (which also unblocks a writer stuck mid-write on a stalled peer).
+func (s *session) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.queued = nil
+	s.order = nil
+	close(s.wake)
+	s.mu.Unlock()
+	_ = s.conn.Close()
+}
+
+// writeLoop drains the queue onto the socket. Each marker is a shared
+// pre-encoded frame, so a delivery is one buffer write and zero
+// allocations. A write failure tears the session down — the subscriber
+// reconnects and catches up via GetResults.
+func (s *session) writeLoop() {
+	for {
+		ev, closed, ok := s.pop()
+		if !ok {
+			if closed {
+				return
+			}
+			<-s.wake
+			continue
+		}
+		if err := s.conn.WritePreparedMessage(ev.pm); err != nil {
+			s.hub.stats.failures.Add(1)
+			s.hub.log.WarnContext(obs.ContextWithSpan(context.Background(), ev.span),
+				"push delivery failed; dropping session",
+				slog.String("subscriber", s.subscriber),
+				slog.Any("error", err))
+			s.hub.drop(s)
+			return
+		}
+		s.hub.delivered.Inc()
+	}
 }
 
 // sessionHub tracks which subscribers are currently online (WebSocket
@@ -21,66 +187,172 @@ type PushNotification struct {
 // caching enables — so the hub only affects push delivery, never
 // subscription state.
 type sessionHub struct {
-	mu    sync.Mutex
-	conns map[string]*wsock.Conn
+	queueCap  int
+	log       *slog.Logger
+	delivered *metrics.Counter
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	stats    pushStats
 }
 
-func newSessionHub() *sessionHub {
-	return &sessionHub{conns: make(map[string]*wsock.Conn)}
+func newSessionHub(queueCap int, delivered *metrics.Counter, log *slog.Logger) *sessionHub {
+	if queueCap <= 0 {
+		queueCap = DefaultPushQueue
+	}
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	return &sessionHub{
+		queueCap:  queueCap,
+		log:       log,
+		delivered: delivered,
+		sessions:  make(map[string]*session),
+	}
 }
 
-// attach registers a subscriber's connection, closing any previous one.
+// attach registers a subscriber's connection, closing any previous one, and
+// starts its writer goroutine.
 func (h *sessionHub) attach(subscriber string, conn *wsock.Conn) {
+	s := &session{
+		hub:        h,
+		subscriber: subscriber,
+		conn:       conn,
+		queued:     make(map[string]*pushEvent),
+		wake:       make(chan struct{}, 1),
+	}
 	h.mu.Lock()
-	old := h.conns[subscriber]
-	h.conns[subscriber] = conn
+	old := h.sessions[subscriber]
+	h.sessions[subscriber] = s
 	h.mu.Unlock()
 	if old != nil {
-		_ = old.Close()
+		old.close()
+	}
+	go s.writeLoop()
+}
+
+// detach removes the subscriber's session if it still owns the given
+// connection.
+func (h *sessionHub) detach(subscriber string, conn *wsock.Conn) {
+	h.mu.Lock()
+	s := h.sessions[subscriber]
+	if s != nil && s.conn == conn {
+		delete(h.sessions, subscriber)
+	} else {
+		s = nil
+	}
+	h.mu.Unlock()
+	if s != nil {
+		s.close()
 	}
 }
 
-// detach removes the subscriber's connection if it is still the given one.
-func (h *sessionHub) detach(subscriber string, conn *wsock.Conn) {
+// drop removes a session after a write failure.
+func (h *sessionHub) drop(s *session) {
 	h.mu.Lock()
-	if h.conns[subscriber] == conn {
-		delete(h.conns, subscriber)
+	if h.sessions[s.subscriber] == s {
+		delete(h.sessions, s.subscriber)
 	}
 	h.mu.Unlock()
+	s.close()
 }
 
 // online reports whether the subscriber has a live connection.
 func (h *sessionHub) online(subscriber string) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.conns[subscriber] != nil
+	return h.sessions[subscriber] != nil
 }
 
 // count returns the number of online subscribers.
 func (h *sessionHub) count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.conns)
+	return len(h.sessions)
 }
 
-// notify pushes a notification to the subscriber; it reports whether a
-// delivery was attempted (the subscriber was online). Write failures tear
-// the session down — the subscriber will reconnect and catch up.
-func (h *sessionHub) notify(subscriber string, n PushNotification) bool {
+// queueDepth returns the total number of pending markers across sessions.
+func (h *sessionHub) queueDepth() int {
 	h.mu.Lock()
-	conn := h.conns[subscriber]
+	sessions := make([]*session, 0, len(h.sessions))
+	for _, s := range h.sessions {
+		sessions = append(sessions, s)
+	}
 	h.mu.Unlock()
-	if conn == nil {
-		return false
+	total := 0
+	for _, s := range sessions {
+		total += s.depth()
 	}
-	payload, err := json.Marshal(n)
+	return total
+}
+
+// PushStats is a point-in-time snapshot of the asynchronous push
+// pipeline's counters.
+type PushStats struct {
+	// Enqueued counts markers accepted into session queues.
+	Enqueued uint64
+	// Coalesced counts markers merged latest-wins into a queued marker.
+	Coalesced uint64
+	// Dropped counts oldest-pending markers evicted on queue overflow.
+	Dropped uint64
+	// Failures counts encode errors and failed socket writes.
+	Failures uint64
+	// QueueDepth is the current total of pending markers across sessions.
+	QueueDepth int
+}
+
+func (h *sessionHub) snapshot() PushStats {
+	return PushStats{
+		Enqueued:   h.stats.enqueued.Load(),
+		Coalesced:  h.stats.coalesced.Load(),
+		Dropped:    h.stats.dropped.Load(),
+		Failures:   h.stats.failures.Load(),
+		QueueDepth: h.queueDepth(),
+	}
+}
+
+// broadcast fans one backend-subscription event out to the online sessions
+// among targets (subscriber -> frontend sub). The payload is marshaled once
+// and pre-framed once; per session the cost is a non-blocking enqueue, so
+// the arrival path never waits on a subscriber's socket. It returns how
+// many sessions accepted the marker.
+func (h *sessionHub) broadcast(ctx context.Context, backendSub string, targets map[string]string, latest int64) int {
+	type target struct {
+		s  *session
+		fs string
+	}
+	h.mu.Lock()
+	online := make([]target, 0, len(targets))
+	for sub, fs := range targets {
+		if s := h.sessions[sub]; s != nil {
+			online = append(online, target{s, fs})
+		}
+	}
+	h.mu.Unlock()
+	if len(online) == 0 {
+		return 0
+	}
+	payload, err := json.Marshal(PushNotification{Type: "results", BackendSub: backendSub, LatestNS: latest})
 	if err != nil {
-		return false
+		h.stats.failures.Add(1)
+		h.log.WarnContext(ctx, "encoding push notification failed",
+			slog.String("backend_sub", backendSub), slog.Any("error", err))
+		return 0
 	}
-	if err := conn.WriteMessage(wsock.OpText, payload); err != nil {
-		h.detach(subscriber, conn)
-		_ = conn.Close()
-		return false
+	pm, err := wsock.NewPreparedMessage(wsock.OpText, payload)
+	if err != nil {
+		h.stats.failures.Add(1)
+		h.log.WarnContext(ctx, "preparing push frame failed",
+			slog.String("backend_sub", backendSub), slog.Any("error", err))
+		return 0
 	}
-	return true
+	span, _ := obs.SpanFromContext(ctx)
+	ev := &pushEvent{latest: latest, pm: pm, span: span}
+	accepted := 0
+	for _, t := range online {
+		if t.s.enqueue(t.fs, ev) {
+			accepted++
+		}
+	}
+	return accepted
 }

@@ -1,0 +1,211 @@
+package broker
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gobad/internal/metrics"
+	"gobad/internal/wsock"
+)
+
+// hubConn attaches a fresh in-memory session to the hub and returns the
+// client half of the pipe (raw; callers decide whether to drain, parse or
+// stall it).
+func hubConn(t *testing.T, h *sessionHub, subscriber string) net.Conn {
+	t.Helper()
+	sNC, cNC := net.Pipe()
+	h.attach(subscriber, wsock.NewConn(sNC, false))
+	t.Cleanup(func() { _ = cNC.Close() })
+	return cNC
+}
+
+// drainNotifications reads count push notifications off the raw client end.
+func drainNotifications(t *testing.T, cNC net.Conn, count int) []PushNotification {
+	t.Helper()
+	conn := wsock.NewConn(cNC, true)
+	_ = cNC.SetReadDeadline(time.Now().Add(5 * time.Second))
+	out := make([]PushNotification, 0, count)
+	for i := 0; i < count; i++ {
+		_, payload, err := conn.ReadMessage()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		var n PushNotification
+		if err := json.Unmarshal(payload, &n); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func newTestHub(queueCap int) (*sessionHub, *metrics.Counter) {
+	delivered := &metrics.Counter{}
+	return newSessionHub(queueCap, delivered, nil), delivered
+}
+
+// TestSessionHubStalledReaderDoesNotBlockBroadcast is the tentpole's core
+// property: dispatching an event must not wait on any subscriber's socket.
+// One subscriber never reads; broadcast must still return promptly and the
+// healthy subscriber must still get the notification.
+func TestSessionHubStalledReaderDoesNotBlockBroadcast(t *testing.T) {
+	hub, _ := newTestHub(0)
+	healthy := hubConn(t, hub, "healthy")
+	_ = hubConn(t, hub, "stalled") // no reader: first write blocks forever
+
+	targets := map[string]string{"healthy": "fs-h", "stalled": "fs-s"}
+	done := make(chan int, 1)
+	go func() {
+		done <- hub.broadcast(context.Background(), "bs1", targets, 42)
+	}()
+	select {
+	case accepted := <-done:
+		if accepted != 2 {
+			t.Errorf("accepted = %d, want 2", accepted)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("broadcast blocked on a stalled subscriber")
+	}
+
+	ns := drainNotifications(t, healthy, 1)
+	if ns[0].BackendSub != "bs1" || ns[0].LatestNS != 42 {
+		t.Errorf("notification = %+v", ns[0])
+	}
+}
+
+// TestSessionHubCoalescesLatestWins floods one frontend subscription while
+// its writer is blocked; queued markers must merge latest-wins so the
+// subscriber sees the newest marker, not a backlog.
+func TestSessionHubCoalescesLatestWins(t *testing.T) {
+	hub, delivered := newTestHub(0)
+	cNC := hubConn(t, hub, "alice")
+
+	ctx := context.Background()
+	// First event: the writer pops it immediately and blocks writing to the
+	// unread pipe.
+	hub.broadcast(ctx, "ev-first", map[string]string{"alice": "fs1"}, 1)
+	waitFor(t, func() bool { return hub.queueDepth() == 0 }, "writer to pop the first marker")
+
+	// Two more for the same frontend sub while the writer is stuck: the
+	// second must replace the first in place.
+	hub.broadcast(ctx, "ev-old", map[string]string{"alice": "fs1"}, 2)
+	hub.broadcast(ctx, "ev-new", map[string]string{"alice": "fs1"}, 3)
+	if got := hub.snapshot(); got.Coalesced != 1 || got.Dropped != 0 {
+		t.Errorf("stats = %+v, want 1 coalesced, 0 dropped", got)
+	}
+
+	ns := drainNotifications(t, cNC, 2)
+	if ns[0].BackendSub != "ev-first" {
+		t.Errorf("first delivery = %+v", ns[0])
+	}
+	if ns[1].BackendSub != "ev-new" || ns[1].LatestNS != 3 {
+		t.Errorf("coalesced delivery = %+v, want ev-new latest 3", ns[1])
+	}
+	waitFor(t, func() bool { return delivered.Value() == 2 }, "delivered counter")
+}
+
+// TestSessionHubOverflowDropsOldest fills a tiny queue with distinct
+// frontend subscriptions; the oldest pending marker must be evicted.
+func TestSessionHubOverflowDropsOldest(t *testing.T) {
+	hub, _ := newTestHub(2)
+	cNC := hubConn(t, hub, "alice")
+
+	ctx := context.Background()
+	hub.broadcast(ctx, "ev0", map[string]string{"alice": "fs0"}, 1)
+	waitFor(t, func() bool { return hub.queueDepth() == 0 }, "writer to pop the first marker")
+	hub.broadcast(ctx, "ev1", map[string]string{"alice": "fs1"}, 2)
+	hub.broadcast(ctx, "ev2", map[string]string{"alice": "fs2"}, 3)
+	hub.broadcast(ctx, "ev3", map[string]string{"alice": "fs3"}, 4) // evicts ev1
+	if got := hub.snapshot(); got.Dropped != 1 || got.QueueDepth != 2 {
+		t.Errorf("stats = %+v, want 1 dropped with depth 2", got)
+	}
+
+	ns := drainNotifications(t, cNC, 3)
+	want := []string{"ev0", "ev2", "ev3"}
+	for i, n := range ns {
+		if n.BackendSub != want[i] {
+			t.Errorf("delivery %d = %+v, want %s", i, n, want[i])
+		}
+	}
+}
+
+// TestSessionHubWriteFailureDropsSession severs the transport under a
+// session; the next delivery must fail, count as a push failure and take
+// the session offline.
+func TestSessionHubWriteFailureDropsSession(t *testing.T) {
+	hub, _ := newTestHub(0)
+	cNC := hubConn(t, hub, "alice")
+	_ = cNC.Close()
+
+	hub.broadcast(context.Background(), "bs1", map[string]string{"alice": "fs1"}, 1)
+	waitFor(t, func() bool { return !hub.online("alice") }, "session teardown")
+	if got := hub.snapshot(); got.Failures == 0 {
+		t.Errorf("stats = %+v, want a recorded failure", got)
+	}
+}
+
+// TestSessionHubChurn hammers attach/detach/replace concurrently with
+// broadcasts — the -race tier's target. Every attached pipe gets a raw
+// drainer so writers never stall.
+func TestSessionHubChurn(t *testing.T) {
+	hub, _ := newTestHub(0)
+	subscribers := []string{"a", "b", "c", "d"}
+	targets := map[string]string{}
+	for _, s := range subscribers {
+		targets[s] = "fs-" + s
+	}
+
+	var churners sync.WaitGroup
+	for _, sub := range subscribers {
+		churners.Add(1)
+		go func(sub string) {
+			defer churners.Done()
+			for i := 0; i < 25; i++ {
+				sNC, cNC := net.Pipe()
+				go func() { _, _ = io.Copy(io.Discard, cNC) }()
+				conn := wsock.NewConn(sNC, false)
+				hub.attach(sub, conn) // replaces (and closes) the previous session
+				if i%5 == 4 {
+					hub.detach(sub, conn)
+				}
+			}
+		}(sub)
+	}
+
+	stop := make(chan struct{})
+	broadcasterDone := make(chan struct{})
+	go func() {
+		defer close(broadcasterDone)
+		ctx := context.Background()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				hub.broadcast(ctx, "bs-churn", targets, int64(i))
+			}
+		}
+	}()
+
+	churners.Wait()
+	close(stop)
+	<-broadcasterDone
+}

@@ -46,6 +46,11 @@ type Client struct {
 	ws     *wsock.Conn
 	wsDone chan struct{}
 	closed bool
+	// bsToFS routes push notifications: the WebSocket wire form carries
+	// the shared backend subscription ID, which maps back to this
+	// subscriber's frontend subscription.
+	bsToFS map[string]string
+	fsToBS map[string]string
 
 	notifications chan broker.PushNotification
 
@@ -79,6 +84,8 @@ func New(cfg Config) (*Client, error) {
 		brokerURL:     brokerURL,
 		bcs:           cfg.BCS,
 		http:          httpClient,
+		bsToFS:        make(map[string]string),
+		fsToBS:        make(map[string]string),
 		notifications: make(chan broker.PushNotification, 64),
 	}, nil
 }
@@ -103,6 +110,9 @@ func (c *Client) Rediscover(resubscribe []Resubscription) error {
 	c.Logout()
 	c.mu.Lock()
 	c.brokerURL = info.Address
+	// Broker state is per-node; the old broker's subscription IDs are void.
+	c.bsToFS = make(map[string]string)
+	c.fsToBS = make(map[string]string)
 	c.mu.Unlock()
 	for _, r := range resubscribe {
 		if _, err := c.Subscribe(r.Channel, r.Params); err != nil {
@@ -140,6 +150,12 @@ func (c *Client) Subscribe(channel string, params []any) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if out.BackendSub != "" {
+		c.mu.Lock()
+		c.bsToFS[out.BackendSub] = out.FrontendSub
+		c.fsToBS[out.FrontendSub] = out.BackendSub
+		c.mu.Unlock()
+	}
 	return out.FrontendSub, nil
 }
 
@@ -147,7 +163,16 @@ func (c *Client) Subscribe(channel string, params []any) (string, error) {
 func (c *Client) Unsubscribe(fs string) error {
 	u := fmt.Sprintf("%s/v1/subscriptions/%s?subscriber=%s",
 		c.base(), url.PathEscape(fs), url.QueryEscape(c.subscriber))
-	return httpx.DoJSON(c.http, http.MethodDelete, u, nil, nil)
+	if err := httpx.DoJSON(c.http, http.MethodDelete, u, nil, nil); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if bs, ok := c.fsToBS[fs]; ok {
+		delete(c.bsToFS, bs)
+		delete(c.fsToBS, fs)
+	}
+	c.mu.Unlock()
+	return nil
 }
 
 // Subscriptions lists this subscriber's frontend subscription IDs.
@@ -219,6 +244,13 @@ func (c *Client) pump(conn *wsock.Conn, done chan struct{}) {
 		var n broker.PushNotification
 		if err := json.Unmarshal(payload, &n); err != nil {
 			continue
+		}
+		if n.FrontendSub == "" && n.BackendSub != "" {
+			// The shared wire form names the backend subscription; restore
+			// this subscriber's frontend view of it.
+			c.mu.Lock()
+			n.FrontendSub = c.bsToFS[n.BackendSub]
+			c.mu.Unlock()
 		}
 		select {
 		case c.notifications <- n:

@@ -174,16 +174,25 @@ func (c *ResultCache) ascend(fn func(*Object) bool) {
 }
 
 // objectsInRange collects cached objects with from < ts <= to, oldest
-// first.
+// first. The list is timestamp-ordered, so the matches form one contiguous
+// span starting at the newest end: walk head-backward to its start — O(span
+// + objects above to), not O(total) — counting as we go, then fill a slice
+// allocated to the exact size.
 func (c *ResultCache) objectsInRange(from, to time.Duration) []*Object {
-	var out []*Object
-	for o := c.tail; o != nil; o = o.newer {
-		if o.Timestamp > to {
-			break
+	var start *Object
+	span := 0
+	for o := c.head; o != nil && o.Timestamp > from; o = o.older {
+		if o.Timestamp <= to {
+			start = o
+			span++
 		}
-		if o.Timestamp > from {
-			out = append(out, o)
-		}
+	}
+	if span == 0 {
+		return nil
+	}
+	out := make([]*Object, span)
+	for i, o := 0, start; i < span; i, o = i+1, o.newer {
+		out[i] = o
 	}
 	return out
 }

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// benchCache builds a ResultCache holding objs objects at 1ms spacing.
+func benchCache(b *testing.B, objs int) *ResultCache {
+	b.Helper()
+	c := newResultCache("bench", 0, time.Minute, 0.2)
+	for i := 1; i <= objs; i++ {
+		obj := &Object{
+			ID:        fmt.Sprintf("o%06d", i),
+			Timestamp: time.Duration(i) * time.Millisecond,
+			Size:      1 << 10,
+		}
+		if err := c.pushHead(obj); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkObjectsInRange measures the GET hot path's range collection for
+// small (notification-driven newest-object), medium, and large spans. Run
+// with -benchmem: the result slice should be allocated exactly once, sized
+// to the matching span.
+func BenchmarkObjectsInRange(b *testing.B) {
+	const objs = 1024
+	c := benchCache(b, objs)
+	to := time.Duration(objs) * time.Millisecond
+	for _, span := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("span=%d", span), func(b *testing.B) {
+			from := to - time.Duration(span)*time.Millisecond
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				got := c.objectsInRange(from, to)
+				if len(got) != span {
+					b.Fatalf("got %d objects, want %d", len(got), span)
+				}
+			}
+		})
+	}
+}

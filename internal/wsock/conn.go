@@ -35,6 +35,12 @@ func newConn(nc net.Conn, br *bufio.Reader, client bool) *Conn {
 	return &Conn{nc: nc, br: br, client: client, maxMessageSize: DefaultMaxMessageSize}
 }
 
+// NewConn wraps an already-established transport (an in-process pipe, or a
+// connection whose HTTP upgrade happened elsewhere) as a WebSocket
+// connection. client selects the client role: outgoing frames masked,
+// incoming frames expected unmasked.
+func NewConn(nc net.Conn, client bool) *Conn { return newConn(nc, nil, client) }
+
 // SetMaxMessageSize bounds accepted message payloads (bytes).
 func (c *Conn) SetMaxMessageSize(n int64) {
 	if n > 0 {
@@ -123,32 +129,49 @@ func (c *Conn) write(op Opcode, payload []byte) error {
 		return ErrClosed
 	}
 	c.closeMu.Unlock()
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	var key [4]byte
-	if c.client {
-		if _, err := rand.Read(key[:]); err != nil {
-			return fmt.Errorf("wsock: mask key: %w", err)
-		}
-	}
-	return writeFrame(c.nc, op, payload, c.client, key)
+	return c.writeLocked(op, payload)
 }
 
 func (c *Conn) writeControl(op Opcode, payload []byte) error {
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
+	return c.writeLocked(op, payload)
+}
+
+// writeLocked serializes the frame write. Frames small enough to pool are
+// assembled (header + payload, masked in place for clients) into one
+// recycled scratch buffer and pushed with a single Write — the notification
+// hot path does no per-send allocation and one syscall; oversized frames
+// fall back to the two-write path.
+func (c *Conn) writeLocked(op Opcode, payload []byte) error {
 	var key [4]byte
 	if c.client {
 		if _, err := rand.Read(key[:]); err != nil {
 			return fmt.Errorf("wsock: mask key: %w", err)
 		}
 	}
-	return writeFrame(c.nc, op, payload, c.client, key)
+	if len(payload) > maxPooledFrame {
+		c.writeMu.Lock()
+		defer c.writeMu.Unlock()
+		return writeFrame(c.nc, op, payload, c.client, key)
+	}
+	bp := frameBufPool.Get().(*[]byte)
+	buf := appendFrame((*bp)[:0], op, payload, c.client, key)
+	c.writeMu.Lock()
+	_, err := c.nc.Write(buf)
+	c.writeMu.Unlock()
+	*bp = buf[:0]
+	frameBufPool.Put(bp)
+	return err
 }
 
+// closeWriteTimeout bounds the best-effort close-frame write so closing a
+// connection with a stalled peer cannot hang.
+const closeWriteTimeout = 250 * time.Millisecond
+
 // Close performs the closing handshake (best effort) and closes the
-// underlying connection. It is safe to call multiple times and
-// concurrently with reads.
+// underlying connection. It is safe to call multiple times and concurrently
+// with reads and writes: when another goroutine is blocked mid-write on a
+// stalled peer, the handshake is skipped and the connection is torn down
+// directly, which also unblocks that writer.
 func (c *Conn) Close() error {
 	c.closeMu.Lock()
 	if c.closed {
@@ -157,6 +180,14 @@ func (c *Conn) Close() error {
 	}
 	c.closed = true
 	c.closeMu.Unlock()
-	_ = c.writeControl(OpClose, closePayload(CloseNormal, ""))
+	if c.writeMu.TryLock() {
+		_ = c.nc.SetWriteDeadline(time.Now().Add(closeWriteTimeout))
+		var key [4]byte
+		if c.client {
+			_, _ = rand.Read(key[:])
+		}
+		_ = writeFrame(c.nc, OpClose, closePayload(CloseNormal, ""), c.client, key)
+		c.writeMu.Unlock()
+	}
 	return c.nc.Close()
 }

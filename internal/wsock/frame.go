@@ -111,40 +111,64 @@ func readFrame(r io.Reader, expectMask bool, maxSize int64) (frame, error) {
 	return frame{fin: fin, op: op, payload: payload}, nil
 }
 
-// writeFrame encodes a single unfragmented frame to w, masking with the
-// given key when mask is set.
-func writeFrame(w io.Writer, op Opcode, payload []byte, mask bool, maskKey [4]byte) error {
-	var hdr [14]byte
-	hdr[0] = 0x80 | byte(op) // FIN always set: we never fragment writes
-	n := 2
-	length := len(payload)
+// maxHeaderSize is the largest possible frame header: 2 base bytes, 8
+// extended-length bytes, 4 mask-key bytes.
+const maxHeaderSize = 14
+
+// appendHeader appends the header of an unfragmented frame to dst.
+func appendHeader(dst []byte, op Opcode, length int, mask bool, maskKey [4]byte) []byte {
+	b0 := 0x80 | byte(op) // FIN always set: we never fragment writes
+	var b1 byte
+	if mask {
+		b1 = 0x80
+	}
 	switch {
 	case length <= 125:
-		hdr[1] = byte(length)
+		dst = append(dst, b0, b1|byte(length))
 	case length <= 0xFFFF:
-		hdr[1] = 126
-		binary.BigEndian.PutUint16(hdr[2:4], uint16(length))
-		n = 4
+		dst = append(dst, b0, b1|126, byte(length>>8), byte(length))
 	default:
-		hdr[1] = 127
-		binary.BigEndian.PutUint64(hdr[2:10], uint64(length))
-		n = 10
+		var ext [8]byte
+		binary.BigEndian.PutUint64(ext[:], uint64(length))
+		dst = append(dst, b0, b1|127)
+		dst = append(dst, ext[:]...)
 	}
 	if mask {
-		hdr[1] |= 0x80
-		copy(hdr[n:n+4], maskKey[:])
-		n += 4
+		dst = append(dst, maskKey[:]...)
 	}
-	if _, err := w.Write(hdr[:n]); err != nil {
+	return dst
+}
+
+// appendFrame appends the complete wire form of an unfragmented frame
+// (header plus payload, masked in place when mask is set) to dst, so the
+// caller can push the whole frame to the socket with one Write.
+func appendFrame(dst []byte, op Opcode, payload []byte, mask bool, maskKey [4]byte) []byte {
+	dst = appendHeader(dst, op, len(payload), mask, maskKey)
+	start := len(dst)
+	dst = append(dst, payload...)
+	if mask {
+		maskBytes(dst[start:], maskKey)
+	}
+	return dst
+}
+
+// writeFrame encodes a single unfragmented frame to w, masking with the
+// given key when mask is set. This is the unpooled two-write path kept for
+// payloads too large to stage in a scratch buffer; small frames go through
+// appendFrame and a single Write.
+func writeFrame(w io.Writer, op Opcode, payload []byte, mask bool, maskKey [4]byte) error {
+	var hdr [maxHeaderSize]byte
+	h := appendHeader(hdr[:0], op, len(payload), mask, maskKey)
+	if _, err := w.Write(h); err != nil {
 		return err
 	}
 	if mask {
-		masked := make([]byte, length)
+		masked := make([]byte, len(payload))
 		copy(masked, payload)
 		maskBytes(masked, maskKey)
 		payload = masked
 	}
-	if length > 0 {
+	if len(payload) > 0 {
 		if _, err := w.Write(payload); err != nil {
 			return err
 		}

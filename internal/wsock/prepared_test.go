@@ -1,0 +1,233 @@
+package wsock
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// connPipe returns a connected (server, client) pair over an in-memory
+// pipe.
+func connPipe(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	sNC, cNC := net.Pipe()
+	server := newConn(sNC, nil, false)
+	client := newConn(cNC, nil, true)
+	t.Cleanup(func() {
+		_ = sNC.Close()
+		_ = cNC.Close()
+	})
+	return server, client
+}
+
+func TestPreparedMessageRoundTrip(t *testing.T) {
+	server, client := connPipe(t)
+	pm, err := NewPreparedMessage(OpText, []byte(`{"type":"results","latest_ns":42}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for i := 0; i < 3; i++ {
+			if err := server.WritePreparedMessage(pm); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		op, msg, err := client.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op != OpText || !bytes.Equal(msg, pm.Payload()) {
+			t.Fatalf("read %d: op=%v msg=%q", i, op, msg)
+		}
+	}
+}
+
+func TestPreparedMessageClientFallback(t *testing.T) {
+	// Client connections must mask every frame, so the prepared (unmasked)
+	// form cannot be shared; the call falls back to a regular masked write.
+	server, client := connPipe(t)
+	pm, err := NewPreparedMessage(OpBinary, []byte("masked-path"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = client.WritePreparedMessage(pm) }()
+	op, msg, err := server.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpBinary || string(msg) != "masked-path" {
+		t.Fatalf("op=%v msg=%q", op, msg)
+	}
+}
+
+func TestPreparedMessageRejectsControlOpcodes(t *testing.T) {
+	if _, err := NewPreparedMessage(OpPing, nil); !errors.Is(err, ErrProtocol) {
+		t.Errorf("err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestPreparedMessageClosedConn(t *testing.T) {
+	sNC, cNC := net.Pipe()
+	server := newConn(sNC, nil, false)
+	// Drain the peer so writes (including the close frame) never block on
+	// the synchronous pipe.
+	go func() {
+		buf := make([]byte, 1024)
+		for {
+			if _, err := cNC.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	defer cNC.Close()
+	pm, err := NewPreparedMessage(OpText, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.WritePreparedMessage(pm); err != nil {
+		t.Fatalf("write before close: %v", err)
+	}
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.WritePreparedMessage(pm); !errors.Is(err, ErrClosed) {
+		t.Errorf("write after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestConcurrentPreparedWriters interleaves WriteMessage and
+// WritePreparedMessage from many goroutines on one server connection and
+// checks every frame arrives intact — the write path must serialize whole
+// frames, never interleave their bytes.
+func TestConcurrentPreparedWriters(t *testing.T) {
+	const (
+		writers    = 8
+		perWriter  = 40
+		totalMsgs  = writers * perWriter
+		sharedBody = "shared-broadcast-payload"
+	)
+	server, client := connPipe(t)
+	pm, err := NewPreparedMessage(OpText, []byte(sharedBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if i%2 == 0 {
+					if err := server.WritePreparedMessage(pm); err != nil {
+						t.Errorf("prepared write: %v", err)
+						return
+					}
+				} else {
+					msg := fmt.Sprintf("w%d-m%d", w, i)
+					if err := server.WriteMessage(OpText, []byte(msg)); err != nil {
+						t.Errorf("write: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	prepared, regular := 0, 0
+	for i := 0; i < totalMsgs; i++ {
+		op, msg, err := client.ReadMessage()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if op != OpText {
+			t.Fatalf("read %d: op = %v", i, op)
+		}
+		if string(msg) == sharedBody {
+			prepared++
+		} else if strings.HasPrefix(string(msg), "w") {
+			regular++
+		} else {
+			t.Fatalf("read %d: corrupted frame %q", i, msg)
+		}
+	}
+	wg.Wait()
+	if prepared != totalMsgs/2 || regular != totalMsgs/2 {
+		t.Errorf("prepared=%d regular=%d, want %d each", prepared, regular, totalMsgs/2)
+	}
+}
+
+// BenchmarkWritePreparedMessage measures the broadcast hot path: one
+// pre-encoded frame pushed to a drained connection — a single buffer write,
+// no per-send encoding or allocation.
+func BenchmarkWritePreparedMessage(b *testing.B) {
+	sNC, cNC := net.Pipe()
+	defer sNC.Close()
+	defer cNC.Close()
+	server := newConn(sNC, nil, false)
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := cNC.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	pm, err := NewPreparedMessage(OpText, []byte(`{"type":"results","bs":"bsub-000001","latest_ns":123456789}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := server.WritePreparedMessage(pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteMessage is the per-send comparator: encode and frame the
+// same payload on every call.
+func BenchmarkWriteMessage(b *testing.B) {
+	sNC, cNC := net.Pipe()
+	defer sNC.Close()
+	defer cNC.Close()
+	server := newConn(sNC, nil, false)
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := cNC.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	payload := []byte(`{"type":"results","bs":"bsub-000001","latest_ns":123456789}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := server.WriteMessage(OpText, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestWriteLargeFrameFallback covers the unpooled path for frames above the
+// pooled-scratch cap.
+func TestWriteLargeFrameFallback(t *testing.T) {
+	server, client := connPipe(t)
+	big := []byte(strings.Repeat("z", maxPooledFrame+1))
+	go func() { _ = server.WriteMessage(OpBinary, big) }()
+	op, msg, err := client.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != OpBinary || !bytes.Equal(msg, big) {
+		t.Fatalf("large frame corrupted: op=%v len=%d", op, len(msg))
+	}
+}
