@@ -40,7 +40,8 @@ type NotificationPayloadTo struct {
 // NotifierStats tallies a WebhookNotifier's delivery outcomes. At-least-once
 // accounting: every accepted notification ends as exactly one of Delivered,
 // or Lost (abandoned after the attempt budget / shed on shutdown); Dropped
-// counts notifications never accepted because the intake queue was full.
+// counts notifications never accepted — the intake queue was full, or they
+// arrived (or flushed) after shutdown began.
 type NotifierStats struct {
 	// Delivered counts successful callback POSTs.
 	Delivered atomic.Uint64
@@ -49,7 +50,8 @@ type NotifierStats struct {
 	Failed atomic.Uint64
 	// Redelivered counts re-enqueues after a failed attempt.
 	Redelivered atomic.Uint64
-	// Dropped counts notifications shed at intake (full queue).
+	// Dropped counts notifications shed at intake (full queue, or
+	// arriving/flushing after shutdown began).
 	Dropped atomic.Uint64
 	// Lost counts notifications abandoned after exhausting the attempt
 	// budget or because the notifier shut down with redeliveries pending.
@@ -114,6 +116,10 @@ type WebhookNotifier struct {
 	batchWindow time.Duration
 	batchMu     sync.Mutex
 	batches     map[batchKey]*pendingBatch
+	// batchClosed stops addToBatch from opening new buckets; Close sets it
+	// (under batchMu) before the final flush so no batch can appear — and
+	// leak a live timer — after shutdown.
+	batchClosed bool
 }
 
 // batchKey identifies a coalescing bucket: one subscription's deliveries to
@@ -292,6 +298,11 @@ func (n *WebhookNotifier) NotifyPush(subID, callback string, obj ResultObject) {
 func (n *WebhookNotifier) addToBatch(subID, callback string, latest int64, obj *ResultObject) {
 	key := batchKey{subID: subID, callback: callback}
 	n.batchMu.Lock()
+	if n.batchClosed {
+		n.batchMu.Unlock()
+		n.stats.Dropped.Add(1)
+		return
+	}
 	b, ok := n.batches[key]
 	if !ok {
 		b = &pendingBatch{span: obs.NewSpan()}
@@ -355,6 +366,9 @@ func (n *WebhookNotifier) enqueueSpan(item NotificationPayloadTo, span obs.SpanC
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
+		// A flush racing shutdown lands here; the notification is shed,
+		// not silently vanished.
+		n.stats.Dropped.Add(1)
 		return
 	}
 	select {
@@ -398,8 +412,14 @@ func (n *WebhookNotifier) Dropped() int { return int(n.stats.Dropped.Load()) }
 
 // Close flushes any pending batches, stops accepting notifications, drains
 // the queue (redeliveries pending at shutdown are counted lost rather than
-// retried) and waits for the workers to finish.
+// retried) and waits for the workers to finish. Batch intake is closed
+// before the final flush, so a Notify racing Close either lands in a batch
+// that gets flushed here or is counted as dropped — never parked in a
+// bucket whose timer outlives the notifier.
 func (n *WebhookNotifier) Close() {
+	n.batchMu.Lock()
+	n.batchClosed = true
+	n.batchMu.Unlock()
 	n.flushAllBatches()
 	n.mu.Lock()
 	if n.closed {

@@ -131,6 +131,69 @@ func TestWebhookBatchCloseFlushes(t *testing.T) {
 	}
 }
 
+// TestWebhookBatchNotifyAfterClose: a notification arriving after Close has
+// begun must be counted as dropped, never parked in a fresh batch whose
+// timer outlives the notifier.
+func TestWebhookBatchNotifyAfterClose(t *testing.T) {
+	rec := &payloadRecorder{}
+	cb := httptest.NewServer(rec.handler())
+	defer cb.Close()
+
+	n := bdms.NewWebhookNotifier(1, 16, cb.Client(),
+		bdms.WithNotifierBatchWindow(time.Minute))
+	n.Close()
+	n.Notify("sub-1", cb.URL, 1*time.Second)
+	n.NotifyPush("sub-1", cb.URL, pushObj("r1", 2*time.Second))
+
+	if got := n.Stats().Dropped.Load(); got != 2 {
+		t.Errorf("dropped = %d, want 2 post-close notifications shed", got)
+	}
+	if got := rec.snapshot(); len(got) != 0 {
+		t.Errorf("POSTs = %+v, want none", got)
+	}
+}
+
+// TestWebhookBatchCloseRaceAccounting races Notify against Close and checks
+// at-least-once accounting conservation: every notification ends as exactly
+// one of coalesced-into-a-batch, delivered (its batch POSTed), or dropped —
+// nothing vanishes silently.
+func TestWebhookBatchCloseRaceAccounting(t *testing.T) {
+	rec := &payloadRecorder{}
+	cb := httptest.NewServer(rec.handler())
+	defer cb.Close()
+
+	const senders, perSender = 4, 50
+	n := bdms.NewWebhookNotifier(2, 64, cb.Client(),
+		bdms.WithNotifierBatchWindow(time.Millisecond))
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perSender; j++ {
+				n.Notify("sub-1", cb.URL, time.Duration(i*perSender+j))
+			}
+		}(i)
+	}
+	n.Close()
+	wg.Wait()
+
+	// A flush timer that fired just before Close may still be mid-flight;
+	// give the tallies a moment to converge.
+	const total = senders * perSender
+	deadline := time.Now().Add(5 * time.Second)
+	var sum uint64
+	for time.Now().Before(deadline) {
+		s := n.Stats()
+		sum = s.Coalesced.Load() + s.Delivered.Load() + s.Dropped.Load() + s.Lost.Load()
+		if sum == total {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Errorf("accounted = %d, want %d (coalesced+delivered+dropped+lost)", sum, total)
+}
+
 // TestWebhookBatchSeparateBuckets: different subscriptions never share a
 // batch even when they target the same callback.
 func TestWebhookBatchSeparateBuckets(t *testing.T) {

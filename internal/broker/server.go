@@ -51,16 +51,19 @@ func NewServer(b *Broker, opts ...ServerOption) *Server {
 			func() float64 { return float64(b.NumBackendSubs()) }),
 		obs.GaugeFunc("bad_online_subscribers", "Subscribers with a live WebSocket session.",
 			func() float64 { return float64(b.sessions.count()) }),
+		// Counters read their atomics directly; only the depth gauge pays
+		// for the per-session queue sweep, so a scrape does one O(sessions)
+		// pass instead of five.
 		obs.CounterFunc("bad_push_enqueued_total", "Push markers accepted into session queues.",
-			func() float64 { return float64(b.PushStats().Enqueued) }),
+			func() float64 { return float64(b.sessions.stats.enqueued.Load()) }),
 		obs.CounterFunc("bad_push_coalesced_total", "Push markers merged latest-wins into an already-queued marker.",
-			func() float64 { return float64(b.PushStats().Coalesced) }),
+			func() float64 { return float64(b.sessions.stats.coalesced.Load()) }),
 		obs.CounterFunc("bad_push_dropped_total", "Oldest pending push markers evicted on session queue overflow.",
-			func() float64 { return float64(b.PushStats().Dropped) }),
+			func() float64 { return float64(b.sessions.stats.dropped.Load()) }),
 		obs.CounterFunc("bad_push_failures_total", "Push notification encode errors and failed socket writes.",
-			func() float64 { return float64(b.PushStats().Failures) }),
+			func() float64 { return float64(b.sessions.stats.failures.Load()) }),
 		obs.GaugeFunc("bad_push_queue_depth", "Pending push markers across live sessions.",
-			func() float64 { return float64(b.PushStats().QueueDepth) }),
+			func() float64 { return float64(b.sessions.queueDepth()) }),
 	)
 	s.routes()
 	return s

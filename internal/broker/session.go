@@ -90,13 +90,19 @@ func (s *session) enqueue(fs string, ev *pushEvent) bool {
 	if old, dup := s.queued[fs]; dup {
 		// Latest-wins: the marker is cumulative, so replacing the queued
 		// one loses nothing — the subscriber still sees the final marker.
-		if ev.latest >= old.latest {
+		// A stale marker (out-of-order fan-out) is discarded, not merged,
+		// and does not count as a coalesce.
+		replaced := ev.latest >= old.latest
+		if replaced {
 			s.queued[fs] = ev
 		}
 		s.mu.Unlock()
-		s.hub.stats.coalesced.Add(1)
+		if replaced {
+			s.hub.stats.coalesced.Add(1)
+		}
 		return true
 	}
+	dropped := false
 	if len(s.order) >= s.hub.queueCap {
 		// Overflow of distinct subscriptions: evict the oldest pending
 		// marker to admit the newest. The evicted subscription is
@@ -104,16 +110,22 @@ func (s *session) enqueue(fs string, ev *pushEvent) bool {
 		oldest := s.order[0]
 		s.order = s.order[1:]
 		delete(s.queued, oldest)
-		s.hub.stats.dropped.Add(1)
+		dropped = true
 	}
 	s.queued[fs] = ev
 	s.order = append(s.order, fs)
-	s.mu.Unlock()
-	s.hub.stats.enqueued.Add(1)
+	// Ring the doorbell while still holding s.mu: close() holds the same
+	// mutex when it closes s.wake, so the send can never race the close
+	// and panic on a closed channel.
 	select {
 	case s.wake <- struct{}{}:
 	default:
 	}
+	s.mu.Unlock()
+	if dropped {
+		s.hub.stats.dropped.Add(1)
+	}
+	s.hub.stats.enqueued.Add(1)
 	return true
 }
 

@@ -108,6 +108,9 @@ func TestSessionHubCoalescesLatestWins(t *testing.T) {
 	// second must replace the first in place.
 	hub.broadcast(ctx, "ev-old", map[string]string{"alice": "fs1"}, 2)
 	hub.broadcast(ctx, "ev-new", map[string]string{"alice": "fs1"}, 3)
+	// A stale marker (out-of-order fan-out) is discarded, not merged, and
+	// must not inflate the coalesce tally.
+	hub.broadcast(ctx, "ev-stale", map[string]string{"alice": "fs1"}, 2)
 	if got := hub.snapshot(); got.Coalesced != 1 || got.Dropped != 0 {
 		t.Errorf("stats = %+v, want 1 coalesced, 0 dropped", got)
 	}
@@ -159,6 +162,47 @@ func TestSessionHubWriteFailureDropsSession(t *testing.T) {
 	waitFor(t, func() bool { return !hub.online("alice") }, "session teardown")
 	if got := hub.snapshot(); got.Failures == 0 {
 		t.Errorf("stats = %+v, want a recorded failure", got)
+	}
+}
+
+// TestSessionEnqueueCloseRace hammers enqueue against close on the same
+// session. broadcast holds session pointers outside hub.mu, so an enqueue
+// can race the close that an attach-replace or drop triggers; the wake send
+// must never hit a closed channel (which would panic the broker).
+func TestSessionEnqueueCloseRace(t *testing.T) {
+	pm, err := wsock.NewPreparedMessage(wsock.OpText, []byte(`{"type":"results"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		hub, _ := newTestHub(0)
+		cNC := hubConn(t, hub, "alice")
+		go func() { _, _ = io.Copy(io.Discard, cNC) }()
+		hub.mu.Lock()
+		s := hub.sessions["alice"]
+		hub.mu.Unlock()
+
+		ev := &pushEvent{latest: 1, pm: pm}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 200; j++ {
+				s.enqueue("fs1", ev)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			<-start
+			s.close()
+		}()
+		close(start)
+		wg.Wait()
+		if s.enqueue("fs1", ev) {
+			t.Fatal("enqueue accepted a marker after close")
+		}
 	}
 }
 

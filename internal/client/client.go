@@ -247,10 +247,19 @@ func (c *Client) pump(conn *wsock.Conn, done chan struct{}) {
 		}
 		if n.FrontendSub == "" && n.BackendSub != "" {
 			// The shared wire form names the backend subscription; restore
-			// this subscriber's frontend view of it.
+			// this subscriber's frontend view of it. No mapping (a push
+			// racing the Subscribe response, or maps cleared by Rediscover
+			// while this pump drains) means the notification cannot be
+			// routed — drop it rather than deliver an empty FrontendSub;
+			// markers are cumulative, so the next one or GetResults
+			// catches the subscriber up.
 			c.mu.Lock()
-			n.FrontendSub = c.bsToFS[n.BackendSub]
+			fs, ok := c.bsToFS[n.BackendSub]
 			c.mu.Unlock()
+			if !ok {
+				continue
+			}
+			n.FrontendSub = fs
 		}
 		select {
 		case c.notifications <- n:
