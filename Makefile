@@ -45,14 +45,17 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/broker ./internal/wsock ./internal/core
 
 # Chaos tier: the fault-injection harness and every resilience path it
-# drives — retries/breakers (httpx), client wiring and webhook redelivery
-# (bdms), stale-serve (core, broker) and the kill-the-cluster simulation
-# scenario. Runs race-enabled and twice, because these tests assert exact
+# drives — retries/breakers (httpx), client wiring, webhook redelivery and
+# dead-callback reroute (bdms), stale-serve (core, broker), broker-kill
+# failover, rolling drain and resume (client, broker), BCS liveness and
+# restart recovery (bcs), and the kill-the-cluster simulation scenario.
+# Runs race-enabled and twice, because these tests assert exact
 # deterministic counts: a flake here is a real ordering bug.
 chaos:
 	$(GO) test -race -count=2 \
 		./internal/faults/... ./internal/httpx/... ./internal/bdms/... \
-		./internal/core/... ./internal/broker/... ./internal/sim/...
+		./internal/core/... ./internal/broker/... ./internal/bcs/... \
+		./internal/client/... ./internal/sim/...
 
 # Everything CI runs: build, vet, full test suite, then the race tier.
 # The chaos tier is its own CI step (it re-runs several suites race-enabled

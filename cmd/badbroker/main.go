@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"gobad/internal/bcs"
@@ -38,6 +41,7 @@ func main() {
 	ttlInterval := flag.Duration("ttl-interval", time.Minute, "TTL recompute interval")
 	shards := flag.Int("cache-shards", 0, "cache manager lock stripes (0 = default)")
 	pushQueue := flag.Int("push-queue", 0, "per-session outbound notification queue bound (0 = default)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful drain deadline on SIGTERM: queued pushes are flushed and sessions migrated within this bound")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and /debug/runtime (empty = off)")
 	res := resilienceFlags{}
@@ -49,7 +53,7 @@ func main() {
 	flag.BoolVar(&res.staleServe, "stale-serve", true, "serve cached results stale (zero ack marker) when a cluster fetch fails")
 	flag.Parse()
 
-	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval, *shards, *pushQueue, *logLevel, *debugAddr, res); err != nil {
+	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval, *shards, *pushQueue, *drainTimeout, *logLevel, *debugAddr, res); err != nil {
 		fmt.Fprintln(os.Stderr, "badbroker:", err)
 		os.Exit(1)
 	}
@@ -67,7 +71,7 @@ type resilienceFlags struct {
 	staleServe      bool
 }
 
-func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration, shards, pushQueue int, logLevel, debugAddr string, res resilienceFlags) error {
+func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration, shards, pushQueue int, drainTimeout time.Duration, logLevel, debugAddr string, res resilienceFlags) error {
 	observer, err := cliutil.NewObserver("badbroker", logLevel)
 	if err != nil {
 		return err
@@ -150,8 +154,11 @@ func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttl
 		}()
 	}
 
+	var reg *broker.Registration
+	var bcsClient *bcs.Client
 	if bcsURL != "" {
-		reg, err := broker.RegisterWithBCS(b, bcs.NewClient(bcsURL, nil), public, 5*time.Second)
+		bcsClient = bcs.NewClient(bcsURL, nil)
+		reg, err = broker.RegisterWithBCS(b, bcsClient, public, 5*time.Second)
 		if err != nil {
 			return err
 		}
@@ -164,7 +171,42 @@ func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttl
 		Handler:           broker.NewServer(b, broker.WithObserver(observer)).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
 	log.Printf("badbroker %s listening on %s (policy %s, budget %s, cluster %s)",
 		id, addr, policy.Name(), budgetStr, clusterURL)
-	return srv.ListenAndServe()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sigCh)
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-sigCh:
+		log.Printf("badbroker %s: %v received; draining sessions", id, sig)
+	}
+
+	// Graceful drain: leave the BCS first so no new subscribers are routed
+	// here (and the successor Assign below cannot pick this broker), then
+	// flush every session's queue and hand the sessions a migrate frame
+	// naming a live successor, all within the drain deadline.
+	if reg != nil {
+		reg.Close()
+	}
+	successor := ""
+	if bcsClient != nil {
+		if info, aerr := bcsClient.Assign(); aerr == nil {
+			successor = info.Address
+		} else {
+			log.Printf("badbroker %s: no successor from BCS (clients will rediscover): %v", id, aerr)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	migrated := b.Drain(ctx, successor)
+	log.Printf("badbroker %s: migrated %d sessions (successor %q)", id, migrated, successor)
+	if err := srv.Shutdown(ctx); err != nil {
+		return srv.Close()
+	}
+	return nil
 }

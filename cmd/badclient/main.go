@@ -30,15 +30,16 @@ func main() {
 	channel := flag.String("channel", "", "channel to subscribe to (required)")
 	paramsJSON := flag.String("params", "[]", "channel parameters as a JSON array")
 	watch := flag.Duration("watch", time.Minute, "how long to tail notifications")
+	reconnect := flag.Bool("reconnect", false, "supervise the connection: reconnect, resubscribe and resume across broker failures (requires -bcs)")
 	flag.Parse()
 
-	if err := run(*brokerURL, *bcsURL, *subscriber, *channel, *paramsJSON, *watch); err != nil {
+	if err := run(*brokerURL, *bcsURL, *subscriber, *channel, *paramsJSON, *watch, *reconnect); err != nil {
 		fmt.Fprintln(os.Stderr, "badclient:", err)
 		os.Exit(1)
 	}
 }
 
-func run(brokerURL, bcsURL, subscriber, channel, paramsJSON string, watch time.Duration) error {
+func run(brokerURL, bcsURL, subscriber, channel, paramsJSON string, watch time.Duration, reconnect bool) error {
 	if subscriber == "" || channel == "" {
 		return fmt.Errorf("-subscriber and -channel are required")
 	}
@@ -52,6 +53,15 @@ func run(brokerURL, bcsURL, subscriber, channel, paramsJSON string, watch time.D
 			return fmt.Errorf("need -broker or -bcs")
 		}
 		cfg.BCS = bcs.NewClient(bcsURL, nil)
+	}
+	if reconnect {
+		if cfg.BCS == nil {
+			return fmt.Errorf("-reconnect requires -bcs (broker rediscovery)")
+		}
+		cfg.Reconnect = true
+		cfg.OnConnState = func(s client.ConnState, broker string) {
+			fmt.Printf("connection %s (broker %s)\n", s, broker)
+		}
 	}
 	c, err := client.New(cfg)
 	if err != nil {

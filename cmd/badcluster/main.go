@@ -18,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"gobad/internal/bcs"
 	"gobad/internal/bdms"
 	"gobad/internal/cliutil"
 	"gobad/internal/workload"
@@ -31,17 +32,18 @@ func main() {
 	webhookAttempts := flag.Int("webhook-attempts", 8, "delivery attempts per webhook notification before it is abandoned")
 	webhookBatch := flag.Duration("webhook-batch-window", 0, "coalesce webhook notifications per (subscription, callback) for this window before one combined POST (0 = immediate)")
 	walPath := flag.String("wal", "", "write-ahead log path for durable publications (empty = in-memory only)")
+	bcsURL := flag.String("bcs", "", "BCS base URL for rerouting webhooks whose broker died (empty = abandon after the attempt budget)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and /debug/runtime (empty = off)")
 	flag.Parse()
 
-	if err := run(*addr, *nodes, *emergency, *repTick, *webhookAttempts, *webhookBatch, *walPath, *logLevel, *debugAddr); err != nil {
+	if err := run(*addr, *nodes, *emergency, *repTick, *webhookAttempts, *webhookBatch, *walPath, *bcsURL, *logLevel, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "badcluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, nodes int, emergency bool, repTick time.Duration, webhookAttempts int, webhookBatch time.Duration, walPath, logLevel, debugAddr string) error {
+func run(addr string, nodes int, emergency bool, repTick time.Duration, webhookAttempts int, webhookBatch time.Duration, walPath, bcsURL, logLevel, debugAddr string) error {
 	observer, err := cliutil.NewObserver("badcluster", logLevel)
 	if err != nil {
 		return err
@@ -51,11 +53,19 @@ func run(addr string, nodes int, emergency bool, repTick time.Duration, webhookA
 	// Webhook deliveries are at-least-once: failures are WARN-logged with
 	// their trace ID, redelivered with backoff and tallied on /metrics.
 	notifierStats := &bdms.NotifierStats{}
-	notifier := bdms.NewWebhookNotifier(4, 1024, nil,
+	notifierOpts := []bdms.NotifierOption{
 		bdms.WithNotifierLogger(observer.Logger),
 		bdms.WithNotifierMaxAttempts(webhookAttempts),
 		bdms.WithNotifierBatchWindow(webhookBatch),
-		bdms.WithNotifierStats(notifierStats))
+		bdms.WithNotifierStats(notifierStats),
+	}
+	if bcsURL != "" {
+		// A dead broker's webhook callback is re-resolved through the BCS
+		// once before the notification is abandoned.
+		notifierOpts = append(notifierOpts,
+			bdms.WithNotifierResolver(bdms.BCSCallbackResolver(bcs.NewClient(bcsURL, nil))))
+	}
+	notifier := bdms.NewWebhookNotifier(4, 1024, nil, notifierOpts...)
 	defer notifier.Close()
 	observer.Registry.MustRegister(notifierStats.Collector())
 	opts := []bdms.Option{bdms.WithNodes(nodes), bdms.WithNotifier(notifier)}

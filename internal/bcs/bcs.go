@@ -123,14 +123,29 @@ func (s *Service) Brokers() []BrokerInfo {
 	return out
 }
 
-// Assign picks the least-loaded live broker for a new subscriber.
+// Live reports whether a broker's heartbeat is fresh enough for it to be
+// handed out: strictly younger than the liveness bound. The boundary is
+// exclusive on purpose — the instant a heartbeat's age reaches the bound
+// the broker is already dead for assignment, so a subscriber can never be
+// pointed at a broker about to be declared gone.
+func (s *Service) Live(id string) bool {
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.brokers[id]
+	return ok && now-b.LastHeartbeat < s.liveness
+}
+
+// Assign picks the least-loaded live broker for a new subscriber. A broker
+// whose heartbeat age has reached the liveness bound is never returned
+// (see Live for the boundary semantics).
 func (s *Service) Assign() (BrokerInfo, error) {
 	now := s.clock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var best *BrokerInfo
 	for _, b := range s.brokers {
-		if now-b.LastHeartbeat > s.liveness {
+		if now-b.LastHeartbeat >= s.liveness {
 			continue
 		}
 		if best == nil || b.Load < best.Load || (b.Load == best.Load && b.ID < best.ID) {

@@ -3,6 +3,7 @@ package bdms
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"sort"
 	"sync"
 	"time"
@@ -277,6 +278,21 @@ func (c *Cluster) Channels() []ChannelDef {
 	return out
 }
 
+// paramsEqual reports whether two bound parameter maps match; bound values
+// are JSON scalars, so DeepEqual compares them faithfully.
+func paramsEqual(a, b map[string]any) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || !reflect.DeepEqual(v, w) {
+			return false
+		}
+	}
+	return true
+}
+
 // Subscribe creates a backend subscription to a channel with bound
 // parameter values and a callback URL, returning the subscription ID
 // (Section III-A's abstraction: "the data cluster receives subscription
@@ -299,6 +315,19 @@ func (c *Cluster) Subscribe(channelName string, params []any, callback string) (
 		ch:       ch,
 		params:   bound,
 		callback: callback,
+	}
+	// The (channel, parameter values) pair identifies a logical result
+	// dataset (Section IV): equivalent subscriptions accumulate the same
+	// result stream. Seed the new subscription from an existing equivalent
+	// one so a broker re-subscribing after a failover can range-fetch the
+	// history its predecessor had already pulled — resume tokens keep
+	// addressing real results across broker deaths.
+	for _, eq := range c.subsByChannel[channelName] {
+		if paramsEqual(eq.params, bound) {
+			sub.results = append([]ResultObject(nil), eq.results...)
+			sub.lastTS = eq.lastTS
+			break
+		}
 	}
 	if !ch.Continuous() {
 		// A repetitive subscription only sees publications ingested

@@ -59,6 +59,12 @@ type NotifierStats struct {
 	// Coalesced counts notifications merged into a pending batch instead
 	// of being POSTed individually (batching enabled).
 	Coalesced atomic.Uint64
+	// Rerouted counts notifications whose dead callback was re-resolved to
+	// a live broker (fresh attempt budget) instead of being abandoned.
+	Rerouted atomic.Uint64
+	// Abandoned counts the subset of Lost that exhausted the attempt
+	// budget with no reroute possible — the callback is dead for good.
+	Abandoned atomic.Uint64
 }
 
 // Collector exports the delivery tallies as counter families.
@@ -74,6 +80,8 @@ func (s *NotifierStats) Collector() obs.Collector {
 		counter("bad_webhook_dropped_total", "Webhook notifications shed at intake (full queue).", s.Dropped.Load())
 		counter("bad_webhook_lost_total", "Webhook notifications abandoned after the attempt budget.", s.Lost.Load())
 		counter("bad_webhook_coalesced_total", "Webhook notifications merged into a pending batch.", s.Coalesced.Load())
+		counter("bad_webhook_rerouted_total", "Webhook notifications rerouted to a re-resolved broker callback.", s.Rerouted.Load())
+		counter("bad_webhook_abandoned_total", "Webhook notifications abandoned after the attempt budget with no reroute.", s.Abandoned.Load())
 	})
 }
 
@@ -84,6 +92,9 @@ type queueItem struct {
 	NotificationPayloadTo
 	attempts int
 	span     obs.SpanContext
+	// rerouted marks an item already re-resolved once; a second dead
+	// callback abandons it instead of bouncing between brokers forever.
+	rerouted bool
 }
 
 // WebhookNotifier delivers notifications by POSTing to each subscription's
@@ -104,6 +115,7 @@ type WebhookNotifier struct {
 	maxDelay    time.Duration
 	sleep       func(ctx context.Context, d time.Duration) error
 	stats       *NotifierStats
+	resolver    CallbackResolver
 
 	mu     sync.Mutex
 	queue  chan queueItem
@@ -194,6 +206,22 @@ func WithNotifierBatchWindow(d time.Duration) NotifierOption {
 		if d > 0 {
 			n.batchWindow = d
 		}
+	}
+}
+
+// CallbackResolver re-resolves a dead callback URL — one that exhausted
+// the delivery attempt budget — to a live replacement. Returning an error
+// (or the same URL) abandons the notification instead.
+type CallbackResolver func(deadCallback string) (string, error)
+
+// WithNotifierResolver installs a dead-callback resolver: when a
+// notification exhausts its attempt budget, the notifier asks the resolver
+// for a replacement callback once and retries there with a fresh budget
+// (counted as rerouted) before giving up (counted as abandoned). Without a
+// resolver, exhaustion abandons immediately.
+func WithNotifierResolver(r CallbackResolver) NotifierOption {
+	return func(n *WebhookNotifier) {
+		n.resolver = r
 	}
 }
 
@@ -444,7 +472,22 @@ func (n *WebhookNotifier) worker() {
 		n.stats.Failed.Add(1)
 		item.attempts++
 		if item.attempts >= n.maxAttempts {
+			if next, ok := n.reroute(&item); ok {
+				n.logger.WarnContext(ctx, "webhook callback dead; rerouting to re-resolved broker",
+					"callback", item.Callback,
+					"new_callback", next,
+					"subscription_id", item.Payload.SubscriptionID,
+					"attempts", item.attempts,
+					"error", err)
+				item.Callback = next
+				item.attempts = 0
+				item.rerouted = true
+				n.stats.Rerouted.Add(1)
+				n.requeue(item)
+				continue
+			}
 			n.stats.Lost.Add(1)
+			n.stats.Abandoned.Add(1)
 			n.logger.WarnContext(ctx, "webhook delivery abandoned",
 				"callback", item.Callback,
 				"subscription_id", item.Payload.SubscriptionID,
@@ -462,6 +505,20 @@ func (n *WebhookNotifier) worker() {
 		}
 		n.requeue(item)
 	}
+}
+
+// reroute asks the resolver (if any) for a live replacement callback once
+// per item. It reports the replacement and whether the item should retry
+// there instead of being abandoned.
+func (n *WebhookNotifier) reroute(item *queueItem) (string, bool) {
+	if n.resolver == nil || item.rerouted {
+		return "", false
+	}
+	next, err := n.resolver(item.Callback)
+	if err != nil || next == "" || next == item.Callback {
+		return "", false
+	}
+	return next, true
 }
 
 // backoff is the delay before redelivery attempt k+1: min(maxDelay,

@@ -1,0 +1,59 @@
+package bdms
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+
+	"gobad/internal/bcs"
+)
+
+// BCSCallbackResolver re-resolves dead webhook callbacks through the
+// Broker Coordination Service: when a broker dies and its callback URL
+// stops answering, the resolver asks the BCS for a live broker and
+// rebuilds the callback against that broker's address, preserving the
+// original path. The replacement broker took over the dead one's
+// subscribers after their clients failed over, so it is the best-effort
+// home for the notification; a broker that does not recognize the
+// subscription simply rejects it and the notifier abandons the item after
+// its single reroute.
+func BCSCallbackResolver(client *bcs.Client) CallbackResolver {
+	return func(dead string) (string, error) {
+		deadURL, err := url.Parse(dead)
+		if err != nil {
+			return "", fmt.Errorf("bdms: unparseable dead callback %q: %w", dead, err)
+		}
+		info, err := client.Assign()
+		if err != nil {
+			return "", fmt.Errorf("bdms: BCS reroute assign: %w", err)
+		}
+		next := rebase(deadURL, info.Address)
+		if next != dead {
+			return next, nil
+		}
+		// Assign handed back the broker we just failed against (it may
+		// still be heartbeating while its webhook endpoint is broken);
+		// look for any other registered broker before giving up.
+		brokers, err := client.Brokers()
+		if err != nil {
+			return "", fmt.Errorf("bdms: BCS reroute list: %w", err)
+		}
+		for _, b := range brokers {
+			if cand := rebase(deadURL, b.Address); cand != dead {
+				return cand, nil
+			}
+		}
+		return "", fmt.Errorf("bdms: no live broker other than dead callback %q", dead)
+	}
+}
+
+// rebase swaps a callback URL's base for a broker address, keeping the
+// path and query.
+func rebase(dead *url.URL, address string) string {
+	base := strings.TrimRight(address, "/")
+	next := base + dead.Path
+	if dead.RawQuery != "" {
+		next += "?" + dead.RawQuery
+	}
+	return next
+}

@@ -20,6 +20,7 @@ import (
 	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gobad/internal/bdms"
@@ -130,6 +131,12 @@ type Broker struct {
 	// push overrides notification delivery (experiments); nil means
 	// WebSocket sessions.
 	push func(subscriber string, n PushNotification) bool
+
+	// failover tallies resume/backfill/drain activity.
+	failover *obs.FailoverStats
+	// draining is set once Drain starts: new subscriptions and WebSocket
+	// attaches are refused so clients fail over to another broker.
+	draining atomic.Bool
 }
 
 // backendSub is one deduplicated subscription at the data cluster with its
@@ -198,6 +205,7 @@ func New(cfg Config, opts ...Option) (*Broker, error) {
 		frontend:    make(map[string]*frontendSub),
 		log:         obs.WrapLogger(cfg.Logger),
 		slowFetch:   cfg.SlowFetchThreshold,
+		failover:    &obs.FailoverStats{},
 	}
 	b.sessions = newSessionHub(cfg.PushQueue, &b.stats.Delivered, b.log)
 	if cfg.Clock != nil {
@@ -230,6 +238,26 @@ func (b *Broker) Stats() *metrics.CacheStats { return b.stats }
 
 // PushStats snapshots the WebSocket push pipeline's counters.
 func (b *Broker) PushStats() PushStats { return b.sessions.snapshot() }
+
+// Failover exposes the broker's failover/drain tallies.
+func (b *Broker) Failover() *obs.FailoverStats { return b.failover }
+
+// Draining reports whether a graceful drain has started.
+func (b *Broker) Draining() bool { return b.draining.Load() }
+
+// Drain gracefully hands the broker's live sessions over to successor (a
+// BCS-assigned broker base URL; may be empty when no peer is live, in which
+// case clients fall back to BCS discovery). New subscriptions and WebSocket
+// attaches are refused from the first call on; every live session has its
+// pending push markers flushed (bounded by ctx) and is then closed with a
+// migrate frame naming the successor. It returns the number of migrated
+// sessions.
+func (b *Broker) Drain(ctx context.Context, successor string) int {
+	b.draining.Store(true)
+	n := b.sessions.drain(ctx, successor)
+	b.failover.DrainMigrated.Add(uint64(n))
+	return n
+}
 
 // Manager exposes the cache manager (experiments and operational
 // endpoints).
@@ -274,13 +302,36 @@ func subKey(channel string, params []any) string {
 	return channel + "|" + string(enc)
 }
 
+// NoResume is the resume argument of a plain Subscribe: no token, the
+// subscriber is owed only results produced after it joins.
+const NoResume = time.Duration(-1)
+
+// ErrDraining is returned while the broker refuses new work because it is
+// draining for shutdown; clients fail over to another broker.
+var ErrDraining = errors.New("broker: draining for shutdown")
+
 // Subscribe creates a frontend subscription for subscriber to (channel,
 // params), creating (or sharing) the backend subscription. It returns the
 // frontend subscription ID. A subscriber re-subscribing to the same
 // (channel, params) gets its existing frontend subscription back.
 func (b *Broker) Subscribe(subscriber, channel string, params []any) (string, error) {
+	return b.SubscribeResume(context.Background(), subscriber, channel, params, NoResume)
+}
+
+// SubscribeResume is Subscribe extended with the failover resume protocol:
+// resume is the newest result timestamp the subscriber has already seen
+// (its last acked marker), or NoResume. With a token, the subscriber's ack
+// marker is rewound (never advanced) to it and the broker backfills the
+// missed range from the cluster's result dataset into the result cache,
+// then re-arms live push — so a subscriber landing on a successor broker
+// after a failure loses nothing (at-least-once; the client dedups by
+// timestamp).
+func (b *Broker) SubscribeResume(ctx context.Context, subscriber, channel string, params []any, resume time.Duration) (string, error) {
 	if subscriber == "" || channel == "" {
 		return "", errors.New("broker: Subscribe needs subscriber and channel")
+	}
+	if b.draining.Load() {
+		return "", ErrDraining
 	}
 	now := b.clock()
 	b.mu.Lock()
@@ -288,17 +339,39 @@ func (b *Broker) Subscribe(subscriber, channel string, params []any) (string, er
 	bs, ok := b.backendSubs[key]
 	if ok {
 		if fsID, dup := bs.attached[subscriber]; dup {
+			fs := b.frontend[fsID]
+			if resume >= 0 && resume < fs.fts {
+				fs.fts = resume
+			}
 			b.mu.Unlock()
+			if resume >= 0 {
+				b.finishResume(ctx, bs, fsID)
+			}
 			return fsID, nil
 		}
 	} else {
 		// First frontend subscription for this (channel, params):
 		// subscribe at the data cluster. Release the lock across the
-		// network call.
+		// network calls.
 		b.mu.Unlock()
 		backendID, err := b.backend.Subscribe(channel, params, b.callbackURL)
 		if err != nil {
 			return "", fmt.Errorf("broker: backend subscribe: %w", err)
+		}
+		// The (channel, params) result dataset outlives brokers, so the
+		// cluster may already hold history — owed only to resuming
+		// subscribers. Start the backend marker at the cluster's newest
+		// timestamp (fresh joiners get nothing old), rewound to the resume
+		// token when one is presented so the backfill covers the gap.
+		start := time.Duration(0)
+		if latest, lerr := b.backend.LatestTimestamp(backendID); lerr == nil {
+			start = latest
+		} else {
+			b.log.WarnContext(ctx, "latest-timestamp probe failed; assuming empty result dataset",
+				slog.String("backend_sub", backendID), slog.Any("error", lerr))
+		}
+		if resume >= 0 && resume < start {
+			start = resume
 		}
 		b.mu.Lock()
 		// Re-check: a concurrent Subscribe may have raced us.
@@ -309,12 +382,20 @@ func (b *Broker) Subscribe(subscriber, channel string, params []any) (string, er
 			_ = b.backend.Unsubscribe(backendID)
 			b.mu.Lock()
 			if fsID, dup := bs.attached[subscriber]; dup {
+				fs := b.frontend[fsID]
+				if resume >= 0 && resume < fs.fts {
+					fs.fts = resume
+				}
 				b.mu.Unlock()
+				if resume >= 0 {
+					b.finishResume(ctx, bs, fsID)
+				}
 				return fsID, nil
 			}
 		} else {
 			bs = &backendSub{
 				key: key, id: backendID, channel: channel, params: params,
+				bts:      start,
 				attached: make(map[string]string),
 			}
 			b.backendSubs[key] = bs
@@ -328,13 +409,100 @@ func (b *Broker) Subscribe(subscriber, channel string, params []any) (string, er
 		bs:         bs,
 		fts:        bs.bts, // only results after joining are owed
 	}
+	if resume >= 0 && resume < fs.fts {
+		fs.fts = resume
+	}
 	b.frontend[fs.id] = fs
 	bs.refs++
 	bs.attached[subscriber] = fs.id
 	b.mu.Unlock()
 
 	b.manager.Subscribe(bs.id, subscriber, now)
+	if resume >= 0 {
+		b.finishResume(ctx, bs, fs.id)
+	}
 	return fs.id, nil
+}
+
+// finishResume closes a resumed subscription's gap: it range-fetches what
+// the result cache is missing from the cluster, clamps the ack marker into
+// the valid range and re-arms live push toward the resumed subscriber with
+// the current backend marker.
+func (b *Broker) finishResume(ctx context.Context, bs *backendSub, fsID string) {
+	b.failover.Resumes.Add(1)
+	b.backfillGap(ctx, bs)
+	b.mu.Lock()
+	fs, ok := b.frontend[fsID]
+	if !ok {
+		b.mu.Unlock()
+		return
+	}
+	if fs.fts > bs.bts {
+		fs.fts = bs.bts
+	}
+	pending := fs.fts < bs.bts
+	latest := bs.bts
+	sub := fs.subscriber
+	b.mu.Unlock()
+	if pending {
+		// A live notification racing the backfill can duplicate this push;
+		// harmless — GetResults over (fts, bts] is idempotent.
+		b.fanout(ctx, bs.id, map[string]string{sub: fsID}, latest)
+	}
+}
+
+// backfillGap pulls (bts, cluster-latest] into the result cache under the
+// pull lock. For a backend subscription just created with its marker
+// rewound to a resume token this is exactly the range the resuming
+// subscriber missed while its broker was down.
+func (b *Broker) backfillGap(ctx context.Context, bs *backendSub) {
+	bs.pullMu.Lock()
+	defer bs.pullMu.Unlock()
+	latest, err := b.backend.LatestTimestamp(bs.id)
+	if err != nil {
+		b.log.WarnContext(ctx, "resume backfill: latest-timestamp probe failed",
+			slog.String("backend_sub", bs.id), slog.Any("error", err))
+		return
+	}
+	b.mu.Lock()
+	from := bs.bts
+	b.mu.Unlock()
+	if latest <= from {
+		return
+	}
+	now := b.clock()
+	if _, isNC := b.manager.Policy().(core.NC); !isNC {
+		results, err := b.backendResults(ctx, bs.id, from, latest, true)
+		if err != nil {
+			// Leave the marker behind: the next notification or a miss-path
+			// fetch retries the range, so at-least-once still holds.
+			b.log.WarnContext(ctx, "resume backfill failed",
+				slog.String("backend_sub", bs.id),
+				slog.Duration("from", from), slog.Duration("to", latest),
+				slog.Any("error", err))
+			return
+		}
+		for _, r := range results {
+			obj := &core.Object{
+				ID: r.ID, Timestamp: r.Timestamp, Size: r.Size,
+				FetchLatency: b.fetchLatency(r.Size), Payload: r.Rows,
+			}
+			if err := b.manager.Put(bs.id, obj, now); err != nil {
+				b.log.WarnContext(ctx, "resume backfill: cache put failed",
+					slog.String("backend_sub", bs.id), slog.String("object", r.ID),
+					slog.Any("error", err))
+				return
+			}
+			b.stats.VolumeBytes.Add(float64(r.Size))
+			b.stats.FetchBytes.Add(float64(r.Size))
+			b.failover.Backfilled.Add(1)
+		}
+	}
+	b.mu.Lock()
+	if latest > bs.bts {
+		bs.bts = latest
+	}
+	b.mu.Unlock()
 }
 
 // Unsubscribe removes a frontend subscription; when the last attached
@@ -470,6 +638,19 @@ func (b *Broker) BackendSubID(subscriber, fsID string) (string, error) {
 		return "", fmt.Errorf("broker: unknown frontend subscription %q", fsID)
 	}
 	return fs.bs.id, nil
+}
+
+// Marker returns fsID's current acknowledged-results marker. At subscribe
+// time this is the subscriber's initial resume token: the newest result
+// timestamp it is NOT owed.
+func (b *Broker) Marker(subscriber, fsID string) (time.Duration, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fs, ok := b.frontend[fsID]
+	if !ok || fs.subscriber != subscriber {
+		return 0, fmt.Errorf("broker: unknown frontend subscription %q", fsID)
+	}
+	return fs.fts, nil
 }
 
 // Ack advances fsID's retrieval marker to ts (never backwards, never past

@@ -1,11 +1,14 @@
 package broker
 
 import (
+	"errors"
 	"fmt"
+	"net/http"
 	"sync"
 	"time"
 
 	"gobad/internal/bcs"
+	"gobad/internal/httpx"
 )
 
 // Registration keeps a broker registered and heartbeating with the Broker
@@ -38,8 +41,15 @@ func RegisterWithBCS(b *Broker, bcsClient *bcs.Client, address string, interval 
 				return
 			case <-ticker.C:
 				// A failed heartbeat is retried on the next tick; the
-				// BCS treats stale brokers as dead in the meantime.
-				_ = bcsClient.Heartbeat(b.ID(), b.NumSubscribers())
+				// BCS treats stale brokers as dead in the meantime. A 404
+				// means the BCS no longer knows this broker — it restarted
+				// and lost its registry — so re-register immediately:
+				// Assign serves this broker again without operator help.
+				err := bcsClient.Heartbeat(b.ID(), b.NumSubscribers())
+				var se *httpx.StatusError
+				if errors.As(err, &se) && se.Status == http.StatusNotFound {
+					_ = bcsClient.Register(b.ID(), address)
+				}
 			}
 		}
 	}()

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"errors"
 	"net/http"
 	"time"
 
@@ -64,6 +65,9 @@ func NewServer(b *Broker, opts ...ServerOption) *Server {
 			func() float64 { return float64(b.sessions.stats.failures.Load()) }),
 		obs.GaugeFunc("bad_push_queue_depth", "Pending push markers across live sessions.",
 			func() float64 { return float64(b.sessions.queueDepth()) }),
+		// Failover pipeline: resume/backfill/drain counters plus the (client
+		// side, zero here) reconnect-latency summary.
+		b.failover.Collector(),
 	)
 	s.routes()
 	return s
@@ -103,19 +107,27 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// SubscribeRequest creates a frontend subscription.
+// SubscribeRequest creates a frontend subscription. ResumeNS, when present,
+// is the failover resume token: the newest result timestamp (ns) the
+// subscriber already acknowledged on its previous broker. The broker
+// backfills everything after it from the cluster's result dataset and
+// re-arms live push (at-least-once; clients dedup by timestamp).
 type SubscribeRequest struct {
 	Subscriber string `json:"subscriber"`
 	Channel    string `json:"channel"`
 	Params     []any  `json:"params"`
+	ResumeNS   *int64 `json:"resume_ns,omitempty"`
 }
 
 // SubscribeResponse returns the frontend subscription ID plus the shared
 // backend subscription it attaches to; WebSocket push notifications carry
-// the latter, so clients key their routing on it.
+// the latter, so clients key their routing on it. LatestNS is the
+// subscription's initial acknowledged marker — the client seeds its resume
+// token from it so a failover before the first delivery resumes correctly.
 type SubscribeResponse struct {
 	FrontendSub string `json:"fs"`
 	BackendSub  string `json:"bs"`
+	LatestNS    int64  `json:"latest_ns"`
 }
 
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
@@ -124,13 +136,26 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	fs, err := s.broker.Subscribe(req.Subscriber, req.Channel, req.Params)
+	resume := NoResume
+	if req.ResumeNS != nil && *req.ResumeNS >= 0 {
+		resume = time.Duration(*req.ResumeNS)
+	}
+	fs, err := s.broker.SubscribeResume(r.Context(), req.Subscriber, req.Channel, req.Params, resume)
 	if err != nil {
+		if errors.Is(err, ErrDraining) {
+			// 503 is marked retryable in the envelope: the client's
+			// supervisor rediscovers a broker and retries there.
+			httpx.WriteError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	bs, _ := s.broker.BackendSubID(req.Subscriber, fs)
-	httpx.WriteJSON(w, http.StatusCreated, SubscribeResponse{FrontendSub: fs, BackendSub: bs})
+	marker, _ := s.broker.Marker(req.Subscriber, fs)
+	httpx.WriteJSON(w, http.StatusCreated, SubscribeResponse{
+		FrontendSub: fs, BackendSub: bs, LatestNS: int64(marker),
+	})
 }
 
 func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
@@ -225,11 +250,19 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 		httpx.WriteError(w, http.StatusBadRequest, "subscriber query parameter required")
 		return
 	}
+	if s.broker.Draining() {
+		// Refuse before the upgrade: the retryable 503 sends the client back
+		// to the BCS for a live broker.
+		httpx.WriteError(w, http.StatusServiceUnavailable, "broker draining")
+		return
+	}
 	conn, err := wsock.Upgrade(w, r)
 	if err != nil {
 		return // Upgrade already wrote the error
 	}
-	s.broker.sessions.attach(subscriber, conn)
+	if !s.broker.sessions.attach(subscriber, conn) {
+		return // drain raced the upgrade; attach sent the migrate frame
+	}
 	defer s.broker.sessions.detach(subscriber, conn)
 	for {
 		if _, _, err := conn.ReadMessage(); err != nil {

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gobad/internal/metrics"
 	"gobad/internal/obs"
@@ -75,8 +76,12 @@ type session struct {
 	mu     sync.Mutex
 	queued map[string]*pushEvent // frontend sub -> pending marker
 	order  []string              // FIFO of frontend subs with a pending marker
-	closed bool
-	wake   chan struct{} // cap-1 doorbell for the writer goroutine
+	// inflight counts markers popped by the writer but not yet written to
+	// the socket; depth() includes them so a drain never closes the
+	// connection (truncating the frame) under the writer's last write.
+	inflight int
+	closed   bool
+	wake     chan struct{} // cap-1 doorbell for the writer goroutine
 }
 
 // enqueue adds (or coalesces) a marker for fs; it reports false when the
@@ -141,11 +146,29 @@ func (s *session) pop() (ev *pushEvent, closed, ok bool) {
 	s.order = s.order[1:]
 	ev = s.queued[fs]
 	delete(s.queued, fs)
+	s.inflight++
 	return ev, s.closed, true
 }
 
-// depth returns the number of pending markers.
+// wrote marks the writer's popped marker as flushed to the socket.
+func (s *session) wrote() {
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
+}
+
+// depth returns the number of markers not yet on the wire: queued plus
+// popped-but-unwritten. The drain path waits on this so a migrate close
+// never lands under the writer's last write.
 func (s *session) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order) + s.inflight
+}
+
+// queuedLen returns only the markers still awaiting writer pickup —
+// the hub's QueueDepth stat, which excludes the in-flight write.
+func (s *session) queuedLen() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.order)
@@ -153,7 +176,12 @@ func (s *session) depth() int {
 
 // close marks the session dead, wakes the writer and closes the socket
 // (which also unblocks a writer stuck mid-write on a stalled peer).
-func (s *session) close() {
+func (s *session) close() { s.closeWith(wsock.CloseNormal, "") }
+
+// closeWith is close with an explicit close-frame status; the drain path
+// sends (CloseServiceRestart, successor URL) so the client fails over to
+// the named broker without consulting the BCS.
+func (s *session) closeWith(code uint16, reason string) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -164,7 +192,21 @@ func (s *session) close() {
 	s.order = nil
 	close(s.wake)
 	s.mu.Unlock()
-	_ = s.conn.Close()
+	_ = s.conn.CloseWith(code, reason)
+}
+
+// migrate flushes the session's pending push markers (bounded by ctx) and
+// closes it with a migrate frame naming the successor broker. A session
+// still backlogged at the deadline is migrated anyway: its markers are
+// reconstructed from the subscriber's resume token on the successor.
+func (s *session) migrate(ctx context.Context, successor string) {
+	for s.depth() > 0 && ctx.Err() == nil {
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+	}
+	s.closeWith(wsock.CloseServiceRestart, successor)
 }
 
 // writeLoop drains the queue onto the socket. Each marker is a shared
@@ -181,7 +223,9 @@ func (s *session) writeLoop() {
 			<-s.wake
 			continue
 		}
-		if err := s.conn.WritePreparedMessage(ev.pm); err != nil {
+		err := s.conn.WritePreparedMessage(ev.pm)
+		s.wrote()
+		if err != nil {
 			s.hub.stats.failures.Add(1)
 			s.hub.log.WarnContext(obs.ContextWithSpan(context.Background(), ev.span),
 				"push delivery failed; dropping session",
@@ -206,6 +250,10 @@ type sessionHub struct {
 	mu       sync.Mutex
 	sessions map[string]*session
 	stats    pushStats
+	// draining refuses new attaches once a drain has started; successor is
+	// the broker URL late arrivals are pointed at.
+	draining  bool
+	successor string
 }
 
 func newSessionHub(queueCap int, delivered *metrics.Counter, log *slog.Logger) *sessionHub {
@@ -224,8 +272,10 @@ func newSessionHub(queueCap int, delivered *metrics.Counter, log *slog.Logger) *
 }
 
 // attach registers a subscriber's connection, closing any previous one, and
-// starts its writer goroutine.
-func (h *sessionHub) attach(subscriber string, conn *wsock.Conn) {
+// starts its writer goroutine. During a drain the attach is refused: the
+// connection is closed immediately with a migrate frame naming the
+// successor, and attach reports false.
+func (h *sessionHub) attach(subscriber string, conn *wsock.Conn) bool {
 	s := &session{
 		hub:        h,
 		subscriber: subscriber,
@@ -234,6 +284,12 @@ func (h *sessionHub) attach(subscriber string, conn *wsock.Conn) {
 		wake:       make(chan struct{}, 1),
 	}
 	h.mu.Lock()
+	if h.draining {
+		successor := h.successor
+		h.mu.Unlock()
+		_ = conn.CloseWith(wsock.CloseServiceRestart, successor)
+		return false
+	}
 	old := h.sessions[subscriber]
 	h.sessions[subscriber] = s
 	h.mu.Unlock()
@@ -241,6 +297,7 @@ func (h *sessionHub) attach(subscriber string, conn *wsock.Conn) {
 		old.close()
 	}
 	go s.writeLoop()
+	return true
 }
 
 // detach removes the subscriber's session if it still owns the given
@@ -283,7 +340,35 @@ func (h *sessionHub) count() int {
 	return len(h.sessions)
 }
 
-// queueDepth returns the total number of pending markers across sessions.
+// drain migrates every live session: further attaches are refused, each
+// session's pending markers are flushed (bounded by ctx) and each socket is
+// closed with a migrate frame naming the successor broker. It returns how
+// many sessions were migrated.
+func (h *sessionHub) drain(ctx context.Context, successor string) int {
+	h.mu.Lock()
+	h.draining = true
+	h.successor = successor
+	sessions := make([]*session, 0, len(h.sessions))
+	for _, s := range h.sessions {
+		sessions = append(sessions, s)
+	}
+	h.sessions = make(map[string]*session)
+	h.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, s := range sessions {
+		wg.Add(1)
+		go func(s *session) {
+			defer wg.Done()
+			s.migrate(ctx, successor)
+		}(s)
+	}
+	wg.Wait()
+	return len(sessions)
+}
+
+// queueDepth returns the total number of pending markers across sessions
+// (markers the writer has popped but not yet written are excluded).
 func (h *sessionHub) queueDepth() int {
 	h.mu.Lock()
 	sessions := make([]*session, 0, len(h.sessions))
@@ -293,7 +378,7 @@ func (h *sessionHub) queueDepth() int {
 	h.mu.Unlock()
 	total := 0
 	for _, s := range sessions {
-		total += s.depth()
+		total += s.queuedLen()
 	}
 	return total
 }

@@ -1,0 +1,285 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"gobad/internal/bcs"
+	"gobad/internal/bdms"
+	"gobad/internal/broker"
+	"gobad/internal/core"
+	"gobad/internal/faults"
+	"gobad/internal/httpx"
+)
+
+// chaosEnv is the failover chaos rig: a real cluster behind HTTP, a BCS
+// with two registered brokers, and a supervised client streaming through
+// broker-1 — ready to have its broker killed or drained mid-stream.
+type chaosEnv struct {
+	cluster    *bdms.Cluster
+	clusterSrv *httptest.Server
+	svc        *bcs.Service
+	b1, b2     *broker.Broker
+	srv1, srv2 *httptest.Server
+	// kill1 severs broker-1 whole — listener, HTTP conns and the hijacked
+	// WebSockets httptest stops tracking.
+	kill1  *faults.KillableListener
+	client *Client
+
+	stateMu sync.Mutex
+	states  []ConnState
+
+	published int
+}
+
+// newKillableBrokerOn is newBrokerOn with the server behind a
+// faults.KillableListener, so the test can kill the broker outright.
+func newKillableBrokerOn(t *testing.T, id, clusterURL string, svc *bcs.Service) (*broker.Broker, *httptest.Server, *faults.KillableListener) {
+	t.Helper()
+	srv := httptest.NewUnstartedServer(nil)
+	kl := faults.NewKillableListener(srv.Listener)
+	srv.Listener = kl
+	srv.Start()
+	t.Cleanup(kl.Kill)
+	b, err := broker.New(broker.Config{
+		ID:          id,
+		Backend:     bdms.NewClient(clusterURL, nil),
+		CallbackURL: srv.URL + "/callbacks/results",
+		Policy:      core.LSC{},
+		CacheBudget: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Config.Handler = broker.NewServer(b).Handler()
+	if err := svc.Register(id, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	return b, srv, kl
+}
+
+func newChaosEnv(t *testing.T) *chaosEnv {
+	t.Helper()
+	env := &chaosEnv{}
+
+	notifier := bdms.NewWebhookNotifier(2, 256, nil,
+		bdms.WithNotifierBackoff(5*time.Millisecond, 50*time.Millisecond))
+	t.Cleanup(notifier.Close)
+	env.cluster = bdms.NewCluster(bdms.WithNotifier(notifier))
+	env.clusterSrv = httptest.NewServer(bdms.NewServer(env.cluster).Handler())
+	t.Cleanup(env.clusterSrv.Close)
+	if err := env.cluster.CreateDataset("EmergencyReports", bdms.Schema{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.cluster.DefineChannel(bdms.ChannelDef{
+		Name:   "Alerts",
+		Params: []string{"etype"},
+		Body:   "select * from EmergencyReports r where r.etype = $etype",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	env.svc = bcs.NewService()
+	bcsSrv := httptest.NewServer(bcs.NewServer(env.svc).Handler())
+	t.Cleanup(bcsSrv.Close)
+	// Equal load, lexicographic tiebreak: the client lands on broker-1.
+	// Broker-1 serves through a killable listener so the test can sever it
+	// like a process death — WebSockets included.
+	env.b1, env.srv1, env.kill1 = newKillableBrokerOn(t, "broker-1", env.clusterSrv.URL, env.svc)
+	env.b2, env.srv2 = newBrokerOn(t, "broker-2", env.clusterSrv.URL, env.svc)
+	t.Cleanup(env.srv2.Close)
+
+	c, err := New(Config{
+		Subscriber: "alice",
+		BCS:        bcs.NewClient(bcsSrv.URL, nil),
+		Reconnect:  true,
+		Retry:      &httpx.Retryer{BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond},
+		OnConnState: func(s ConnState, _ string) {
+			env.stateMu.Lock()
+			env.states = append(env.states, s)
+			env.stateMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	env.client = c
+	if c.BrokerURL() != env.srv1.URL {
+		t.Fatalf("assigned %s, want broker-1 at %s", c.BrokerURL(), env.srv1.URL)
+	}
+	if err := c.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// publish ingests n more publications, each carrying its 1-based sequence
+// number as severity so losses, duplicates and reordering are all visible
+// in the delivered stream.
+func (env *chaosEnv) publish(t *testing.T, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		env.published++
+		_, err := env.cluster.Ingest("EmergencyReports", map[string]any{
+			"etype": "fire", "severity": float64(env.published),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// sawState reports whether the supervisor passed through the given state.
+func (env *chaosEnv) sawState(want ConnState) bool {
+	env.stateMu.Lock()
+	defer env.stateMu.Unlock()
+	for _, s := range env.states {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// collect drains notifications and retrieves results until the delivered
+// stream holds want items, failing the test at the deadline. Retrieval
+// errors during an outage window are expected and skipped — the resumed
+// session re-pushes a marker for anything outstanding.
+func collect(t *testing.T, env *chaosEnv, fs string, got *[]broker.ResultItem, want int) {
+	t.Helper()
+	deadline := time.After(20 * time.Second)
+	for len(*got) < want {
+		select {
+		case n := <-env.client.Notifications():
+			items, err := env.client.GetResults(n.FrontendSub)
+			if err != nil {
+				continue
+			}
+			*got = append(*got, items...)
+		case <-deadline:
+			t.Fatalf("delivered %d of %d results (subscription %s)", len(*got), want, fs)
+		}
+	}
+}
+
+// verifyStream asserts the zero-loss acceptance property: the deduped
+// delivered stream is exactly the full published sequence, in timestamp
+// order.
+func verifyStream(t *testing.T, got []broker.ResultItem, want int) {
+	t.Helper()
+	if len(got) != want {
+		t.Fatalf("delivered %d results, want %d", len(got), want)
+	}
+	lastTS := int64(-1)
+	for i, item := range got {
+		if item.TimestampNS <= lastTS {
+			t.Fatalf("result %d: timestamp %d not strictly after %d (duplicate or reorder)",
+				i, item.TimestampNS, lastTS)
+		}
+		lastTS = item.TimestampNS
+		if len(item.Rows) != 1 {
+			t.Fatalf("result %d: %d rows, want 1", i, len(item.Rows))
+		}
+		if sev, _ := item.Rows[0]["severity"].(float64); sev != float64(i+1) {
+			t.Fatalf("result %d: severity %v, want %d (lost or reordered publication)",
+				i, item.Rows[0]["severity"], i+1)
+		}
+	}
+}
+
+// TestSupervisedFailoverBrokerKill is the broker-kill acceptance test: two
+// brokers registered at the BCS, the client's broker is killed mid-stream,
+// and with zero application intervention the supervised client reconnects
+// through the BCS, resumes with its token, backfills the gap and keeps the
+// stream whole — the deduped delivery equals the full published sequence
+// in timestamp order.
+func TestSupervisedFailoverBrokerKill(t *testing.T) {
+	env := newChaosEnv(t)
+	fs, err := env.client.Subscribe("Alerts", []any{"fire"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []broker.ResultItem
+	env.publish(t, 10)
+	collect(t, env, fs, &got, 10)
+
+	// Kill broker-1 mid-stream: the BCS learns it is gone (heartbeat
+	// expiry, modeled as deregistration) and every connection — the live
+	// WebSocket included — drops hard, like a process death.
+	if err := env.svc.Deregister("broker-1"); err != nil {
+		t.Fatal(err)
+	}
+	env.kill1.Kill()
+
+	// The gap: published while the client is disconnected; recovered by
+	// the resume backfill on broker-2.
+	env.publish(t, 5)
+	collect(t, env, fs, &got, 15)
+
+	if env.client.BrokerURL() != env.srv2.URL {
+		t.Fatalf("client on %s after kill, want broker-2 at %s", env.client.BrokerURL(), env.srv2.URL)
+	}
+
+	// Live tail through the new broker.
+	env.publish(t, 5)
+	collect(t, env, fs, &got, 20)
+
+	verifyStream(t, got, 20)
+	if !env.sawState(StateReconnecting) {
+		t.Error("supervisor never reported StateReconnecting")
+	}
+	if env.client.Failover().Reconnects.Load() == 0 {
+		t.Error("bad_failover_reconnects_total = 0 after a broker kill")
+	}
+	if env.b2.NumSubscribers() != 1 {
+		t.Errorf("broker-2 subscribers = %d, want 1", env.b2.NumSubscribers())
+	}
+}
+
+// TestSupervisedRollingDrain is the rolling-restart acceptance test: the
+// client's broker drains gracefully, handing the session a migrate frame
+// naming broker-2; the client fails over immediately (no backoff, no BCS
+// round trip) and the stream stays whole.
+func TestSupervisedRollingDrain(t *testing.T) {
+	env := newChaosEnv(t)
+	fs, err := env.client.Subscribe("Alerts", []any{"fire"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []broker.ResultItem
+	env.publish(t, 5)
+	collect(t, env, fs, &got, 5)
+
+	// Roll broker-1: deregister, then drain its sessions to broker-2.
+	if err := env.svc.Deregister("broker-1"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if migrated := env.b1.Drain(ctx, env.srv2.URL); migrated != 1 {
+		t.Fatalf("Drain migrated %d sessions, want 1", migrated)
+	}
+	if env.b1.Failover().DrainMigrated.Load() != 1 {
+		t.Errorf("bad_drain_migrated_sessions_total = %d, want 1", env.b1.Failover().DrainMigrated.Load())
+	}
+
+	env.publish(t, 5)
+	collect(t, env, fs, &got, 10)
+
+	verifyStream(t, got, 10)
+	if !env.sawState(StateMigrated) {
+		t.Error("supervisor never reported StateMigrated — drain frame was missed")
+	}
+	if env.client.BrokerURL() != env.srv2.URL {
+		t.Fatalf("client on %s after drain, want broker-2 at %s", env.client.BrokerURL(), env.srv2.URL)
+	}
+	if env.client.Failover().Resumes.Load() == 0 && env.b2.Failover().Resumes.Load() == 0 {
+		t.Error("no resume recorded on the successor after migration")
+	}
+}

@@ -7,6 +7,7 @@
 package client
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"gobad/internal/broker"
 	"gobad/internal/httpx"
 	"gobad/internal/metrics"
+	"gobad/internal/obs"
 	"gobad/internal/wsock"
 )
 
@@ -33,6 +35,39 @@ type Config struct {
 	BCS *bcs.Client
 	// HTTPClient overrides the HTTP client (tests).
 	HTTPClient *http.Client
+	// Reconnect enables the connection supervisor: when the notification
+	// socket dies, the client automatically reconnects (with jittered
+	// exponential backoff), rediscovers a broker through the BCS when the
+	// old one is gone, re-establishes every subscription with its resume
+	// token and keeps the one Notifications() channel flowing — the
+	// application never sees the failover. A broker drain's migrate frame
+	// is honored immediately, without backoff.
+	Reconnect bool
+	// OnConnState observes supervised connection-state transitions
+	// (Connected, Reconnecting, Migrated) with the broker URL involved.
+	// Called from the supervisor goroutine; must not block.
+	OnConnState func(state ConnState, brokerURL string)
+	// Retry shapes the supervisor's reconnect backoff; only BaseDelay,
+	// MaxDelay, MaxAttempts (>0 bounds the attempts per outage), Rand,
+	// Sleep and Stats are consulted. nil uses 100ms base, 5s cap,
+	// unbounded attempts.
+	Retry *httpx.Retryer
+}
+
+// subState is the client-side record of one subscription: enough to
+// re-establish it on any broker (channel + params + resume token) and to
+// dedup redelivered results. The app-visible subscription ID is the first
+// frontend subscription ID a broker returned; fs tracks the current
+// broker's ID for it, so failover never invalidates application handles.
+type subState struct {
+	channel string
+	params  []any
+	fs      string
+	// lastTS is the delivered watermark: the newest result timestamp
+	// handed to the application from a complete (non-stale) retrieval.
+	// It is the resume token after failover, and the dedup bound for
+	// at-least-once redelivery.
+	lastTS time.Duration
 }
 
 // Client is a connected BAD subscriber.
@@ -48,14 +83,25 @@ type Client struct {
 	closed bool
 	// bsToFS routes push notifications: the WebSocket wire form carries
 	// the shared backend subscription ID, which maps back to this
-	// subscriber's frontend subscription.
+	// subscriber's (app-visible) frontend subscription.
 	bsToFS map[string]string
 	fsToBS map[string]string
+	// subs tracks subscription state by app-visible frontend sub ID.
+	subs map[string]*subState
+
+	// supervision state (Reconnect mode).
+	supervise bool
+	onState   func(ConnState, string)
+	retry     *httpx.Retryer
+	cancel    context.CancelFunc
+	supDone   chan struct{}
 
 	notifications chan broker.PushNotification
 
 	// Latency records GetResults round-trip times in seconds.
 	Latency metrics.Sampler
+	// failover tallies supervised reconnects and their latency.
+	failover *obs.FailoverStats
 }
 
 // New resolves a broker (directly or via BCS) and returns a ready client.
@@ -86,9 +132,18 @@ func New(cfg Config) (*Client, error) {
 		http:          httpClient,
 		bsToFS:        make(map[string]string),
 		fsToBS:        make(map[string]string),
+		subs:          make(map[string]*subState),
+		supervise:     cfg.Reconnect,
+		onState:       cfg.OnConnState,
+		retry:         cfg.Retry,
 		notifications: make(chan broker.PushNotification, 64),
+		failover:      &obs.FailoverStats{},
 	}, nil
 }
+
+// Failover exposes the client's supervised-reconnect tallies (reconnect
+// count and latency summary).
+func (c *Client) Failover() *obs.FailoverStats { return c.failover }
 
 // Rediscover asks the BCS for a (possibly different) broker and fails the
 // client over to it: the notification socket is closed, the broker URL is
@@ -113,6 +168,7 @@ func (c *Client) Rediscover(resubscribe []Resubscription) error {
 	// Broker state is per-node; the old broker's subscription IDs are void.
 	c.bsToFS = make(map[string]string)
 	c.fsToBS = make(map[string]string)
+	c.subs = make(map[string]*subState)
 	c.mu.Unlock()
 	for _, r := range resubscribe {
 		if _, err := c.Subscribe(r.Channel, r.Params); err != nil {
@@ -142,7 +198,9 @@ func (c *Client) base() string {
 	return c.brokerURL
 }
 
-// Subscribe creates a frontend subscription and returns its ID.
+// Subscribe creates a frontend subscription and returns its ID. The
+// returned ID stays valid across supervised failovers: the client aliases
+// it to whatever frontend subscription the current broker assigned.
 func (c *Client) Subscribe(channel string, params []any) (string, error) {
 	var out broker.SubscribeResponse
 	err := httpx.DoJSON(c.http, http.MethodPost, c.base()+"/v1/subscriptions",
@@ -150,23 +208,42 @@ func (c *Client) Subscribe(channel string, params []any) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	c.mu.Lock()
+	c.subs[out.FrontendSub] = &subState{
+		channel: channel, params: params, fs: out.FrontendSub,
+		// Seed the resume token from the join marker so a failover before
+		// the first delivery resumes from the right spot.
+		lastTS: time.Duration(out.LatestNS),
+	}
 	if out.BackendSub != "" {
-		c.mu.Lock()
 		c.bsToFS[out.BackendSub] = out.FrontendSub
 		c.fsToBS[out.FrontendSub] = out.BackendSub
-		c.mu.Unlock()
 	}
+	c.mu.Unlock()
 	return out.FrontendSub, nil
+}
+
+// resolve maps an app-visible subscription ID to the current broker's
+// frontend subscription ID and the sub's state (nil when untracked).
+func (c *Client) resolve(fs string) (string, *subState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st := c.subs[fs]; st != nil {
+		return st.fs, st
+	}
+	return fs, nil
 }
 
 // Unsubscribe withdraws a frontend subscription.
 func (c *Client) Unsubscribe(fs string) error {
+	cur, _ := c.resolve(fs)
 	u := fmt.Sprintf("%s/v1/subscriptions/%s?subscriber=%s",
-		c.base(), url.PathEscape(fs), url.QueryEscape(c.subscriber))
+		c.base(), url.PathEscape(cur), url.QueryEscape(c.subscriber))
 	if err := httpx.DoJSON(c.http, http.MethodDelete, u, nil, nil); err != nil {
 		return err
 	}
 	c.mu.Lock()
+	delete(c.subs, fs)
 	if bs, ok := c.fsToBS[fs]; ok {
 		delete(c.bsToFS, bs)
 		delete(c.fsToBS, fs)
@@ -186,47 +263,110 @@ func (c *Client) Subscriptions() ([]string, error) {
 }
 
 // GetResults retrieves all new results of a frontend subscription and
-// acknowledges them. The retrieval latency is recorded.
+// acknowledges them. The retrieval latency is recorded. At-least-once
+// redelivery after a failover resume is deduplicated here: results at or
+// below the subscription's delivered watermark (timestamps the application
+// already received) are dropped before being returned.
 func (c *Client) GetResults(fs string) ([]broker.ResultItem, error) {
 	start := time.Now()
+	cur, st := c.resolve(fs)
+	seen := time.Duration(-1)
+	if st != nil {
+		c.mu.Lock()
+		seen = st.lastTS
+		c.mu.Unlock()
+	}
 	var out broker.ResultsResponse
 	u := fmt.Sprintf("%s/v1/subscriptions/%s/results?subscriber=%s",
-		c.base(), url.PathEscape(fs), url.QueryEscape(c.subscriber))
+		c.base(), url.PathEscape(cur), url.QueryEscape(c.subscriber))
 	if err := httpx.DoJSON(c.http, http.MethodGet, u, nil, &out); err != nil {
 		return nil, err
 	}
 	c.Latency.Observe(time.Since(start).Seconds())
+	results := out.Results
+	if st != nil {
+		kept := results[:0]
+		for _, item := range results {
+			if time.Duration(item.TimestampNS) > seen {
+				kept = append(kept, item)
+			}
+		}
+		results = kept
+	}
 	if out.LatestNS > 0 {
+		if st != nil {
+			// Advance the watermark before the ack round trip: if the
+			// broker dies between delivery and ack, the resumed redelivery
+			// of this very range must still be deduplicated. A stale answer
+			// never reaches here (its marker is 0), so the watermark only
+			// moves on complete in-order deliveries.
+			c.mu.Lock()
+			if ts := time.Duration(out.LatestNS); ts > st.lastTS {
+				st.lastTS = ts
+			}
+			c.mu.Unlock()
+		}
 		ack := broker.AckRequest{Subscriber: c.subscriber, TimestampNS: out.LatestNS}
-		ackURL := c.base() + "/v1/subscriptions/" + url.PathEscape(fs) + "/ack"
+		ackURL := c.base() + "/v1/subscriptions/" + url.PathEscape(cur) + "/ack"
 		if err := httpx.DoJSON(c.http, http.MethodPost, ackURL, ack, nil); err != nil {
-			return out.Results, fmt.Errorf("client: ack: %w", err)
+			return results, fmt.Errorf("client: ack: %w", err)
 		}
 	}
-	return out.Results, nil
+	return results, nil
 }
 
 // Listen opens the notification WebSocket (logging the subscriber in) and
 // pumps incoming notifications into Notifications. It returns once the
-// socket is established; the pump runs until Close or a connection error.
+// socket is established. Without Reconnect the pump runs until Close or a
+// connection error; with Reconnect the supervisor keeps the stream alive
+// across broker failures, restarts and drains.
 func (c *Client) Listen() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return errors.New("client: closed")
 	}
-	if c.ws != nil {
+	if c.ws != nil || c.supDone != nil {
+		c.mu.Unlock()
 		return nil // already listening
 	}
-	wsURL := c.brokerURL + "/v1/ws?subscriber=" + url.QueryEscape(c.subscriber)
+	base := c.brokerURL
+	c.mu.Unlock()
+
+	conn, err := c.dialWS(base)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.closed || c.ws != nil || c.supDone != nil {
+		c.mu.Unlock()
+		_ = conn.Close()
+		return nil
+	}
+	if !c.supervise {
+		c.ws = conn
+		c.wsDone = make(chan struct{})
+		go c.pump(conn, c.wsDone)
+		c.mu.Unlock()
+		return nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
+	c.supDone = make(chan struct{})
+	supDone := c.supDone
+	c.mu.Unlock()
+	go c.superviseLoop(ctx, conn, supDone)
+	return nil
+}
+
+// dialWS connects the notification socket at a broker base URL.
+func (c *Client) dialWS(brokerURL string) (*wsock.Conn, error) {
+	wsURL := brokerURL + "/v1/ws?subscriber=" + url.QueryEscape(c.subscriber)
 	conn, err := wsock.Dial(wsURL, 10*time.Second)
 	if err != nil {
-		return fmt.Errorf("client: notification socket: %w", err)
+		return nil, fmt.Errorf("client: notification socket: %w", err)
 	}
-	c.ws = conn
-	c.wsDone = make(chan struct{})
-	go c.pump(conn, c.wsDone)
-	return nil
+	return conn, nil
 }
 
 func (c *Client) pump(conn *wsock.Conn, done chan struct{}) {
@@ -275,17 +415,33 @@ func (c *Client) Notifications() <-chan broker.PushNotification { return c.notif
 
 // Logout closes the notification socket (the subscriber goes offline) but
 // keeps all subscriptions alive — cached results keep accumulating at the
-// broker, which is exactly the asynchrony broker caching enables.
+// broker, which is exactly the asynchrony broker caching enables. In
+// supervised mode Logout also stops the supervisor (an intentional logout
+// is not a failure to recover from); Listen starts it again.
 func (c *Client) Logout() {
+	// Cancel first: the supervisor checks the context before adopting a
+	// freshly reconnected socket, so after this point it can only shut
+	// down, never race a new connection into c.ws.
+	c.mu.Lock()
+	cancel := c.cancel
+	c.cancel = nil
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
 	c.mu.Lock()
 	conn, done := c.ws, c.wsDone
-	c.ws, c.wsDone = nil, nil
+	supDone := c.supDone
+	c.ws, c.wsDone, c.supDone = nil, nil, nil
 	c.mu.Unlock()
 	if conn != nil {
 		_ = conn.Close()
 	}
 	if done != nil {
 		<-done
+	}
+	if supDone != nil {
+		<-supDone
 	}
 }
 

@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"net"
+	"sync"
+)
+
+// KillableListener wraps a net.Listener and tracks every accepted
+// connection so a test can sever the whole serving process at once — the
+// moral equivalent of kill -9 on a broker. Unlike
+// httptest.Server.CloseClientConnections, Kill also severs hijacked
+// connections (live WebSockets), which the HTTP server stops tracking the
+// moment they are hijacked; a broker-kill chaos scenario needs those to
+// drop too, or the client under test never notices the death.
+type KillableListener struct {
+	net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	dead  bool
+}
+
+// NewKillableListener wraps l.
+func NewKillableListener(l net.Listener) *KillableListener {
+	return &KillableListener{Listener: l, conns: make(map[net.Conn]struct{})}
+}
+
+// Accept tracks the accepted connection until it closes.
+func (k *KillableListener) Accept() (net.Conn, error) {
+	c, err := k.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	if k.dead {
+		k.mu.Unlock()
+		_ = c.Close()
+		return nil, net.ErrClosed
+	}
+	tc := &trackedConn{Conn: c, owner: k}
+	k.conns[tc] = struct{}{}
+	k.mu.Unlock()
+	return tc, nil
+}
+
+// Kill closes the listener and severs every live connection, hijacked or
+// not. Subsequent dials are refused.
+func (k *KillableListener) Kill() {
+	k.mu.Lock()
+	if k.dead {
+		k.mu.Unlock()
+		return
+	}
+	k.dead = true
+	conns := make([]net.Conn, 0, len(k.conns))
+	for c := range k.conns {
+		conns = append(conns, c)
+	}
+	k.conns = nil
+	k.mu.Unlock()
+	_ = k.Listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// forget drops a closed connection from the tracking set.
+func (k *KillableListener) forget(c net.Conn) {
+	k.mu.Lock()
+	if k.conns != nil {
+		delete(k.conns, c)
+	}
+	k.mu.Unlock()
+}
+
+// trackedConn is a connection that removes itself from its listener's
+// tracking set when closed.
+type trackedConn struct {
+	net.Conn
+	owner *KillableListener
+	once  sync.Once
+}
+
+func (c *trackedConn) Close() error {
+	c.once.Do(func() { c.owner.forget(c) })
+	return c.Conn.Close()
+}

@@ -1,0 +1,55 @@
+package faults
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestKillableListenerSeversEverything: Kill drops the listener and every
+// accepted connection — the broker-kill primitive the failover chaos
+// scenarios sever WebSockets with.
+func TestKillableListenerSeversEverything(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kl := NewKillableListener(inner)
+	defer kl.Kill()
+
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := kl.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	client, err := net.Dial("tcp", kl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	var server net.Conn
+	select {
+	case server = <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept never completed")
+	}
+	defer server.Close()
+
+	kl.Kill()
+
+	// The established connection is severed...
+	if err := client.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read after Kill should fail (EOF or reset)")
+	}
+	// ...and new dials are refused.
+	if c, err := net.DialTimeout("tcp", kl.Addr().String(), time.Second); err == nil {
+		c.Close()
+		t.Error("dial after Kill should be refused")
+	}
+}

@@ -20,6 +20,12 @@ type Conn struct {
 	writeMu sync.Mutex
 	closeMu sync.Mutex
 	closed  bool
+	// peerCode/peerReason hold the status of a close frame received from
+	// the peer (0/"" until one arrives). The broker's graceful drain uses
+	// the reason to carry the successor broker URL, so clients read it
+	// after ReadMessage returns ErrClosed.
+	peerCode   uint16
+	peerReason string
 
 	maxMessageSize int64
 
@@ -72,9 +78,13 @@ func (c *Conn) ReadMessage() (Opcode, []byte, error) {
 		case OpPong:
 			// keep-alive response; nothing to do
 		case OpClose:
+			code, reason := parseClosePayload(f.payload)
 			c.closeMu.Lock()
 			alreadyClosed := c.closed
 			c.closed = true
+			if c.peerCode == 0 {
+				c.peerCode, c.peerReason = code, reason
+			}
 			c.closeMu.Unlock()
 			if !alreadyClosed {
 				// Echo the close and tear down.
@@ -172,7 +182,13 @@ const closeWriteTimeout = 250 * time.Millisecond
 // with reads and writes: when another goroutine is blocked mid-write on a
 // stalled peer, the handshake is skipped and the connection is torn down
 // directly, which also unblocks that writer.
-func (c *Conn) Close() error {
+func (c *Conn) Close() error { return c.CloseWith(CloseNormal, "") }
+
+// CloseWith is Close with an explicit status code and reason in the close
+// frame (best effort, like Close). The broker's graceful drain sends
+// (CloseServiceRestart, successorURL) so clients fail over to the named
+// broker without consulting the BCS.
+func (c *Conn) CloseWith(code uint16, reason string) error {
 	c.closeMu.Lock()
 	if c.closed {
 		c.closeMu.Unlock()
@@ -186,8 +202,17 @@ func (c *Conn) Close() error {
 		if c.client {
 			_, _ = rand.Read(key[:])
 		}
-		_ = writeFrame(c.nc, OpClose, closePayload(CloseNormal, ""), c.client, key)
+		_ = writeFrame(c.nc, OpClose, closePayload(code, reason), c.client, key)
 		c.writeMu.Unlock()
 	}
 	return c.nc.Close()
+}
+
+// CloseStatus returns the status code and reason of the close frame the
+// peer sent, or (0, "") when the connection ended without one (process
+// kill, network drop). Valid once ReadMessage has returned ErrClosed.
+func (c *Conn) CloseStatus() (code uint16, reason string) {
+	c.closeMu.Lock()
+	defer c.closeMu.Unlock()
+	return c.peerCode, c.peerReason
 }

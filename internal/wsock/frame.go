@@ -194,5 +194,26 @@ func closePayload(code uint16, reason string) []byte {
 	return out
 }
 
-// CloseNormal is the normal-closure status code.
-const CloseNormal uint16 = 1000
+// parseClosePayload decodes a received close frame payload. An empty
+// payload (allowed by RFC 6455) yields (CloseNoStatus, "").
+func parseClosePayload(p []byte) (code uint16, reason string) {
+	if len(p) < 2 {
+		return CloseNoStatus, ""
+	}
+	return binary.BigEndian.Uint16(p[:2]), string(p[2:])
+}
+
+// Close status codes (RFC 6455 §7.4.1).
+const (
+	// CloseNormal is the normal-closure status code.
+	CloseNormal uint16 = 1000
+	// CloseGoingAway signals the endpoint is going down.
+	CloseGoingAway uint16 = 1001
+	// CloseServiceRestart tells the client the server is restarting and it
+	// should reconnect; the broker's drain path sends it with the successor
+	// broker URL as the reason.
+	CloseServiceRestart uint16 = 1012
+	// CloseNoStatus is the synthetic code for a close frame that carried no
+	// payload.
+	CloseNoStatus uint16 = 1005
+)
