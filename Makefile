@@ -48,7 +48,10 @@ bench-smoke:
 # drives — retries/breakers (httpx), client wiring, webhook redelivery and
 # dead-callback reroute (bdms), stale-serve (core, broker), broker-kill
 # failover, rolling drain and resume (client, broker), BCS liveness and
-# restart recovery (bcs), and the kill-the-cluster simulation scenario.
+# restart recovery (bcs), the kill-the-cluster simulation scenario, and
+# the fabric scenarios — HRW rebalance-on-join with zero loss (client),
+# peer lookup under a draining/cold/dead owner (broker), and the
+# multi-broker cooperative-caching sim (sim).
 # Runs race-enabled and twice, because these tests assert exact
 # deterministic counts: a flake here is a real ordering bug.
 chaos:

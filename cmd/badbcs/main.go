@@ -21,6 +21,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":18000", "listen address")
 	liveness := flag.Duration("liveness", 30*time.Second, "heartbeat staleness bound")
+	hrwSeed := flag.Uint64("hrw-seed", 0, "HRW placement seed: distinct fabrics (or a redeploy wanting a fresh shuffle) should use distinct seeds")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and /debug/runtime (empty = off)")
 	flag.Parse()
@@ -33,7 +34,7 @@ func main() {
 	stopDebug := cliutil.StartDebug(*debugAddr, observer.Logger)
 	defer stopDebug()
 
-	svc := bcs.NewService(bcs.WithLiveness(*liveness))
+	svc := bcs.NewService(bcs.WithLiveness(*liveness), bcs.WithSeed(*hrwSeed))
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           bcs.NewServer(svc, bcs.WithObserver(observer)).Handler(),

@@ -42,6 +42,7 @@ func main() {
 	shards := flag.Int("cache-shards", 0, "cache manager lock stripes (0 = default)")
 	pushQueue := flag.Int("push-queue", 0, "per-session outbound notification queue bound (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful drain deadline on SIGTERM: queued pushes are flushed and sessions migrated within this bound")
+	ringRefresh := flag.Duration("ring-refresh", 5*time.Second, "fabric ring refresh interval (requires -bcs; 0 disables the fabric)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and /debug/runtime (empty = off)")
 	res := resilienceFlags{}
@@ -53,7 +54,7 @@ func main() {
 	flag.BoolVar(&res.staleServe, "stale-serve", true, "serve cached results stale (zero ack marker) when a cluster fetch fails")
 	flag.Parse()
 
-	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval, *shards, *pushQueue, *drainTimeout, *logLevel, *debugAddr, res); err != nil {
+	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval, *shards, *pushQueue, *drainTimeout, *ringRefresh, *logLevel, *debugAddr, res); err != nil {
 		fmt.Fprintln(os.Stderr, "badbroker:", err)
 		os.Exit(1)
 	}
@@ -71,7 +72,7 @@ type resilienceFlags struct {
 	staleServe      bool
 }
 
-func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration, shards, pushQueue int, drainTimeout time.Duration, logLevel, debugAddr string, res resilienceFlags) error {
+func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration, shards, pushQueue int, drainTimeout, ringRefresh time.Duration, logLevel, debugAddr string, res resilienceFlags) error {
 	observer, err := cliutil.NewObserver("badbroker", logLevel)
 	if err != nil {
 		return err
@@ -115,10 +116,32 @@ func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttl
 		observer.Registry.MustRegister(breakers.Collector())
 	}
 
+	// With a BCS configured, the broker joins the cooperative fabric: the
+	// membership ring refreshes on a ticker (below), peer lookups get their
+	// own per-target circuit breakers, and HRW rebalance migrates sessions
+	// whenever membership changes.
+	var fabricCfg *broker.FabricConfig
+	if bcsURL != "" && ringRefresh > 0 {
+		peerBreakers := httpx.NewBreakerSet(httpx.BreakerConfig{
+			FailureThreshold: res.breakerFailures,
+			OpenTimeout:      res.breakerOpen,
+		})
+		var peerOpts []bdms.PeerClientOption
+		if res.breakerFailures > 0 {
+			peerOpts = append(peerOpts, bdms.WithPeerBreakers(peerBreakers))
+			observer.Registry.MustRegister(peerBreakers.Collector())
+		}
+		fabricCfg = &broker.FabricConfig{
+			BCS:   bdms.NewBCSClient(bcsURL, nil),
+			Peers: bdms.NewPeerClient(nil, peerOpts...),
+		}
+	}
+
 	b, err := broker.New(broker.Config{
 		ID:          id,
 		Backend:     bdms.NewClient(clusterURL, nil, clientOpts...),
 		CallbackURL: public + "/v1/callbacks/results",
+		Fabric:      fabricCfg,
 	},
 		broker.WithPolicy(policy),
 		broker.WithCacheBudget(budget),
@@ -164,6 +187,34 @@ func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttl
 		}
 		defer reg.Close()
 		log.Printf("registered with BCS at %s as %s", bcsURL, id)
+	}
+
+	// Fabric ring refresh: a conditional GET per tick (304 when unchanged);
+	// on a membership change, sessions the new ring places elsewhere are
+	// migrated immediately.
+	if fabricCfg != nil {
+		fabricCtx, stopFabric := context.WithCancel(context.Background())
+		defer stopFabric()
+		go func() {
+			ticker := time.NewTicker(ringRefresh)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-fabricCtx.Done():
+					return
+				case <-ticker.C:
+					changed, migrated, err := b.FabricTick(fabricCtx)
+					if err != nil {
+						observer.Logger.Warn("fabric ring refresh failed", "err", err)
+						continue
+					}
+					if changed {
+						log.Printf("badbroker %s: ring changed (epoch %d), migrated %d sessions",
+							id, b.Ring().Epoch, migrated)
+					}
+				}
+			}
+		}()
 	}
 
 	srv := &http.Server{

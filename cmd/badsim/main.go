@@ -5,6 +5,7 @@
 //
 //	badsim -policy lsc -budget 100MB -scale 10
 //	badsim -policy ttl -budget 50MB -duration 2h -subscribers 5000
+//	badsim -policy lsc -budget 100MB -scale 10 -brokers 3 -metrics-out -
 package main
 
 import (
@@ -29,20 +30,22 @@ func main() {
 	subscribers := flag.Int("subscribers", 0, "override subscriber count")
 	backendSubs := flag.Int("backend-subs", 0, "override backend subscription count")
 	seed := flag.Int64("seed", 1, "random seed")
+	brokers := flag.Int("brokers", 1, "number of cooperating edge brokers (splits the budget, enables peer lookups)")
+	noPeer := flag.Bool("no-peer", false, "disable the broker peer-lookup tier (multi-broker ablation baseline)")
 	perCache := flag.Bool("per-cache", false, "include per-cache summaries in the output")
 	metricsOut := flag.String("metrics-out", "", "write the run's final metrics in Prometheus text format to this file ('-' = stderr)")
 	faultPlan := flag.String("fault-plan", "", "inject data-cluster failures from this JSON fault plan (see internal/faults)")
 	staleServe := flag.Bool("stale-serve", false, "serve cached results stale when a cluster fetch fails")
 	flag.Parse()
 
-	if err := run(*policy, *budget, *scale, *duration, *subscribers, *backendSubs, *seed, *perCache, *metricsOut, *faultPlan, *staleServe); err != nil {
+	if err := run(*policy, *budget, *scale, *duration, *subscribers, *backendSubs, *seed, *brokers, *noPeer, *perCache, *metricsOut, *faultPlan, *staleServe); err != nil {
 		fmt.Fprintln(os.Stderr, "badsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(policyName, budgetStr string, scale float64, duration time.Duration,
-	subscribers, backendSubs int, seed int64, perCache bool, metricsOut, faultPlan string, staleServe bool) error {
+	subscribers, backendSubs int, seed int64, brokers int, noPeer, perCache bool, metricsOut, faultPlan string, staleServe bool) error {
 	p, err := core.PolicyByName(policyName)
 	if err != nil {
 		return err
@@ -64,6 +67,10 @@ func run(policyName, budgetStr string, scale float64, duration time.Duration,
 	if backendSubs > 0 {
 		cfg.BackendSubs = backendSubs
 	}
+	if brokers > 0 {
+		cfg.Brokers = brokers
+	}
+	cfg.NoPeerLookup = noPeer
 	if faultPlan != "" {
 		plan, err := faults.LoadPlan(faultPlan)
 		if err != nil {

@@ -9,6 +9,7 @@ package bcs
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -35,6 +36,16 @@ type Service struct {
 	// liveness is how stale a heartbeat may be before the broker is
 	// considered dead for assignment purposes.
 	liveness time.Duration
+	// seed perturbs the HRW placement space (WithSeed).
+	seed uint64
+	// ringEpoch counts observed membership changes. It advances lazily:
+	// ringSnapshot fingerprints the live member set and bumps the epoch
+	// whenever the fingerprint moved — which folds registrations,
+	// deregistrations, address changes, heartbeat expiry and heartbeat
+	// revival into one mechanism, with no background reaper.
+	ringEpoch uint64
+	// lastLive is the fingerprint of the live set at the last snapshot.
+	lastLive string
 }
 
 // Option configures a Service.
@@ -56,6 +67,13 @@ func WithClock(clk func() time.Duration) Option {
 			s.clock = clk
 		}
 	}
+}
+
+// WithSeed sets the HRW placement seed (default 0). Fabrics that share a
+// data cluster but must place keys independently should use distinct
+// seeds.
+func WithSeed(seed uint64) Option {
+	return func(s *Service) { s.seed = seed }
 }
 
 // NewService returns a ready Service.
@@ -136,24 +154,82 @@ func (s *Service) Live(id string) bool {
 	return ok && now-b.LastHeartbeat < s.liveness
 }
 
+// ringSnapshot captures the live member set, the clock read, the liveness
+// filter and the epoch advance under ONE mutex acquisition. Every
+// assignment path builds on it, which closes the race where a broker
+// deregistered (or its heartbeat expired) between a liveness check and the
+// response: the returned view is internally consistent — a broker is
+// either in it or not, decided at a single instant.
+func (s *Service) ringSnapshot() RingView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	live := make([]BrokerInfo, 0, len(s.brokers))
+	for _, b := range s.brokers {
+		if now-b.LastHeartbeat < s.liveness {
+			live = append(live, *b)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].ID < live[j].ID })
+	var fp strings.Builder
+	for i := range live {
+		fp.WriteString(live[i].ID)
+		fp.WriteByte('=')
+		fp.WriteString(live[i].Address)
+		fp.WriteByte('\n')
+	}
+	if got := fp.String(); got != s.lastLive {
+		s.lastLive = got
+		s.ringEpoch++
+	}
+	return RingView{Epoch: s.ringEpoch, Seed: s.seed, Brokers: live}
+}
+
+// Ring returns the current membership view: epoch, HRW seed and the live
+// brokers. Brokers and clients cache it and recompute ownership locally;
+// a changed epoch means placement may have moved.
+func (s *Service) Ring() RingView { return s.ringSnapshot() }
+
+// Place returns the broker owning subscriberKey under HRW placement over
+// the live member set, plus the membership epoch the decision was taken
+// at. An empty key degrades to least-loaded assignment (the pre-fabric
+// Assign contract), so callers without a stable identity still get a
+// broker.
+func (s *Service) Place(subscriberKey string) (BrokerInfo, uint64, error) {
+	view := s.ringSnapshot()
+	if len(view.Brokers) == 0 {
+		return BrokerInfo{}, view.Epoch, fmt.Errorf("bcs: no live broker available")
+	}
+	if subscriberKey == "" {
+		return leastLoaded(view.Brokers), view.Epoch, nil
+	}
+	owner, _ := view.Owner(subscriberKey)
+	return owner, view.Epoch, nil
+}
+
 // Assign picks the least-loaded live broker for a new subscriber. A broker
 // whose heartbeat age has reached the liveness bound is never returned
 // (see Live for the boundary semantics).
+//
+// Deprecated: Assign is the pre-fabric pick-any contract, kept for the
+// /v1/assign alias. New callers use Place, which is deterministic per
+// subscriber key.
 func (s *Service) Assign() (BrokerInfo, error) {
-	now := s.clock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var best *BrokerInfo
-	for _, b := range s.brokers {
-		if now-b.LastHeartbeat >= s.liveness {
-			continue
-		}
-		if best == nil || b.Load < best.Load || (b.Load == best.Load && b.ID < best.ID) {
+	view := s.ringSnapshot()
+	if len(view.Brokers) == 0 {
+		return BrokerInfo{}, fmt.Errorf("bcs: no live broker available")
+	}
+	return leastLoaded(view.Brokers), nil
+}
+
+// leastLoaded picks the lowest-load broker, ID as tiebreak. brokers must
+// be non-empty.
+func leastLoaded(brokers []BrokerInfo) BrokerInfo {
+	best := brokers[0]
+	for _, b := range brokers[1:] {
+		if b.Load < best.Load || (b.Load == best.Load && b.ID < best.ID) {
 			best = b
 		}
 	}
-	if best == nil {
-		return BrokerInfo{}, fmt.Errorf("bcs: no live broker available")
-	}
-	return *best, nil
+	return best
 }

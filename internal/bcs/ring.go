@@ -1,0 +1,106 @@
+package bcs
+
+// Rendezvous (highest-random-weight) hashing over the live broker set.
+// Every party that holds the same RingView — the BCS, each broker, even a
+// client — computes the same owner for a key locally, without a round
+// trip. HRW is preferred over a consistent-hash circle here because the
+// broker population is small (paper §VI: an edge *network*, not a
+// thousand-node DHT): scoring every member per key is O(n) with n in the
+// tens, and membership changes disturb only the keys whose maximum moved
+// (~K/n of them), which is exactly the minimal-disruption bound we test.
+
+// RingView is one immutable observation of the fabric membership: the
+// epoch it was taken at, the HRW seed, and the live brokers sorted by ID.
+// Ownership questions are answered locally via Owner.
+type RingView struct {
+	// Epoch counts membership changes (joins, leaves, liveness flips).
+	// Two views with equal epochs from the same BCS are identical.
+	Epoch uint64 `json:"epoch"`
+	// Seed perturbs the HRW score space so distinct fabrics (or a
+	// redeployment that wants a fresh shuffle) place keys differently.
+	Seed uint64 `json:"seed"`
+	// Brokers are the live members, sorted by ID.
+	Brokers []BrokerInfo `json:"brokers"`
+}
+
+// Owner returns the broker owning key under HRW placement, or false when
+// the view has no members. Ties (astronomically unlikely with FNV-64a)
+// break toward the smaller broker ID so every observer agrees.
+func (v RingView) Owner(key string) (BrokerInfo, bool) {
+	var (
+		best      int = -1
+		bestScore uint64
+	)
+	for i := range v.Brokers {
+		score := hrwScore(v.Seed, v.Brokers[i].ID, key)
+		if best < 0 || score > bestScore ||
+			(score == bestScore && v.Brokers[i].ID < v.Brokers[best].ID) {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 {
+		return BrokerInfo{}, false
+	}
+	return v.Brokers[best], true
+}
+
+// OwnerID is Owner reduced to the broker ID ("" when the view is empty),
+// for callers that only compare ownership.
+func (v RingView) OwnerID(key string) string {
+	b, ok := v.Owner(key)
+	if !ok {
+		return ""
+	}
+	return b.ID
+}
+
+// Has reports whether the view contains the given broker ID.
+func (v RingView) Has(id string) bool {
+	for i := range v.Brokers {
+		if v.Brokers[i].ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hrwScore is FNV-64a over (seed, brokerID, 0x00, key), passed through a
+// 64-bit avalanche finalizer. The zero byte separates the two
+// variable-length strings so ("ab","c") and ("a","bc") cannot collide
+// structurally. The finalizer matters for correctness of the *ordering*:
+// raw FNV-1a diffuses a trailing byte through only one multiply, so keys
+// that differ only near the end ("user-01" vs "user-02") would keep almost
+// identical scores against every broker and all land on the same one.
+func hrwScore(seed uint64, brokerID, key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 64; i += 8 {
+		h ^= (seed >> i) & 0xff
+		h *= fnvPrime64
+	}
+	for i := 0; i < len(brokerID); i++ {
+		h ^= uint64(brokerID[i])
+		h *= fnvPrime64
+	}
+	h *= fnvPrime64 // the 0x00 separator: XOR with zero is identity
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return mix64(h)
+}
+
+// mix64 is the MurmurHash3 fmix64 finalizer: full avalanche, bijective on
+// uint64 (so it cannot introduce new collisions).
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

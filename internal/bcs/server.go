@@ -1,6 +1,7 @@
 package bcs
 
 import (
+	"fmt"
 	"net/http"
 	"time"
 
@@ -49,7 +50,19 @@ func NewServer(svc *Service, opts ...ServerOption) *Server {
 	s.route(http.MethodPost, "/v1/brokers/{id}/heartbeat", "/api/brokers/{id}/heartbeat", s.handleHeartbeat)
 	s.route(http.MethodDelete, "/v1/brokers/{id}", "/api/brokers/{id}", s.handleDeregister)
 	s.route(http.MethodGet, "/v1/brokers", "/api/brokers", s.handleList)
-	s.route(http.MethodGet, "/v1/assign", "/api/assign", s.handleAssign)
+	s.route(http.MethodPost, "/v1/placement", "", s.handlePlacement)
+	s.route(http.MethodGet, "/v1/ring", "", s.handleRing)
+	// /v1/assign is superseded by /v1/placement: both it and its pre-v1
+	// alias keep serving, but with deprecation headers naming the
+	// successor (the PR 1 convention, applied to a /v1 route for the
+	// first time).
+	deprecatedAssign := s.obs.Wrap("/v1/assign", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/placement>; rel="successor-version"`)
+		s.handleAssign(w, r)
+	})
+	s.mux.HandleFunc("GET /v1/assign", deprecatedAssign)
+	s.mux.HandleFunc("GET /api/assign", deprecatedAssign)
 	return s
 }
 
@@ -122,6 +135,53 @@ func (s *Server) handleAssign(w http.ResponseWriter, _ *http.Request) {
 	httpx.WriteJSON(w, http.StatusOK, b)
 }
 
+// PlacementRequest asks for the broker owning a subscriber key. PrevBroker
+// is the broker the caller last held (empty for a fresh arrival) so the
+// response can say whether placement moved.
+type PlacementRequest struct {
+	SubscriberKey string `json:"subscriber_key"`
+	PrevBroker    string `json:"prev_broker,omitempty"`
+}
+
+// PlacementResponse is the placement decision: the owning broker, the
+// membership epoch the decision was taken at, and whether it differs from
+// the caller's previous broker.
+type PlacementResponse struct {
+	Broker BrokerInfo `json:"broker"`
+	Epoch  uint64     `json:"epoch"`
+	Moved  bool       `json:"moved"`
+}
+
+func (s *Server) handlePlacement(w http.ResponseWriter, r *http.Request) {
+	var req PlacementRequest
+	if err := httpx.ReadJSON(r, &req); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	b, epoch, err := s.svc.Place(req.SubscriberKey)
+	if err != nil {
+		httpx.WriteError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, PlacementResponse{
+		Broker: b, Epoch: epoch,
+		Moved: req.PrevBroker != "" && req.PrevBroker != b.ID,
+	})
+}
+
+// handleRing serves the membership view with the epoch as a strong ETag,
+// so pollers pay a 304 instead of a body when nothing changed.
+func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
+	view := s.svc.Ring()
+	etag := fmt.Sprintf(`"%d"`, view.Epoch)
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, view)
+}
+
 // Client is the Go client for the BCS REST API, used by brokers (register,
 // heartbeat) and subscribers (assign).
 type Client struct {
@@ -164,8 +224,27 @@ func (c *Client) Brokers() ([]BrokerInfo, error) {
 }
 
 // Assign asks for a suitable broker for a new subscriber.
+//
+// Deprecated: use Place, which is deterministic per subscriber key.
 func (c *Client) Assign() (BrokerInfo, error) {
 	var out BrokerInfo
 	err := httpx.DoJSON(c.http, http.MethodGet, c.base+"/v1/assign", nil, &out)
+	return out, err
+}
+
+// Place asks for the broker owning subscriberKey. prevBroker (may be
+// empty) is the broker the caller last held; the response reports whether
+// placement moved away from it.
+func (c *Client) Place(subscriberKey, prevBroker string) (PlacementResponse, error) {
+	var out PlacementResponse
+	err := httpx.DoJSON(c.http, http.MethodPost, c.base+"/v1/placement",
+		PlacementRequest{SubscriberKey: subscriberKey, PrevBroker: prevBroker}, &out)
+	return out, err
+}
+
+// Ring fetches the current membership view.
+func (c *Client) Ring() (RingView, error) {
+	var out RingView
+	err := httpx.DoJSON(c.http, http.MethodGet, c.base+"/v1/ring", nil, &out)
 	return out, err
 }

@@ -1,0 +1,224 @@
+package bdms
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"gobad/internal/bcs"
+	"gobad/internal/httpx"
+)
+
+// Fabric wire contracts: the typed clients for the redesigned /v1 BCS
+// surface (placement + ring) and for the broker-to-broker peer lookup
+// protocol. They live in bdms — the wire-type package brokers already
+// import — so broker, client and sim code all speak the same structs
+// instead of ad-hoc map[string]any bodies.
+
+// PeerHopHeader guards against lookup chains: a broker answering a peer
+// request must serve only from its local cache, and the header makes the
+// rule enforceable on the wire — any request arriving with a hop count is
+// already a peer lookup, so forwarding it again is refused with
+// CodePeerLoop.
+const PeerHopHeader = "X-Bad-Peer-Hop"
+
+// Peer failure taxonomy, carried in the standard error envelope's code
+// field. The retryable flag follows the taxonomy: a draining owner will
+// come back (somewhere), a cold owner simply doesn't have the range, and a
+// loop is a caller bug.
+const (
+	// CodePeerDraining: the owner is shutting down gracefully; retryable
+	// (placement is about to move).
+	CodePeerDraining = "peer_draining"
+	// CodePeerCold: the owner is healthy but does not hold the requested
+	// range; not retryable — go to the cluster.
+	CodePeerCold = "peer_cold"
+	// CodePeerLoop: the request already carried a hop count; peers never
+	// chain lookups. Not retryable.
+	CodePeerLoop = "peer_loop"
+)
+
+// PeerResultsResponse is a sibling broker's answer to a peer lookup: the
+// cached result objects for the fabric key in the requested interval.
+// Complete guarantees the range has no evicted/expired holes and extends
+// at least to the owner's LatestNS; callers must discard partial answers
+// (the cluster is the fallback, not a merge).
+type PeerResultsResponse struct {
+	Results []ResultObject `json:"results"`
+	// LatestNS is the newest result timestamp the owner knows for the
+	// key (its backend-subscription high-water mark).
+	LatestNS int64 `json:"latest_ns"`
+	// Complete reports whether Results covers the requested interval
+	// with no holes.
+	Complete bool `json:"complete"`
+}
+
+// IsPeerCold reports whether err is a peer_cold answer: the owner is
+// healthy but doesn't hold the range. Cold answers are not failures — the
+// per-peer breaker must not count them.
+func IsPeerCold(err error) bool {
+	var se *httpx.StatusError
+	return errors.As(err, &se) && se.Code == CodePeerCold
+}
+
+// IsPeerDraining reports whether err is a peer_draining answer: the owner
+// is gracefully shutting down and placement is about to move.
+func IsPeerDraining(err error) bool {
+	var se *httpx.StatusError
+	return errors.As(err, &se) && se.Code == CodePeerDraining
+}
+
+// BCSClient is the typed client for the redesigned BCS fabric surface:
+// placement requests and conditional ring fetches. Like the cluster
+// Client it is resilience-aware through functional options.
+type BCSClient struct {
+	base  string
+	http  *http.Client
+	retry *httpx.Retryer
+	brk   *httpx.Breaker
+}
+
+// BCSClientOption configures a BCSClient.
+type BCSClientOption func(*BCSClient)
+
+// WithBCSRetryer enables retries with r's schedule. Both fabric calls are
+// pure reads (placement is deterministic), so every call may retry.
+func WithBCSRetryer(r *httpx.Retryer) BCSClientOption {
+	return func(c *BCSClient) { c.retry = r }
+}
+
+// WithBCSBreaker guards every call with b; while open, calls fail fast
+// with httpx.ErrBreakerOpen.
+func WithBCSBreaker(b *httpx.Breaker) BCSClientOption {
+	return func(c *BCSClient) { c.brk = b }
+}
+
+// NewBCSClient returns a fabric client for the BCS at baseURL. A nil
+// httpClient uses a 10s-timeout default.
+func NewBCSClient(baseURL string, httpClient *http.Client, opts ...BCSClientOption) *BCSClient {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	c := &BCSClient{base: baseURL, http: httpClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// do runs one call through retry-around-breaker (both optional).
+func (c *BCSClient) do(ctx context.Context, call func(ctx context.Context) error) error {
+	op := call
+	if c.brk != nil {
+		op = func(ctx context.Context) error { return c.brk.Do(ctx, call) }
+	}
+	if c.retry == nil {
+		return op(ctx)
+	}
+	return c.retry.Do(ctx, op)
+}
+
+// Place asks for the broker owning subscriberKey. prevBroker (may be
+// empty) is the broker the caller last held; the response reports whether
+// placement moved away from it.
+func (c *BCSClient) Place(ctx context.Context, subscriberKey, prevBroker string) (bcs.PlacementResponse, error) {
+	var out bcs.PlacementResponse
+	err := c.do(ctx, func(ctx context.Context) error {
+		return httpx.DoJSONContext(ctx, c.http, http.MethodPost, c.base+"/v1/placement",
+			bcs.PlacementRequest{SubscriberKey: subscriberKey, PrevBroker: prevBroker}, &out)
+	})
+	return out, err
+}
+
+// Ring fetches the current membership view unconditionally.
+func (c *BCSClient) Ring(ctx context.Context) (bcs.RingView, error) {
+	var out bcs.RingView
+	err := c.do(ctx, func(ctx context.Context) error {
+		return httpx.DoJSONContext(ctx, c.http, http.MethodGet, c.base+"/v1/ring", nil, &out)
+	})
+	return out, err
+}
+
+// RingIfChanged fetches the membership view conditionally: the caller's
+// cached epoch rides as an If-None-Match tag, and an unchanged ring costs
+// a 304 with changed=false (the returned view is then the zero value —
+// keep using the cached one).
+func (c *BCSClient) RingIfChanged(ctx context.Context, prevEpoch uint64) (view bcs.RingView, changed bool, err error) {
+	err = c.do(ctx, func(ctx context.Context) error {
+		hdr := http.Header{"If-None-Match": []string{fmt.Sprintf(`"%d"`, prevEpoch)}}
+		status, _, err := httpx.DoJSONHeader(ctx, c.http, http.MethodGet, c.base+"/v1/ring", hdr, nil, &view)
+		if err != nil {
+			return err
+		}
+		changed = status != http.StatusNotModified
+		return nil
+	})
+	return view, changed, err
+}
+
+// PeerClient performs broker-to-broker peer lookups against whichever
+// sibling owns a fabric key. Targets vary per call (ownership is per key),
+// so the breaker is a per-target set rather than a single circuit, and it
+// is driven manually: a peer_cold answer is a healthy "I don't have it"
+// that must not open the circuit, while transport errors and server
+// failures (a dead owner) must.
+type PeerClient struct {
+	http *http.Client
+	brks *httpx.BreakerSet
+}
+
+// PeerClientOption configures a PeerClient.
+type PeerClientOption func(*PeerClient)
+
+// WithPeerBreakers circuit-breaks lookups per peer target; while a peer's
+// circuit is open, lookups against it fail fast with httpx.ErrBreakerOpen
+// and the caller falls through to the cluster.
+func WithPeerBreakers(s *httpx.BreakerSet) PeerClientOption {
+	return func(c *PeerClient) { c.brks = s }
+}
+
+// NewPeerClient returns a peer-lookup client. A nil httpClient uses a
+// 5s-timeout default — a peer lookup rides the miss path, so it must give
+// up well before the subscriber's own retrieval deadline.
+func NewPeerClient(httpClient *http.Client, opts ...PeerClientOption) *PeerClient {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 5 * time.Second}
+	}
+	c := &PeerClient{http: httpClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Results asks the broker at baseURL — the HRW owner of fabricKey — for
+// its cached results in (afterNS, beforeNS] (or the open interval when
+// inclusive is false). It is a single shot: no retries, because the
+// cluster fallback is always available and the miss path is latency-bound.
+func (c *PeerClient) Results(ctx context.Context, baseURL, fabricKey string, afterNS, beforeNS int64, inclusive bool) (PeerResultsResponse, error) {
+	var out PeerResultsResponse
+	var brk *httpx.Breaker
+	if c.brks != nil {
+		brk = c.brks.For(baseURL)
+		if err := brk.Allow(); err != nil {
+			return out, err
+		}
+	}
+	u := fmt.Sprintf("%s/v1/peer/results/%s?after_ns=%d&before_ns=%d&inclusive=%t",
+		baseURL, url.PathEscape(fabricKey), afterNS, beforeNS, inclusive)
+	hdr := http.Header{PeerHopHeader: []string{"1"}}
+	_, _, err := httpx.DoJSONHeader(ctx, c.http, http.MethodGet, u, hdr, nil, &out)
+	if brk != nil {
+		// peer_cold is a healthy answer; everything else (transport
+		// error, draining, loop, 5xx) counts against the circuit.
+		if IsPeerCold(err) {
+			brk.Record(nil)
+		} else {
+			brk.Record(err)
+		}
+	}
+	return out, err
+}

@@ -23,15 +23,17 @@ func BCSCallbackResolver(client *bcs.Client) CallbackResolver {
 		if err != nil {
 			return "", fmt.Errorf("bdms: unparseable dead callback %q: %w", dead, err)
 		}
-		info, err := client.Assign()
+		// An empty subscriber key asks for the least-loaded live broker —
+		// the reroute has no subscriber identity to place by.
+		placed, err := client.Place("", "")
 		if err != nil {
-			return "", fmt.Errorf("bdms: BCS reroute assign: %w", err)
+			return "", fmt.Errorf("bdms: BCS reroute placement: %w", err)
 		}
-		next := rebase(deadURL, info.Address)
+		next := rebase(deadURL, placed.Broker.Address)
 		if next != dead {
 			return next, nil
 		}
-		// Assign handed back the broker we just failed against (it may
+		// Placement handed back the broker we just failed against (it may
 		// still be heartbeating while its webhook endpoint is broken);
 		// look for any other registered broker before giving up.
 		brokers, err := client.Brokers()

@@ -104,6 +104,10 @@ type Config struct {
 	// <= 0 selects DefaultPushQueue. Markers beyond the bound evict the
 	// oldest pending one (latest-wins, recoverable via GetResults).
 	PushQueue int
+	// Fabric connects the broker to the cooperative edge fabric: HRW
+	// placement, session rebalance and broker-to-broker peer lookup on
+	// cache misses. nil runs the broker standalone.
+	Fabric *FabricConfig
 }
 
 // Broker is a BAD broker node.
@@ -124,8 +128,11 @@ type Broker struct {
 	// backendSubs deduplicates by subscription key.
 	backendSubs map[string]*backendSub // key -> sub
 	backendByID map[string]*backendSub // backend subscription id -> sub
-	frontend    map[string]*frontendSub
-	fsSeq       uint64
+	// byFabric indexes live backend subscriptions by their fabric-wide
+	// key (FabricKey), the identity peer brokers address caches with.
+	byFabric map[string]*backendSub
+	frontend map[string]*frontendSub
+	fsSeq    uint64
 
 	sessions *sessionHub
 	// push overrides notification delivery (experiments); nil means
@@ -137,13 +144,20 @@ type Broker struct {
 	// draining is set once Drain starts: new subscriptions and WebSocket
 	// attaches are refused so clients fail over to another broker.
 	draining atomic.Bool
+
+	// fabric is the cooperative-edge state (ring view, peer lookup memo);
+	// nil outside a fabric (single-broker mode).
+	fabric *fabric
 }
 
 // backendSub is one deduplicated subscription at the data cluster with its
 // result cache marker.
 type backendSub struct {
-	key     string
-	id      string // data cluster subscription id
+	key string
+	id  string // data cluster subscription id
+	// fkey is the fabric-wide cache identity (FabricKey over channel and
+	// params), shared by every broker subscribed to the same channel.
+	fkey    string
 	channel string
 	params  []any
 	// bts is the newest result timestamp already pulled into the cache.
@@ -202,12 +216,16 @@ func New(cfg Config, opts ...Option) (*Broker, error) {
 		bw:          cfg.BackendBandwidth,
 		backendSubs: make(map[string]*backendSub),
 		backendByID: make(map[string]*backendSub),
+		byFabric:    make(map[string]*backendSub),
 		frontend:    make(map[string]*frontendSub),
 		log:         obs.WrapLogger(cfg.Logger),
 		slowFetch:   cfg.SlowFetchThreshold,
 		failover:    &obs.FailoverStats{},
 	}
 	b.sessions = newSessionHub(cfg.PushQueue, &b.stats.Delivered, b.log)
+	if cfg.Fabric != nil {
+		b.fabric = newFabric(b, *cfg.Fabric)
+	}
 	if cfg.Clock != nil {
 		b.clock = cfg.Clock
 	} else {
@@ -394,12 +412,14 @@ func (b *Broker) SubscribeResume(ctx context.Context, subscriber, channel string
 			}
 		} else {
 			bs = &backendSub{
-				key: key, id: backendID, channel: channel, params: params,
+				key: key, id: backendID, fkey: fabricHash(key),
+				channel: channel, params: params,
 				bts:      start,
 				attached: make(map[string]string),
 			}
 			b.backendSubs[key] = bs
 			b.backendByID[backendID] = bs
+			b.byFabric[bs.fkey] = bs
 		}
 	}
 	b.fsSeq++
@@ -524,6 +544,7 @@ func (b *Broker) Unsubscribe(subscriber, fsID string) error {
 	if last {
 		delete(b.backendSubs, bs.key)
 		delete(b.backendByID, bs.id)
+		delete(b.byFabric, bs.fkey)
 	}
 	b.mu.Unlock()
 
@@ -959,9 +980,18 @@ func (b *Broker) backendResults(ctx context.Context, subID string, from, to time
 }
 
 // fetchFromBackend is the core.Fetcher: re-fetch evicted/expired objects
-// from the data cluster on a cache miss. Fetched objects are not re-cached
-// (core enforces that by simply returning them).
+// on a cache miss. In a fabric the lookup is two-tier — the HRW-owning
+// sibling's cache first, the data cluster only when the peer cannot fully
+// serve the range. It runs inside the manager's singleflight, so
+// concurrent identical misses collapse to one peer lookup and at most one
+// cluster fetch. Fetched objects are not re-cached (core enforces that by
+// simply returning them).
 func (b *Broker) fetchFromBackend(ctx context.Context, cacheID string, from, to time.Duration, inclusiveTo bool) ([]*core.Object, error) {
+	if f := b.fabric; f != nil {
+		if objs, ok := f.lookup(ctx, cacheID, from, to, inclusiveTo); ok {
+			return objs, nil
+		}
+	}
 	results, err := b.backendResults(ctx, cacheID, from, to, inclusiveTo)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,362 @@
+package broker
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"gobad/internal/bcs"
+	"gobad/internal/bdms"
+	"gobad/internal/core"
+	"gobad/internal/metrics"
+	"gobad/internal/obs"
+)
+
+// The cooperative edge fabric (paper §VI's broker *network*): brokers
+// share one HRW ring published by the BCS, a subscriber's session lives on
+// its HRW owner, and each (channel, params) cache has an HRW owner too —
+// so a local miss consults the owning sibling before paying a cluster
+// fetch. The lookup rides inside the core manager's singleflight, so a
+// fabric-wide stampede on one range still collapses to one fetch per
+// broker, and the peer handler serves strictly from its local cache
+// (Manager.Peek), which makes lookup chains structurally impossible.
+
+// FabricConfig connects a broker to the cooperative fabric.
+type FabricConfig struct {
+	// BCS refreshes the membership ring (FabricTick). Optional: tests
+	// and embedded setups can install views directly with SetRing.
+	BCS *bdms.BCSClient
+	// Peers performs broker-to-broker lookups; nil disables the peer
+	// tier (the fabric then only does placement/rebalance).
+	Peers *bdms.PeerClient
+	// MemoTTL bounds how long a peer answer is reused for an identical
+	// range before the sibling is asked again — the "populate the local
+	// cache with a short TTL" rule, kept outside the result cache so the
+	// paper's no-re-cache invariant for missed objects stays intact.
+	// <= 0 selects 2s.
+	MemoTTL time.Duration
+}
+
+// fabricMemoCap bounds the peer-answer memo; at the cap, expired entries
+// are collected and, failing that, an arbitrary entry is evicted.
+const fabricMemoCap = 1024
+
+type memoEntry struct {
+	objs    []*core.Object
+	expires time.Duration
+}
+
+// fabric is the broker's runtime fabric state: the current ring view, the
+// short-TTL peer-answer memo and the per-peer latency samples.
+type fabric struct {
+	b   *Broker
+	cfg FabricConfig
+
+	mu   sync.Mutex
+	ring bcs.RingView
+	memo map[string]memoEntry
+	// peerLat samples per-peer lookup latency in seconds, keyed by the
+	// owning broker's ID.
+	peerLat map[string]*metrics.Sampler
+}
+
+func newFabric(b *Broker, cfg FabricConfig) *fabric {
+	if cfg.MemoTTL <= 0 {
+		cfg.MemoTTL = 2 * time.Second
+	}
+	return &fabric{
+		b:       b,
+		cfg:     cfg,
+		memo:    make(map[string]memoEntry),
+		peerLat: make(map[string]*metrics.Sampler),
+	}
+}
+
+// FabricEnabled reports whether the broker participates in the fabric.
+func (b *Broker) FabricEnabled() bool { return b.fabric != nil }
+
+// SetRing installs a membership view (monotonic by epoch: stale views are
+// ignored) and reports whether the view changed. Production brokers get
+// views via FabricTick; tests and embedded fabrics install them directly.
+func (b *Broker) SetRing(view bcs.RingView) bool {
+	f := b.fabric
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if view.Epoch <= f.ring.Epoch && f.ring.Epoch != 0 {
+		return false
+	}
+	changed := view.Epoch != f.ring.Epoch
+	f.ring = view
+	return changed
+}
+
+// Ring returns the broker's current membership view (zero when none was
+// installed yet).
+func (b *Broker) Ring() bcs.RingView {
+	f := b.fabric
+	if f == nil {
+		return bcs.RingView{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ring
+}
+
+// FabricTick refreshes the ring from the BCS (conditionally — an
+// unchanged ring costs a 304) and, when membership changed, migrates the
+// sessions HRW placement moved to another broker. Call it from a ticker.
+func (b *Broker) FabricTick(ctx context.Context) (changed bool, migrated int, err error) {
+	f := b.fabric
+	if f == nil || f.cfg.BCS == nil {
+		return false, 0, nil
+	}
+	f.mu.Lock()
+	prev := f.ring.Epoch
+	f.mu.Unlock()
+	view, fetched, err := f.cfg.BCS.RingIfChanged(ctx, prev)
+	if err != nil || !fetched {
+		return false, 0, err
+	}
+	if !b.SetRing(view) {
+		return false, 0, nil
+	}
+	return true, b.Rebalance(ctx), nil
+}
+
+// Rebalance migrates every connected session whose HRW owner under the
+// current ring is another live broker: pending push markers are flushed
+// (bounded by ctx) and the socket is closed with a migrate frame naming
+// the new owner, which the client supervisor follows without consulting
+// the BCS. Sessions the ring still places here are untouched, so a
+// rebalance disturbs at most ~K/n sessions per membership change.
+func (b *Broker) Rebalance(ctx context.Context) int {
+	f := b.fabric
+	if f == nil || b.draining.Load() {
+		return 0
+	}
+	ring := b.Ring()
+	if len(ring.Brokers) == 0 || !ring.Has(b.id) {
+		// An empty ring means no live sibling to point at; a ring that
+		// no longer contains this broker means it is being removed, and
+		// the drain path owns that migration.
+		return 0
+	}
+	n := b.sessions.rebalance(ctx, func(subscriber string) (string, bool) {
+		owner, ok := ring.Owner(subscriber)
+		if !ok || owner.ID == b.id {
+			return "", false
+		}
+		return owner.Address, true
+	})
+	if n > 0 {
+		b.failover.RebalanceMigrated.Add(uint64(n))
+	}
+	return n
+}
+
+// FabricKey returns the fabric-wide identity of a (channel, params)
+// subscription: a short hash every broker derives identically, regardless
+// of its broker-local backend-subscription ID — peers address each other's
+// caches with it.
+func FabricKey(channel string, params []any) string {
+	return fabricHash(subKey(channel, params))
+}
+
+func fabricHash(s string) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return "fk" + strconv.FormatUint(h, 16)
+}
+
+// lookup is the peer tier of the miss path: on a local cache miss for
+// cacheID over (from, to], ask the HRW owner of the subscription's fabric
+// key for its cached copy. It returns ok=false whenever the fabric cannot
+// fully serve the range — not configured, we are the owner, the owner is
+// cold/draining/dead, or the answer was partial — in which case the caller
+// falls through to the cluster. It runs inside the manager's singleflight,
+// so concurrent identical misses cost one lookup.
+func (f *fabric) lookup(ctx context.Context, cacheID string, from, to time.Duration, inclusiveTo bool) ([]*core.Object, bool) {
+	if f.cfg.Peers == nil {
+		return nil, false
+	}
+	f.b.mu.Lock()
+	bs := f.b.backendByID[cacheID]
+	var fkey string
+	if bs != nil {
+		fkey = bs.fkey
+	}
+	f.b.mu.Unlock()
+	if bs == nil {
+		return nil, false
+	}
+	f.mu.Lock()
+	ring := f.ring
+	f.mu.Unlock()
+	owner, ok := ring.Owner(fkey)
+	if !ok || owner.ID == f.b.id {
+		return nil, false
+	}
+
+	memoKey := fkey + "|" + from.String() + "|" + to.String() + "|" + strconv.FormatBool(inclusiveTo)
+	now := f.b.clock()
+	f.mu.Lock()
+	if e, hit := f.memo[memoKey]; hit && now < e.expires {
+		f.mu.Unlock()
+		f.b.stats.PeerHits.Add(1)
+		return append([]*core.Object(nil), e.objs...), true
+	}
+	f.mu.Unlock()
+
+	start := time.Now()
+	resp, err := f.cfg.Peers.Results(ctx, owner.Address, fkey,
+		from.Nanoseconds(), to.Nanoseconds(), inclusiveTo)
+	f.observePeer(owner.ID, time.Since(start))
+	if err != nil || !resp.Complete {
+		f.b.stats.PeerMisses.Add(1)
+		return nil, false
+	}
+	objs := make([]*core.Object, 0, len(resp.Results))
+	for _, r := range resp.Results {
+		objs = append(objs, &core.Object{
+			ID:           r.ID,
+			Timestamp:    r.Timestamp,
+			Size:         r.Size,
+			FetchLatency: f.b.fetchLatency(r.Size),
+			Payload:      r.Rows,
+			Peer:         true,
+		})
+	}
+	f.b.stats.PeerHits.Add(1)
+	f.memoize(memoKey, objs, now)
+	return objs, true
+}
+
+// memoize stores a peer answer for MemoTTL, bounding the table size.
+func (f *fabric) memoize(key string, objs []*core.Object, now time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.memo) >= fabricMemoCap {
+		for k, e := range f.memo {
+			if now >= e.expires {
+				delete(f.memo, k)
+			}
+		}
+		for k := range f.memo {
+			if len(f.memo) < fabricMemoCap {
+				break
+			}
+			delete(f.memo, k)
+		}
+	}
+	f.memo[key] = memoEntry{objs: objs, expires: now + f.cfg.MemoTTL}
+}
+
+func (f *fabric) observePeer(peerID string, d time.Duration) {
+	f.mu.Lock()
+	s := f.peerLat[peerID]
+	if s == nil {
+		s = &metrics.Sampler{}
+		f.peerLat[peerID] = s
+	}
+	f.mu.Unlock()
+	s.Observe(d.Seconds())
+}
+
+// FabricCollector exports the per-peer lookup latency summaries, labeled
+// by peer broker ID. Registered by the broker server when the fabric is
+// enabled.
+func (b *Broker) FabricCollector() obs.Collector {
+	return obs.CollectorFunc(func(emit func(obs.Family)) {
+		f := b.fabric
+		if f == nil {
+			return
+		}
+		f.mu.Lock()
+		ids := make([]string, 0, len(f.peerLat))
+		for id := range f.peerLat {
+			ids = append(ids, id)
+		}
+		samplers := make(map[string]*metrics.Sampler, len(ids))
+		for _, id := range ids {
+			samplers[id] = f.peerLat[id]
+		}
+		f.mu.Unlock()
+		if len(ids) == 0 {
+			return
+		}
+		sort.Strings(ids)
+		pts := make([]obs.Point, 0, len(ids))
+		for _, id := range ids {
+			s := samplers[id]
+			n := s.N()
+			pts = append(pts, obs.Point{
+				Labels: []obs.Label{{Name: "peer", Value: id}},
+				Summary: &obs.SummarySnapshot{
+					Quantiles: map[float64]float64{
+						0.5:  s.Quantile(0.5),
+						0.95: s.Quantile(0.95),
+						0.99: s.Quantile(0.99),
+					},
+					Count: uint64(n),
+					Sum:   s.Mean() * float64(n),
+				},
+			})
+		}
+		emit(obs.Family{
+			Name:   "bad_peer_lookup_seconds",
+			Help:   "Broker-to-broker peer lookup latency, labeled by owning peer.",
+			Type:   obs.SummaryType,
+			Points: pts,
+		})
+	})
+}
+
+// PeerResults serves a sibling's lookup for fabric key fk strictly from
+// the local result cache (Manager.Peek — no consumption, no fetch, no
+// policy side effects). ok=false means this broker cannot fully vouch for
+// the range: it has no live subscription under fk, its cache has holes
+// there, or its backend marker has not reached to yet.
+func (b *Broker) PeerResults(fk string, from, to time.Duration, inclusiveTo bool) (bdms.PeerResultsResponse, bool) {
+	b.mu.Lock()
+	bs := b.byFabric[fk]
+	var id string
+	var bts time.Duration
+	if bs != nil {
+		id, bts = bs.id, bs.bts
+	}
+	b.mu.Unlock()
+	if bs == nil {
+		return bdms.PeerResultsResponse{}, false
+	}
+	// The cache being hole-free above from is not enough: the owner must
+	// also have pulled results through to, or the newest objects of the
+	// range may simply not have arrived here yet.
+	if bts < to {
+		return bdms.PeerResultsResponse{LatestNS: int64(bts)}, false
+	}
+	objs, complete := b.manager.Peek(id, from, to, inclusiveTo)
+	if !complete {
+		return bdms.PeerResultsResponse{LatestNS: int64(bts)}, false
+	}
+	results := make([]bdms.ResultObject, 0, len(objs))
+	for _, o := range objs {
+		rows, _ := o.Payload.([]map[string]any)
+		results = append(results, bdms.ResultObject{
+			ID: o.ID, SubscriptionID: id, Timestamp: o.Timestamp,
+			Rows: rows, Size: o.Size,
+		})
+	}
+	return bdms.PeerResultsResponse{Results: results, LatestNS: int64(bts), Complete: true}, true
+}

@@ -1,0 +1,354 @@
+package broker
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gobad/internal/bcs"
+	"gobad/internal/bdms"
+	"gobad/internal/core"
+)
+
+// countingBackend wraps the in-process cluster and counts result pulls —
+// both interface levels, so the broker's context upgrade cannot bypass the
+// counter.
+type countingBackend struct {
+	*bdms.Cluster
+	calls atomic.Int64
+}
+
+func (c *countingBackend) Results(subID string, from, to time.Duration, inclusiveTo bool) ([]bdms.ResultObject, error) {
+	c.calls.Add(1)
+	return c.Cluster.Results(subID, from, to, inclusiveTo)
+}
+
+func (c *countingBackend) ResultsContext(ctx context.Context, subID string, from, to time.Duration, inclusiveTo bool) ([]bdms.ResultObject, error) {
+	c.calls.Add(1)
+	return c.Cluster.ResultsContext(ctx, subID, from, to, inclusiveTo)
+}
+
+// fabricEnv is a two-broker fabric over one in-process cluster: "owner" is
+// the HRW owner of every fabric key (it is the only ring member) and serves
+// peer lookups over real HTTP; "edge" runs the NC policy so every retrieval
+// is a miss that exercises the two-tier lookup path.
+type fabricEnv struct {
+	clk       *testClock
+	cluster   *bdms.Cluster
+	owner     *Broker
+	edge      *Broker
+	ownerSrv  *httptest.Server
+	edgeCalls *countingBackend
+	// peerReqs counts peer-protocol requests arriving at the owner.
+	peerReqs atomic.Int64
+}
+
+func newFabricEnv(t *testing.T) *fabricEnv {
+	t.Helper()
+	env := &fabricEnv{clk: &testClock{}}
+	var mu sync.Mutex
+	var brokers []*Broker
+	env.cluster = bdms.NewCluster(
+		bdms.WithClock(env.clk.Now),
+		bdms.WithNotifier(bdms.NotifierFunc(func(subID, _ string, latest time.Duration) {
+			mu.Lock()
+			bs := append([]*Broker(nil), brokers...)
+			mu.Unlock()
+			for _, b := range bs {
+				_ = b.HandleNotification(subID, latest) // each broker owns its own sub IDs
+			}
+		})),
+	)
+	if err := env.cluster.CreateDataset("EmergencyReports", bdms.Schema{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.cluster.DefineChannel(bdms.ChannelDef{
+		Name:   "Alerts",
+		Params: []string{"etype"},
+		Body:   "select * from EmergencyReports r where r.etype = $etype",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	owner, err := New(Config{
+		ID:          "owner",
+		Backend:     env.cluster,
+		Policy:      core.LSC{},
+		CacheBudget: 1 << 20,
+		Clock:       env.clk.Now,
+		TTL:         core.TTLConfig{DefaultTTL: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.owner = owner
+	// The owner answers peer lookups over real HTTP; count them at the
+	// transport so singleflight assertions see exactly what left the edge.
+	inner := NewServer(owner).Handler()
+	env.ownerSrv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/peer/") {
+			env.peerReqs.Add(1)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(env.ownerSrv.Close)
+
+	env.edgeCalls = &countingBackend{Cluster: env.cluster}
+	edge, err := New(Config{
+		ID:      "edge",
+		Backend: env.edgeCalls,
+		Policy:  core.NC{},
+		Clock:   env.clk.Now,
+		Fabric:  &FabricConfig{Peers: bdms.NewPeerClient(nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.edge = edge
+	if !edge.SetRing(bcs.RingView{Epoch: 1, Brokers: []bcs.BrokerInfo{
+		{ID: "owner", Address: env.ownerSrv.URL},
+	}}) {
+		t.Fatal("SetRing rejected the initial view")
+	}
+	mu.Lock()
+	brokers = []*Broker{owner, edge}
+	mu.Unlock()
+	return env
+}
+
+func (env *fabricEnv) publish(t *testing.T, etype string, sev float64) {
+	t.Helper()
+	env.clk.Advance(time.Second)
+	if _, err := env.cluster.Ingest("EmergencyReports", map[string]any{
+		"etype": etype, "severity": sev,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A local miss on the edge is served from the owning sibling's cache: no
+// cluster fetch on the miss path, a peer hit in the stats, and the same
+// results the cluster would have produced.
+func TestPeerLookupServesFromSibling(t *testing.T) {
+	env := newFabricEnv(t)
+	if _, err := env.owner.Subscribe("olga", "Alerts", []any{"fire"}); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := env.edge.Subscribe("edna", "Alerts", []any{"fire"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		env.publish(t, "fire", float64(i))
+	}
+
+	before := env.edgeCalls.calls.Load()
+	items, _, err := env.edge.GetResults("edna", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("got %d results via peer, want 3", len(items))
+	}
+	for i, item := range items {
+		if sev, _ := item.Rows[0]["severity"].(float64); sev != float64(i+1) {
+			t.Errorf("result %d severity %v, want %d", i, item.Rows[0]["severity"], i+1)
+		}
+	}
+	if got := env.edgeCalls.calls.Load(); got != before {
+		t.Errorf("miss path pulled from the cluster %d times, want 0 (peer should serve)", got-before)
+	}
+	if h := env.edge.Stats().PeerHits.Value(); h != 1 {
+		t.Errorf("peer hits = %v, want 1", h)
+	}
+	if m := env.edge.Stats().PeerMisses.Value(); m != 0 {
+		t.Errorf("peer misses = %v, want 0", m)
+	}
+	// Peer-served bytes count as miss volume but NOT fetch bytes — the
+	// whole point is that the cluster was not asked.
+	if fb := env.edge.Stats().FetchBytes.Value(); fb != 0 {
+		t.Errorf("edge FetchBytes = %v after a peer-served miss, want 0", fb)
+	}
+}
+
+// K concurrent identical misses collapse into exactly one peer request:
+// the lookup rides inside the manager's singleflight and the short-TTL
+// memo absorbs stragglers.
+func TestPeerLookupSingleflight(t *testing.T) {
+	env := newFabricEnv(t)
+	if _, err := env.owner.Subscribe("olga", "Alerts", []any{"fire"}); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := env.edge.Subscribe("edna", "Alerts", []any{"fire"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		env.publish(t, "fire", float64(i))
+	}
+
+	before := env.edgeCalls.calls.Load()
+	const K = 16
+	var wg sync.WaitGroup
+	errs := make([]error, K)
+	counts := make([]int, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			items, _, err := env.edge.GetResults("edna", fs)
+			errs[i], counts[i] = err, len(items)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < K; i++ {
+		if errs[i] != nil {
+			t.Fatalf("retrieval %d: %v", i, errs[i])
+		}
+		if counts[i] != 5 {
+			t.Errorf("retrieval %d got %d results, want 5", i, counts[i])
+		}
+	}
+	if got := env.peerReqs.Load(); got != 1 {
+		t.Errorf("%d concurrent misses caused %d peer requests, want exactly 1", K, got)
+	}
+	if got := env.edgeCalls.calls.Load(); got != before {
+		t.Errorf("miss path pulled from the cluster %d times, want 0", got-before)
+	}
+	// PeerHits counts lookups executed, not callers: the coalesced
+	// callers share the one flight's answer.
+	if h := env.edge.Stats().PeerHits.Value(); h != 1 {
+		t.Errorf("peer hits = %v, want 1 (one coalesced lookup)", h)
+	}
+}
+
+// The peer failure taxonomy end to end: a draining owner answers 503
+// peer_draining, a cold owner 404 peer_cold (and neither stops the edge —
+// it falls back to the cluster), and a chained lookup is refused with 400
+// peer_loop.
+func TestPeerTaxonomy(t *testing.T) {
+	env := newFabricEnv(t)
+	if _, err := env.owner.Subscribe("olga", "Alerts", []any{"fire"}); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := env.edge.Subscribe("edna", "Alerts", []any{"fire"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		env.publish(t, "fire", float64(i))
+	}
+
+	// Cold: the owner has no subscription under an unknown fabric key.
+	pc := bdms.NewPeerClient(nil)
+	_, err = pc.Results(context.Background(), env.ownerSrv.URL, "fk-no-such-key", 0, int64(time.Hour), true)
+	if !bdms.IsPeerCold(err) {
+		t.Errorf("unknown key error = %v, want peer_cold", err)
+	}
+
+	// Loop: a request that already carries a hop count is refused.
+	req, _ := http.NewRequest(http.MethodGet,
+		env.ownerSrv.URL+"/v1/peer/results/fk-x?after_ns=0&before_ns=1&inclusive=true", nil)
+	req.Header.Set(bdms.PeerHopHeader, "2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("hop-2 lookup = %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), bdms.CodePeerLoop) {
+		t.Errorf("hop-2 body %q, want code %s", body, bdms.CodePeerLoop)
+	}
+
+	// Draining: the owner refuses peer traffic while handing off, and the
+	// edge's miss path falls through to the cluster instead of failing.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	env.owner.Drain(ctx, "")
+	_, err = pc.Results(context.Background(), env.ownerSrv.URL, "fk-x", 0, int64(time.Hour), true)
+	if !bdms.IsPeerDraining(err) {
+		t.Errorf("draining owner error = %v, want peer_draining", err)
+	}
+
+	before := env.edgeCalls.calls.Load()
+	items, _, err := env.edge.GetResults("edna", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("got %d results, want 2 (cluster fallback)", len(items))
+	}
+	if got := env.edgeCalls.calls.Load(); got != before+1 {
+		t.Errorf("cluster pulls = %d, want exactly 1 fallback fetch", got-before)
+	}
+	if m := env.edge.Stats().PeerMisses.Value(); m != 1 {
+		t.Errorf("peer misses = %v, want 1", m)
+	}
+}
+
+// FabricTick keeps the broker's ring fresh through the conditional fetch:
+// the first tick pays a full GET, an unchanged ring costs a 304 (no view
+// churn), and a membership change flows through on the next tick.
+func TestFabricTick(t *testing.T) {
+	svc := bcs.NewService()
+	bcsSrv := httptest.NewServer(bcs.NewServer(svc).Handler())
+	defer bcsSrv.Close()
+	for _, id := range []string{"owner", "edge"} {
+		if err := svc.Register(id, "http://"+id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cluster := bdms.NewCluster()
+	b, err := New(Config{
+		ID:      "edge",
+		Backend: cluster,
+		Policy:  core.NC{},
+		Fabric:  &FabricConfig{BCS: bdms.NewBCSClient(bcsSrv.URL, nil)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	changed, migrated, err := b.FabricTick(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || migrated != 0 {
+		t.Fatalf("first tick changed=%v migrated=%d, want true/0", changed, migrated)
+	}
+	ring := b.Ring()
+	if len(ring.Brokers) != 2 || !ring.Has("edge") || !ring.Has("owner") {
+		t.Fatalf("ring after tick = %+v", ring)
+	}
+
+	// Unchanged membership: the conditional fetch reports no change.
+	changed, _, err = b.FabricTick(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Error("second tick reported a change on an unchanged ring")
+	}
+
+	// A join flows through on the next tick.
+	if err := svc.Register("third", "http://third"); err != nil {
+		t.Fatal(err)
+	}
+	changed, _, err = b.FabricTick(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || !b.Ring().Has("third") {
+		t.Fatalf("join not observed: changed=%v ring=%+v", changed, b.Ring())
+	}
+}

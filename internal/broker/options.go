@@ -75,3 +75,10 @@ func WithPushQueue(n int) Option {
 func WithStaleServe(on bool) Option {
 	return func(c *Config) { c.StaleServe = on }
 }
+
+// WithFabric connects the broker to the cooperative edge fabric: HRW
+// placement, session rebalance on ring changes and peer cache lookup on
+// misses. A nil config leaves the broker standalone.
+func WithFabric(fc *FabricConfig) Option {
+	return func(c *Config) { c.Fabric = fc }
+}

@@ -3,6 +3,7 @@ package broker
 import (
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"gobad/internal/bdms"
@@ -69,6 +70,9 @@ func NewServer(b *Broker, opts ...ServerOption) *Server {
 		// side, zero here) reconnect-latency summary.
 		b.failover.Collector(),
 	)
+	if b.FabricEnabled() {
+		s.obs.Registry.MustRegister(b.FabricCollector())
+	}
 	s.routes()
 	return s
 }
@@ -99,6 +103,8 @@ func (s *Server) routes() {
 	s.route(http.MethodGet, "/v1/caches", "/api/caches", s.handleCaches)
 	s.route(http.MethodGet, "/v1/ws", "/ws", s.handleWS)
 	s.route(http.MethodPost, "/v1/callbacks/results", "/callbacks/results", s.handleCallback)
+	// Fabric peer protocol: new in /v1, no pre-v1 alias.
+	s.route(http.MethodGet, "/v1/peer/results/{key}", "", s.handlePeerResults)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -293,4 +299,41 @@ func (s *Server) handleCallback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	httpx.WriteJSON(w, http.StatusOK, nil)
+}
+
+// handlePeerResults answers a sibling broker's lookup for a fabric key,
+// strictly from the local result cache (never a cluster fetch, so lookups
+// cannot chain). The failure taxonomy rides the error envelope's code:
+// peer_draining (503, retryable — the owner is shutting down and placement
+// is about to move), peer_cold (404, not retryable — go to the cluster)
+// and peer_loop (400, a chained lookup, refused outright). A dead owner
+// needs no code: the caller sees the transport error.
+func (s *Server) handlePeerResults(w http.ResponseWriter, r *http.Request) {
+	if hop, _ := strconv.Atoi(r.Header.Get(bdms.PeerHopHeader)); hop > 1 {
+		httpx.WriteErrorCode(w, http.StatusBadRequest, bdms.CodePeerLoop,
+			"peer lookups must not chain (hop %d)", hop)
+		return
+	}
+	if s.broker.Draining() {
+		w.Header().Set("Retry-After", "1")
+		httpx.WriteErrorCode(w, http.StatusServiceUnavailable, bdms.CodePeerDraining,
+			"broker %s is draining", s.broker.ID())
+		return
+	}
+	q := r.URL.Query()
+	after, err1 := strconv.ParseInt(q.Get("after_ns"), 10, 64)
+	before, err2 := strconv.ParseInt(q.Get("before_ns"), 10, 64)
+	if err1 != nil || err2 != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "after_ns and before_ns are required integers")
+		return
+	}
+	key := r.PathValue("key")
+	resp, ok := s.broker.PeerResults(key,
+		time.Duration(after), time.Duration(before), q.Get("inclusive") == "true")
+	if !ok {
+		httpx.WriteErrorCode(w, http.StatusNotFound, bdms.CodePeerCold,
+			"broker %s cannot fully serve %s (%d, %d]", s.broker.ID(), key, after, before)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, resp)
 }

@@ -367,6 +367,38 @@ func (h *sessionHub) drain(ctx context.Context, successor string) int {
 	return len(sessions)
 }
 
+// rebalance migrates the subset of live sessions decide selects: each
+// selected session's pending markers are flushed (bounded by ctx) and its
+// socket is closed with a migrate frame naming that session's successor.
+// Unlike drain, the hub keeps accepting attaches — the broker remains a
+// live fabric member, it just stopped owning the moved subscribers.
+func (h *sessionHub) rebalance(ctx context.Context, decide func(subscriber string) (successor string, move bool)) int {
+	type moved struct {
+		s         *session
+		successor string
+	}
+	h.mu.Lock()
+	var moves []moved
+	for sub, s := range h.sessions {
+		if succ, ok := decide(sub); ok {
+			moves = append(moves, moved{s, succ})
+			delete(h.sessions, sub)
+		}
+	}
+	h.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, mv := range moves {
+		wg.Add(1)
+		go func(mv moved) {
+			defer wg.Done()
+			mv.s.migrate(ctx, mv.successor)
+		}(mv)
+	}
+	wg.Wait()
+	return len(moves)
+}
+
 // queueDepth returns the total number of pending markers across sessions
 // (markers the writer has popped but not yet written are excluded).
 func (h *sessionHub) queueDepth() int {

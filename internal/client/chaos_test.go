@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -20,6 +21,7 @@ import (
 // broker-1 — ready to have its broker killed or drained mid-stream.
 type chaosEnv struct {
 	cluster    *bdms.Cluster
+	notifStats *bdms.NotifierStats
 	clusterSrv *httptest.Server
 	svc        *bcs.Service
 	b1, b2     *broker.Broker
@@ -50,6 +52,7 @@ func newKillableBrokerOn(t *testing.T, id, clusterURL string, svc *bcs.Service) 
 		CallbackURL: srv.URL + "/callbacks/results",
 		Policy:      core.LSC{},
 		CacheBudget: 1 << 20,
+		Fabric:      &broker.FabricConfig{},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -62,11 +65,20 @@ func newKillableBrokerOn(t *testing.T, id, clusterURL string, svc *bcs.Service) 
 }
 
 func newChaosEnv(t *testing.T) *chaosEnv {
+	return newChaosEnvFor(t, "bob")
+}
+
+// newChaosEnvFor builds the rig for a specific subscriber key; the key must
+// be HRW-owned by broker-1 so the kill/drain/rebalance tests start from a
+// known placement.
+func newChaosEnvFor(t *testing.T, subscriber string) *chaosEnv {
 	t.Helper()
 	env := &chaosEnv{}
 
+	env.notifStats = &bdms.NotifierStats{}
 	notifier := bdms.NewWebhookNotifier(2, 256, nil,
-		bdms.WithNotifierBackoff(5*time.Millisecond, 50*time.Millisecond))
+		bdms.WithNotifierBackoff(5*time.Millisecond, 50*time.Millisecond),
+		bdms.WithNotifierStats(env.notifStats))
 	t.Cleanup(notifier.Close)
 	env.cluster = bdms.NewCluster(bdms.WithNotifier(notifier))
 	env.clusterSrv = httptest.NewServer(bdms.NewServer(env.cluster).Handler())
@@ -85,15 +97,19 @@ func newChaosEnv(t *testing.T) *chaosEnv {
 	env.svc = bcs.NewService()
 	bcsSrv := httptest.NewServer(bcs.NewServer(env.svc).Handler())
 	t.Cleanup(bcsSrv.Close)
-	// Equal load, lexicographic tiebreak: the client lands on broker-1.
-	// Broker-1 serves through a killable listener so the test can sever it
-	// like a process death — WebSockets included.
+	// HRW must place the subscriber on broker-1 (asserted so a hash change
+	// fails loudly here rather than in the failover assertions). Broker-1
+	// serves through a killable listener so the test can sever it like a
+	// process death — WebSockets included.
 	env.b1, env.srv1, env.kill1 = newKillableBrokerOn(t, "broker-1", env.clusterSrv.URL, env.svc)
 	env.b2, env.srv2 = newBrokerOn(t, "broker-2", env.clusterSrv.URL, env.svc)
 	t.Cleanup(env.srv2.Close)
+	if got := env.svc.Ring().OwnerID(subscriber); got != "broker-1" {
+		t.Fatalf("HRW owner of %q = %s, want broker-1 (pick a key owned by broker-1)", subscriber, got)
+	}
 
 	c, err := New(Config{
-		Subscriber: "alice",
+		Subscriber: subscriber,
 		BCS:        bcs.NewClient(bcsSrv.URL, nil),
 		Reconnect:  true,
 		Retry:      &httpx.Retryer{BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond},
@@ -147,8 +163,9 @@ func (env *chaosEnv) sawState(want ConnState) bool {
 
 // collect drains notifications and retrieves results until the delivered
 // stream holds want items, failing the test at the deadline. Retrieval
-// errors during an outage window are expected and skipped — the resumed
-// session re-pushes a marker for anything outstanding.
+// errors during an outage window are expected (the resumed session
+// re-pushes a marker for anything outstanding) but any items returned
+// alongside an error are consumed per the GetResults contract.
 func collect(t *testing.T, env *chaosEnv, fs string, got *[]broker.ResultItem, want int) {
 	t.Helper()
 	deadline := time.After(20 * time.Second)
@@ -157,11 +174,21 @@ func collect(t *testing.T, env *chaosEnv, fs string, got *[]broker.ResultItem, w
 		case n := <-env.client.Notifications():
 			items, err := env.client.GetResults(n.FrontendSub)
 			if err != nil {
-				continue
+				t.Logf("collect: GetResults(%s): %v", n.FrontendSub, err)
 			}
+			// Items that arrive with an error (failed ack) are already past
+			// the client's dedup watermark — consume them, or they are lost.
 			*got = append(*got, items...)
 		case <-deadline:
-			t.Fatalf("delivered %d of %d results (subscription %s)", len(*got), want, fs)
+			sevs := make([]float64, 0, len(*got))
+			for _, item := range *got {
+				if len(item.Rows) == 1 {
+					sev, _ := item.Rows[0]["severity"].(float64)
+					sevs = append(sevs, sev)
+				}
+			}
+			t.Fatalf("delivered %d of %d results (subscription %s, client on %s, states %v, severities %v)",
+				len(*got), want, fs, env.client.BrokerURL(), env.states, sevs)
 		}
 	}
 }
@@ -281,5 +308,102 @@ func TestSupervisedRollingDrain(t *testing.T) {
 	}
 	if env.client.Failover().Resumes.Load() == 0 && env.b2.Failover().Resumes.Load() == 0 {
 		t.Error("no resume recorded on the successor after migration")
+	}
+}
+
+// TestRebalanceOnJoin is the fabric acceptance test for membership growth:
+// a third broker joins mid-stream, the ring epoch advances, and broker-1's
+// rebalance migrates exactly the sessions whose HRW owner moved — live,
+// via the same migrate frame as a drain, with the stream staying gapless,
+// deduplicated and ordered end to end.
+func TestRebalanceOnJoin(t *testing.T) {
+	// Pick a subscriber broker-1 owns under {broker-1, broker-2} whose
+	// ownership moves to broker-3 when it joins — the HRW join property
+	// says moved keys move only to the newcomer, so such keys are ~1/3 of
+	// the space.
+	two := bcs.RingView{Brokers: []bcs.BrokerInfo{{ID: "broker-1"}, {ID: "broker-2"}}}
+	three := bcs.RingView{Brokers: []bcs.BrokerInfo{{ID: "broker-1"}, {ID: "broker-2"}, {ID: "broker-3"}}}
+	subscriber := ""
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("mover-%02d", i)
+		if two.OwnerID(k) == "broker-1" && three.OwnerID(k) == "broker-3" {
+			subscriber = k
+			break
+		}
+	}
+	if subscriber == "" {
+		t.Fatal("no candidate key moves broker-1 -> broker-3 on join")
+	}
+
+	env := newChaosEnvFor(t, subscriber)
+	fs, err := env.client.Subscribe("Alerts", []any{"fire"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("diag: srv1=%s srv2=%s subs b1=%d b2=%d client=%s notifier del=%d fail=%d redel=%d drop=%d lost=%d",
+				env.srv1.URL, env.srv2.URL,
+				env.b1.NumSubscribers(), env.b2.NumSubscribers(),
+				env.client.BrokerURL(),
+				env.notifStats.Delivered.Load(), env.notifStats.Failed.Load(),
+				env.notifStats.Redelivered.Load(), env.notifStats.Dropped.Load(),
+				env.notifStats.Lost.Load())
+		}
+	})
+
+	var got []broker.ResultItem
+	env.publish(t, 10)
+	collect(t, env, fs, &got, 10)
+
+	// Broker-3 joins the fabric; broker-1 observes the new ring and
+	// rebalances. Our subscriber's owner moved, so exactly one session
+	// migrates — broker-2's untouched keys stay put.
+	b3, srv3 := newBrokerOn(t, "broker-3", env.clusterSrv.URL, env.svc)
+	t.Cleanup(srv3.Close)
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("diag3: srv3=%s b3subs=%d b3resumes=%d b3backfilled=%d clientresumes=%d clientreconnects=%d",
+				srv3.URL, b3.NumSubscribers(), b3.Failover().Resumes.Load(),
+				b3.Failover().Backfilled.Load(), env.client.Failover().Resumes.Load(),
+				env.client.Failover().Reconnects.Load())
+		}
+	})
+	view := env.svc.Ring()
+	if !view.Has("broker-3") {
+		t.Fatalf("ring after join = %+v", view)
+	}
+	if !env.b1.SetRing(view) {
+		t.Fatal("broker-1 rejected the joined ring view")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if migrated := env.b1.Rebalance(ctx); migrated != 1 {
+		t.Fatalf("Rebalance migrated %d sessions, want 1", migrated)
+	}
+	if got := env.b1.Failover().RebalanceMigrated.Load(); got != 1 {
+		t.Errorf("bad_rebalance_migrated_sessions_total = %d, want 1", got)
+	}
+
+	// The stream continues through broker-3 with no loss, duplication or
+	// reordering across the migration.
+	env.publish(t, 5)
+	collect(t, env, fs, &got, 15)
+	env.publish(t, 5)
+	collect(t, env, fs, &got, 20)
+	verifyStream(t, got, 20)
+
+	if !env.sawState(StateMigrated) {
+		t.Error("supervisor never reported StateMigrated — rebalance frame was missed")
+	}
+	if env.client.BrokerURL() != srv3.URL {
+		t.Fatalf("client on %s after rebalance, want broker-3 at %s", env.client.BrokerURL(), srv3.URL)
+	}
+	if b3.NumSubscribers() != 1 {
+		t.Errorf("broker-3 subscribers = %d, want 1", b3.NumSubscribers())
+	}
+	// An idempotent second rebalance with the same ring moves nothing.
+	if migrated := env.b1.Rebalance(ctx); migrated != 0 {
+		t.Errorf("second Rebalance migrated %d sessions, want 0", migrated)
 	}
 }

@@ -77,6 +77,11 @@ type Client struct {
 	bcs        *bcs.Client
 	http       *http.Client
 
+	// brokerID is the ID of the broker the last placement handed out;
+	// it rides subsequent placement requests as prev_broker so the BCS
+	// can report when HRW placement moved this subscriber.
+	brokerID string
+
 	mu     sync.Mutex
 	ws     *wsock.Conn
 	wsDone chan struct{}
@@ -115,19 +120,24 @@ func New(cfg Config) (*Client, error) {
 		httpClient = &http.Client{Timeout: 30 * time.Second}
 	}
 	brokerURL := cfg.BrokerURL
+	var brokerID string
 	if brokerURL == "" {
 		if cfg.BCS == nil {
 			return nil, errors.New("client: need BrokerURL or BCS")
 		}
-		info, err := cfg.BCS.Assign()
+		// Placement-aware discovery: the BCS hands every request for the
+		// same subscriber key the same (HRW-owning) broker.
+		placed, err := cfg.BCS.Place(cfg.Subscriber, "")
 		if err != nil {
 			return nil, fmt.Errorf("client: broker discovery: %w", err)
 		}
-		brokerURL = info.Address
+		brokerURL = placed.Broker.Address
+		brokerID = placed.Broker.ID
 	}
 	return &Client{
 		subscriber:    cfg.Subscriber,
 		brokerURL:     brokerURL,
+		brokerID:      brokerID,
 		bcs:           cfg.BCS,
 		http:          httpClient,
 		bsToFS:        make(map[string]string),
@@ -158,13 +168,13 @@ func (c *Client) Rediscover(resubscribe []Resubscription) error {
 	if c.bcs == nil {
 		return errors.New("client: Rediscover requires a BCS")
 	}
-	info, err := c.bcs.Assign()
+	placed, err := c.place()
 	if err != nil {
 		return fmt.Errorf("client: broker rediscovery: %w", err)
 	}
 	c.Logout()
 	c.mu.Lock()
-	c.brokerURL = info.Address
+	c.brokerURL = placed.Broker.Address
 	// Broker state is per-node; the old broker's subscription IDs are void.
 	c.bsToFS = make(map[string]string)
 	c.fsToBS = make(map[string]string)
@@ -176,6 +186,23 @@ func (c *Client) Rediscover(resubscribe []Resubscription) error {
 		}
 	}
 	return nil
+}
+
+// place asks the BCS where this subscriber belongs, reporting the broker
+// we last sat on as prev_broker, and remembers the answer for the next
+// call.
+func (c *Client) place() (bcs.PlacementResponse, error) {
+	c.mu.Lock()
+	prev := c.brokerID
+	c.mu.Unlock()
+	resp, err := c.bcs.Place(c.subscriber, prev)
+	if err != nil {
+		return bcs.PlacementResponse{}, err
+	}
+	c.mu.Lock()
+	c.brokerID = resp.Broker.ID
+	c.mu.Unlock()
+	return resp, nil
 }
 
 // Resubscription names a subscription to re-establish after failover.
@@ -223,22 +250,18 @@ func (c *Client) Subscribe(channel string, params []any) (string, error) {
 	return out.FrontendSub, nil
 }
 
-// resolve maps an app-visible subscription ID to the current broker's
-// frontend subscription ID and the sub's state (nil when untracked).
-func (c *Client) resolve(fs string) (string, *subState) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if st := c.subs[fs]; st != nil {
-		return st.fs, st
-	}
-	return fs, nil
-}
-
 // Unsubscribe withdraws a frontend subscription.
 func (c *Client) Unsubscribe(fs string) error {
-	cur, _ := c.resolve(fs)
+	// Broker URL and current subscription ID must come from one coherent
+	// snapshot (see GetResults).
+	c.mu.Lock()
+	base, cur := c.brokerURL, fs
+	if st := c.subs[fs]; st != nil {
+		cur = st.fs
+	}
+	c.mu.Unlock()
 	u := fmt.Sprintf("%s/v1/subscriptions/%s?subscriber=%s",
-		c.base(), url.PathEscape(cur), url.QueryEscape(c.subscriber))
+		base, url.PathEscape(cur), url.QueryEscape(c.subscriber))
 	if err := httpx.DoJSON(c.http, http.MethodDelete, u, nil, nil); err != nil {
 		return err
 	}
@@ -267,18 +290,30 @@ func (c *Client) Subscriptions() ([]string, error) {
 // redelivery after a failover resume is deduplicated here: results at or
 // below the subscription's delivered watermark (timestamps the application
 // already received) are dropped before being returned.
+//
+// When results arrive but the ack round trip fails, the results are
+// returned WITH the error: the watermark has already advanced past them
+// (so a later redelivery is deduplicated away) and discarding them would
+// lose data. Callers must consume returned items even on error.
 func (c *Client) GetResults(fs string) ([]broker.ResultItem, error) {
 	start := time.Now()
-	cur, st := c.resolve(fs)
+	// Snapshot broker URL, current frontend-sub ID and watermark in ONE
+	// critical section: a supervised failover commits all of them together,
+	// and a mixed pair (old subscription ID, new broker — or vice versa)
+	// would retrieve from one broker and ack at another that has never
+	// heard of the subscription.
+	c.mu.Lock()
+	base, cur := c.brokerURL, fs
 	seen := time.Duration(-1)
+	st := c.subs[fs]
 	if st != nil {
-		c.mu.Lock()
+		cur = st.fs
 		seen = st.lastTS
-		c.mu.Unlock()
 	}
+	c.mu.Unlock()
 	var out broker.ResultsResponse
 	u := fmt.Sprintf("%s/v1/subscriptions/%s/results?subscriber=%s",
-		c.base(), url.PathEscape(cur), url.QueryEscape(c.subscriber))
+		base, url.PathEscape(cur), url.QueryEscape(c.subscriber))
 	if err := httpx.DoJSON(c.http, http.MethodGet, u, nil, &out); err != nil {
 		return nil, err
 	}
@@ -307,7 +342,7 @@ func (c *Client) GetResults(fs string) ([]broker.ResultItem, error) {
 			c.mu.Unlock()
 		}
 		ack := broker.AckRequest{Subscriber: c.subscriber, TimestampNS: out.LatestNS}
-		ackURL := c.base() + "/v1/subscriptions/" + url.PathEscape(cur) + "/ack"
+		ackURL := base + "/v1/subscriptions/" + url.PathEscape(cur) + "/ack"
 		if err := httpx.DoJSON(c.http, http.MethodPost, ackURL, ack, nil); err != nil {
 			return results, fmt.Errorf("client: ack: %w", err)
 		}

@@ -23,6 +23,9 @@ func newBrokerOn(t *testing.T, id, clusterURL string, svc *bcs.Service) (*broker
 		CallbackURL: srv.URL + "/callbacks/results",
 		Policy:      core.LSC{},
 		CacheBudget: 1 << 20,
+		// Fabric without BCS/peers: ring views are installed directly by
+		// the tests that exercise rebalancing.
+		Fabric: &broker.FabricConfig{},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -52,17 +55,21 @@ func TestBrokerFailoverThroughBCS(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// BCS with two registered brokers; b1 is picked first (equal load,
-	// lexicographic tiebreak).
+	// BCS with two registered brokers. Placement is HRW by subscriber key:
+	// "bob" deterministically owns to broker-1 (asserted below so a hash
+	// change fails loudly here, not in the failover assertions).
 	svc := bcs.NewService()
 	bcsSrv := httptest.NewServer(bcs.NewServer(svc).Handler())
 	t.Cleanup(bcsSrv.Close)
 	_, srv1 := newBrokerOn(t, "broker-1", clusterSrv.URL, svc)
 	b2, srv2 := newBrokerOn(t, "broker-2", clusterSrv.URL, svc)
 	t.Cleanup(srv2.Close)
+	if got := svc.Ring().OwnerID("bob"); got != "broker-1" {
+		t.Fatalf("HRW owner of %q = %s, want broker-1 (pick a key owned by broker-1)", "bob", got)
+	}
 
 	c, err := New(Config{
-		Subscriber: "alice",
+		Subscriber: "bob",
 		BCS:        bcs.NewClient(bcsSrv.URL, nil),
 	})
 	if err != nil {
@@ -107,7 +114,7 @@ func TestBrokerFailoverThroughBCS(t *testing.T) {
 		t.Fatalf("resubscribed %d, want 1", len(subs))
 	}
 
-	// End-to-end through the new broker: a publication reaches alice.
+	// End-to-end through the new broker: a publication reaches bob.
 	if _, err := bdms.NewClient(clusterSrv.URL, nil).Ingest("EmergencyReports", map[string]any{
 		"etype": "fire", "severity": 2.0,
 	}); err != nil {

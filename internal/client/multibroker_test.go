@@ -12,9 +12,9 @@ import (
 )
 
 // TestLoadSpreadsAcrossBrokers exercises the broker-network story: many
-// subscribers arrive through the BCS, heartbeats report per-broker load,
-// and the least-loaded assignment spreads the population across both
-// brokers while all of them keep receiving results end-to-end.
+// subscribers arrive through the BCS, HRW placement pins each one to the
+// broker the ring says owns it — spreading the population across both
+// brokers — while all of them keep receiving results end-to-end.
 func TestLoadSpreadsAcrossBrokers(t *testing.T) {
 	notifier := bdms.NewWebhookNotifier(2, 256, nil)
 	t.Cleanup(notifier.Close)
@@ -78,8 +78,19 @@ func TestLoadSpreadsAcrossBrokers(t *testing.T) {
 	if n0+n1 != population {
 		t.Fatalf("subscribers = %d+%d, want %d", n0, n1, population)
 	}
-	if n0 != population/2 || n1 != population/2 {
-		t.Errorf("load not balanced: %d vs %d", n0, n1)
+	if n0 == 0 || n1 == 0 {
+		t.Errorf("HRW placement put everything on one broker: %d vs %d", n0, n1)
+	}
+	// Every subscriber must sit on the broker the ring says owns it —
+	// placement is a pure function of (ring, subscriber key).
+	ring := svc.Ring()
+	want := map[string]int{}
+	for i := 0; i < population; i++ {
+		want[ring.OwnerID(fmt.Sprintf("user-%02d", i))]++
+	}
+	if want[brokers[0].ID()] != n0 || want[brokers[1].ID()] != n1 {
+		t.Errorf("placement disagrees with ring: got %d/%d, ring says %d/%d",
+			n0, n1, want[brokers[0].ID()], want[brokers[1].ID()])
 	}
 	// Both brokers suppressed their local duplicates into one backend
 	// subscription each.

@@ -115,11 +115,12 @@ func (c *Client) reconnect(ctx context.Context, code uint16, reason string) (*ws
 		}
 		target := c.base()
 		if c.bcs != nil {
-			if info, aerr := c.bcs.Assign(); aerr == nil {
-				target = info.Address
+			if placed, aerr := c.place(); aerr == nil {
+				target = placed.Broker.Address
 			}
-			// A failed Assign (BCS restarting, every broker stale) is not
-			// fatal: retry the last-known broker, it may be back already.
+			// A failed placement (BCS restarting, every broker stale) is
+			// not fatal: retry the last-known broker, it may be back
+			// already.
 		}
 		var derr error
 		conn, derr = c.tryBroker(target)
@@ -218,5 +219,21 @@ func (c *Client) tryBroker(brokerURL string) (*wsock.Conn, error) {
 		}
 	}
 	c.mu.Unlock()
+
+	// The resume backfill arms a catch-up push marker server-side, but the
+	// socket attach runs in the broker's WS handler goroutine and can lose
+	// the race against the resubscribe POST above — the marker is then
+	// dropped and, with no further publications, the backfilled range would
+	// sit undelivered. Nudge the application to poll each resumed
+	// subscription once: GetResults is idempotent, so a duplicate wake is
+	// harmless while a missed one strands results.
+	for _, p := range placed {
+		select {
+		case c.notifications <- broker.PushNotification{
+			Type: "results", FrontendSub: p.appID, BackendSub: p.bs,
+		}:
+		default: // app is behind; it will poll when it drains the queue
+		}
+	}
 	return conn, nil
 }

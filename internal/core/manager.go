@@ -155,6 +155,13 @@ type Manager struct {
 	ttlMu         sync.Mutex
 	lastRecompute time.Duration
 	rhoTTL        metrics.Mean // sum_i(rho_i * T_i) observed at recomputes
+
+	// sizeMu/lastSize turn recordSize into a delta feed so several
+	// managers (the multi-broker sim) can share one CacheStats: each
+	// manager adds only its own size change, and the shared CacheSize
+	// gauge tracks the fabric-wide total.
+	sizeMu   sync.Mutex
+	lastSize int64
 }
 
 // ErrNoFetcher is returned when a cache miss occurs but no Fetcher was
@@ -592,13 +599,22 @@ func (m *Manager) dropObject(c *ResultCache, o *Object, now time.Duration, reaso
 	}
 }
 
-// recordSize snapshots the current total into the time-weighted cache-size
-// metric. It is called at operation boundaries (never mid-eviction) so the
-// tracked maximum reflects steady post-operation sizes.
+// recordSize feeds the manager's size change since the last call into the
+// time-weighted cache-size metric. It is called at operation boundaries
+// (never mid-eviction) so the tracked maximum reflects steady
+// post-operation sizes. Deltas rather than absolute sets let several
+// managers share one CacheStats (the multi-broker sim): the gauge then
+// tracks the summed total.
 func (m *Manager) recordSize(now time.Duration) {
-	if m.stats != nil {
-		m.stats.CacheSize.Set(now, float64(m.total.Load()))
+	if m.stats == nil {
+		return
 	}
+	total := m.total.Load()
+	m.sizeMu.Lock()
+	delta := total - m.lastSize
+	m.lastSize = total
+	m.stats.CacheSize.Add(now, float64(delta))
+	m.sizeMu.Unlock()
 }
 
 // GetResults serves a subscriber's retrieval with a background context; it
@@ -722,6 +738,34 @@ func (m *Manager) Retrieve(ctx context.Context, id, k string, from, to, now time
 	return append(missed, cached...), RetrievalInfo{}, nil
 }
 
+// Peek reads the cached objects for id in the interval (from, to] — or
+// (from, to) when inclusiveTo is false — WITHOUT consuming them: no
+// retrieved-by marking, no lastAccess touch, no policy side effects and no
+// miss fetch. It exists for the fabric's peer-lookup path: a broker
+// answering a sibling's miss for a key it owns must not disturb its own
+// subscriber accounting, and must never trigger a chained fetch (loops are
+// structurally impossible when peers can only serve what they hold).
+// complete reports whether the cache's coverage mark guarantees the range
+// has no evicted/expired holes; callers must ignore the objects when it is
+// false.
+func (m *Manager) Peek(id string, from, to time.Duration, inclusiveTo bool) ([]*Object, bool) {
+	if to <= from || m.isNC() {
+		return nil, false
+	}
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c := sh.caches[id]
+	if c == nil {
+		return nil, false
+	}
+	objs := c.objectsInRange(from, to)
+	if !inclusiveTo && len(objs) > 0 && objs[len(objs)-1].Timestamp == to {
+		objs = objs[:len(objs)-1]
+	}
+	return objs, c.completeSince <= from
+}
+
 // fetchMissed retrieves evicted/expired objects from the data cluster and
 // records miss accounting. It must be called WITHOUT any shard lock held
 // (the fetch may be a network call). Concurrent calls for the same
@@ -751,7 +795,11 @@ func (m *Manager) fetchMissed(ctx context.Context, id string, from, to time.Dura
 		m.stats.Requests.Add(float64(len(missed)))
 		for _, o := range missed {
 			m.stats.MissBytes.Add(float64(o.Size))
-			if leader {
+			// Peer-served objects never crossed the broker-cluster link:
+			// they count as misses (the local cache didn't have them) but
+			// not as cluster fetch bytes. The fabric layer tallies them
+			// under the peer-hit counters instead.
+			if leader && !o.Peer {
 				m.stats.FetchBytes.Add(float64(o.Size))
 			}
 		}

@@ -40,6 +40,11 @@ type Object struct {
 	FetchLatency time.Duration
 	// Payload is the opaque result content (JSON rows, typically).
 	Payload any
+	// Peer marks an object that a sibling broker's cache served on a
+	// miss, rather than the data cluster. Miss accounting still counts it
+	// (the local cache genuinely missed) but it is excluded from cluster
+	// fetch bytes and tallied under the peer-hit counters instead.
+	Peer bool
 
 	// insertedAt is when the object entered the cache.
 	insertedAt time.Duration

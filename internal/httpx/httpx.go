@@ -155,20 +155,36 @@ func DoJSON(client *http.Client, method, url string, in, out any) error {
 // DoJSONContext is DoJSON bound to ctx: the request is cancelled when ctx
 // is done, so callers can impose deadlines on broker<->cluster fetches.
 func DoJSONContext(ctx context.Context, client *http.Client, method, url string, in, out any) error {
+	_, _, err := DoJSONHeader(ctx, client, method, url, nil, in, out)
+	return err
+}
+
+// DoJSONHeader is DoJSONContext with wire metadata exposed: hdr (may be
+// nil) supplies extra request headers — e.g. a peer-lookup hop guard or an
+// If-None-Match tag — and the response status and headers are returned
+// alongside the decode. A 304 Not Modified is a success with out left
+// untouched, so conditional fetches branch on the status instead of
+// unwrapping errors.
+func DoJSONHeader(ctx context.Context, client *http.Client, method, url string, hdr http.Header, in, out any) (int, http.Header, error) {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
-			return fmt.Errorf("httpx: encode request: %w", err)
+			return 0, nil, fmt.Errorf("httpx: encode request: %w", err)
 		}
 		body = bytes.NewReader(b)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
-		return fmt.Errorf("httpx: build request: %w", err)
+		return 0, nil, fmt.Errorf("httpx: build request: %w", err)
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	// Propagate the trace across the wire: the outbound call is a child
 	// span of whatever span the context carries (e.g. the broker handler
@@ -182,25 +198,28 @@ func DoJSONContext(ctx context.Context, client *http.Client, method, url string,
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return fmt.Errorf("httpx: %s %s: %w", method, url, err)
+		return 0, nil, fmt.Errorf("httpx: %s %s: %w", method, url, err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxBodyBytes))
 	if err != nil {
-		return fmt.Errorf("httpx: read response: %w", err)
+		return resp.StatusCode, resp.Header, fmt.Errorf("httpx: read response: %w", err)
+	}
+	if resp.StatusCode == http.StatusNotModified {
+		return resp.StatusCode, resp.Header, nil
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		se := decodeError(resp.StatusCode, data)
 		se.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
-		return fmt.Errorf("httpx: %s %s: %w", method, url, se)
+		return resp.StatusCode, resp.Header, fmt.Errorf("httpx: %s %s: %w", method, url, se)
 	}
 	if out == nil {
-		return nil
+		return resp.StatusCode, resp.Header, nil
 	}
 	if err := json.Unmarshal(data, out); err != nil {
-		return fmt.Errorf("httpx: decode response: %w", err)
+		return resp.StatusCode, resp.Header, fmt.Errorf("httpx: decode response: %w", err)
 	}
-	return nil
+	return resp.StatusCode, resp.Header, nil
 }
 
 // StatusError is the client-side representation of a non-2xx response; it

@@ -374,6 +374,13 @@ type CacheStats struct {
 	// StaleServed counts retrievals answered from the cache alone after a
 	// fetch failure (graceful degradation instead of a subscriber error).
 	StaleServed Counter
+	// PeerHits counts miss lookups answered by a sibling broker's cache
+	// (the fabric's two-tier path: local shard -> HRW-owner peer ->
+	// cluster), sparing a cluster fetch.
+	PeerHits Counter
+	// PeerMisses counts miss lookups that consulted a sibling and fell
+	// through to the cluster anyway (owner cold, draining or dead).
+	PeerMisses Counter
 }
 
 // HitRatio returns Hits/Requests (0 when no requests were made).
@@ -383,6 +390,17 @@ func (s *CacheStats) HitRatio() float64 {
 		return 0
 	}
 	return s.Hits.Value() / r
+}
+
+// PeerHitRatio returns PeerHits/(PeerHits+PeerMisses): of the miss lookups
+// that consulted a sibling broker, the fraction the fabric absorbed
+// without a cluster fetch (0 when no peer lookups happened).
+func (s *CacheStats) PeerHitRatio() float64 {
+	h, m := s.PeerHits.Value(), s.PeerMisses.Value()
+	if h+m == 0 {
+		return 0
+	}
+	return h / (h + m)
 }
 
 // Snapshot captures the scalar values of a CacheStats at one instant,
@@ -406,6 +424,9 @@ type Snapshot struct {
 	Delivered    float64 `json:"delivered"`
 	FetchErrors  float64 `json:"fetch_errors"`
 	StaleServed  float64 `json:"stale_served"`
+	PeerHits     float64 `json:"peer_hits"`
+	PeerMisses   float64 `json:"peer_misses"`
+	PeerHitRatio float64 `json:"peer_hit_ratio"`
 }
 
 // SnapshotAt captures all metrics; at is the run's final (virtual) time used
@@ -430,6 +451,9 @@ func (s *CacheStats) SnapshotAt(at time.Duration) Snapshot {
 		Delivered:    s.Delivered.Value(),
 		FetchErrors:  s.FetchErrors.Value(),
 		StaleServed:  s.StaleServed.Value(),
+		PeerHits:     s.PeerHits.Value(),
+		PeerMisses:   s.PeerMisses.Value(),
+		PeerHitRatio: s.PeerHitRatio(),
 	}
 }
 
@@ -460,6 +484,9 @@ func AverageSnapshots(snaps []Snapshot) Snapshot {
 		out.Delivered += s.Delivered / n
 		out.FetchErrors += s.FetchErrors / n
 		out.StaleServed += s.StaleServed / n
+		out.PeerHits += s.PeerHits / n
+		out.PeerMisses += s.PeerMisses / n
+		out.PeerHitRatio += s.PeerHitRatio / n
 	}
 	return out
 }

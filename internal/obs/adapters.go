@@ -38,6 +38,9 @@ func NewCacheStatsCollector(stats *metrics.CacheStats, now func() time.Duration)
 		counter("bad_notifications_delivered_total", "Notifications delivered to subscribers.", stats.Delivered.Value())
 		counter("bad_cache_fetch_errors_total", "Failed data-cluster fetches.", stats.FetchErrors.Value())
 		counter("bad_cache_stale_serves_total", "Retrievals served stale from cache after a fetch failure.", stats.StaleServed.Value())
+		counter("bad_cache_peer_hits_total", "Miss lookups answered by a sibling broker's cache instead of the data cluster.", stats.PeerHits.Value())
+		counter("bad_cache_peer_misses_total", "Miss lookups that consulted a sibling broker and fell through to the cluster.", stats.PeerMisses.Value())
+		gauge("bad_cache_peer_hit_ratio", "Fraction of peer lookups the fabric absorbed without a cluster fetch.", stats.PeerHitRatio())
 
 		at := now()
 		gauge("bad_cache_size_bytes", "Currently cached bytes.", stats.CacheSize.Current())

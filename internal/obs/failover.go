@@ -24,6 +24,10 @@ type FailoverStats struct {
 	// DrainMigrated counts sessions handed a migrate close frame during a
 	// graceful drain (broker side).
 	DrainMigrated atomic.Uint64
+	// RebalanceMigrated counts sessions handed a migrate close frame
+	// because HRW placement moved them to another broker after a
+	// membership change (broker side).
+	RebalanceMigrated atomic.Uint64
 	// ReconnectSeconds samples the client-observed reconnect latency:
 	// connection loss to resumed subscriptions, in seconds.
 	ReconnectSeconds metrics.Sampler
@@ -49,6 +53,9 @@ func (s *FailoverStats) Collector() Collector {
 		counter("bad_drain_migrated_sessions_total",
 			"Sessions handed a migrate close frame during a graceful drain.",
 			s.DrainMigrated.Load())
+		counter("bad_rebalance_migrated_sessions_total",
+			"Sessions migrated to their new HRW owner after a ring membership change.",
+			s.RebalanceMigrated.Load())
 
 		n := s.ReconnectSeconds.N()
 		emit(Family{

@@ -235,6 +235,9 @@ func TestCacheStatsCollectorMirrorsSnapshot(t *testing.T) {
 		"bad_cache_fetch_bytes_total":         snap.FetchBytes,
 		"bad_cache_volume_bytes_total":        snap.VolumeBytes,
 		"bad_cache_evictions_total":           snap.Evictions,
+		"bad_cache_peer_hits_total":           snap.PeerHits,
+		"bad_cache_peer_misses_total":         snap.PeerMisses,
+		"bad_cache_peer_hit_ratio":            snap.PeerHitRatio,
 		"bad_cache_size_bytes_avg":            snap.AvgCacheSize,
 		"bad_cache_size_bytes_max":            snap.MaxCacheSize,
 		"bad_cache_holding_time_seconds_mean": snap.HoldingTime,

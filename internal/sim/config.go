@@ -60,6 +60,25 @@ type Config struct {
 	// TTL tunes TTL-based policies.
 	TTL core.TTLConfig
 
+	// Brokers is the number of cooperating edge brokers in the simulated
+	// fabric (default 1: the single-broker model of the earlier figures).
+	// With more than one, CacheBudget is split evenly, every backend
+	// subscription's cache lives on its HRW-owning broker, every
+	// subscriber retrieves through its HRW home broker, and a home-broker
+	// miss consults the owner's cache (peer lookup) before paying a
+	// cluster fetch — the cooperative fabric of the broker network.
+	Brokers int
+	// NoPeerLookup disables the peer tier while keeping multi-broker
+	// placement: home-broker misses go straight to the data cluster.
+	// This is the fabric's ablation baseline.
+	NoPeerLookup bool
+
+	// BrokerPeerRTT/BrokerPeerBW model the broker<->broker link used by
+	// peer lookups; edge siblings sit much closer to each other than to
+	// the data cluster (defaults: 100ms, 20 MB/s).
+	BrokerPeerRTT time.Duration
+	BrokerPeerBW  float64
+
 	// Network model (Table II).
 	BrokerClusterRTT time.Duration // 500ms
 	BrokerClusterBW  float64       // 10 MB/s
@@ -204,6 +223,15 @@ func (c *Config) validate() error {
 	}
 	if c.BrokerSubBW <= 0 {
 		c.BrokerSubBW = 1 << 20
+	}
+	if c.Brokers <= 0 {
+		c.Brokers = 1
+	}
+	if c.BrokerPeerRTT <= 0 {
+		c.BrokerPeerRTT = 100 * time.Millisecond
+	}
+	if c.BrokerPeerBW <= 0 {
+		c.BrokerPeerBW = 20 << 20
 	}
 	if c.NotifyDelay <= 0 {
 		c.NotifyDelay = 250 * time.Millisecond

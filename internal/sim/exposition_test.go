@@ -47,6 +47,9 @@ func TestExpositionMatchesSnapshot(t *testing.T) {
 		"bad_cache_consumed_total":            snap.Consumed,
 		"bad_cache_fetch_errors_total":        snap.FetchErrors,
 		"bad_cache_stale_serves_total":        snap.StaleServed,
+		"bad_cache_peer_hits_total":           snap.PeerHits,
+		"bad_cache_peer_misses_total":         snap.PeerMisses,
+		"bad_cache_peer_hit_ratio":            snap.PeerHitRatio,
 		"bad_notifications_delivered_total":   snap.Delivered,
 		"bad_cache_size_bytes_avg":            snap.AvgCacheSize,
 		"bad_cache_size_bytes_max":            snap.MaxCacheSize,

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"testing"
+
+	"gobad/internal/core"
+)
+
+// fabricConfig is tinyConfig spread over a 3-broker fabric.
+func fabricConfig(p core.Policy, budget int64) Config {
+	cfg := tinyConfig(p, budget)
+	cfg.Brokers = 3
+	return cfg
+}
+
+func TestFabricPeerLookupServesMisses(t *testing.T) {
+	res, err := Run(fabricConfig(core.LSC{}, 6<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.Requests == 0 {
+		t.Fatal("no retrievals happened")
+	}
+	// Subscribers are attached near-uniformly across 40 caches owned by 3
+	// brokers, so many home brokers differ from the owner and peer lookups
+	// must fire — and with every arrival pulled into the owner's cache,
+	// many of them must land.
+	if m.PeerHits == 0 {
+		t.Error("no peer lookup ever hit")
+	}
+	if m.PeerHitRatio <= 0 || m.PeerHitRatio > 1 {
+		t.Errorf("peer hit ratio out of range: %v", m.PeerHitRatio)
+	}
+}
+
+func TestFabricPeerLookupReducesClusterTraffic(t *testing.T) {
+	cfg := fabricConfig(core.LSC{}, 6<<20)
+	peer, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NoPeerLookup = true
+	solo, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disabling the peer tier consumes no randomness, so the produced
+	// workload is identical and the comparison is fair.
+	if peer.Metrics.VolumeBytes != solo.Metrics.VolumeBytes {
+		t.Fatalf("workloads diverged: %v vs %v bytes produced",
+			peer.Metrics.VolumeBytes, solo.Metrics.VolumeBytes)
+	}
+	if solo.Metrics.PeerHits != 0 || solo.Metrics.PeerMisses != 0 {
+		t.Errorf("ablation baseline ran peer lookups: hits=%v misses=%v",
+			solo.Metrics.PeerHits, solo.Metrics.PeerMisses)
+	}
+	// Peer-served bytes never cross the broker<->cluster link, so the
+	// cooperative fabric must fetch less from the cluster than the
+	// ablation.
+	if peer.Metrics.FetchBytes >= solo.Metrics.FetchBytes {
+		t.Errorf("peer lookup did not reduce cluster fetches: %v (peer) vs %v (no peer)",
+			peer.Metrics.FetchBytes, solo.Metrics.FetchBytes)
+	}
+}
+
+func TestFabricDeterministic(t *testing.T) {
+	cfg := fabricConfig(core.LSC{}, 6<<20)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics != b.Metrics {
+		t.Errorf("same seed must give identical fabric metrics:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+}
+
+func TestFabricBudgetSplit(t *testing.T) {
+	cfg := fabricConfig(core.LSC{}, 6<<20)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each broker holds a third of the budget; no single observation of
+	// total cached bytes can exceed the whole budget.
+	if res.Metrics.MaxCacheSize > float64(6<<20) {
+		t.Errorf("fabric exceeded aggregate budget: max %v", res.Metrics.MaxCacheSize)
+	}
+}
+
+func TestFabricSingleBrokerMatchesLegacy(t *testing.T) {
+	// Brokers=1 must be byte-identical to the pre-fabric single-broker
+	// model: one owner, one home, no peer tier.
+	legacy := tinyConfig(core.LSC{}, 5<<20)
+	one := legacy
+	one.Brokers = 1
+	a, err := Run(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics != b.Metrics {
+		t.Errorf("Brokers=1 diverged from the single-broker model:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+	if a.Metrics.PeerHits != 0 || a.Metrics.PeerMisses != 0 {
+		t.Error("single broker should never consult a peer")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"gobad/internal/bcs"
 	"gobad/internal/core"
 	"gobad/internal/faults"
 	"gobad/internal/metrics"
@@ -69,9 +70,17 @@ type simulator struct {
 	onoffRng   *rand.Rand
 	attachRng  *rand.Rand
 
-	manager  *core.Manager
+	// managers holds one cache manager per simulated broker; the
+	// single-broker configuration (Brokers=1) has exactly one and behaves
+	// like the pre-fabric model. All managers share one stats bundle.
+	managers []*core.Manager
 	stats    *metrics.CacheStats
 	injector *faults.Injector // nil without a fault plan
+
+	// cacheOwner[i] is the broker whose cache HRW owns backend
+	// subscription i; subHome[k] is subscriber k's HRW home broker.
+	cacheOwner []int
+	subHome    []int
 
 	// per backend subscription
 	store     [][]*core.Object // persistent result store (the data cluster)
@@ -94,6 +103,39 @@ type simulator struct {
 func cacheID(i int32) string { return fmt.Sprintf("bs%04d", i) }
 
 func subName(k int32) string { return fmt.Sprintf("s%05d", k) }
+
+// ownerMgr is the manager of the broker whose cache owns backend
+// subscription i; homeMgr is the manager subscriber k retrieves through.
+func (s *simulator) ownerMgr(i int32) *core.Manager { return s.managers[s.cacheOwner[i]] }
+func (s *simulator) homeMgr(k int32) *core.Manager  { return s.managers[s.subHome[k]] }
+
+// brokerFetcher is broker b's miss path: when another broker HRW-owns the
+// subscription's cache, peek at that sibling first (the fabric's peer
+// tier); anything the peer cannot fully vouch for falls through to the
+// cluster fetcher. Peer copies carry Peer=true, so the manager counts
+// them as misses without charging cluster fetch bytes.
+func (s *simulator) brokerFetcher(b int, cluster core.Fetcher) core.Fetcher {
+	return core.FetcherFunc(func(ctx context.Context, id string, from, to time.Duration, inclusiveTo bool) ([]*core.Object, error) {
+		var i int32
+		if _, err := fmt.Sscanf(id, "bs%d", &i); err == nil && !s.cfg.NoPeerLookup {
+			if owner := s.cacheOwner[i]; owner != b {
+				if objs, complete := s.managers[owner].Peek(id, from, to, inclusiveTo); complete {
+					s.stats.PeerHits.Add(1)
+					out := make([]*core.Object, 0, len(objs))
+					for _, o := range objs {
+						out = append(out, &core.Object{
+							ID: o.ID, Timestamp: o.Timestamp, Size: o.Size,
+							FetchLatency: s.peerLatency(o.Size), Peer: true,
+						})
+					}
+					return out, nil
+				}
+				s.stats.PeerMisses.Add(1)
+			}
+		}
+		return cluster.Fetch(ctx, id, from, to, inclusiveTo)
+	})
+}
 
 // Run executes one simulation and returns its metrics.
 func Run(cfg Config) (Result, error) {
@@ -119,18 +161,28 @@ func Run(cfg Config) (Result, error) {
 		)
 		fetcher = faults.Fetcher(s.injector, "cluster.fetch", fetcher)
 	}
-	mgr, err := core.NewManager(core.Config{
-		Policy:     cfg.Policy,
-		Budget:     cfg.CacheBudget,
-		Fetcher:    fetcher,
-		TTL:        cfg.TTL,
-		Stats:      s.stats,
-		StaleServe: cfg.StaleServe,
-	})
-	if err != nil {
-		return Result{}, err
+	// One manager per broker, the budget split evenly; each broker's miss
+	// path goes peer tier first (unless disabled), then the — possibly
+	// fault-injected — cluster fetch.
+	budget := cfg.CacheBudget
+	if cfg.Brokers > 1 {
+		budget = cfg.CacheBudget / int64(cfg.Brokers)
 	}
-	s.manager = mgr
+	s.managers = make([]*core.Manager, cfg.Brokers)
+	for b := 0; b < cfg.Brokers; b++ {
+		mgr, err := core.NewManager(core.Config{
+			Policy:     cfg.Policy,
+			Budget:     budget,
+			Fetcher:    s.brokerFetcher(b, fetcher),
+			TTL:        cfg.TTL,
+			Stats:      s.stats,
+			StaleServe: cfg.StaleServe,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		s.managers[b] = mgr
+	}
 	if err := s.setup(); err != nil {
 		return Result{}, err
 	}
@@ -150,8 +202,12 @@ func (s *simulator) writeExposition(w io.Writer) error {
 	reg := obs.NewRegistry()
 	reg.MustRegister(
 		obs.NewCacheStatsCollector(s.stats, func() time.Duration { return s.cfg.Duration }),
-		obs.NewManagerCollector(s.manager),
 	)
+	// The manager collector emits fixed family names, so only one can
+	// register; with a multi-broker fabric the structural gauges come from
+	// the first broker's manager and the remaining brokers are summarized by
+	// the shared cache-stats bundle above.
+	reg.MustRegister(obs.NewManagerCollector(s.managers[0]))
 	return reg.WriteText(w)
 }
 
@@ -159,6 +215,27 @@ func (s *simulator) writeExposition(w io.Writer) error {
 func (s *simulator) setup() error {
 	cfg := s.cfg
 	n := cfg.BackendSubs
+
+	// HRW placement over the simulated fabric: caches and subscribers are
+	// placed exactly as the live BCS would place them, so a single ring
+	// view determines both where results are pulled and where each
+	// subscriber retrieves.
+	ring := bcs.RingView{Epoch: 1}
+	idx := make(map[string]int, cfg.Brokers)
+	for b := 0; b < cfg.Brokers; b++ {
+		id := fmt.Sprintf("sim-broker-%d", b)
+		ring.Brokers = append(ring.Brokers, bcs.BrokerInfo{ID: id})
+		idx[id] = b
+	}
+	s.cacheOwner = make([]int, n)
+	for i := 0; i < n; i++ {
+		s.cacheOwner[i] = idx[ring.OwnerID(cacheID(int32(i)))]
+	}
+	s.subHome = make([]int, cfg.Subscribers)
+	for k := 0; k < cfg.Subscribers; k++ {
+		s.subHome[k] = idx[ring.OwnerID(subName(int32(k)))]
+	}
+
 	s.store = make([][]*core.Object, n)
 	s.bts = make([]time.Duration, n)
 	s.rate = make([]float64, n)
@@ -192,7 +269,7 @@ func (s *simulator) setup() error {
 	// for the Fig. 5(b) holding-vs-TTL comparison.
 	interval := cfg.TTL.RecomputeInterval
 	if interval <= 0 {
-		interval = s.manager.TTLRecomputeInterval()
+		interval = s.managers[0].TTLRecomputeInterval()
 	}
 	s.q.schedule(interval, evTTLRecompute, 0, 0)
 	return nil
@@ -220,15 +297,19 @@ func (s *simulator) loop() {
 		case evChurn:
 			s.handleChurn(ev.a, ev.b)
 		case evTTLRecompute:
-			s.manager.RecomputeTTLs(s.now)
+			for _, m := range s.managers {
+				m.RecomputeTTLs(s.now)
+			}
 			s.scheduleExpiry()
-			s.q.schedule(s.now+s.manager.TTLRecomputeInterval(), evTTLRecompute, 0, 0)
+			s.q.schedule(s.now+s.managers[0].TTLRecomputeInterval(), evTTLRecompute, 0, 0)
 		case evExpire:
 			if ev.at != s.expireAt {
 				break // superseded duplicate
 			}
 			s.expireAt = 0
-			s.manager.ExpireDue(s.now)
+			for _, m := range s.managers {
+				m.ExpireDue(s.now)
+			}
 			s.scheduleExpiry()
 		}
 	}
@@ -258,10 +339,10 @@ func (s *simulator) handleArrival(i int32) {
 	s.store[i] = append(s.store[i], &core.Object{
 		ID: id, Timestamp: ts, Size: size, FetchLatency: fetchLat,
 	})
-	// The broker pulls the object into the cache (PULL model). The pull
-	// is the base volume every policy pays (Fig. 4a's 'Vol').
+	// The owning broker pulls the object into its cache (PULL model). The
+	// pull is the base volume every policy pays (Fig. 4a's 'Vol').
 	cached := &core.Object{ID: id, Timestamp: ts, Size: size, FetchLatency: fetchLat}
-	if err := s.manager.Put(cacheID(i), cached, s.now); err == nil {
+	if err := s.ownerMgr(i).Put(cacheID(i), cached, s.now); err == nil {
 		s.stats.VolumeBytes.Add(float64(size))
 		s.stats.FetchBytes.Add(float64(size))
 	}
@@ -273,7 +354,16 @@ func (s *simulator) handleArrival(i int32) {
 	// Notify attached online subscribers; they retrieve after the pull
 	// and notification propagation delay.
 	notifyAt := s.now + s.clusterLatency(size) + s.cfg.NotifyDelay
+	// Sorted, not map order: same-instant retrievals carry different
+	// latencies in a fabric (owner hit vs peer lookup), so their event
+	// order must not depend on map iteration or runs stop being
+	// reproducible bit-for-bit.
+	attached := make([]int32, 0, len(s.attachSet[i]))
 	for k := range s.attachSet[i] {
+		attached = append(attached, k)
+	}
+	sort.Slice(attached, func(a, b int) bool { return attached[a] < attached[b] })
+	for _, k := range attached {
 		sub := &s.subs[k]
 		if !sub.on {
 			continue
@@ -311,7 +401,7 @@ func (s *simulator) handleRetrieve(k, i int32) {
 	if to <= from {
 		return
 	}
-	objs, info, err := s.manager.Retrieve(context.Background(), cacheID(i), subName(k), from, to, s.now)
+	objs, info, err := s.homeMgr(k).Retrieve(context.Background(), cacheID(i), subName(k), from, to, s.now)
 	if err != nil {
 		return // nothing delivered; the range stays pending for the next notification
 	}
@@ -324,16 +414,22 @@ func (s *simulator) handleRetrieve(k, i int32) {
 	if len(objs) == 0 {
 		return
 	}
-	var total, missed int64
+	var total, missed, peered int64
 	for _, o := range objs {
 		total += o.Size
-		if o.CacheID == "" { // fetched from the data cluster, not cached
+		switch {
+		case o.Peer: // served by the owning sibling's cache
+			peered += o.Size
+		case o.CacheID == "": // fetched from the data cluster, not cached
 			missed += o.Size
 		}
 	}
 	latency := s.cfg.BrokerSubRTT.Seconds() + float64(total)/s.cfg.BrokerSubBW
 	if missed > 0 {
 		latency += s.cfg.BrokerClusterRTT.Seconds() + float64(missed)/s.cfg.BrokerClusterBW
+	}
+	if peered > 0 {
+		latency += s.cfg.BrokerPeerRTT.Seconds() + float64(peered)/s.cfg.BrokerPeerBW
 	}
 	s.stats.Latency.Observe(latency)
 	s.stats.LatencySamples.Observe(latency)
@@ -398,7 +494,11 @@ func (s *simulator) attachSlot(k int32) {
 	}
 	sub.slots = append(sub.slots, subSlot{cache: cache, marker: s.bts[cache]})
 	s.attachSet[cache][k] = struct{}{}
-	s.manager.Subscribe(cacheID(cache), subName(k), s.now)
+	// The attachment registers at the OWNER's manager: that is where the
+	// cache and its per-object pending sets live. The home broker of a
+	// non-owned subscription keeps no cache at all — its retrievals fall
+	// through to the peer tier.
+	s.ownerMgr(cache).Subscribe(cacheID(cache), subName(k), s.now)
 	if s.cfg.SubscriptionLifetime.Sigma > 0 || s.cfg.SubscriptionLifetime.Mu > 0 {
 		life := s.cfg.SubscriptionLifetime.Sample(s.attachRng)
 		at := s.now + time.Duration(life*float64(s.cfg.SubscriptionLifetimeUnit))
@@ -421,20 +521,34 @@ func (s *simulator) handleChurn(k, i int32) {
 		}
 	}
 	delete(s.attachSet[i], k)
-	s.manager.Unsubscribe(cacheID(i), subName(k), s.now)
+	s.ownerMgr(i).Unsubscribe(cacheID(i), subName(k), s.now)
 	s.attachSlot(k)
 }
 
+// nextExpiry is the earliest TTL deadline across every broker's manager.
+func (s *simulator) nextExpiry() (time.Duration, bool) {
+	var at time.Duration
+	ok := false
+	for _, m := range s.managers {
+		if v, has := m.NextExpiry(); has && (!ok || v < at) {
+			at, ok = v, true
+		}
+	}
+	return at, ok
+}
+
 // scheduleExpiry keeps exactly one pending expiry event aligned with the
-// manager's earliest TTL deadline.
+// fabric's earliest TTL deadline.
 func (s *simulator) scheduleExpiry() {
-	at, ok := s.manager.NextExpiry()
+	at, ok := s.nextExpiry()
 	if !ok {
 		return
 	}
 	if at <= s.now {
-		s.manager.ExpireDue(s.now)
-		at, ok = s.manager.NextExpiry()
+		for _, m := range s.managers {
+			m.ExpireDue(s.now)
+		}
+		at, ok = s.nextExpiry()
 		if !ok {
 			return
 		}
@@ -474,6 +588,11 @@ func (s *simulator) clusterLatency(size int64) time.Duration {
 	return s.cfg.BrokerClusterRTT + time.Duration(float64(size)/s.cfg.BrokerClusterBW*float64(time.Second))
 }
 
+// peerLatency is the broker<->broker transfer cost for size bytes.
+func (s *simulator) peerLatency(size int64) time.Duration {
+	return s.cfg.BrokerPeerRTT + time.Duration(float64(size)/s.cfg.BrokerPeerBW*float64(time.Second))
+}
+
 func secs(v float64) time.Duration {
 	return time.Duration(v * float64(time.Second))
 }
@@ -485,7 +604,12 @@ func (s *simulator) result() Result {
 		injected, _ = s.injector.Injected()
 	}
 
-	infos := s.manager.CacheInfos()
+	var infos []core.CacheInfo
+	var rhoTTL float64
+	for _, m := range s.managers {
+		infos = append(infos, m.CacheInfos()...)
+		rhoTTL += m.RhoTTLSum()
+	}
 	per := make([]CacheSummary, 0, len(infos))
 	for _, ci := range infos {
 		per = append(per, CacheSummary{
@@ -501,7 +625,7 @@ func (s *simulator) result() Result {
 		Policy:         s.cfg.Policy.Name(),
 		Budget:         s.cfg.CacheBudget,
 		Metrics:        s.stats.SnapshotAt(s.cfg.Duration),
-		RhoTTLSum:      s.manager.RhoTTLSum(),
+		RhoTTLSum:      rhoTTL,
 		FaultsInjected: injected,
 		PerCache:       per,
 		Events:         s.events,
