@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-json bench-smoke chaos verify
+.PHONY: build vet lint test race bench bench-json bench-smoke bench-guard chaos verify
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,9 @@ test:
 
 # Race tier: the packages with concurrent cache paths (sharded manager,
 # singleflight, broker handlers) plus the lock-free measurement and
-# exposition primitives. Kept narrow so it stays fast enough to run on
-# every change.
+# exposition primitives — ./internal/obs/... includes the span recorder's
+# concurrent ring. Kept narrow so it stays fast enough to run on every
+# change.
 race:
 	$(GO) test -race ./internal/core/... ./internal/broker/... ./internal/metrics/... ./internal/obs/... ./internal/httpx/...
 
@@ -43,6 +44,15 @@ bench-json:
 # benchmark is caught without paying for a full measurement run.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/broker ./internal/wsock ./internal/core
+
+# Regression guard: the fan-out benchmark (default trace sampling) must stay
+# within 5% of the committed baseline — tracing is designed to cost nothing
+# on the untraced hot path, and this is where that claim is enforced. The
+# guard compares the best of five runs, which damps runner noise without
+# hiding a real per-marker regression.
+bench-guard:
+	$(GO) test -run=NONE -bench='^BenchmarkFanout$$' -benchtime=200x -count=5 ./internal/broker \
+		| $(GO) run ./cmd/benchguard -baseline BENCH_fanout.json -bench BenchmarkFanout -tolerance 0.05
 
 # Chaos tier: the fault-injection harness and every resilience path it
 # drives — retries/breakers (httpx), client wiring, webhook redelivery and

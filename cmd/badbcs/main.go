@@ -7,11 +7,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gobad/internal/bcs"
@@ -24,6 +28,7 @@ func main() {
 	hrwSeed := flag.Uint64("hrw-seed", 0, "HRW placement seed: distinct fabrics (or a redeploy wanting a fresh shuffle) should use distinct seeds")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and /debug/runtime (empty = off)")
+	traceOut := flag.String("trace-out", "", "write retained traces as JSON to this path on shutdown (\"-\" = stdout, empty = off)")
 	flag.Parse()
 
 	observer, err := cliutil.NewObserver("badbcs", *logLevel)
@@ -40,9 +45,23 @@ func main() {
 		Handler:           bcs.NewServer(svc, bcs.WithObserver(observer)).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("badbcs listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
-		fmt.Fprintln(os.Stderr, "badbcs:", err)
-		os.Exit(1)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "badbcs:", err)
+			os.Exit(1)
+		}
+	case sig := <-sigCh:
+		log.Printf("badbcs: %s received, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
 	}
+	cliutil.DumpTraces(*traceOut, observer.Traces, observer.Logger)
 }

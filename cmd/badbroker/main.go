@@ -45,6 +45,7 @@ func main() {
 	ringRefresh := flag.Duration("ring-refresh", 5*time.Second, "fabric ring refresh interval (requires -bcs; 0 disables the fabric)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and /debug/runtime (empty = off)")
+	traceOut := flag.String("trace-out", "", "write retained traces as JSON to this path on shutdown (\"-\" = stdout, empty = off)")
 	res := resilienceFlags{}
 	flag.IntVar(&res.retries, "cluster-retries", 4, "max attempts per cluster call (1 = no retries)")
 	flag.DurationVar(&res.retryBase, "retry-base", 100*time.Millisecond, "base backoff between cluster retries")
@@ -54,7 +55,7 @@ func main() {
 	flag.BoolVar(&res.staleServe, "stale-serve", true, "serve cached results stale (zero ack marker) when a cluster fetch fails")
 	flag.Parse()
 
-	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval, *shards, *pushQueue, *drainTimeout, *ringRefresh, *logLevel, *debugAddr, res); err != nil {
+	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval, *shards, *pushQueue, *drainTimeout, *ringRefresh, *logLevel, *debugAddr, *traceOut, res); err != nil {
 		fmt.Fprintln(os.Stderr, "badbroker:", err)
 		os.Exit(1)
 	}
@@ -72,7 +73,7 @@ type resilienceFlags struct {
 	staleServe      bool
 }
 
-func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration, shards, pushQueue int, drainTimeout, ringRefresh time.Duration, logLevel, debugAddr string, res resilienceFlags) error {
+func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration, shards, pushQueue int, drainTimeout, ringRefresh time.Duration, logLevel, debugAddr, traceOut string, res resilienceFlags) error {
 	observer, err := cliutil.NewObserver("badbroker", logLevel)
 	if err != nil {
 		return err
@@ -232,10 +233,12 @@ func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttl
 	defer signal.Stop(sigCh)
 	select {
 	case err := <-serveErr:
+		cliutil.DumpTraces(traceOut, observer.Traces, observer.Logger)
 		return err
 	case sig := <-sigCh:
 		log.Printf("badbroker %s: %v received; draining sessions", id, sig)
 	}
+	defer cliutil.DumpTraces(traceOut, observer.Traces, observer.Logger)
 
 	// Graceful drain: leave the BCS first so no new subscribers are routed
 	// here (and the successor Assign below cannot pick this broker), then

@@ -11,11 +11,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gobad/internal/bcs"
@@ -35,15 +39,16 @@ func main() {
 	bcsURL := flag.String("bcs", "", "BCS base URL for rerouting webhooks whose broker died (empty = abandon after the attempt budget)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and /debug/runtime (empty = off)")
+	traceOut := flag.String("trace-out", "", "write retained traces as JSON to this path on shutdown (\"-\" = stdout, empty = off)")
 	flag.Parse()
 
-	if err := run(*addr, *nodes, *emergency, *repTick, *webhookAttempts, *webhookBatch, *walPath, *bcsURL, *logLevel, *debugAddr); err != nil {
+	if err := run(*addr, *nodes, *emergency, *repTick, *webhookAttempts, *webhookBatch, *walPath, *bcsURL, *logLevel, *debugAddr, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "badcluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, nodes int, emergency bool, repTick time.Duration, webhookAttempts int, webhookBatch time.Duration, walPath, bcsURL, logLevel, debugAddr string) error {
+func run(addr string, nodes int, emergency bool, repTick time.Duration, webhookAttempts int, webhookBatch time.Duration, walPath, bcsURL, logLevel, debugAddr, traceOut string) error {
 	observer, err := cliutil.NewObserver("badcluster", logLevel)
 	if err != nil {
 		return err
@@ -115,8 +120,25 @@ func run(addr string, nodes int, emergency bool, repTick time.Duration, webhookA
 		Handler:           bdms.NewServer(cluster, bdms.WithObserver(observer)).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("badcluster listening on %s (%d storage nodes)", addr, nodes)
-	return srv.ListenAndServe()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+	case sig := <-sigCh:
+		log.Printf("badcluster: %s received, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
+	}
+	cliutil.DumpTraces(traceOut, observer.Traces, observer.Logger)
+	return nil
 }
 
 func preloadEmergency(cluster *bdms.Cluster) error {

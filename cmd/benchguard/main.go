@@ -1,0 +1,120 @@
+// Command benchguard compares `go test -bench` output on stdin against a
+// committed baseline (BENCH_fanout.json) and fails when a guarded
+// benchmark's ns/op regressed beyond the tolerance. It is the CI smoke
+// guard keeping the traced fan-out path within noise of the untraced
+// baseline (see `make bench-guard`).
+//
+// Usage:
+//
+//	go test -bench BenchmarkFanout -run '^$' ./internal/broker/ | \
+//	    benchguard -baseline BENCH_fanout.json -bench BenchmarkFanout -tolerance 0.05
+//
+// A missing baseline entry or benchmark line is an error: a guard that
+// silently guards nothing is worse than no guard.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_fanout.json", "baseline JSON (benchjson format)")
+	benchName := flag.String("bench", "BenchmarkFanout", "benchmark name to guard")
+	tolerance := flag.Float64("tolerance", 0.05, "allowed fractional ns/op regression over the baseline")
+	flag.Parse()
+
+	if err := run(*baselinePath, *benchName, *tolerance); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath, benchName string, tolerance float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	want := -1.0
+	for _, b := range base.Benchmarks {
+		if b.Name == benchName {
+			want = b.Metrics["ns/op"]
+		}
+	}
+	if want <= 0 {
+		return fmt.Errorf("%s has no ns/op entry for %s", baselinePath, benchName)
+	}
+
+	// Best-of-N: with -count>1 on stdin the fastest run is compared, which
+	// damps scheduler noise without hiding a real per-op regression.
+	got := -1.0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, benchName) {
+			continue
+		}
+		if v, ok := parseNsPerOp(line, benchName); ok && (got < 0 || v < got) {
+			got = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if got <= 0 {
+		return fmt.Errorf("no %s result line on stdin", benchName)
+	}
+
+	ratio := got/want - 1
+	if ratio > tolerance {
+		return fmt.Errorf("%s regressed: %.0f ns/op vs baseline %.0f (%+.1f%% > %.1f%% tolerance)",
+			benchName, got, want, ratio*100, tolerance*100)
+	}
+	fmt.Printf("benchguard: %s ok: %.0f ns/op vs baseline %.0f (%+.1f%%, tolerance %.1f%%)\n",
+		benchName, got, want, ratio*100, tolerance*100)
+	return nil
+}
+
+// parseNsPerOp extracts the ns/op value from one benchmark result line,
+// matching the exact name (modulo the -GOMAXPROCS suffix).
+func parseNsPerOp(line, benchName string) (float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return 0, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if name != benchName {
+		return 0, false
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		if fields[i+1] == "ns/op" {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}

@@ -44,6 +44,7 @@ func NewServer(svc *Service, opts ...ServerOption) *Server {
 		httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}))
 	s.mux.Handle("GET /metrics", s.obs.MetricsHandler())
+	s.mux.Handle("GET /v1/debug/traces", s.obs.Traces.Handler())
 	// Versioned /v1 routes plus pre-v1 /api aliases (deprecated; kept for
 	// one release — see httpx.Dual).
 	s.route(http.MethodPost, "/v1/brokers", "/api/brokers", s.handleRegister)

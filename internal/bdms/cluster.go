@@ -10,6 +10,7 @@ import (
 
 	"gobad/internal/aql"
 	"gobad/internal/metrics"
+	"gobad/internal/obs/span"
 )
 
 // Notifier delivers "new results available" callbacks to brokers. The
@@ -31,6 +32,20 @@ type PushNotifier interface {
 	Notifier
 	// NotifyPush delivers the result object itself.
 	NotifyPush(subID, callback string, obj ResultObject)
+}
+
+// ContextNotifier is the trace-aware extension of Notifier: the context
+// carries the span of the publication that produced the results, so the
+// notification POST (and any redelivery of it) stays attributable to that
+// publication's trace. Clusters call it when the configured notifier
+// implements it, falling back to Notify otherwise.
+type ContextNotifier interface {
+	NotifyContext(ctx context.Context, subID, callback string, latest time.Duration)
+}
+
+// ContextPushNotifier is the trace-aware extension of PushNotifier.
+type ContextPushNotifier interface {
+	NotifyPushContext(ctx context.Context, subID, callback string, obj ResultObject)
 }
 
 // NotifierFunc adapts a function to the Notifier interface.
@@ -137,6 +152,18 @@ type Cluster struct {
 	epoch     time.Time
 
 	stats ClusterStats
+
+	// traces/stages are the delivery-tracing hooks (nil-safe; set once
+	// via SetTracing before the cluster starts serving).
+	traces *span.Recorder
+	stages *span.Stages
+}
+
+// SetTracing wires the cluster's span recorder and per-stage delivery
+// histogram. Call it before serving; both arguments may be nil.
+func (c *Cluster) SetTracing(traces *span.Recorder, stages *span.Stages) {
+	c.traces = traces
+	c.stages = stages
 }
 
 // NewCluster returns a cluster with the given options applied.
@@ -383,6 +410,20 @@ func (c *Cluster) NumSubscriptions() int {
 // it; matching subscriptions get a new result object and their callbacks
 // are notified.
 func (c *Cluster) Ingest(dataset string, data map[string]any) (Record, error) {
+	return c.IngestContext(context.Background(), dataset, data)
+}
+
+// IngestContext is Ingest carrying the caller's trace: the ingest and
+// backend-subscription evaluation record as spans of the publication's
+// trace, and every notification it produces is delivered under the same
+// trace, so one publication is one trace end to end.
+func (c *Cluster) IngestContext(ctx context.Context, dataset string, data map[string]any) (rec Record, err error) {
+	ctx, sp := c.traces.Start(ctx, "cluster.ingest")
+	sp.SetAttr("dataset", dataset)
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
 	now := c.clock()
 	c.mu.Lock()
 	ds, ok := c.datasets[dataset]
@@ -403,7 +444,7 @@ func (c *Cluster) Ingest(dataset string, data map[string]any) (Record, error) {
 		c.mu.Unlock()
 		return Record{}, err
 	}
-	rec, err := ds.Insert(data, now)
+	rec, err = ds.Insert(data, now)
 	if err != nil {
 		c.mu.Unlock()
 		return Record{}, err
@@ -415,6 +456,8 @@ func (c *Cluster) Ingest(dataset string, data map[string]any) (Record, error) {
 	// equality conjunct only visit the subscriptions whose bound value
 	// matches the record's field (plus the unindexed remainder); the
 	// full predicate still runs per candidate.
+	_, evalSp := c.traces.Start(ctx, "cluster.eval")
+	evalStart := time.Now()
 	var pending []notification
 	for _, ch := range c.channels {
 		if !ch.Continuous() || ch.dataset != dataset {
@@ -439,7 +482,10 @@ func (c *Cluster) Ingest(dataset string, data map[string]any) (Record, error) {
 		}
 	}
 	c.mu.Unlock()
-	c.deliver(pending)
+	evalSp.SetAttr("matches", fmt.Sprintf("%d", len(pending)))
+	evalSp.End()
+	c.stages.Observe(ctx, span.StageClusterEval, span.OutcomeNone, time.Since(evalStart))
+	c.deliver(ctx, pending)
 	return rec, nil
 }
 
@@ -522,17 +568,26 @@ func (c *Cluster) appendResult(sub *subscription, rows []map[string]any, now tim
 	return notification{subID: sub.id, callback: sub.callback, latest: ts, obj: obj}, true
 }
 
-// deliver fires pending notifications outside the lock.
-func (c *Cluster) deliver(pending []notification) {
+// deliver fires pending notifications outside the lock. ctx carries the
+// publication's span; trace-aware notifiers keep the delivery attributed
+// to it, plain notifiers just ignore the context.
+func (c *Cluster) deliver(ctx context.Context, pending []notification) {
 	if c.notifier == nil || len(pending) == 0 {
 		return
 	}
 	pusher, canPush := c.notifier.(PushNotifier)
+	ctxPusher, canPushCtx := c.notifier.(ContextPushNotifier)
+	ctxNotifier, canNotifyCtx := c.notifier.(ContextNotifier)
 	for _, n := range pending {
 		c.stats.Notifications.Inc()
-		if c.pushModel && canPush {
+		switch {
+		case c.pushModel && canPushCtx:
+			ctxPusher.NotifyPushContext(ctx, n.subID, n.callback, n.obj)
+		case c.pushModel && canPush:
 			pusher.NotifyPush(n.subID, n.callback, n.obj)
-		} else {
+		case canNotifyCtx:
+			ctxNotifier.NotifyContext(ctx, n.subID, n.callback, n.latest)
+		default:
 			c.notifier.Notify(n.subID, n.callback, n.latest)
 		}
 	}
@@ -568,7 +623,13 @@ func (c *Cluster) RunRepetitiveDue() int {
 		}
 	}
 	c.mu.Unlock()
-	c.deliver(pending)
+	if len(pending) > 0 {
+		// Repetitive executions are not tied to any single publication;
+		// they root a trace of their own.
+		ctx, sp := c.traces.Start(context.Background(), "cluster.repetitive")
+		c.deliver(ctx, pending)
+		sp.End()
+	}
 	return executions
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"gobad/internal/httpx"
 	"gobad/internal/obs"
+	"gobad/internal/obs/span"
 )
 
 // NotificationPayload is the JSON body POSTed to a subscription's callback
@@ -116,6 +117,7 @@ type WebhookNotifier struct {
 	sleep       func(ctx context.Context, d time.Duration) error
 	stats       *NotifierStats
 	resolver    CallbackResolver
+	stages      *span.Stages
 
 	mu     sync.Mutex
 	queue  chan queueItem
@@ -225,6 +227,12 @@ func WithNotifierResolver(r CallbackResolver) NotifierOption {
 	}
 }
 
+// WithNotifierStages wires the per-stage delivery histogram: every webhook
+// POST round-trip is observed as the webhook_delivery stage.
+func WithNotifierStages(st *span.Stages) NotifierOption {
+	return func(n *WebhookNotifier) { n.stages = st }
+}
+
 // WithNotifierStats shares an externally-owned stats bundle (e.g. one
 // registered on /metrics).
 func WithNotifierStats(s *NotifierStats) NotifierOption {
@@ -287,43 +295,71 @@ func realSleep(ctx context.Context, d time.Duration) error {
 // folds it into the pending batch when coalescing is on), dropping it when
 // the queue is full.
 func (n *WebhookNotifier) Notify(subID, callback string, latest time.Duration) {
+	n.NotifyContext(context.Background(), subID, callback, latest)
+}
+
+// NotifyContext implements ContextNotifier: the delivery (and every retry
+// of it) runs under the publication trace carried by ctx, minting a fresh
+// root only when ctx has none.
+func (n *WebhookNotifier) NotifyContext(ctx context.Context, subID, callback string, latest time.Duration) {
 	if callback == "" {
 		return
 	}
+	sc := originSpan(ctx)
 	if n.batchWindow > 0 {
-		n.addToBatch(subID, callback, int64(latest), nil)
+		n.addToBatch(sc, subID, callback, int64(latest), nil)
 		return
 	}
-	n.enqueue(NotificationPayloadTo{
+	n.enqueueSpan(NotificationPayloadTo{
 		Callback: callback,
 		Payload:  NotificationPayload{SubscriptionID: subID, LatestNS: int64(latest)},
-	})
+	}, sc)
 }
 
 // NotifyPush implements PushNotifier: the payload carries the result
 // object itself; with coalescing on, results accumulate into one batched
 // POST per flush window.
 func (n *WebhookNotifier) NotifyPush(subID, callback string, obj ResultObject) {
+	n.NotifyPushContext(context.Background(), subID, callback, obj)
+}
+
+// NotifyPushContext implements ContextPushNotifier (see NotifyContext).
+func (n *WebhookNotifier) NotifyPushContext(ctx context.Context, subID, callback string, obj ResultObject) {
 	if callback == "" {
 		return
 	}
+	sc := originSpan(ctx)
 	if n.batchWindow > 0 {
-		n.addToBatch(subID, callback, int64(obj.Timestamp), &obj)
+		n.addToBatch(sc, subID, callback, int64(obj.Timestamp), &obj)
 		return
 	}
-	n.enqueue(NotificationPayloadTo{
+	n.enqueueSpan(NotificationPayloadTo{
 		Callback: callback,
 		Payload: NotificationPayload{
 			SubscriptionID: subID,
 			LatestNS:       int64(obj.Timestamp),
 			Result:         &obj,
 		},
-	})
+	}, sc)
+}
+
+// originSpan derives the delivery's span from the originating context: a
+// child of the publication's span when there is one (so the webhook POST
+// and all its retries carry that publication's trace ID), a fresh root
+// otherwise.
+func originSpan(ctx context.Context) obs.SpanContext {
+	if sc, ok := obs.SpanFromContext(ctx); ok {
+		return sc.Child()
+	}
+	return obs.NewSpan()
 }
 
 // addToBatch folds one notification into its (subscription, callback)
 // bucket, opening the bucket — and arming its flush timer — on first use.
-func (n *WebhookNotifier) addToBatch(subID, callback string, latest int64, obj *ResultObject) {
+// The bucket adopts the first contributor's span: a coalesced batch is
+// attributed to the publication that opened it, so batch ingest at the
+// broker still joins a real publication trace.
+func (n *WebhookNotifier) addToBatch(sc obs.SpanContext, subID, callback string, latest int64, obj *ResultObject) {
 	key := batchKey{subID: subID, callback: callback}
 	n.batchMu.Lock()
 	if n.batchClosed {
@@ -333,7 +369,7 @@ func (n *WebhookNotifier) addToBatch(subID, callback string, latest int64, obj *
 	}
 	b, ok := n.batches[key]
 	if !ok {
-		b = &pendingBatch{span: obs.NewSpan()}
+		b = &pendingBatch{span: sc}
 		b.timer = time.AfterFunc(n.batchWindow, func() { n.flushBatch(key) })
 		n.batches[key] = b
 	} else {
@@ -384,10 +420,6 @@ func (n *WebhookNotifier) flushAllBatches() {
 	for _, key := range keys {
 		n.flushBatch(key)
 	}
-}
-
-func (n *WebhookNotifier) enqueue(item NotificationPayloadTo) {
-	n.enqueueSpan(item, obs.NewSpan())
 }
 
 func (n *WebhookNotifier) enqueueSpan(item NotificationPayloadTo, span obs.SpanContext) {
@@ -464,7 +496,9 @@ func (n *WebhookNotifier) worker() {
 	defer n.wg.Done()
 	for item := range n.queue {
 		ctx := obs.ContextWithSpan(context.Background(), item.span)
+		post := time.Now()
 		err := httpx.DoJSONContext(ctx, n.client, http.MethodPost, item.Callback, item.Payload, nil)
+		n.stages.Observe(ctx, span.StageWebhook, span.OutcomeNone, time.Since(post))
 		if err == nil {
 			n.stats.Delivered.Add(1)
 			continue
@@ -533,6 +567,8 @@ func (n *WebhookNotifier) backoff(attempts int) time.Duration {
 
 // Interface compliance.
 var (
-	_ Notifier     = (*WebhookNotifier)(nil)
-	_ PushNotifier = (*WebhookNotifier)(nil)
+	_ Notifier            = (*WebhookNotifier)(nil)
+	_ PushNotifier        = (*WebhookNotifier)(nil)
+	_ ContextNotifier     = (*WebhookNotifier)(nil)
+	_ ContextPushNotifier = (*WebhookNotifier)(nil)
 )

@@ -7,6 +7,7 @@ import (
 
 	"gobad/internal/httpx"
 	"gobad/internal/obs"
+	"gobad/internal/obs/span"
 )
 
 // Server exposes the cluster over the REST API the broker's
@@ -16,6 +17,7 @@ type Server struct {
 	cluster *Cluster
 	mux     *http.ServeMux
 	obs     *httpx.Observer
+	stages  *span.Stages
 }
 
 // ServerOption configures a Server.
@@ -28,6 +30,13 @@ func WithObserver(o *httpx.Observer) ServerOption {
 	return func(s *Server) { s.obs = o }
 }
 
+// WithStages shares an externally-built per-stage delivery histogram
+// (e.g. the one the binary also hands the webhook notifier). Without it
+// NewServer builds and registers its own.
+func WithStages(st *span.Stages) ServerOption {
+	return func(s *Server) { s.stages = st }
+}
+
 // NewServer wraps a cluster with its REST API.
 func NewServer(cluster *Cluster, opts ...ServerOption) *Server {
 	s := &Server{cluster: cluster, mux: http.NewServeMux()}
@@ -37,6 +46,11 @@ func NewServer(cluster *Cluster, opts ...ServerOption) *Server {
 	if s.obs == nil {
 		s.obs = httpx.NewObserver("badcluster", nil)
 	}
+	if s.stages == nil {
+		s.stages = span.NewStages(span.DefaultSlowThreshold, s.obs.Logger)
+	}
+	s.obs.Registry.MustRegister(s.stages.Histogram())
+	cluster.SetTracing(s.obs.Traces, s.stages)
 	st := cluster.Stats()
 	s.obs.Registry.MustRegister(
 		obs.CounterFunc("bad_cluster_ingested_total", "Records ingested into datasets.", st.Ingested.Value),
@@ -69,6 +83,7 @@ func (s *Server) route(method, pattern, legacy string, h http.HandlerFunc) {
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.obs.Wrap("/healthz", s.handleHealth))
 	s.mux.Handle("GET /metrics", s.obs.MetricsHandler())
+	s.mux.Handle("GET /v1/debug/traces", s.obs.Traces.Handler())
 	s.route(http.MethodGet, "/v1/stats", "/api/stats", s.handleStats)
 	s.route(http.MethodPost, "/v1/datasets", "/api/datasets", s.handleCreateDataset)
 	s.route(http.MethodGet, "/v1/datasets", "/api/datasets", s.handleListDatasets)
@@ -147,7 +162,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rec, err := s.cluster.Ingest(name, data)
+	rec, err := s.cluster.IngestContext(r.Context(), name, data)
 	if err != nil {
 		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
 		return

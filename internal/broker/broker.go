@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"gobad/internal/core"
 	"gobad/internal/metrics"
 	"gobad/internal/obs"
+	"gobad/internal/obs/span"
 )
 
 // Backend is the data cluster abstraction the broker consumes (Section
@@ -148,6 +150,21 @@ type Broker struct {
 	// fabric is the cooperative-edge state (ring view, peer lookup memo);
 	// nil outside a fabric (single-broker mode).
 	fabric *fabric
+
+	// traces/stages are the delivery-tracing hooks (nil-safe; set once
+	// via SetTracing before traffic flows).
+	traces *span.Recorder
+	stages *span.Stages
+}
+
+// SetTracing wires the broker's span recorder and per-stage delivery
+// histogram (both may be nil). NewServer calls it with the observer's
+// recorder; call it before traffic flows.
+func (b *Broker) SetTracing(traces *span.Recorder, stages *span.Stages) {
+	b.traces = traces
+	b.stages = stages
+	b.sessions.traces = traces
+	b.sessions.stages = stages
 }
 
 // backendSub is one deduplicated subscription at the data cluster with its
@@ -618,10 +635,27 @@ func (b *Broker) RetrieveContext(ctx context.Context, subscriber, fsID string) (
 	from, to := fs.fts, fs.bs.bts
 	b.mu.Unlock()
 
+	// Cache resolution runs in its own span, renamed to the outcome once
+	// it is known (cache.local_hit / cache.peer_hop / cache.cluster_fetch
+	// / cache.stale_serve), so a trace shows where this retrieval's bytes
+	// actually came from. The same outcome labels the retrieve stage of
+	// the delivery-latency histogram.
+	ctx, sp := b.traces.Start(ctx, "broker.retrieve")
+	sp.SetAttr("backend_sub", bsID)
+	resolveStart := time.Now()
+
 	// On a backend-fetch failure the manager still returns the cached
 	// part; pass it through (with the error, or marked stale under
 	// StaleServe) so the subscriber keeps what the cache could serve.
 	objs, info, err := b.manager.Retrieve(ctx, bsID, subscriber, from, to, now)
+
+	outcome := retrieveOutcome(objs, info)
+	sp.SetName("cache." + outcome)
+	sp.SetAttr("objects", strconv.Itoa(len(objs)))
+	sp.SetError(err)
+	sp.End()
+	b.stages.Observe(ctx, span.StageRetrieve, outcome, time.Since(resolveStart))
+
 	items := make([]ResultItem, 0, len(objs))
 	for _, o := range objs {
 		rows, _ := o.Payload.([]map[string]any)
@@ -646,6 +680,27 @@ func (b *Broker) RetrieveContext(ctx context.Context, subscriber, fsID string) (
 		return Retrieval{Items: items, Stale: true}, nil
 	}
 	return Retrieval{Items: items, Latest: to}, nil
+}
+
+// retrieveOutcome classifies how a retrieval's objects were resolved,
+// strongest first: a degraded stale answer trumps everything; otherwise
+// any peer-served object marks the retrieval a peer hop, any fetched
+// (uncached) object a cluster fetch, and a fully-cached answer a local
+// hit.
+func retrieveOutcome(objs []*core.Object, info core.RetrievalInfo) string {
+	if info.Stale {
+		return span.OutcomeStaleServe
+	}
+	outcome := span.OutcomeLocalHit
+	for _, o := range objs {
+		if o.Peer {
+			return span.OutcomePeerHop
+		}
+		if o.CacheID == "" { // fetched objects carry no cache id
+			outcome = span.OutcomeClusterFetch
+		}
+	}
+	return outcome
 }
 
 // BackendSubID returns the data cluster subscription ID a frontend
@@ -703,7 +758,13 @@ func (b *Broker) HandleNotification(backendSubID string, latest time.Duration) e
 // backend marker and push "new results" notifications to the attached
 // online subscribers. ctx bounds the pull from the data cluster; a
 // cancelled pull aborts before any object is admitted.
-func (b *Broker) HandleNotificationContext(ctx context.Context, backendSubID string, latest time.Duration) error {
+func (b *Broker) HandleNotificationContext(ctx context.Context, backendSubID string, latest time.Duration) (err error) {
+	ctx, sp := b.traces.Start(ctx, "broker.notify")
+	sp.SetAttr("backend_sub", backendSubID)
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
 	now := b.clock()
 	b.mu.Lock()
 	bs, ok := b.backendByID[backendSubID]
@@ -799,7 +860,13 @@ func (b *Broker) HandlePushedResult(backendSubID string, r bdms.ResultObject) er
 
 // HandlePushedResultContext is HandlePushedResult bound to ctx, which
 // bounds the gap back-fill pull.
-func (b *Broker) HandlePushedResultContext(ctx context.Context, backendSubID string, r bdms.ResultObject) error {
+func (b *Broker) HandlePushedResultContext(ctx context.Context, backendSubID string, r bdms.ResultObject) (err error) {
+	ctx, sp := b.traces.Start(ctx, "broker.push_ingest")
+	sp.SetAttr("backend_sub", backendSubID)
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
 	now := b.clock()
 	b.mu.Lock()
 	bs, ok := b.backendByID[backendSubID]
@@ -872,10 +939,17 @@ func (b *Broker) HandlePushedResults(backendSubID string, rs []bdms.ResultObject
 
 // HandlePushedResultsContext is HandlePushedResults bound to ctx, which
 // bounds the gap back-fill pull.
-func (b *Broker) HandlePushedResultsContext(ctx context.Context, backendSubID string, rs []bdms.ResultObject) error {
+func (b *Broker) HandlePushedResultsContext(ctx context.Context, backendSubID string, rs []bdms.ResultObject) (err error) {
 	if len(rs) == 0 {
 		return nil
 	}
+	ctx, sp := b.traces.Start(ctx, "broker.push_ingest_batch")
+	sp.SetAttr("backend_sub", backendSubID)
+	sp.SetAttr("batch", strconv.Itoa(len(rs)))
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
 	now := b.clock()
 	b.mu.Lock()
 	bs, ok := b.backendByID[backendSubID]
@@ -963,8 +1037,14 @@ func (b *Broker) fetchLatency(size int64) time.Duration {
 // subscriber retrieval can be followed into the cluster.
 func (b *Broker) backendResults(ctx context.Context, subID string, from, to time.Duration, inclusiveTo bool) (results []bdms.ResultObject, err error) {
 	start := time.Now()
+	ctx, sp := b.traces.Start(ctx, "broker.cluster_fetch")
+	sp.SetAttr("subscription", subID)
 	defer func() {
-		if d := time.Since(start); d >= b.slowFetch {
+		d := time.Since(start)
+		sp.SetError(err)
+		sp.End()
+		b.stages.Observe(ctx, span.StageBrokerPull, span.OutcomeNone, d)
+		if d >= b.slowFetch {
 			b.log.WarnContext(ctx, "slow backend fetch",
 				slog.String("subscription", subID),
 				slog.Duration("duration", d),

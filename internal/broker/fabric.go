@@ -12,6 +12,7 @@ import (
 	"gobad/internal/core"
 	"gobad/internal/metrics"
 	"gobad/internal/obs"
+	"gobad/internal/obs/span"
 )
 
 // The cooperative edge fabric (paper §VI's broker *network*): brokers
@@ -115,6 +116,11 @@ func (b *Broker) FabricTick(ctx context.Context) (changed bool, migrated int, er
 	if f == nil || f.cfg.BCS == nil {
 		return false, 0, nil
 	}
+	// The tick is its own trace (joined to the caller's when it has one):
+	// the conditional ring fetch below carries its traceparent to the BCS,
+	// so a membership change is attributable across both processes.
+	ctx, sp := b.traces.Start(ctx, "fabric.tick")
+	defer func() { sp.SetError(err); sp.End() }()
 	f.mu.Lock()
 	prev := f.ring.Epoch
 	f.mu.Unlock()
@@ -219,10 +225,20 @@ func (f *fabric) lookup(ctx context.Context, cacheID string, from, to time.Durat
 	}
 	f.mu.Unlock()
 
+	// The peer hop is one span in the delivery trace; DoJSONHeader forwards
+	// its traceparent, so the owning sibling's server span joins the same
+	// trace.
+	lctx, sp := f.b.traces.Start(ctx, "fabric.peer_lookup")
+	sp.SetAttr("peer", owner.ID)
+	sp.SetAttr("fabric_key", fkey)
 	start := time.Now()
-	resp, err := f.cfg.Peers.Results(ctx, owner.Address, fkey,
+	resp, err := f.cfg.Peers.Results(lctx, owner.Address, fkey,
 		from.Nanoseconds(), to.Nanoseconds(), inclusiveTo)
-	f.observePeer(owner.ID, time.Since(start))
+	d := time.Since(start)
+	f.observePeer(owner.ID, d)
+	sp.SetError(err)
+	sp.End()
+	f.b.stages.Observe(lctx, span.StagePeerLookup, span.OutcomeNone, d)
 	if err != nil || !resp.Complete {
 		f.b.stats.PeerMisses.Add(1)
 		return nil, false
@@ -263,19 +279,34 @@ func (f *fabric) memoize(key string, objs []*core.Object, now time.Duration) {
 	f.memo[key] = memoEntry{objs: objs, expires: now + f.cfg.MemoTTL}
 }
 
+// fabricPeerCap bounds how many distinct peer IDs get their own latency
+// series; lookups against further peers share the overflow bucket, so the
+// bad_peer_lookup_seconds label set cannot grow with fabric churn.
+const fabricPeerCap = 16
+
+// peerOverflowLabel is the shared label value for peers beyond the cap.
+const peerOverflowLabel = "_other"
+
 func (f *fabric) observePeer(peerID string, d time.Duration) {
 	f.mu.Lock()
 	s := f.peerLat[peerID]
 	if s == nil {
-		s = &metrics.Sampler{}
-		f.peerLat[peerID] = s
+		if len(f.peerLat) >= fabricPeerCap {
+			peerID = peerOverflowLabel
+			s = f.peerLat[peerID]
+		}
+		if s == nil {
+			s = &metrics.Sampler{}
+			f.peerLat[peerID] = s
+		}
 	}
 	f.mu.Unlock()
 	s.Observe(d.Seconds())
 }
 
 // FabricCollector exports the per-peer lookup latency summaries, labeled
-// by peer broker ID. Registered by the broker server when the fabric is
+// by peer broker ID (at most fabricPeerCap distinct IDs plus the "_other"
+// overflow bucket). Registered by the broker server when the fabric is
 // enabled.
 func (b *Broker) FabricCollector() obs.Collector {
 	return obs.CollectorFunc(func(emit func(obs.Family)) {

@@ -44,6 +44,7 @@ type fabricEnv struct {
 	owner     *Broker
 	edge      *Broker
 	ownerSrv  *httptest.Server
+	ownerHTTP *Server
 	edgeCalls *countingBackend
 	// peerReqs counts peer-protocol requests arriving at the owner.
 	peerReqs atomic.Int64
@@ -90,7 +91,8 @@ func newFabricEnv(t *testing.T) *fabricEnv {
 	env.owner = owner
 	// The owner answers peer lookups over real HTTP; count them at the
 	// transport so singleflight assertions see exactly what left the edge.
-	inner := NewServer(owner).Handler()
+	env.ownerHTTP = NewServer(owner)
+	inner := env.ownerHTTP.Handler()
 	env.ownerSrv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if strings.HasPrefix(r.URL.Path, "/v1/peer/") {
 			env.peerReqs.Add(1)

@@ -10,6 +10,7 @@ import (
 	"gobad/internal/httpx"
 	"gobad/internal/metrics"
 	"gobad/internal/obs"
+	"gobad/internal/obs/span"
 	"gobad/internal/wsock"
 )
 
@@ -42,6 +43,11 @@ func NewServer(b *Broker, opts ...ServerOption) *Server {
 	if s.obs == nil {
 		s.obs = httpx.NewObserver("badbroker", nil)
 	}
+	// Wire the delivery-path tracing: the broker records spans into the
+	// observer's ring and feeds the per-stage delivery-latency histogram.
+	stages := span.NewStages(span.DefaultSlowThreshold, s.obs.Logger)
+	s.obs.Registry.MustRegister(stages.Histogram())
+	b.SetTracing(s.obs.Traces, stages)
 	// The broker's cache accounting and manager structure are part of this
 	// server's exposition.
 	s.obs.Registry.MustRegister(
@@ -94,6 +100,7 @@ func (s *Server) route(method, pattern, legacy string, h http.HandlerFunc) {
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.obs.Wrap("/healthz", s.handleHealth))
 	s.mux.Handle("GET /metrics", s.obs.MetricsHandler())
+	s.mux.Handle("GET /v1/debug/traces", s.obs.Traces.Handler())
 	s.route(http.MethodPost, "/v1/subscriptions", "/api/subscriptions", s.handleSubscribe)
 	s.route(http.MethodDelete, "/v1/subscriptions/{fs}", "/api/subscriptions/{fs}", s.handleUnsubscribe)
 	s.route(http.MethodGet, "/v1/subscriptions/{fs}/results", "/api/subscriptions/{fs}/results", s.handleGetResults)
@@ -205,7 +212,16 @@ func (s *Server) handleAck(w http.ResponseWriter, r *http.Request) {
 		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := s.broker.Ack(req.Subscriber, r.PathValue("fs"), time.Duration(req.TimestampNS)); err != nil {
+	// The ack is the trace's final leg: the client forwarded the push
+	// frame's traceparent, so this span closes the delivery end to end.
+	ctx, sp := s.obs.Traces.Start(r.Context(), "broker.client_ack")
+	sp.SetAttr("subscriber", req.Subscriber)
+	start := time.Now()
+	err := s.broker.Ack(req.Subscriber, r.PathValue("fs"), time.Duration(req.TimestampNS))
+	sp.SetError(err)
+	sp.End()
+	s.broker.stages.Observe(ctx, span.StageClientAck, span.OutcomeNone, time.Since(start))
+	if err != nil {
 		httpx.WriteError(w, http.StatusNotFound, "%v", err)
 		return
 	}

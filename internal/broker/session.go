@@ -10,6 +10,7 @@ import (
 
 	"gobad/internal/metrics"
 	"gobad/internal/obs"
+	"gobad/internal/obs/span"
 	"gobad/internal/wsock"
 )
 
@@ -30,6 +31,10 @@ type PushNotification struct {
 	// results belong to.
 	BackendSub string `json:"bs,omitempty"`
 	LatestNS   int64  `json:"latest_ns"`
+	// Traceparent carries the delivery's W3C trace context through the
+	// push frame, so the subscriber's follow-up retrieval and ack join the
+	// same end-to-end trace. Empty when the notification arrived untraced.
+	Traceparent string `json:"tp,omitempty"`
 }
 
 // DefaultPushQueue is the default per-session outbound queue length
@@ -42,6 +47,9 @@ type pushEvent struct {
 	latest int64
 	pm     *wsock.PreparedMessage
 	span   obs.SpanContext
+	// at is the enqueue timestamp, stamped once per broadcast and only for
+	// traced events; the writer derives the queue-wait stage from it.
+	at time.Time
 }
 
 // pushStats tallies the asynchronous delivery pipeline's outcomes.
@@ -223,7 +231,7 @@ func (s *session) writeLoop() {
 			<-s.wake
 			continue
 		}
-		err := s.conn.WritePreparedMessage(ev.pm)
+		err := s.deliver(ev)
 		s.wrote()
 		if err != nil {
 			s.hub.stats.failures.Add(1)
@@ -238,6 +246,26 @@ func (s *session) writeLoop() {
 	}
 }
 
+// deliver writes one marker to the socket. Untraced markers (no span, the
+// benchmark/common case) take the bare one-write fast path; traced markers
+// additionally record a ws_write span plus the queue-wait and socket-write
+// stage latencies.
+func (s *session) deliver(ev *pushEvent) error {
+	if !ev.span.Valid() {
+		return s.conn.WritePreparedMessage(ev.pm)
+	}
+	ctx := obs.ContextWithSpan(context.Background(), ev.span)
+	s.hub.stages.Observe(ctx, span.StageQueueWait, span.OutcomeNone, time.Since(ev.at))
+	wctx, sp := s.hub.traces.Start(ctx, "session.ws_write")
+	sp.SetAttr("subscriber", s.subscriber)
+	start := time.Now()
+	err := s.conn.WritePreparedMessage(ev.pm)
+	sp.SetError(err)
+	sp.End()
+	s.hub.stages.Observe(wctx, span.StageWSWrite, span.OutcomeNone, time.Since(start))
+	return err
+}
+
 // sessionHub tracks which subscribers are currently online (WebSocket
 // connected). Subscriptions survive logout — that is the asynchrony
 // caching enables — so the hub only affects push delivery, never
@@ -246,6 +274,10 @@ type sessionHub struct {
 	queueCap  int
 	log       *slog.Logger
 	delivered *metrics.Counter
+	// traces/stages instrument the queue-wait and socket-write legs of
+	// traced deliveries; both may be nil (untraced hubs, benchmarks).
+	traces *span.Recorder
+	stages *span.Stages
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -461,7 +493,12 @@ func (h *sessionHub) broadcast(ctx context.Context, backendSub string, targets m
 	if len(online) == 0 {
 		return 0
 	}
-	payload, err := json.Marshal(PushNotification{Type: "results", BackendSub: backendSub, LatestNS: latest})
+	note := PushNotification{Type: "results", BackendSub: backendSub, LatestNS: latest}
+	sc, _ := obs.SpanFromContext(ctx)
+	if sc.Valid() {
+		note.Traceparent = sc.Traceparent()
+	}
+	payload, err := json.Marshal(note)
 	if err != nil {
 		h.stats.failures.Add(1)
 		h.log.WarnContext(ctx, "encoding push notification failed",
@@ -475,8 +512,10 @@ func (h *sessionHub) broadcast(ctx context.Context, backendSub string, targets m
 			slog.String("backend_sub", backendSub), slog.Any("error", err))
 		return 0
 	}
-	span, _ := obs.SpanFromContext(ctx)
-	ev := &pushEvent{latest: latest, pm: pm, span: span}
+	ev := &pushEvent{latest: latest, pm: pm, span: sc}
+	if sc.Valid() {
+		ev.at = time.Now()
+	}
 	accepted := 0
 	for _, t := range online {
 		if t.s.enqueue(t.fs, ev) {

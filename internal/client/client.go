@@ -21,6 +21,7 @@ import (
 	"gobad/internal/httpx"
 	"gobad/internal/metrics"
 	"gobad/internal/obs"
+	"gobad/internal/obs/span"
 	"gobad/internal/wsock"
 )
 
@@ -52,6 +53,10 @@ type Config struct {
 	// Sleep and Stats are consulted. nil uses 100ms base, 5s cap,
 	// unbounded attempts.
 	Retry *httpx.Retryer
+	// Traces records the client's retrieval and ack spans. Optional: nil
+	// still propagates trace context (the push frame's traceparent rides
+	// the GetResults and ack requests), it just records nothing locally.
+	Traces *span.Recorder
 }
 
 // subState is the client-side record of one subscription: enough to
@@ -68,6 +73,10 @@ type subState struct {
 	// It is the resume token after failover, and the dedup bound for
 	// at-least-once redelivery.
 	lastTS time.Duration
+	// lastTrace is the trace context the most recent push frame carried;
+	// the next GetResults/ack round trip joins it, completing the
+	// end-to-end delivery trace.
+	lastTrace obs.SpanContext
 }
 
 // Client is a connected BAD subscriber.
@@ -107,6 +116,8 @@ type Client struct {
 	Latency metrics.Sampler
 	// failover tallies supervised reconnects and their latency.
 	failover *obs.FailoverStats
+	// traces records client-side spans (nil: propagate only).
+	traces *span.Recorder
 }
 
 // New resolves a broker (directly or via BCS) and returns a ready client.
@@ -148,6 +159,7 @@ func New(cfg Config) (*Client, error) {
 		retry:         cfg.Retry,
 		notifications: make(chan broker.PushNotification, 64),
 		failover:      &obs.FailoverStats{},
+		traces:        cfg.Traces,
 	}, nil
 }
 
@@ -305,16 +317,31 @@ func (c *Client) GetResults(fs string) ([]broker.ResultItem, error) {
 	c.mu.Lock()
 	base, cur := c.brokerURL, fs
 	seen := time.Duration(-1)
+	var origin obs.SpanContext
 	st := c.subs[fs]
 	if st != nil {
 		cur = st.fs
 		seen = st.lastTS
+		origin = st.lastTrace
 	}
 	c.mu.Unlock()
+	// Join the trace the push frame carried (when it carried one): the
+	// retrieval and ack round trips below then show up as client spans of
+	// the same end-to-end delivery trace, and their traceparent rides the
+	// requests so the broker's server spans link in too.
+	ctx := context.Background()
+	if origin.Valid() {
+		ctx = obs.ContextWithSpan(ctx, origin)
+	}
 	var out broker.ResultsResponse
 	u := fmt.Sprintf("%s/v1/subscriptions/%s/results?subscriber=%s",
 		base, url.PathEscape(cur), url.QueryEscape(c.subscriber))
-	if err := httpx.DoJSON(c.http, http.MethodGet, u, nil, &out); err != nil {
+	rctx, rsp := c.traces.Start(ctx, "client.get_results")
+	rsp.SetAttr("subscription", fs)
+	err := httpx.DoJSONContext(rctx, c.http, http.MethodGet, u, nil, &out)
+	rsp.SetError(err)
+	rsp.End()
+	if err != nil {
 		return nil, err
 	}
 	c.Latency.Observe(time.Since(start).Seconds())
@@ -343,7 +370,11 @@ func (c *Client) GetResults(fs string) ([]broker.ResultItem, error) {
 		}
 		ack := broker.AckRequest{Subscriber: c.subscriber, TimestampNS: out.LatestNS}
 		ackURL := base + "/v1/subscriptions/" + url.PathEscape(cur) + "/ack"
-		if err := httpx.DoJSON(c.http, http.MethodPost, ackURL, ack, nil); err != nil {
+		actx, asp := c.traces.Start(ctx, "client.ack")
+		err := httpx.DoJSONContext(actx, c.http, http.MethodPost, ackURL, ack, nil)
+		asp.SetError(err)
+		asp.End()
+		if err != nil {
 			return results, fmt.Errorf("client: ack: %w", err)
 		}
 	}
@@ -435,6 +466,18 @@ func (c *Client) pump(conn *wsock.Conn, done chan struct{}) {
 				continue
 			}
 			n.FrontendSub = fs
+		}
+		if n.Traceparent != "" {
+			// Remember the delivery's trace context so the follow-up
+			// GetResults/ack joins it. Latest-wins, matching the marker
+			// semantics: the newest frame supersedes queued ones.
+			if sc, ok := obs.ParseTraceparent(n.Traceparent); ok {
+				c.mu.Lock()
+				if st := c.subs[n.FrontendSub]; st != nil {
+					st.lastTrace = sc
+				}
+				c.mu.Unlock()
+			}
 		}
 		select {
 		case c.notifications <- n:

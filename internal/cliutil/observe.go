@@ -3,6 +3,7 @@ package cliutil
 import (
 	"context"
 	"errors"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -10,6 +11,7 @@ import (
 
 	"gobad/internal/httpx"
 	"gobad/internal/obs"
+	"gobad/internal/obs/span"
 )
 
 // NewObserver builds the process-wide observability bundle for a binary:
@@ -22,6 +24,30 @@ func NewObserver(service, logLevel string) (*httpx.Observer, error) {
 		return nil, err
 	}
 	return httpx.NewObserver(service, obs.NewLogger(os.Stderr, level, service)), nil
+}
+
+// DumpTraces writes the recorder's retained traces as indented JSON to
+// path ("-" selects stdout). Binaries call it on shutdown when -trace-out
+// is set; an empty path or nil recorder is a no-op.
+func DumpTraces(path string, rec *span.Recorder, logger *slog.Logger) {
+	if path == "" || rec == nil {
+		return
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			logger.Error("trace dump", slog.String("path", path), slog.Any("error", err))
+			return
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rec.DumpJSON(w); err != nil {
+		logger.Error("trace dump", slog.String("path", path), slog.Any("error", err))
+		return
+	}
+	logger.Info("trace dump written", slog.String("path", path))
 }
 
 // StartDebug serves the opt-in debug mux (net/http/pprof plus the runtime

@@ -2,12 +2,15 @@ package httpx
 
 import (
 	"bufio"
+	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"gobad/internal/obs"
+	"gobad/internal/obs/span"
 )
 
 // RequestIDHeader carries the per-request ID; inbound values are honored
@@ -30,6 +33,10 @@ type Observer struct {
 	Registry *obs.Registry
 	// HTTP is the per-route instrumentation Wrap feeds.
 	HTTP *obs.HTTPMetrics
+	// Traces records server spans into the process-local ring served at
+	// /v1/debug/traces. May be nil (propagation still works; nothing is
+	// recorded).
+	Traces *span.Recorder
 }
 
 // NewObserver builds an Observer with a fresh registry, HTTP metrics and
@@ -41,11 +48,14 @@ func NewObserver(service string, logger *slog.Logger) *Observer {
 	}
 	reg := obs.NewRegistry()
 	reg.MustRegister(obs.NewRuntimeCollector())
+	traces := span.NewRecorder(service)
+	reg.MustRegister(traces.Collector())
 	return &Observer{
 		Service:  service,
 		Logger:   obs.WrapLogger(logger),
 		Registry: reg,
 		HTTP:     obs.NewHTTPMetrics(reg),
+		Traces:   traces,
 	}
 }
 
@@ -64,18 +74,18 @@ func (o *Observer) Wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 
 		// Trace: continue the caller's trace when the header parses,
 		// otherwise become the root. Either way this server handles the
-		// request in a fresh child span.
-		sc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
-		if ok {
-			sc = sc.Child()
-		} else {
-			sc = obs.NewSpan()
+		// request in a fresh child span, recorded (when a recorder is
+		// configured) into the ring behind /v1/debug/traces.
+		ctx := r.Context()
+		if parent, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+			ctx = obs.ContextWithSpan(ctx, parent)
 		}
+		ctx, sp := o.Traces.Start(ctx, "http "+route)
+		sp.SetAttr("method", r.Method)
 		reqID := r.Header.Get(RequestIDHeader)
 		if reqID == "" {
 			reqID = obs.NewRequestID()
 		}
-		ctx := obs.ContextWithSpan(r.Context(), sc)
 		ctx = obs.ContextWithRequestID(ctx, reqID)
 		w.Header().Set(RequestIDHeader, reqID)
 
@@ -83,6 +93,11 @@ func (o *Observer) Wrap(route string, h http.HandlerFunc) http.HandlerFunc {
 		h(rec, r.WithContext(ctx))
 
 		status := rec.status()
+		sp.SetAttr("status", strconv.Itoa(status))
+		if status >= 500 {
+			sp.SetError(fmt.Errorf("http %d", status))
+		}
+		sp.End()
 		o.HTTP.Observe(route, r.Method, status, time.Since(start))
 		level := slog.LevelDebug
 		if status >= 500 {

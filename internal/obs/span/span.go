@@ -1,0 +1,529 @@
+// Package span turns the traceparent plumbing in internal/obs into a real
+// span subsystem: explicit start/end with parent links and attributes, a
+// bounded per-process ring of finished traces, and tail-based sampling
+// that always retains slow and error traces. It stays stdlib-only — the
+// module has zero dependencies and this package must keep it that way.
+//
+// The design is deliberately small. A Recorder buffers the spans of each
+// in-flight trace; when the last locally-open span of a trace ends, the
+// whole trace is either retained (error anywhere, total duration over the
+// slow threshold, or head-sampled from the trace ID) or discarded. A
+// process can therefore answer "show me the slow deliveries" from memory
+// without shipping every span to a backend.
+//
+// Every method on Recorder and Span is nil-receiver safe, so call sites
+// never need a guard: an unconfigured component pays one pointer test per
+// operation and records nothing.
+package span
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"gobad/internal/obs"
+)
+
+// Defaults for NewRecorder; override with the With* options.
+const (
+	// DefaultCapacity bounds the ring of retained (finished) traces.
+	DefaultCapacity = 256
+	// DefaultMaxActive bounds the number of in-flight traces buffered at
+	// once; beyond it the oldest active trace is dropped.
+	DefaultMaxActive = 1024
+	// DefaultMaxSpansPerTrace bounds one trace's span buffer so a
+	// runaway loop cannot hold the recorder's memory hostage.
+	DefaultMaxSpansPerTrace = 512
+	// DefaultSlowThreshold marks a trace slow (and therefore always
+	// retained) when its local wall-clock footprint reaches it.
+	DefaultSlowThreshold = 250 * time.Millisecond
+)
+
+// Record is one finished span as exported by /v1/debug/traces and
+// -trace-out.
+type Record struct {
+	TraceID    string            `json:"trace_id"`
+	SpanID     string            `json:"span_id"`
+	ParentID   string            `json:"parent_id,omitempty"`
+	Name       string            `json:"name"`
+	Service    string            `json:"service,omitempty"`
+	StartNano  int64             `json:"start_unix_nano"`
+	DurationNS int64             `json:"duration_ns"`
+	Error      string            `json:"error,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// Trace is a retained trace: every span this process recorded for one
+// trace ID, plus why the tail sampler kept it.
+type Trace struct {
+	TraceID string `json:"trace_id"`
+	// Reason is why the trace survived tail sampling: "error", "slow"
+	// or "sampled".
+	Reason string   `json:"reason"`
+	Spans  []Record `json:"spans"`
+}
+
+// Retention reasons, strongest first: an error anywhere in the trace wins
+// over slow, which wins over the head-sample decision.
+const (
+	ReasonError   = "error"
+	ReasonSlow    = "slow"
+	ReasonSampled = "sampled"
+)
+
+// traceBuf buffers the spans of one in-flight trace until its last
+// locally-open span ends.
+type traceBuf struct {
+	spans   []Record
+	open    int
+	dropped int // spans beyond maxSpansPerTrace
+}
+
+// Recorder collects spans into per-trace buffers and retains finished
+// traces in a bounded ring. The zero value is not usable; use NewRecorder.
+// A nil *Recorder is a valid no-op recorder.
+type Recorder struct {
+	service   string
+	slow      time.Duration
+	sampleBar uint64 // retain when trace ID low bits <= bar; 0 = never
+	capacity  int
+	maxActive int
+	maxSpans  int
+	now       func() time.Time
+
+	mu          sync.Mutex
+	active      map[[16]byte]*traceBuf
+	activeOrder [][16]byte // insertion order, for overflow eviction
+	ring        []Trace    // circular, len == capacity once full
+	ringNext    int
+
+	started   uint64 // spans started
+	retained  uint64 // traces kept by the tail sampler
+	discarded uint64 // traces finished but not kept
+	dropped   uint64 // spans lost to buffer bounds
+}
+
+// Option configures a Recorder.
+type Option func(*Recorder)
+
+// WithCapacity bounds the ring of retained traces (n <= 0 keeps the
+// default).
+func WithCapacity(n int) Option {
+	return func(r *Recorder) {
+		if n > 0 {
+			r.capacity = n
+		}
+	}
+}
+
+// WithMaxActive bounds the number of in-flight traces buffered at once.
+func WithMaxActive(n int) Option {
+	return func(r *Recorder) {
+		if n > 0 {
+			r.maxActive = n
+		}
+	}
+}
+
+// WithSampleRatio sets the head-sample fraction of ordinary traces (no
+// error, under the slow threshold) that the tail sampler retains. The
+// decision is deterministic in the trace ID, so every process keeps the
+// same subset of a shared trace. 0 keeps only slow and error traces; 1
+// (the default) keeps everything the ring can hold.
+func WithSampleRatio(f float64) Option {
+	return func(r *Recorder) { r.sampleBar = sampleBar(f) }
+}
+
+// WithSlowThreshold sets the trace duration at which a trace is always
+// retained regardless of the sample ratio. d <= 0 disables the slow
+// check.
+func WithSlowThreshold(d time.Duration) Option {
+	return func(r *Recorder) { r.slow = d }
+}
+
+// withClock overrides the wall clock (tests).
+func withClock(now func() time.Time) Option {
+	return func(r *Recorder) { r.now = now }
+}
+
+func sampleBar(f float64) uint64 {
+	switch {
+	case f <= 0:
+		return 0
+	case f >= 1:
+		return math.MaxUint64
+	default:
+		return uint64(f * float64(math.MaxUint64))
+	}
+}
+
+// NewRecorder builds a Recorder whose exported spans carry service as
+// their service name.
+func NewRecorder(service string, opts ...Option) *Recorder {
+	r := &Recorder{
+		service:   service,
+		slow:      DefaultSlowThreshold,
+		sampleBar: sampleBar(1),
+		capacity:  DefaultCapacity,
+		maxActive: DefaultMaxActive,
+		maxSpans:  DefaultMaxSpansPerTrace,
+		now:       time.Now,
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	r.active = make(map[[16]byte]*traceBuf)
+	return r
+}
+
+// Span is one in-flight span. Mutate it (SetAttr, SetError, SetName) only
+// from the goroutine that started it, then End it exactly once. A nil
+// *Span is a valid no-op.
+type Span struct {
+	rec       *Recorder
+	sc        obs.SpanContext
+	parent    [8]byte
+	hasParent bool
+	name      string
+	start     time.Time
+	attrs     map[string]string
+	errMsg    string
+	ended     bool
+}
+
+// Start begins a span named name as a child of the span context carried
+// by ctx (minting a new root trace when ctx has none) and returns ctx
+// with the new span installed, so logging and outbound HTTP pick it up.
+// On a nil Recorder the context wiring still happens — trace propagation
+// works without recording — and the returned *Span is nil.
+func (r *Recorder) Start(ctx context.Context, name string) (context.Context, *Span) {
+	var sc obs.SpanContext
+	var parent [8]byte
+	hasParent := false
+	if p, ok := obs.SpanFromContext(ctx); ok {
+		sc = p.Child()
+		parent = p.SpanID
+		hasParent = true
+	} else {
+		sc = obs.NewSpan()
+	}
+	return r.startWith(ctx, name, sc, parent, hasParent)
+}
+
+// StartRoot begins a span in a brand-new trace, ignoring any span context
+// already in ctx. Resumed sessions use it so post-failover deliveries do
+// not inherit a dead broker's trace.
+func (r *Recorder) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	return r.startWith(ctx, name, obs.NewSpan(), [8]byte{}, false)
+}
+
+func (r *Recorder) startWith(ctx context.Context, name string, sc obs.SpanContext, parent [8]byte, hasParent bool) (context.Context, *Span) {
+	ctx = obs.ContextWithSpan(ctx, sc)
+	if r == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		rec:       r,
+		sc:        sc,
+		parent:    parent,
+		hasParent: hasParent,
+		name:      name,
+		start:     r.now(),
+	}
+	r.mu.Lock()
+	r.started++
+	tb := r.active[sc.TraceID]
+	if tb == nil {
+		if len(r.activeOrder) >= r.maxActive {
+			oldest := r.activeOrder[0]
+			r.activeOrder = r.activeOrder[1:]
+			if ob := r.active[oldest]; ob != nil {
+				r.dropped += uint64(len(ob.spans) + ob.open)
+			}
+			delete(r.active, oldest)
+		}
+		tb = &traceBuf{}
+		r.active[sc.TraceID] = tb
+		r.activeOrder = append(r.activeOrder, sc.TraceID)
+	}
+	tb.open++
+	r.mu.Unlock()
+	return ctx, s
+}
+
+// Context returns the span's context (zero for a nil span).
+func (s *Span) Context() obs.SpanContext {
+	if s == nil {
+		return obs.SpanContext{}
+	}
+	return s.sc
+}
+
+// SetAttr attaches a key/value attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil || s.ended {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+}
+
+// SetName renames the span; cache-resolution spans use it once the
+// outcome (local hit, peer hop, ...) is known.
+func (s *Span) SetName(name string) {
+	if s == nil || s.ended {
+		return
+	}
+	s.name = name
+}
+
+// SetError marks the span failed; the whole trace is then always
+// retained. A nil err is ignored.
+func (s *Span) SetError(err error) {
+	if s == nil || s.ended || err == nil {
+		return
+	}
+	s.errMsg = err.Error()
+}
+
+// End finishes the span and, if it was the trace's last locally-open
+// span, runs the tail-sampling decision for the whole trace. End is
+// idempotent.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	r := s.rec
+	end := r.now()
+	rec := Record{
+		TraceID:    s.sc.TraceIDString(),
+		SpanID:     s.sc.SpanIDString(),
+		Name:       s.name,
+		Service:    r.service,
+		StartNano:  s.start.UnixNano(),
+		DurationNS: end.Sub(s.start).Nanoseconds(),
+		Error:      s.errMsg,
+		Attrs:      s.attrs,
+	}
+	if s.hasParent {
+		var psc obs.SpanContext
+		psc.SpanID = s.parent
+		rec.ParentID = psc.SpanIDString()
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tb := r.active[s.sc.TraceID]
+	if tb == nil {
+		// The trace buffer was evicted while this span was open; the
+		// span is lost, which the dropped counter already accounts for.
+		return
+	}
+	if len(tb.spans) < r.maxSpans {
+		tb.spans = append(tb.spans, rec)
+	} else {
+		tb.dropped++
+		r.dropped++
+	}
+	tb.open--
+	if tb.open > 0 {
+		return
+	}
+	delete(r.active, s.sc.TraceID)
+	for i, id := range r.activeOrder {
+		if id == s.sc.TraceID {
+			r.activeOrder = append(r.activeOrder[:i], r.activeOrder[i+1:]...)
+			break
+		}
+	}
+	r.finalizeLocked(s.sc.TraceID, tb)
+}
+
+// finalizeLocked decides retention for a finished trace. Caller holds
+// r.mu.
+func (r *Recorder) finalizeLocked(id [16]byte, tb *traceBuf) {
+	reason := ""
+	var minStart, maxEnd int64
+	for i, sp := range tb.spans {
+		if sp.Error != "" {
+			reason = ReasonError
+		}
+		if i == 0 || sp.StartNano < minStart {
+			minStart = sp.StartNano
+		}
+		if e := sp.StartNano + sp.DurationNS; i == 0 || e > maxEnd {
+			maxEnd = e
+		}
+	}
+	if reason == "" && r.slow > 0 && len(tb.spans) > 0 &&
+		time.Duration(maxEnd-minStart) >= r.slow {
+		reason = ReasonSlow
+	}
+	if reason == "" && r.sampleBar > 0 &&
+		binary.BigEndian.Uint64(id[8:]) <= r.sampleBar {
+		reason = ReasonSampled
+	}
+	if reason == "" || len(tb.spans) == 0 {
+		r.discarded++
+		return
+	}
+	r.retained++
+	t := Trace{TraceID: tb.spans[0].TraceID, Reason: reason, Spans: tb.spans}
+	if len(r.ring) < r.capacity {
+		r.ring = append(r.ring, t)
+		r.ringNext = len(r.ring) % r.capacity
+		return
+	}
+	r.ring[r.ringNext] = t
+	r.ringNext = (r.ringNext + 1) % r.capacity
+}
+
+// Snapshot returns the retained traces, oldest first, with entries for
+// the same trace ID (a trace can finalize more than once when separate
+// request legs touch this process at different times) merged: spans
+// concatenated and sorted by start time, the strongest reason kept.
+func (r *Recorder) Snapshot() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ordered := make([]Trace, 0, len(r.ring))
+	if len(r.ring) == r.capacity {
+		ordered = append(ordered, r.ring[r.ringNext:]...)
+		ordered = append(ordered, r.ring[:r.ringNext]...)
+	} else {
+		ordered = append(ordered, r.ring...)
+	}
+	r.mu.Unlock()
+
+	byID := make(map[string]int, len(ordered))
+	out := make([]Trace, 0, len(ordered))
+	for _, t := range ordered {
+		if i, ok := byID[t.TraceID]; ok {
+			merged := out[i]
+			merged.Spans = append(append([]Record{}, merged.Spans...), t.Spans...)
+			if reasonRank(t.Reason) > reasonRank(merged.Reason) {
+				merged.Reason = t.Reason
+			}
+			out[i] = merged
+			continue
+		}
+		byID[t.TraceID] = len(out)
+		cp := t
+		cp.Spans = append([]Record{}, t.Spans...)
+		out = append(out, cp)
+	}
+	for i := range out {
+		sort.SliceStable(out[i].Spans, func(a, b int) bool {
+			return out[i].Spans[a].StartNano < out[i].Spans[b].StartNano
+		})
+	}
+	return out
+}
+
+func reasonRank(r string) int {
+	switch r {
+	case ReasonError:
+		return 3
+	case ReasonSlow:
+		return 2
+	case ReasonSampled:
+		return 1
+	}
+	return 0
+}
+
+// Export is the JSON document served by /v1/debug/traces and written by
+// -trace-out.
+type Export struct {
+	Service        string  `json:"service"`
+	SpansStarted   uint64  `json:"spans_started"`
+	TracesRetained uint64  `json:"traces_retained"`
+	TracesDropped  uint64  `json:"traces_discarded"`
+	SpansDropped   uint64  `json:"spans_dropped"`
+	Traces         []Trace `json:"traces"`
+}
+
+// export builds the JSON payload.
+func (r *Recorder) export() Export {
+	if r == nil {
+		return Export{Traces: []Trace{}}
+	}
+	traces := r.Snapshot()
+	r.mu.Lock()
+	e := Export{
+		Service:        r.service,
+		SpansStarted:   r.started,
+		TracesRetained: r.retained,
+		TracesDropped:  r.discarded,
+		SpansDropped:   r.dropped,
+		Traces:         traces,
+	}
+	r.mu.Unlock()
+	if e.Traces == nil {
+		e.Traces = []Trace{}
+	}
+	return e
+}
+
+// DumpJSON writes the retained traces as an indented JSON document (the
+// -trace-out format).
+func (r *Recorder) DumpJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.export())
+}
+
+// Handler serves GET /v1/debug/traces. A nil Recorder serves an empty
+// document, so the route can be registered unconditionally.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.DumpJSON(w)
+	})
+}
+
+// Collector exposes the recorder's health counters on /metrics.
+func (r *Recorder) Collector() obs.Collector {
+	return obs.CollectorFunc(func(emit func(obs.Family)) {
+		if r == nil {
+			return
+		}
+		r.mu.Lock()
+		started, retained, discarded, dropped := r.started, r.retained, r.discarded, r.dropped
+		r.mu.Unlock()
+		emit(obs.Family{Name: "bad_trace_spans_started_total", Help: "Spans started by the in-process recorder.",
+			Type: obs.CounterType, Points: []obs.Point{{Value: float64(started)}}})
+		emit(obs.Family{Name: "bad_traces_retained_total", Help: "Traces kept by the tail sampler (error, slow, or head-sampled).",
+			Type: obs.CounterType, Points: []obs.Point{{Value: float64(retained)}}})
+		emit(obs.Family{Name: "bad_traces_discarded_total", Help: "Traces finished but discarded by the tail sampler.",
+			Type: obs.CounterType, Points: []obs.Point{{Value: float64(discarded)}}})
+		emit(obs.Family{Name: "bad_trace_spans_dropped_total", Help: "Spans lost to recorder buffer bounds.",
+			Type: obs.CounterType, Points: []obs.Point{{Value: float64(dropped)}}})
+	})
+}
+
+// ErrNotFound reports a trace ID absent from the ring (used by tests and
+// Lookup callers).
+var ErrNotFound = errors.New("span: trace not found")
+
+// Lookup returns the retained trace with the given hex trace ID.
+func (r *Recorder) Lookup(traceID string) (Trace, error) {
+	for _, t := range r.Snapshot() {
+		if t.TraceID == traceID {
+			return t, nil
+		}
+	}
+	return Trace{}, fmt.Errorf("%w: %s", ErrNotFound, traceID)
+}

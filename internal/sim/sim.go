@@ -13,6 +13,7 @@ import (
 	"gobad/internal/faults"
 	"gobad/internal/metrics"
 	"gobad/internal/obs"
+	"gobad/internal/obs/span"
 	"gobad/internal/workload"
 )
 
@@ -76,6 +77,10 @@ type simulator struct {
 	managers []*core.Manager
 	stats    *metrics.CacheStats
 	injector *faults.Injector // nil without a fault plan
+	// stageHist decomposes each modelled retrieval into the same
+	// bad_delivery_latency_seconds stages the live brokers emit, so
+	// simulated and live expositions are directly comparable.
+	stageHist *obs.HistogramVec
 
 	// cacheOwner[i] is the broker whose cache HRW owns backend
 	// subscription i; subHome[k] is subscriber k's HRW home broker.
@@ -149,6 +154,7 @@ func Run(cfg Config) (Result, error) {
 		onoffRng:   rand.New(rand.NewSource(workload.DeriveSeed(cfg.Seed, "onoff", 0))),
 		attachRng:  rand.New(rand.NewSource(workload.DeriveSeed(cfg.Seed, "attach", 0))),
 		stats:      &metrics.CacheStats{},
+		stageHist:  span.NewDeliveryHistogram(),
 	}
 	var fetcher core.Fetcher = core.FetcherFunc(s.fetch)
 	if cfg.FaultPlan != nil {
@@ -208,6 +214,7 @@ func (s *simulator) writeExposition(w io.Writer) error {
 	// the first broker's manager and the remaining brokers are summarized by
 	// the shared cache-stats bundle above.
 	reg.MustRegister(obs.NewManagerCollector(s.managers[0]))
+	reg.MustRegister(s.stageHist)
 	return reg.WriteText(w)
 }
 
@@ -424,13 +431,31 @@ func (s *simulator) handleRetrieve(k, i int32) {
 			missed += o.Size
 		}
 	}
-	latency := s.cfg.BrokerSubRTT.Seconds() + float64(total)/s.cfg.BrokerSubBW
+	// The modelled latency decomposes into the live brokers' delivery
+	// stages: the broker→subscriber link is the ws_write leg, the cluster
+	// portion the broker_pull leg and the sibling portion the peer_lookup
+	// leg; the total is the retrieve stage, labeled with the same cache
+	// outcome the live path derives.
+	linkLat := s.cfg.BrokerSubRTT.Seconds() + float64(total)/s.cfg.BrokerSubBW
+	latency := linkLat
+	s.stageHist.With(span.StageWSWrite, span.OutcomeNone).Observe(linkLat)
+	outcome := span.OutcomeLocalHit
 	if missed > 0 {
-		latency += s.cfg.BrokerClusterRTT.Seconds() + float64(missed)/s.cfg.BrokerClusterBW
+		clusterLat := s.cfg.BrokerClusterRTT.Seconds() + float64(missed)/s.cfg.BrokerClusterBW
+		latency += clusterLat
+		s.stageHist.With(span.StageBrokerPull, span.OutcomeNone).Observe(clusterLat)
+		outcome = span.OutcomeClusterFetch
 	}
 	if peered > 0 {
-		latency += s.cfg.BrokerPeerRTT.Seconds() + float64(peered)/s.cfg.BrokerPeerBW
+		peerLat := s.cfg.BrokerPeerRTT.Seconds() + float64(peered)/s.cfg.BrokerPeerBW
+		latency += peerLat
+		s.stageHist.With(span.StagePeerLookup, span.OutcomeNone).Observe(peerLat)
+		outcome = span.OutcomePeerHop
 	}
+	if info.Stale {
+		outcome = span.OutcomeStaleServe
+	}
+	s.stageHist.With(span.StageRetrieve, outcome).Observe(latency)
 	s.stats.Latency.Observe(latency)
 	s.stats.LatencySamples.Observe(latency)
 	s.stats.Delivered.Add(float64(len(objs)))
