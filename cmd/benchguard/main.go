@@ -1,16 +1,25 @@
-// Command benchguard compares `go test -bench` output on stdin against a
-// committed baseline (BENCH_fanout.json) and fails when a guarded
-// benchmark's ns/op regressed beyond the tolerance. It is the CI smoke
-// guard keeping the traced fan-out path within noise of the untraced
-// baseline (see `make bench-guard`).
+// Command benchguard compares benchmark results against committed
+// baselines (BENCH_fanout.json, BENCH_soak.json) and fails when any
+// guarded metric regressed beyond its tolerance. It is the CI guard that
+// keeps the fan-out hot path and the session-hub soak numbers honest (see
+// `make bench-guard`).
 //
-// Usage:
+// Each -guard flag declares one guarded benchmark:
 //
-//	go test -bench BenchmarkFanout -run '^$' ./internal/broker/ | \
-//	    benchguard -baseline BENCH_fanout.json -bench BenchmarkFanout -tolerance 0.05
+//	-guard 'baseline=BENCH_fanout.json;bench=BenchmarkFanout;source=stdin;metrics=ns/op:0.05,allocs/op:0.10'
+//	-guard 'baseline=BENCH_soak.json;bench=Soak/sessions=10000;source=.soak_check.json;metrics=p99-dispatch-ns:0.50'
 //
-// A missing baseline entry or benchmark line is an error: a guard that
-// silently guards nothing is worse than no guard.
+// source=stdin parses `go test -bench` output from standard input
+// (best-of-N per metric when -count>1, damping scheduler noise without
+// hiding a real regression); any other source is a benchjson report file,
+// e.g. a fresh cmd/badsoak run. metrics lists metric:tolerance pairs,
+// where tolerance is the allowed fractional increase over the baseline
+// (all guarded metrics are lower-is-better).
+//
+// Every guard is evaluated and every metric printed as a diff row before
+// the verdict, so one run shows the full picture instead of stopping at
+// the first mismatch. A missing baseline entry, metric or result is a
+// failure: a guard that silently guards nothing is worse than no guard.
 package main
 
 import (
@@ -32,89 +41,258 @@ type report struct {
 	Benchmarks []benchmark `json:"benchmarks"`
 }
 
-func main() {
-	baselinePath := flag.String("baseline", "BENCH_fanout.json", "baseline JSON (benchjson format)")
-	benchName := flag.String("bench", "BenchmarkFanout", "benchmark name to guard")
-	tolerance := flag.Float64("tolerance", 0.05, "allowed fractional ns/op regression over the baseline")
-	flag.Parse()
+// guard is one parsed -guard spec.
+type guard struct {
+	baseline string
+	bench    string
+	source   string // "stdin" or a benchjson report path
+	metrics  []metricSpec
+}
 
-	if err := run(*baselinePath, *benchName, *tolerance); err != nil {
-		fmt.Fprintln(os.Stderr, "benchguard:", err)
+type metricSpec struct {
+	name      string
+	tolerance float64
+}
+
+// row is one evaluated metric comparison.
+type row struct {
+	bench     string
+	metric    string
+	current   float64
+	baseline  float64
+	tolerance float64
+	err       string // non-empty when the metric could not be resolved
+}
+
+func (r row) delta() float64 { return r.current/r.baseline - 1 }
+
+func (r row) failed() bool {
+	if r.err != "" {
+		return true
+	}
+	if r.baseline <= 0 {
+		// A zero baseline (e.g. 0 allocs/op) makes a ratio meaningless;
+		// the tolerance is read as an absolute allowance instead.
+		return r.current > r.tolerance
+	}
+	return r.delta() > r.tolerance
+}
+
+func main() {
+	var specs []string
+	flag.Func("guard", "guard spec: baseline=FILE;bench=NAME;source=stdin|FILE;metrics=name:tol,...  (repeatable)", func(s string) error {
+		specs = append(specs, s)
+		return nil
+	})
+	flag.Parse()
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no -guard specs given")
+		os.Exit(2)
+	}
+
+	guards := make([]guard, 0, len(specs))
+	needStdin := false
+	for _, s := range specs {
+		g, err := parseGuard(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(2)
+		}
+		if g.source == "stdin" {
+			needStdin = true
+		}
+		guards = append(guards, g)
+	}
+
+	var stdinResults map[string]map[string]float64
+	if needStdin {
+		var err error
+		stdinResults, err = parseBenchOutput(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard: reading stdin:", err)
+			os.Exit(1)
+		}
+	}
+
+	var rows []row
+	for _, g := range guards {
+		rows = append(rows, evaluate(g, stdinResults)...)
+	}
+
+	printTable(rows)
+	failures := 0
+	for _, r := range rows {
+		if r.failed() {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d metric(s) regressed or unresolved\n", failures)
 		os.Exit(1)
 	}
+	fmt.Printf("benchguard: all %d metric(s) within tolerance\n", len(rows))
 }
 
-func run(baselinePath, benchName string, tolerance float64) error {
-	raw, err := os.ReadFile(baselinePath)
-	if err != nil {
-		return err
-	}
-	var base report
-	if err := json.Unmarshal(raw, &base); err != nil {
-		return fmt.Errorf("parse %s: %w", baselinePath, err)
-	}
-	want := -1.0
-	for _, b := range base.Benchmarks {
-		if b.Name == benchName {
-			want = b.Metrics["ns/op"]
-		}
-	}
-	if want <= 0 {
-		return fmt.Errorf("%s has no ns/op entry for %s", baselinePath, benchName)
-	}
-
-	// Best-of-N: with -count>1 on stdin the fastest run is compared, which
-	// damps scheduler noise without hiding a real per-op regression.
-	got := -1.0
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if !strings.HasPrefix(line, benchName) {
+// parseGuard parses one -guard spec. Fields are ';'-separated key=value
+// pairs (split on the first '=', so bench names may contain '=').
+func parseGuard(spec string) (guard, error) {
+	g := guard{source: "stdin"}
+	for _, field := range strings.Split(spec, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
 			continue
 		}
-		if v, ok := parseNsPerOp(line, benchName); ok && (got < 0 || v < got) {
-			got = v
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return g, fmt.Errorf("bad guard field %q (want key=value)", field)
+		}
+		switch key {
+		case "baseline":
+			g.baseline = val
+		case "bench":
+			g.bench = val
+		case "source":
+			g.source = val
+		case "metrics":
+			for _, m := range strings.Split(val, ",") {
+				name, tol, ok := strings.Cut(strings.TrimSpace(m), ":")
+				if !ok {
+					return g, fmt.Errorf("bad metric spec %q (want name:tolerance)", m)
+				}
+				t, err := strconv.ParseFloat(tol, 64)
+				if err != nil || t < 0 {
+					return g, fmt.Errorf("bad tolerance in %q", m)
+				}
+				g.metrics = append(g.metrics, metricSpec{name: name, tolerance: t})
+			}
+		default:
+			return g, fmt.Errorf("unknown guard field %q", key)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return err
+	if g.baseline == "" || g.bench == "" || len(g.metrics) == 0 {
+		return g, fmt.Errorf("guard %q needs baseline=, bench= and metrics=", spec)
 	}
-	if got <= 0 {
-		return fmt.Errorf("no %s result line on stdin", benchName)
-	}
-
-	ratio := got/want - 1
-	if ratio > tolerance {
-		return fmt.Errorf("%s regressed: %.0f ns/op vs baseline %.0f (%+.1f%% > %.1f%% tolerance)",
-			benchName, got, want, ratio*100, tolerance*100)
-	}
-	fmt.Printf("benchguard: %s ok: %.0f ns/op vs baseline %.0f (%+.1f%%, tolerance %.1f%%)\n",
-		benchName, got, want, ratio*100, tolerance*100)
-	return nil
+	return g, nil
 }
 
-// parseNsPerOp extracts the ns/op value from one benchmark result line,
-// matching the exact name (modulo the -GOMAXPROCS suffix).
-func parseNsPerOp(line, benchName string) (float64, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return 0, false
-	}
-	name := fields[0]
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
+// evaluate resolves one guard's baseline and current values into rows,
+// one per guarded metric. Resolution failures become failing rows rather
+// than aborting, so the final table is complete.
+func evaluate(g guard, stdinResults map[string]map[string]float64) []row {
+	rows := make([]row, 0, len(g.metrics))
+	base, baseErr := loadBench(g.baseline, g.bench)
+
+	var cur map[string]float64
+	var curErr string
+	if g.source == "stdin" {
+		cur = stdinResults[g.bench]
+		if cur == nil {
+			curErr = "no result line on stdin"
+		}
+	} else {
+		var err error
+		cur, err = loadBench(g.source, g.bench)
+		if err != nil {
+			curErr = err.Error()
 		}
 	}
-	if name != benchName {
-		return 0, false
+
+	for _, m := range g.metrics {
+		r := row{bench: g.bench, metric: m.name, tolerance: m.tolerance}
+		switch {
+		case baseErr != nil:
+			r.err = baseErr.Error()
+		case curErr != "":
+			r.err = curErr
+		default:
+			var ok bool
+			if r.baseline, ok = base[m.name]; !ok {
+				r.err = fmt.Sprintf("baseline %s has no %q metric", g.baseline, m.name)
+			} else if r.current, ok = cur[m.name]; !ok {
+				r.err = fmt.Sprintf("current result has no %q metric", m.name)
+			}
+		}
+		rows = append(rows, r)
 	}
-	for i := 2; i+1 < len(fields); i += 2 {
-		if fields[i+1] == "ns/op" {
+	return rows
+}
+
+// loadBench reads one benchmark's metrics from a benchjson report file.
+func loadBench(path, bench string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Name == bench {
+			return b.Metrics, nil
+		}
+	}
+	return nil, fmt.Errorf("%s has no entry for %s", path, bench)
+}
+
+// parseBenchOutput scans `go test -bench` text and returns, per benchmark
+// name (modulo the -GOMAXPROCS suffix), the minimum observed value of each
+// reported metric — best-of-N when -count>1.
+func parseBenchOutput(f *os.File) (map[string]map[string]float64, error) {
+	out := map[string]map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(strings.TrimSpace(sc.Text()))
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := out[name]
+		if m == nil {
+			m = map[string]float64{}
+			out[name] = m
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
-			return v, err == nil
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if prev, ok := m[unit]; !ok || v < prev {
+				m[unit] = v
+			}
 		}
 	}
-	return 0, false
+	return out, sc.Err()
+}
+
+// printTable renders every evaluated metric as one diff row.
+func printTable(rows []row) {
+	fmt.Printf("%-28s %-20s %14s %14s %9s %9s  %s\n",
+		"benchmark", "metric", "current", "baseline", "delta", "tol", "status")
+	for _, r := range rows {
+		if r.err != "" {
+			fmt.Printf("%-28s %-20s %14s %14s %9s %9s  FAIL (%s)\n",
+				r.bench, r.metric, "-", "-", "-", "-", r.err)
+			continue
+		}
+		status := "ok"
+		if r.failed() {
+			status = "FAIL"
+		}
+		if r.baseline <= 0 {
+			fmt.Printf("%-28s %-20s %14.1f %14.1f %9s %9.1f  %s (absolute)\n",
+				r.bench, r.metric, r.current, r.baseline, "-", r.tolerance, status)
+			continue
+		}
+		fmt.Printf("%-28s %-20s %14.1f %14.1f %+8.1f%% %8.1f%%  %s\n",
+			r.bench, r.metric, r.current, r.baseline, r.delta()*100, r.tolerance*100, status)
+	}
 }

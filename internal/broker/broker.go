@@ -29,6 +29,7 @@ import (
 	"gobad/internal/metrics"
 	"gobad/internal/obs"
 	"gobad/internal/obs/span"
+	"gobad/internal/wsock"
 )
 
 // Backend is the data cluster abstraction the broker consumes (Section
@@ -106,6 +107,16 @@ type Config struct {
 	// <= 0 selects DefaultPushQueue. Markers beyond the bound evict the
 	// oldest pending one (latest-wins, recoverable via GetResults).
 	PushQueue int
+	// PushWriters sizes the shared pool of writer goroutines that drains
+	// session push queues; <= 0 selects a GOMAXPROCS-derived default. The
+	// pool is what keeps a million sessions from meaning a million
+	// goroutines.
+	PushWriters int
+	// PushWriteTimeout bounds one pooled writer's socket write so a
+	// stalled subscriber cannot pin a shared writer; <= 0 selects
+	// DefaultPushWriteTimeout. Past the deadline the write fails and the
+	// session is dropped (the client reconnects and catches up).
+	PushWriteTimeout time.Duration
 	// Fabric connects the broker to the cooperative edge fabric: HRW
 	// placement, session rebalance and broker-to-broker peer lookup on
 	// cache misses. nil runs the broker standalone.
@@ -134,6 +145,11 @@ type Broker struct {
 	// key (FabricKey), the identity peer brokers address caches with.
 	byFabric map[string]*backendSub
 	frontend map[string]*frontendSub
+	// subIndex maps subscriber -> backend subscription id -> frontend
+	// subscription id: the subscriber's interest set, read once when its
+	// WebSocket attaches so the session hub can index the session under
+	// each backend-subscription key.
+	subIndex map[string]map[string]string
 	fsSeq    uint64
 
 	sessions *sessionHub
@@ -235,11 +251,18 @@ func New(cfg Config, opts ...Option) (*Broker, error) {
 		backendByID: make(map[string]*backendSub),
 		byFabric:    make(map[string]*backendSub),
 		frontend:    make(map[string]*frontendSub),
+		subIndex:    make(map[string]map[string]string),
 		log:         obs.WrapLogger(cfg.Logger),
 		slowFetch:   cfg.SlowFetchThreshold,
 		failover:    &obs.FailoverStats{},
 	}
 	b.sessions = newSessionHub(cfg.PushQueue, &b.stats.Delivered, b.log)
+	if cfg.PushWriters > 0 {
+		b.sessions.writers = cfg.PushWriters
+	}
+	if cfg.PushWriteTimeout > 0 {
+		b.sessions.writeTimeout = cfg.PushWriteTimeout
+	}
 	if cfg.Fabric != nil {
 		b.fabric = newFabric(b, *cfg.Fabric)
 	}
@@ -293,6 +316,44 @@ func (b *Broker) Drain(ctx context.Context, successor string) int {
 	b.failover.DrainMigrated.Add(uint64(n))
 	return n
 }
+
+// AttachSession registers a subscriber's WebSocket connection with the
+// push hub and indexes it under the subscriber's current subscriptions
+// (the hub's interest index is what broadcast resolves audiences from).
+// Any previous session of the same subscriber is closed. It reports false
+// while the broker is draining: the connection is closed immediately with
+// a migrate frame naming the successor.
+func (b *Broker) AttachSession(subscriber string, conn *wsock.Conn) bool {
+	if !b.sessions.attach(subscriber, conn, nil) {
+		return false
+	}
+	// Index the session under the subscriber's interests. Ordering with a
+	// concurrent Subscribe is safe in both directions: a Subscribe that
+	// updated subIndex before this read is included here, one that updates
+	// it after necessarily finds the session attached and registers it
+	// itself (register is idempotent).
+	b.mu.Lock()
+	interests := make(map[string]string, len(b.subIndex[subscriber]))
+	for bsID, fsID := range b.subIndex[subscriber] {
+		interests[bsID] = fsID
+	}
+	b.mu.Unlock()
+	for bsID, fsID := range interests {
+		b.sessions.register(subscriber, bsID, fsID)
+	}
+	return true
+}
+
+// DetachSession removes the subscriber's session if it still owns conn
+// (a newer attach replaces the session; the old reader's detach must not
+// tear the new one down).
+func (b *Broker) DetachSession(subscriber string, conn *wsock.Conn) {
+	b.sessions.detach(subscriber, conn)
+}
+
+// Online reports whether the subscriber currently has a live WebSocket
+// session on this broker.
+func (b *Broker) Online(subscriber string) bool { return b.sessions.online(subscriber) }
 
 // Manager exposes the cache manager (experiments and operational
 // endpoints).
@@ -452,8 +513,17 @@ func (b *Broker) SubscribeResume(ctx context.Context, subscriber, channel string
 	b.frontend[fs.id] = fs
 	bs.refs++
 	bs.attached[subscriber] = fs.id
+	si := b.subIndex[subscriber]
+	if si == nil {
+		si = make(map[string]string, 1)
+		b.subIndex[subscriber] = si
+	}
+	si[bs.id] = fs.id
 	b.mu.Unlock()
 
+	// Index an already-online session under the new interest so pushes
+	// reach it without a reconnect (no-op while the subscriber is offline).
+	b.sessions.register(subscriber, bs.id, fs.id)
 	b.manager.Subscribe(bs.id, subscriber, now)
 	if resume >= 0 {
 		b.finishResume(ctx, bs, fs.id)
@@ -484,7 +554,11 @@ func (b *Broker) finishResume(ctx context.Context, bs *backendSub, fsID string) 
 	if pending {
 		// A live notification racing the backfill can duplicate this push;
 		// harmless — GetResults over (fts, bts] is idempotent.
-		b.fanout(ctx, bs.id, map[string]string{sub: fsID}, latest)
+		if b.push != nil {
+			b.fanout(ctx, bs.id, map[string]string{sub: fsID}, latest)
+		} else {
+			b.sessions.broadcastTo(ctx, bs.id, sub, fsID, int64(latest))
+		}
 	}
 }
 
@@ -556,6 +630,12 @@ func (b *Broker) Unsubscribe(subscriber, fsID string) error {
 	delete(b.frontend, fsID)
 	bs := fs.bs
 	delete(bs.attached, subscriber)
+	if si := b.subIndex[subscriber]; si != nil {
+		delete(si, bs.id)
+		if len(si) == 0 {
+			delete(b.subIndex, subscriber)
+		}
+	}
 	bs.refs--
 	last := bs.refs == 0
 	if last {
@@ -565,6 +645,7 @@ func (b *Broker) Unsubscribe(subscriber, fsID string) error {
 	}
 	b.mu.Unlock()
 
+	b.sessions.deregister(subscriber, bs.id)
 	b.manager.Unsubscribe(bs.id, subscriber, now)
 	if last {
 		b.manager.DropCache(bs.id, now)
@@ -810,22 +891,37 @@ func (b *Broker) HandleNotificationContext(ctx context.Context, backendSubID str
 	if latest > bs.bts {
 		bs.bts = latest
 	}
-	notifyList := make(map[string]string, len(bs.attached)) // subscriber -> fs
-	for sub, fsID := range bs.attached {
-		notifyList[sub] = fsID
-	}
+	notifyList := b.notifyTargets(bs)
 	b.mu.Unlock()
 
 	b.fanout(ctx, backendSubID, notifyList, latest)
 	return nil
 }
 
+// notifyTargets snapshots bs.attached (subscriber -> frontend sub) for the
+// synchronous push-func delivery path. The WebSocket path resolves its
+// audience from the session hub's interest index instead, so when no
+// push-func is installed the per-event copy is skipped entirely. Called
+// with b.mu held.
+func (b *Broker) notifyTargets(bs *backendSub) map[string]string {
+	if b.push == nil {
+		return nil
+	}
+	targets := make(map[string]string, len(bs.attached))
+	for sub, fsID := range bs.attached {
+		targets[sub] = fsID
+	}
+	return targets
+}
+
 // fanout pushes one "new results" event to the attached subscribers. On
-// the WebSocket path the payload is encoded once per event and enqueued
-// onto the online sessions' outbound queues without blocking — delivery
-// (and the Delivered counter) happens on the sessions' writer goroutines.
-// A push-func override (experiments) keeps the synchronous per-subscriber
-// form.
+// the WebSocket path the audience is resolved inside the session hub by
+// its interest index — one map lookup keyed by the backend subscription,
+// no per-event copy of the attached set — the payload is encoded once per
+// event, and enqueueing never blocks; delivery (and the Delivered counter)
+// happens on the hub's pooled writer goroutines. A push-func override
+// (experiments) keeps the synchronous per-subscriber form and is the only
+// consumer of targets; the WebSocket path ignores it (callers pass nil).
 func (b *Broker) fanout(ctx context.Context, backendSubID string, targets map[string]string, latest time.Duration) {
 	if b.push != nil {
 		for sub, fsID := range targets {
@@ -839,7 +935,7 @@ func (b *Broker) fanout(ctx context.Context, backendSubID string, targets map[st
 		}
 		return
 	}
-	b.sessions.broadcast(ctx, backendSubID, targets, int64(latest))
+	b.sessions.broadcast(ctx, backendSubID, int64(latest))
 }
 
 // SetPushFunc overrides notification delivery; the experiment rigs use it
@@ -919,10 +1015,7 @@ func (b *Broker) HandlePushedResultContext(ctx context.Context, backendSubID str
 	if r.Timestamp > bs.bts {
 		bs.bts = r.Timestamp
 	}
-	notifyList := make(map[string]string, len(bs.attached))
-	for sub, fsID := range bs.attached {
-		notifyList[sub] = fsID
-	}
+	notifyList := b.notifyTargets(bs)
 	b.mu.Unlock()
 
 	b.fanout(ctx, backendSubID, notifyList, r.Timestamp)
@@ -1014,10 +1107,7 @@ func (b *Broker) HandlePushedResultsContext(ctx context.Context, backendSubID st
 	if latest > bs.bts {
 		bs.bts = latest
 	}
-	notifyList := make(map[string]string, len(bs.attached))
-	for sub, fsID := range bs.attached {
-		notifyList[sub] = fsID
-	}
+	notifyList := b.notifyTargets(bs)
 	b.mu.Unlock()
 
 	b.fanout(ctx, backendSubID, notifyList, latest)

@@ -25,13 +25,13 @@ func benchHub(b *testing.B, drained int, stalled bool) (*sessionHub, map[string]
 		sub := "sub" + itoa(i)
 		sNC, cNC := net.Pipe()
 		go func() { _, _ = io.Copy(io.Discard, cNC) }()
-		hub.attach(sub, wsock.NewConn(sNC, false))
+		hub.attach(sub, wsock.NewConn(sNC, false), map[string]string{"bs-bench": "fs-" + sub})
 		targets[sub] = "fs-" + sub
 		b.Cleanup(func() { _ = cNC.Close() })
 	}
 	if stalled {
 		sNC, cNC := net.Pipe()
-		hub.attach("stalled", wsock.NewConn(sNC, false))
+		hub.attach("stalled", wsock.NewConn(sNC, false), map[string]string{"bs-bench": "fs-stalled"})
 		targets["stalled"] = "fs-stalled"
 		b.Cleanup(func() { _ = cNC.Close() })
 	}
@@ -60,14 +60,14 @@ func itoa(n int) string {
 // call — with a stalled subscriber in the set, it must stay in the same
 // range as the drained-only case, because enqueueing does no I/O.
 func BenchmarkFanout(b *testing.B) {
-	hub, targets := benchHub(b, benchSubscribers, true)
+	hub, _ := benchHub(b, benchSubscribers, true)
 	ctx := context.Background()
 	lat := make([]time.Duration, b.N)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		start := time.Now()
-		hub.broadcast(ctx, "bs-bench", targets, int64(i+1))
+		hub.broadcast(ctx, "bs-bench", int64(i+1))
 		lat[i] = time.Since(start)
 	}
 	b.StopTimer()

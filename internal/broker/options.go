@@ -69,6 +69,18 @@ func WithPushQueue(n int) Option {
 	return func(c *Config) { c.PushQueue = n }
 }
 
+// WithPushWriters sets the size of the shared WebSocket writer pool that
+// drains session push queues; n <= 0 keeps the GOMAXPROCS-derived default.
+func WithPushWriters(n int) Option {
+	return func(c *Config) { c.PushWriters = n }
+}
+
+// WithPushWriteTimeout bounds one pooled writer's socket write; d <= 0
+// keeps DefaultPushWriteTimeout.
+func WithPushWriteTimeout(d time.Duration) Option {
+	return func(c *Config) { c.PushWriteTimeout = d }
+}
+
 // WithStaleServe enables graceful degradation: retrievals whose backend
 // fetch fails are answered from the cache alone and marked stale instead
 // of erroring.

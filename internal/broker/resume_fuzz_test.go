@@ -1,0 +1,56 @@
+package broker
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzParseResumeToken drives the resume-token codec with arbitrary
+// input. Properties: no panic, accepted tokens are never negative, and
+// any accepted value survives a Format/Parse round trip unchanged —
+// a broker handing its marker to a client must get the same marker back
+// on failover resubscribe.
+func FuzzParseResumeToken(f *testing.F) {
+	seeds := []string{
+		"",
+		"0",
+		"123456789",
+		"9223372036854775807",           // max int64
+		"9223372036854775808",           // overflows int64
+		"-1",                            // negative legacy value
+		"+42",                           // signed decimal
+		"1_000",                         // underscores (invalid in base 10)
+		"rt1-0-620a68e2",                // v1 shape, wrong checksum for ns=0
+		"rt1-3b9aca00-0",                // checksum too short
+		"rt1-3b9aca00-00000000",         // checksum mismatch
+		"rt1--00000000",                 // empty timestamp
+		"rt1-zz-00000000",               // non-hex timestamp
+		"rt1-ffffffffffffffff-00000000", // timestamp overflows int64
+		"rt2-0-00000000",                // unknown version
+		FormatResumeToken(0),
+		FormatResumeToken(time.Second),
+		FormatResumeToken(time.Duration(1 << 62)),
+		strings.Repeat("9", 64),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		ts, err := ParseResumeToken(s)
+		if err != nil {
+			return
+		}
+		if ts < 0 {
+			t.Fatalf("ParseResumeToken(%q) accepted negative timestamp %d", s, ts)
+		}
+		tok := FormatResumeToken(ts)
+		back, err := ParseResumeToken(tok)
+		if err != nil {
+			t.Fatalf("round trip: ParseResumeToken(FormatResumeToken(%d)) = error %v (token %q from input %q)", ts, err, tok, s)
+		}
+		if back != ts {
+			t.Fatalf("round trip: %q -> %d -> %q -> %d", s, ts, tok, back)
+		}
+	})
+}

@@ -125,11 +125,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // subscriber already acknowledged on its previous broker. The broker
 // backfills everything after it from the cluster's result dataset and
 // re-arms live push (at-least-once; clients dedup by timestamp).
+// ResumeToken is the string form of the same marker (see
+// FormatResumeToken); when both are present the token wins, and a
+// malformed or checksum-failing token rejects the request rather than
+// resuming from a garbage offset.
 type SubscribeRequest struct {
-	Subscriber string `json:"subscriber"`
-	Channel    string `json:"channel"`
-	Params     []any  `json:"params"`
-	ResumeNS   *int64 `json:"resume_ns,omitempty"`
+	Subscriber  string `json:"subscriber"`
+	Channel     string `json:"channel"`
+	Params      []any  `json:"params"`
+	ResumeNS    *int64 `json:"resume_ns,omitempty"`
+	ResumeToken string `json:"resume_token,omitempty"`
 }
 
 // SubscribeResponse returns the frontend subscription ID plus the shared
@@ -150,7 +155,14 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resume := NoResume
-	if req.ResumeNS != nil && *req.ResumeNS >= 0 {
+	if req.ResumeToken != "" {
+		ts, err := ParseResumeToken(req.ResumeToken)
+		if err != nil {
+			httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		resume = ts
+	} else if req.ResumeNS != nil && *req.ResumeNS >= 0 {
 		resume = time.Duration(*req.ResumeNS)
 	}
 	fs, err := s.broker.SubscribeResume(r.Context(), req.Subscriber, req.Channel, req.Params, resume)
@@ -282,10 +294,10 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		return // Upgrade already wrote the error
 	}
-	if !s.broker.sessions.attach(subscriber, conn) {
+	if !s.broker.AttachSession(subscriber, conn) {
 		return // drain raced the upgrade; attach sent the migrate frame
 	}
-	defer s.broker.sessions.detach(subscriber, conn)
+	defer s.broker.DetachSession(subscriber, conn)
 	for {
 		if _, _, err := conn.ReadMessage(); err != nil {
 			_ = conn.Close()

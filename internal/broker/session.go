@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"log/slog"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,15 +42,108 @@ type PushNotification struct {
 // (distinct frontend subscriptions with a pending marker).
 const DefaultPushQueue = 128
 
+// DefaultPushWriteTimeout bounds one pooled writer's socket write. With a
+// shared writer pool a stalled subscriber would otherwise pin a writer
+// forever; past the deadline the write fails and the session is dropped
+// (the subscriber reconnects and catches up via GetResults).
+const DefaultPushWriteTimeout = 10 * time.Second
+
+// defaultPushWriters sizes the shared writer pool: enough to keep sockets
+// busy on every core with headroom for a writer parked on a slow peer,
+// bounded so a million sessions never means a million goroutines.
+func defaultPushWriters() int {
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	if n > 32 {
+		n = 32
+	}
+	return n
+}
+
 // pushEvent is one "new results" marker, encoded once per backend
-// subscription event and shared by every session it fans out to.
+// subscription event and shared by every session it fans out to. Events
+// are pooled: refs counts the queue slots (and in-flight writes) still
+// holding the event, and the last release recycles it — the prepared
+// frame's buffers with it — so a steady broadcast stream allocates
+// nothing per event after warm-up.
 type pushEvent struct {
 	latest int64
-	pm     *wsock.PreparedMessage
+	pm     wsock.PreparedMessage
 	span   obs.SpanContext
 	// at is the enqueue timestamp, stamped once per broadcast and only for
 	// traced events; the writer derives the queue-wait stage from it.
-	at time.Time
+	at   time.Time
+	refs atomic.Int32
+}
+
+var eventPool = sync.Pool{New: func() any { return new(pushEvent) }}
+
+// release drops one reference; the last one returns the event (buffers
+// intact) to the pool.
+func (ev *pushEvent) release() {
+	if ev.refs.Add(-1) == 0 {
+		ev.span = obs.SpanContext{}
+		eventPool.Put(ev)
+	}
+}
+
+// appendPushJSON hand-encodes the shared wire form of a push notification
+// ({"type":"results","bs":...,"latest_ns":...[,"tp":...]}) into dst. The
+// two strings are broker-minted identifiers and a hex traceparent, so the
+// fast path escapes nothing; a string that does need escaping falls back
+// to encoding/json for the whole payload.
+func appendPushJSON(dst []byte, backendSub string, latest int64, tp string) ([]byte, error) {
+	if !jsonPlain(backendSub) || !jsonPlain(tp) {
+		note := PushNotification{Type: "results", BackendSub: backendSub, LatestNS: latest, Traceparent: tp}
+		enc, err := json.Marshal(note)
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, enc...), nil
+	}
+	dst = append(dst, `{"type":"results","bs":"`...)
+	dst = append(dst, backendSub...)
+	dst = append(dst, `","latest_ns":`...)
+	dst = appendInt(dst, latest)
+	if tp != "" {
+		dst = append(dst, `,"tp":"`...)
+		dst = append(dst, tp...)
+		dst = append(dst, '"')
+	}
+	dst = append(dst, '}')
+	return dst, nil
+}
+
+// jsonPlain reports whether s can be embedded in a JSON string verbatim.
+func jsonPlain(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c == '"' || c == '\\' || c >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// appendInt appends the decimal form of v (no allocation).
+func appendInt(dst []byte, v int64) []byte {
+	if v < 0 {
+		dst = append(dst, '-')
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(dst, buf[i:]...)
 }
 
 // pushStats tallies the asynchronous delivery pipeline's outcomes.
@@ -70,44 +164,128 @@ type pushStats struct {
 	failures atomic.Uint64
 }
 
+// pendingMarker is one queued (frontend sub, event) pair in a session's
+// ring buffer.
+type pendingMarker struct {
+	fs string
+	ev *pushEvent
+}
+
 // session is one subscriber's live WebSocket connection plus its bounded
-// outbound queue, drained by a dedicated writer goroutine. Enqueueing never
-// blocks and never does I/O, so a slow reader cannot stall the notification
-// arrival path; because markers are idempotent and latest-wins, a new
-// marker for an already-queued frontend subscription replaces the queued
-// one instead of growing the queue.
+// outbound marker queue. There is no per-session goroutine: when the queue
+// transitions empty -> non-empty the session is scheduled onto the hub's
+// shared run queue, and one of the fixed pool of writers drains it.
+// Enqueueing never blocks and never does I/O, so a slow reader cannot
+// stall the notification arrival path; because markers are idempotent and
+// latest-wins, a new marker for an already-queued frontend subscription
+// replaces the queued one instead of growing the queue.
+//
+// Sessions are recycled through a pool. refs counts the references that
+// may outlive a hub lock: the hub's session-map entry (transferred to the
+// drain/rebalance path while it migrates) and, while scheduled, the run
+// queue's. The last release resets the struct — ring buffer and interest
+// map retained — and returns it to the pool. Lock order is hub.mu before
+// session.mu before hub.readyMu; none is ever taken in the other
+// direction.
 type session struct {
 	hub        *sessionHub
 	subscriber string
 	conn       *wsock.Conn
 
-	mu     sync.Mutex
-	queued map[string]*pushEvent // frontend sub -> pending marker
-	order  []string              // FIFO of frontend subs with a pending marker
-	// inflight counts markers popped by the writer but not yet written to
+	// interests mirrors the hub's interest index entries that point at
+	// this session (backend sub -> frontend sub). Guarded by hub.mu, so
+	// detach can unlink the session from every index entry it appears in
+	// without scanning the index.
+	interests map[string]string
+
+	// refs counts pool-visible references (hub map + run queue); the last
+	// release recycles the session.
+	refs atomic.Int32
+
+	mu   sync.Mutex
+	ring []pendingMarker // circular buffer; grown lazily up to hub.queueCap
+	head int
+	n    int
+	// inflight counts markers popped by a writer but not yet written to
 	// the socket; depth() includes them so a drain never closes the
 	// connection (truncating the frame) under the writer's last write.
-	inflight int
-	closed   bool
-	wake     chan struct{} // cap-1 doorbell for the writer goroutine
+	inflight  int
+	closed    bool
+	scheduled bool
+
+	// nextReady links the hub's run queue (guarded by hub.readyMu).
+	nextReady *session
+}
+
+var sessionPool = sync.Pool{New: func() any { return new(session) }}
+
+// newSession draws a session from the pool, ready for attach. The ring
+// buffer and interest map survive recycling, so steady-state connection
+// churn allocates (almost) nothing per session.
+func newSession(h *sessionHub, subscriber string, conn *wsock.Conn) *session {
+	s := sessionPool.Get().(*session)
+	s.hub = h
+	s.subscriber = subscriber
+	s.conn = conn
+	if s.interests == nil {
+		s.interests = make(map[string]string, 4)
+	}
+	s.head, s.n, s.inflight = 0, 0, 0
+	s.closed, s.scheduled = false, false
+	s.nextReady = nil
+	s.refs.Store(1) // the hub map's reference
+	return s
+}
+
+// retain adds a pool-visible reference.
+func (s *session) retain() { s.refs.Add(1) }
+
+// release drops one; the last reference resets and recycles the session.
+func (s *session) release() {
+	if s.refs.Add(-1) > 0 {
+		return
+	}
+	// No hub map entry, no run-queue entry, and (closed) no queued or
+	// in-flight markers remain; nothing can reach the struct anymore.
+	s.hub = nil
+	s.conn = nil
+	s.subscriber = ""
+	clear(s.interests)
+	for i := range s.ring {
+		s.ring[i] = pendingMarker{}
+	}
+	sessionPool.Put(s)
 }
 
 // enqueue adds (or coalesces) a marker for fs; it reports false when the
-// session is already closed.
+// session is already closed. The caller holds one event reference per
+// enqueue attempt; every path here either stores it or releases it.
 func (s *session) enqueue(fs string, ev *pushEvent) bool {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		ev.release()
 		return false
 	}
-	if old, dup := s.queued[fs]; dup {
-		// Latest-wins: the marker is cumulative, so replacing the queued
-		// one loses nothing — the subscriber still sees the final marker.
-		// A stale marker (out-of-order fan-out) is discarded, not merged,
-		// and does not count as a coalesce.
-		replaced := ev.latest >= old.latest
+	// Latest-wins coalescing: scan the ring for a queued marker of the
+	// same frontend subscription. Queues are short (steady state 0-1),
+	// so the scan beats a map's allocation churn.
+	for i := 0; i < s.n; i++ {
+		slot := &s.ring[(s.head+i)%len(s.ring)]
+		if slot.fs != fs {
+			continue
+		}
+		// The marker is cumulative, so replacing the queued one loses
+		// nothing — the subscriber still sees the final marker. A stale
+		// marker (out-of-order fan-out) is discarded, not merged, and
+		// does not count as a coalesce.
+		replaced := ev.latest >= slot.ev.latest
 		if replaced {
-			s.queued[fs] = ev
+			old := slot.ev
+			slot.ev = ev
+			old.release()
+		} else {
+			ev.release()
 		}
 		s.mu.Unlock()
 		if replaced {
@@ -116,25 +294,31 @@ func (s *session) enqueue(fs string, ev *pushEvent) bool {
 		return true
 	}
 	dropped := false
-	if len(s.order) >= s.hub.queueCap {
+	if s.n >= s.hub.queueCap {
 		// Overflow of distinct subscriptions: evict the oldest pending
 		// marker to admit the newest. The evicted subscription is
 		// re-notified by its next event and GetResults catches up anyway.
-		oldest := s.order[0]
-		s.order = s.order[1:]
-		delete(s.queued, oldest)
+		old := s.ring[s.head]
+		s.ring[s.head] = pendingMarker{}
+		s.head = (s.head + 1) % len(s.ring)
+		s.n--
+		old.ev.release()
 		dropped = true
 	}
-	s.queued[fs] = ev
-	s.order = append(s.order, fs)
-	// Ring the doorbell while still holding s.mu: close() holds the same
-	// mutex when it closes s.wake, so the send can never race the close
-	// and panic on a closed channel.
-	select {
-	case s.wake <- struct{}{}:
-	default:
+	if s.n == len(s.ring) {
+		s.grow()
+	}
+	s.ring[(s.head+s.n)%len(s.ring)] = pendingMarker{fs: fs, ev: ev}
+	s.n++
+	schedule := !s.scheduled
+	if schedule {
+		s.scheduled = true
+		s.retain() // the run queue's reference
 	}
 	s.mu.Unlock()
+	if schedule {
+		s.hub.pushReady(s)
+	}
 	if dropped {
 		s.hub.stats.dropped.Add(1)
 	}
@@ -142,20 +326,39 @@ func (s *session) enqueue(fs string, ev *pushEvent) bool {
 	return true
 }
 
+// grow doubles the ring (4 -> 8 -> ... -> queueCap), preserving order.
+// Called with s.mu held and the ring full.
+func (s *session) grow() {
+	newCap := 2 * len(s.ring)
+	if newCap == 0 {
+		newCap = 4
+	}
+	if newCap > s.hub.queueCap {
+		newCap = s.hub.queueCap
+	}
+	next := make([]pendingMarker, newCap)
+	for i := 0; i < s.n; i++ {
+		next[i] = s.ring[(s.head+i)%len(s.ring)]
+	}
+	s.ring = next
+	s.head = 0
+}
+
 // pop removes the oldest pending marker, or returns ok=false when the
-// queue is empty.
-func (s *session) pop() (ev *pushEvent, closed, ok bool) {
+// queue is empty or the session closed (a closed session's ring is
+// already cleared).
+func (s *session) pop() (fs string, ev *pushEvent, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.order) == 0 {
-		return nil, s.closed, false
+	if s.n == 0 {
+		return "", nil, false
 	}
-	fs := s.order[0]
-	s.order = s.order[1:]
-	ev = s.queued[fs]
-	delete(s.queued, fs)
+	slot := s.ring[s.head]
+	s.ring[s.head] = pendingMarker{}
+	s.head = (s.head + 1) % len(s.ring)
+	s.n--
 	s.inflight++
-	return ev, s.closed, true
+	return slot.fs, slot.ev, true
 }
 
 // wrote marks the writer's popped marker as flushed to the socket.
@@ -171,7 +374,7 @@ func (s *session) wrote() {
 func (s *session) depth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.order) + s.inflight
+	return s.n + s.inflight
 }
 
 // queuedLen returns only the markers still awaiting writer pickup —
@@ -179,11 +382,11 @@ func (s *session) depth() int {
 func (s *session) queuedLen() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.order)
+	return s.n
 }
 
-// close marks the session dead, wakes the writer and closes the socket
-// (which also unblocks a writer stuck mid-write on a stalled peer).
+// close marks the session dead and closes the socket (which also unblocks
+// a writer stuck mid-write on a stalled peer).
 func (s *session) close() { s.closeWith(wsock.CloseNormal, "") }
 
 // closeWith is close with an explicit close-frame status; the drain path
@@ -196,11 +399,15 @@ func (s *session) closeWith(code uint16, reason string) {
 		return
 	}
 	s.closed = true
-	s.queued = nil
-	s.order = nil
-	close(s.wake)
+	for i := 0; i < s.n; i++ {
+		idx := (s.head + i) % len(s.ring)
+		s.ring[idx].ev.release()
+		s.ring[idx] = pendingMarker{}
+	}
+	s.head, s.n = 0, 0
+	conn := s.conn
 	s.mu.Unlock()
-	_ = s.conn.CloseWith(code, reason)
+	_ = conn.CloseWith(code, reason)
 }
 
 // migrate flushes the session's pending push markers (bounded by ctx) and
@@ -217,75 +424,54 @@ func (s *session) migrate(ctx context.Context, successor string) {
 	s.closeWith(wsock.CloseServiceRestart, successor)
 }
 
-// writeLoop drains the queue onto the socket. Each marker is a shared
-// pre-encoded frame, so a delivery is one buffer write and zero
-// allocations. A write failure tears the session down — the subscriber
-// reconnects and catches up via GetResults.
-func (s *session) writeLoop() {
-	for {
-		ev, closed, ok := s.pop()
-		if !ok {
-			if closed {
-				return
-			}
-			<-s.wake
-			continue
-		}
-		err := s.deliver(ev)
-		s.wrote()
-		if err != nil {
-			s.hub.stats.failures.Add(1)
-			s.hub.log.WarnContext(obs.ContextWithSpan(context.Background(), ev.span),
-				"push delivery failed; dropping session",
-				slog.String("subscriber", s.subscriber),
-				slog.Any("error", err))
-			s.hub.drop(s)
-			return
-		}
-		s.hub.delivered.Inc()
-	}
-}
-
-// deliver writes one marker to the socket. Untraced markers (no span, the
-// benchmark/common case) take the bare one-write fast path; traced markers
-// additionally record a ws_write span plus the queue-wait and socket-write
-// stage latencies.
-func (s *session) deliver(ev *pushEvent) error {
-	if !ev.span.Valid() {
-		return s.conn.WritePreparedMessage(ev.pm)
-	}
-	ctx := obs.ContextWithSpan(context.Background(), ev.span)
-	s.hub.stages.Observe(ctx, span.StageQueueWait, span.OutcomeNone, time.Since(ev.at))
-	wctx, sp := s.hub.traces.Start(ctx, "session.ws_write")
-	sp.SetAttr("subscriber", s.subscriber)
-	start := time.Now()
-	err := s.conn.WritePreparedMessage(ev.pm)
-	sp.SetError(err)
-	sp.End()
-	s.hub.stages.Observe(wctx, span.StageWSWrite, span.OutcomeNone, time.Since(start))
-	return err
-}
-
 // sessionHub tracks which subscribers are currently online (WebSocket
-// connected). Subscriptions survive logout — that is the asynchrony
+// connected) and which backend subscription each online session is
+// interested in. Subscriptions survive logout — that is the asynchrony
 // caching enables — so the hub only affects push delivery, never
 // subscription state.
+//
+// The hot path is interest-keyed: a notification for a backend
+// subscription resolves its audience with one map lookup
+// (interests[backendSub]) instead of iterating sessions, and delivery is
+// drained by a fixed pool of writer goroutines instead of one goroutine
+// per session — the difference between 10k connections and a million.
 type sessionHub struct {
-	queueCap  int
-	log       *slog.Logger
-	delivered *metrics.Counter
+	queueCap     int
+	writers      int
+	writeTimeout time.Duration
+	log          *slog.Logger
+	delivered    *metrics.Counter
 	// traces/stages instrument the queue-wait and socket-write legs of
 	// traced deliveries; both may be nil (untraced hubs, benchmarks).
 	traces *span.Recorder
 	stages *span.Stages
 
-	mu       sync.Mutex
+	// mu guards sessions, interests and every session's interests mirror.
+	// Broadcasts hold the read lock while they enqueue, which is what
+	// makes session recycling safe: a session cannot leave the maps (and
+	// so cannot be released) while any broadcast still sees it.
+	mu       sync.RWMutex
 	sessions map[string]*session
-	stats    pushStats
+	// interests is the fan-out index: backend subscription -> online
+	// session -> frontend subscription. Maintained by register/deregister
+	// (subscribe/unsubscribe) and attach/detach (connect/disconnect).
+	interests map[string]map[*session]string
+	stats     pushStats
 	// draining refuses new attaches once a drain has started; successor is
 	// the broker URL late arrivals are pointed at.
 	draining  bool
 	successor string
+
+	// run queue of sessions with pending markers, drained by the writer
+	// pool. Intrusive (session.nextReady), so scheduling allocates
+	// nothing.
+	readyMu   sync.Mutex
+	readyCond *sync.Cond
+	readyHead *session
+	readyTail *session
+	stopped   bool
+
+	startOnce sync.Once
 }
 
 func newSessionHub(queueCap int, delivered *metrics.Counter, log *slog.Logger) *sessionHub {
@@ -295,41 +481,235 @@ func newSessionHub(queueCap int, delivered *metrics.Counter, log *slog.Logger) *
 	if log == nil {
 		log = obs.NopLogger()
 	}
-	return &sessionHub{
-		queueCap:  queueCap,
-		log:       log,
-		delivered: delivered,
-		sessions:  make(map[string]*session),
+	h := &sessionHub{
+		queueCap:     queueCap,
+		writers:      defaultPushWriters(),
+		writeTimeout: DefaultPushWriteTimeout,
+		log:          log,
+		delivered:    delivered,
+		sessions:     make(map[string]*session),
+		interests:    make(map[string]map[*session]string),
+	}
+	h.readyCond = sync.NewCond(&h.readyMu)
+	return h
+}
+
+// start launches the writer pool (idempotent; called on the first attach
+// so hubs that never see a WebSocket cost nothing).
+func (h *sessionHub) start() {
+	h.startOnce.Do(func() {
+		for i := 0; i < h.writers; i++ {
+			go h.writeLoop()
+		}
+	})
+}
+
+// stop terminates the writer pool once every queued marker has been
+// picked up. Used by graceful drain (after the last migrate) and tests.
+func (h *sessionHub) stop() {
+	h.readyMu.Lock()
+	h.stopped = true
+	h.readyCond.Broadcast()
+	h.readyMu.Unlock()
+}
+
+// pushReady appends a scheduled session to the run queue.
+func (h *sessionHub) pushReady(s *session) {
+	h.readyMu.Lock()
+	if h.readyTail == nil {
+		h.readyHead, h.readyTail = s, s
+	} else {
+		h.readyTail.nextReady = s
+		h.readyTail = s
+	}
+	h.readyMu.Unlock()
+	h.readyCond.Signal()
+}
+
+// popReady blocks until a session is runnable (nil once the hub stops and
+// the queue is empty).
+func (h *sessionHub) popReady() *session {
+	h.readyMu.Lock()
+	defer h.readyMu.Unlock()
+	for h.readyHead == nil {
+		if h.stopped {
+			return nil
+		}
+		h.readyCond.Wait()
+	}
+	s := h.readyHead
+	h.readyHead = s.nextReady
+	if h.readyHead == nil {
+		h.readyTail = nil
+	}
+	s.nextReady = nil
+	return s
+}
+
+// writeBatch bounds how many markers one writer drains from a single
+// session before requeueing it, so a busy session cannot monopolize a
+// pool writer while others wait.
+const writeBatch = 16
+
+// writeLoop is one pool writer: pop a runnable session, drain up to a
+// batch of its markers onto the socket, requeue it if more arrived. Each
+// marker is a shared pre-encoded frame, so a delivery is one buffer write
+// and zero allocations. A write failure tears the session down — the
+// subscriber reconnects and catches up via GetResults.
+func (h *sessionHub) writeLoop() {
+	for {
+		s := h.popReady()
+		if s == nil {
+			return
+		}
+		h.drainSession(s)
 	}
 }
 
-// attach registers a subscriber's connection, closing any previous one, and
-// starts its writer goroutine. During a drain the attach is refused: the
-// connection is closed immediately with a migrate frame naming the
-// successor, and attach reports false.
-func (h *sessionHub) attach(subscriber string, conn *wsock.Conn) bool {
-	s := &session{
-		hub:        h,
-		subscriber: subscriber,
-		conn:       conn,
-		queued:     make(map[string]*pushEvent),
-		wake:       make(chan struct{}, 1),
+// drainSession delivers up to writeBatch markers for one scheduled
+// session. It owns the session's run-queue reference and either passes it
+// back to the queue (more pending) or releases it (idle or closed).
+func (h *sessionHub) drainSession(s *session) {
+	for i := 0; i < writeBatch; i++ {
+		_, ev, ok := s.pop()
+		if !ok {
+			break
+		}
+		err := s.deliver(ev)
+		s.wrote()
+		ev.release()
+		if err != nil {
+			h.stats.failures.Add(1)
+			h.log.WarnContext(obs.ContextWithSpan(context.Background(), ev.span),
+				"push delivery failed; dropping session",
+				slog.String("subscriber", s.subscriber),
+				slog.Any("error", err))
+			h.drop(s)
+			break
+		}
+		h.delivered.Inc()
 	}
+	s.mu.Lock()
+	if s.n > 0 && !s.closed {
+		s.mu.Unlock()
+		h.pushReady(s) // keep the run-queue reference
+		return
+	}
+	s.scheduled = false
+	s.mu.Unlock()
+	s.release()
+}
+
+// deliver writes one marker to the socket. Untraced markers (no span, the
+// benchmark/common case) take the bare one-write fast path; traced markers
+// additionally record a ws_write span plus the queue-wait and socket-write
+// stage latencies.
+func (s *session) deliver(ev *pushEvent) error {
+	if d := s.hub.writeTimeout; d > 0 {
+		_ = s.conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	if !ev.span.Valid() {
+		return s.conn.WritePreparedMessage(&ev.pm)
+	}
+	ctx := obs.ContextWithSpan(context.Background(), ev.span)
+	s.hub.stages.Observe(ctx, span.StageQueueWait, span.OutcomeNone, time.Since(ev.at))
+	wctx, sp := s.hub.traces.Start(ctx, "session.ws_write")
+	sp.SetAttr("subscriber", s.subscriber)
+	start := time.Now()
+	err := s.conn.WritePreparedMessage(&ev.pm)
+	sp.SetError(err)
+	sp.End()
+	s.hub.stages.Observe(wctx, span.StageWSWrite, span.OutcomeNone, time.Since(start))
+	return err
+}
+
+// attach registers a subscriber's connection, closing any previous one,
+// and indexes it under the subscriber's interests (backend sub ->
+// frontend sub, the broker's view of its subscriptions at attach time;
+// register keeps the index current for subscriptions made while online).
+// During a drain the attach is refused: the connection is closed
+// immediately with a migrate frame naming the successor, and attach
+// reports false.
+func (h *sessionHub) attach(subscriber string, conn *wsock.Conn, interests map[string]string) bool {
+	h.start()
+	s := newSession(h, subscriber, conn)
 	h.mu.Lock()
 	if h.draining {
 		successor := h.successor
 		h.mu.Unlock()
+		s.release()
 		_ = conn.CloseWith(wsock.CloseServiceRestart, successor)
 		return false
 	}
 	old := h.sessions[subscriber]
+	if old != nil {
+		h.unlink(old)
+	}
 	h.sessions[subscriber] = s
+	for bs, fs := range interests {
+		s.interests[bs] = fs
+		m := h.interests[bs]
+		if m == nil {
+			m = make(map[*session]string, 1)
+			h.interests[bs] = m
+		}
+		m[s] = fs
+	}
 	h.mu.Unlock()
 	if old != nil {
 		old.close()
+		old.release()
 	}
-	go s.writeLoop()
 	return true
+}
+
+// unlink removes a session from the interest index (h.mu held, write).
+func (h *sessionHub) unlink(s *session) {
+	for bs := range s.interests {
+		if m := h.interests[bs]; m != nil {
+			delete(m, s)
+			if len(m) == 0 {
+				delete(h.interests, bs)
+			}
+		}
+	}
+	clear(s.interests)
+}
+
+// register adds one (backend sub -> frontend sub) interest for an online
+// subscriber; a no-op while the subscriber is offline (attach will index
+// its interests when it connects).
+func (h *sessionHub) register(subscriber, backendSub, frontendSub string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.sessions[subscriber]
+	if s == nil {
+		return
+	}
+	s.interests[backendSub] = frontendSub
+	m := h.interests[backendSub]
+	if m == nil {
+		m = make(map[*session]string, 1)
+		h.interests[backendSub] = m
+	}
+	m[s] = frontendSub
+}
+
+// deregister removes one interest for an online subscriber.
+func (h *sessionHub) deregister(subscriber, backendSub string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := h.sessions[subscriber]
+	if s == nil {
+		return
+	}
+	delete(s.interests, backendSub)
+	if m := h.interests[backendSub]; m != nil {
+		delete(m, s)
+		if len(m) == 0 {
+			delete(h.interests, backendSub)
+		}
+	}
 }
 
 // detach removes the subscriber's session if it still owns the given
@@ -339,43 +719,60 @@ func (h *sessionHub) detach(subscriber string, conn *wsock.Conn) {
 	s := h.sessions[subscriber]
 	if s != nil && s.conn == conn {
 		delete(h.sessions, subscriber)
+		h.unlink(s)
 	} else {
 		s = nil
 	}
 	h.mu.Unlock()
 	if s != nil {
 		s.close()
+		s.release()
 	}
 }
 
 // drop removes a session after a write failure.
 func (h *sessionHub) drop(s *session) {
 	h.mu.Lock()
-	if h.sessions[s.subscriber] == s {
+	owned := h.sessions[s.subscriber] == s
+	if owned {
 		delete(h.sessions, s.subscriber)
+		h.unlink(s)
 	}
 	h.mu.Unlock()
 	s.close()
+	if owned {
+		s.release()
+	}
 }
 
 // online reports whether the subscriber has a live connection.
 func (h *sessionHub) online(subscriber string) bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	return h.sessions[subscriber] != nil
 }
 
 // count returns the number of online subscribers.
 func (h *sessionHub) count() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	return len(h.sessions)
 }
 
+// audienceSize returns how many online sessions are interested in a
+// backend subscription (tests, stats).
+func (h *sessionHub) audienceSize(backendSub string) int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.interests[backendSub])
+}
+
 // drain migrates every live session: further attaches are refused, each
-// session's pending markers are flushed (bounded by ctx) and each socket is
-// closed with a migrate frame naming the successor broker. It returns how
-// many sessions were migrated.
+// session's pending markers are flushed (bounded by ctx) and each socket
+// is closed with a migrate frame naming the successor broker. Once the
+// last session is migrated the writer pool is stopped — a drained hub
+// accepts no new sessions, so the writers have nothing left to do. It
+// returns how many sessions were migrated.
 func (h *sessionHub) drain(ctx context.Context, successor string) int {
 	h.mu.Lock()
 	h.draining = true
@@ -383,8 +780,9 @@ func (h *sessionHub) drain(ctx context.Context, successor string) int {
 	sessions := make([]*session, 0, len(h.sessions))
 	for _, s := range h.sessions {
 		sessions = append(sessions, s)
+		h.unlink(s)
 	}
-	h.sessions = make(map[string]*session)
+	clear(h.sessions)
 	h.mu.Unlock()
 
 	var wg sync.WaitGroup
@@ -393,9 +791,11 @@ func (h *sessionHub) drain(ctx context.Context, successor string) int {
 		go func(s *session) {
 			defer wg.Done()
 			s.migrate(ctx, successor)
+			s.release()
 		}(s)
 	}
 	wg.Wait()
+	h.stop()
 	return len(sessions)
 }
 
@@ -415,6 +815,7 @@ func (h *sessionHub) rebalance(ctx context.Context, decide func(subscriber strin
 		if succ, ok := decide(sub); ok {
 			moves = append(moves, moved{s, succ})
 			delete(h.sessions, sub)
+			h.unlink(s)
 		}
 	}
 	h.mu.Unlock()
@@ -425,6 +826,7 @@ func (h *sessionHub) rebalance(ctx context.Context, decide func(subscriber strin
 		go func(mv moved) {
 			defer wg.Done()
 			mv.s.migrate(ctx, mv.successor)
+			mv.s.release()
 		}(mv)
 	}
 	wg.Wait()
@@ -432,14 +834,14 @@ func (h *sessionHub) rebalance(ctx context.Context, decide func(subscriber strin
 }
 
 // queueDepth returns the total number of pending markers across sessions
-// (markers the writer has popped but not yet written are excluded).
+// (markers a writer has popped but not yet written are excluded).
 func (h *sessionHub) queueDepth() int {
-	h.mu.Lock()
+	h.mu.RLock()
 	sessions := make([]*session, 0, len(h.sessions))
 	for _, s := range h.sessions {
 		sessions = append(sessions, s)
 	}
-	h.mu.Unlock()
+	h.mu.RUnlock()
 	total := 0
 	for _, s := range sessions {
 		total += s.queuedLen()
@@ -472,55 +874,81 @@ func (h *sessionHub) snapshot() PushStats {
 	}
 }
 
-// broadcast fans one backend-subscription event out to the online sessions
-// among targets (subscriber -> frontend sub). The payload is marshaled once
-// and pre-framed once; per session the cost is a non-blocking enqueue, so
-// the arrival path never waits on a subscriber's socket. It returns how
-// many sessions accepted the marker.
-func (h *sessionHub) broadcast(ctx context.Context, backendSub string, targets map[string]string, latest int64) int {
-	type target struct {
-		s  *session
-		fs string
-	}
-	h.mu.Lock()
-	online := make([]target, 0, len(targets))
-	for sub, fs := range targets {
-		if s := h.sessions[sub]; s != nil {
-			online = append(online, target{s, fs})
-		}
-	}
-	h.mu.Unlock()
-	if len(online) == 0 {
-		return 0
-	}
-	note := PushNotification{Type: "results", BackendSub: backendSub, LatestNS: latest}
+// newEvent draws a pooled event, encodes the shared wire frame for one
+// backend-subscription marker and arms its reference count.
+func (h *sessionHub) newEvent(ctx context.Context, backendSub string, latest int64, audience int) (*pushEvent, bool) {
+	ev := eventPool.Get().(*pushEvent)
+	ev.latest = latest
+	tp := ""
 	sc, _ := obs.SpanFromContext(ctx)
 	if sc.Valid() {
-		note.Traceparent = sc.Traceparent()
+		tp = sc.Traceparent()
+		ev.at = time.Now()
 	}
-	payload, err := json.Marshal(note)
+	ev.span = sc
+	payload, err := appendPushJSON(ev.pm.Payload()[:0], backendSub, latest, tp)
 	if err != nil {
 		h.stats.failures.Add(1)
 		h.log.WarnContext(ctx, "encoding push notification failed",
 			slog.String("backend_sub", backendSub), slog.Any("error", err))
-		return 0
+		eventPool.Put(ev)
+		return nil, false
 	}
-	pm, err := wsock.NewPreparedMessage(wsock.OpText, payload)
-	if err != nil {
+	if err := ev.pm.Encode(wsock.OpText, payload); err != nil {
 		h.stats.failures.Add(1)
 		h.log.WarnContext(ctx, "preparing push frame failed",
 			slog.String("backend_sub", backendSub), slog.Any("error", err))
+		eventPool.Put(ev)
+		return nil, false
+	}
+	ev.refs.Store(int32(audience))
+	return ev, true
+}
+
+// broadcast fans one backend-subscription event out to every online
+// session interested in it. The audience is one index lookup — not a scan
+// of sessions — the payload is marshaled once and pre-framed once into a
+// pooled buffer, and per session the cost is a non-blocking enqueue, so
+// the arrival path never waits on a subscriber's socket. It returns how
+// many sessions accepted the marker.
+func (h *sessionHub) broadcast(ctx context.Context, backendSub string, latest int64) int {
+	h.mu.RLock()
+	audience := h.interests[backendSub]
+	if len(audience) == 0 {
+		h.mu.RUnlock()
 		return 0
 	}
-	ev := &pushEvent{latest: latest, pm: pm, span: sc}
-	if sc.Valid() {
-		ev.at = time.Now()
+	ev, ok := h.newEvent(ctx, backendSub, latest, len(audience))
+	if !ok {
+		h.mu.RUnlock()
+		return 0
 	}
 	accepted := 0
-	for _, t := range online {
-		if t.s.enqueue(t.fs, ev) {
+	for s, fs := range audience {
+		if s.enqueue(fs, ev) {
 			accepted++
 		}
 	}
+	h.mu.RUnlock()
+	return accepted
+}
+
+// broadcastTo pushes one event to a single subscriber (the resume path:
+// re-arming live push after a backfill). It reports whether the
+// subscriber was online and accepted the marker.
+func (h *sessionHub) broadcastTo(ctx context.Context, backendSub, subscriber, frontendSub string, latest int64) bool {
+	h.mu.RLock()
+	s := h.sessions[subscriber]
+	if s == nil {
+		h.mu.RUnlock()
+		return false
+	}
+	ev, ok := h.newEvent(ctx, backendSub, latest, 1)
+	if !ok {
+		h.mu.RUnlock()
+		return false
+	}
+	accepted := s.enqueue(frontendSub, ev)
+	h.mu.RUnlock()
 	return accepted
 }

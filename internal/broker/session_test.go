@@ -13,13 +13,14 @@ import (
 	"gobad/internal/wsock"
 )
 
-// hubConn attaches a fresh in-memory session to the hub and returns the
-// client half of the pipe (raw; callers decide whether to drain, parse or
-// stall it).
-func hubConn(t *testing.T, h *sessionHub, subscriber string) net.Conn {
+// hubConn attaches a fresh in-memory session to the hub, indexed under the
+// given interests (backend sub -> frontend sub), and returns the client
+// half of the pipe (raw; callers decide whether to drain, parse or stall
+// it).
+func hubConn(t *testing.T, h *sessionHub, subscriber string, interests map[string]string) net.Conn {
 	t.Helper()
 	sNC, cNC := net.Pipe()
-	h.attach(subscriber, wsock.NewConn(sNC, false))
+	h.attach(subscriber, wsock.NewConn(sNC, false), interests)
 	t.Cleanup(func() { _ = cNC.Close() })
 	return cNC
 }
@@ -68,13 +69,12 @@ func newTestHub(queueCap int) (*sessionHub, *metrics.Counter) {
 // healthy subscriber must still get the notification.
 func TestSessionHubStalledReaderDoesNotBlockBroadcast(t *testing.T) {
 	hub, _ := newTestHub(0)
-	healthy := hubConn(t, hub, "healthy")
-	_ = hubConn(t, hub, "stalled") // no reader: first write blocks forever
+	healthy := hubConn(t, hub, "healthy", map[string]string{"bs1": "fs-h"})
+	_ = hubConn(t, hub, "stalled", map[string]string{"bs1": "fs-s"}) // no reader: first write blocks
 
-	targets := map[string]string{"healthy": "fs-h", "stalled": "fs-s"}
 	done := make(chan int, 1)
 	go func() {
-		done <- hub.broadcast(context.Background(), "bs1", targets, 42)
+		done <- hub.broadcast(context.Background(), "bs1", 42)
 	}()
 	select {
 	case accepted := <-done:
@@ -96,21 +96,26 @@ func TestSessionHubStalledReaderDoesNotBlockBroadcast(t *testing.T) {
 // subscriber sees the newest marker, not a backlog.
 func TestSessionHubCoalescesLatestWins(t *testing.T) {
 	hub, delivered := newTestHub(0)
-	cNC := hubConn(t, hub, "alice")
+	// Four backend subscriptions all mapping to the same frontend
+	// subscription: coalescing is keyed by the frontend sub, so markers
+	// across them must merge.
+	cNC := hubConn(t, hub, "alice", map[string]string{
+		"ev-first": "fs1", "ev-old": "fs1", "ev-new": "fs1", "ev-stale": "fs1",
+	})
 
 	ctx := context.Background()
-	// First event: the writer pops it immediately and blocks writing to the
-	// unread pipe.
-	hub.broadcast(ctx, "ev-first", map[string]string{"alice": "fs1"}, 1)
+	// First event: a pool writer pops it immediately and blocks writing to
+	// the unread pipe.
+	hub.broadcast(ctx, "ev-first", 1)
 	waitFor(t, func() bool { return hub.queueDepth() == 0 }, "writer to pop the first marker")
 
 	// Two more for the same frontend sub while the writer is stuck: the
 	// second must replace the first in place.
-	hub.broadcast(ctx, "ev-old", map[string]string{"alice": "fs1"}, 2)
-	hub.broadcast(ctx, "ev-new", map[string]string{"alice": "fs1"}, 3)
+	hub.broadcast(ctx, "ev-old", 2)
+	hub.broadcast(ctx, "ev-new", 3)
 	// A stale marker (out-of-order fan-out) is discarded, not merged, and
 	// must not inflate the coalesce tally.
-	hub.broadcast(ctx, "ev-stale", map[string]string{"alice": "fs1"}, 2)
+	hub.broadcast(ctx, "ev-stale", 2)
 	if got := hub.snapshot(); got.Coalesced != 1 || got.Dropped != 0 {
 		t.Errorf("stats = %+v, want 1 coalesced, 0 dropped", got)
 	}
@@ -129,14 +134,16 @@ func TestSessionHubCoalescesLatestWins(t *testing.T) {
 // frontend subscriptions; the oldest pending marker must be evicted.
 func TestSessionHubOverflowDropsOldest(t *testing.T) {
 	hub, _ := newTestHub(2)
-	cNC := hubConn(t, hub, "alice")
+	cNC := hubConn(t, hub, "alice", map[string]string{
+		"ev0": "fs0", "ev1": "fs1", "ev2": "fs2", "ev3": "fs3",
+	})
 
 	ctx := context.Background()
-	hub.broadcast(ctx, "ev0", map[string]string{"alice": "fs0"}, 1)
+	hub.broadcast(ctx, "ev0", 1)
 	waitFor(t, func() bool { return hub.queueDepth() == 0 }, "writer to pop the first marker")
-	hub.broadcast(ctx, "ev1", map[string]string{"alice": "fs1"}, 2)
-	hub.broadcast(ctx, "ev2", map[string]string{"alice": "fs2"}, 3)
-	hub.broadcast(ctx, "ev3", map[string]string{"alice": "fs3"}, 4) // evicts ev1
+	hub.broadcast(ctx, "ev1", 2)
+	hub.broadcast(ctx, "ev2", 3)
+	hub.broadcast(ctx, "ev3", 4) // evicts ev1
 	if got := hub.snapshot(); got.Dropped != 1 || got.QueueDepth != 2 {
 		t.Errorf("stats = %+v, want 1 dropped with depth 2", got)
 	}
@@ -155,34 +162,66 @@ func TestSessionHubOverflowDropsOldest(t *testing.T) {
 // the session offline.
 func TestSessionHubWriteFailureDropsSession(t *testing.T) {
 	hub, _ := newTestHub(0)
-	cNC := hubConn(t, hub, "alice")
+	cNC := hubConn(t, hub, "alice", map[string]string{"bs1": "fs1"})
 	_ = cNC.Close()
 
-	hub.broadcast(context.Background(), "bs1", map[string]string{"alice": "fs1"}, 1)
+	hub.broadcast(context.Background(), "bs1", 1)
 	waitFor(t, func() bool { return !hub.online("alice") }, "session teardown")
 	if got := hub.snapshot(); got.Failures == 0 {
 		t.Errorf("stats = %+v, want a recorded failure", got)
 	}
+	// The dropped session must also leave the interest index, or future
+	// broadcasts would enqueue onto a corpse.
+	waitFor(t, func() bool { return hub.audienceSize("bs1") == 0 }, "interest index cleanup")
+}
+
+// TestSessionHubRegisterWhileOnline exercises the subscribe-while-connected
+// path: an interest registered after attach must route subsequent
+// broadcasts, and deregister must stop them.
+func TestSessionHubRegisterWhileOnline(t *testing.T) {
+	hub, _ := newTestHub(0)
+	cNC := hubConn(t, hub, "alice", nil)
+
+	ctx := context.Background()
+	if got := hub.broadcast(ctx, "bs1", 1); got != 0 {
+		t.Errorf("broadcast before register accepted %d, want 0", got)
+	}
+	hub.register("alice", "bs1", "fs1")
+	if got := hub.broadcast(ctx, "bs1", 2); got != 1 {
+		t.Errorf("broadcast after register accepted %d, want 1", got)
+	}
+	ns := drainNotifications(t, cNC, 1)
+	if ns[0].BackendSub != "bs1" || ns[0].LatestNS != 2 {
+		t.Errorf("notification = %+v", ns[0])
+	}
+	hub.deregister("alice", "bs1")
+	if got := hub.broadcast(ctx, "bs1", 3); got != 0 {
+		t.Errorf("broadcast after deregister accepted %d, want 0", got)
+	}
 }
 
 // TestSessionEnqueueCloseRace hammers enqueue against close on the same
-// session. broadcast holds session pointers outside hub.mu, so an enqueue
-// can race the close that an attach-replace or drop triggers; the wake send
-// must never hit a closed channel (which would panic the broker).
+// session. broadcast holds session pointers under the hub's read lock, so
+// an enqueue can race the close that an attach-replace or drop triggers;
+// every lost marker's event reference must still be released and no
+// marker may be accepted after close.
 func TestSessionEnqueueCloseRace(t *testing.T) {
-	pm, err := wsock.NewPreparedMessage(wsock.OpText, []byte(`{"type":"results"}`))
-	if err != nil {
-		t.Fatal(err)
-	}
 	for i := 0; i < 50; i++ {
 		hub, _ := newTestHub(0)
-		cNC := hubConn(t, hub, "alice")
+		cNC := hubConn(t, hub, "alice", nil)
 		go func() { _, _ = io.Copy(io.Discard, cNC) }()
 		hub.mu.Lock()
 		s := hub.sessions["alice"]
 		hub.mu.Unlock()
 
-		ev := &pushEvent{latest: 1, pm: pm}
+		ev := &pushEvent{latest: 1}
+		if err := ev.pm.Encode(wsock.OpText, []byte(`{"type":"results"}`)); err != nil {
+			t.Fatal(err)
+		}
+		// Keep the event alive across every release in the race: the test
+		// reuses one event for all enqueues, so it must never hit zero and
+		// be recycled mid-race.
+		ev.refs.Store(1 << 30)
 		start := make(chan struct{})
 		var wg sync.WaitGroup
 		wg.Add(2)
@@ -203,6 +242,7 @@ func TestSessionEnqueueCloseRace(t *testing.T) {
 		if s.enqueue("fs1", ev) {
 			t.Fatal("enqueue accepted a marker after close")
 		}
+		hub.stop()
 	}
 }
 
@@ -212,21 +252,18 @@ func TestSessionEnqueueCloseRace(t *testing.T) {
 func TestSessionHubChurn(t *testing.T) {
 	hub, _ := newTestHub(0)
 	subscribers := []string{"a", "b", "c", "d"}
-	targets := map[string]string{}
-	for _, s := range subscribers {
-		targets[s] = "fs-" + s
-	}
 
 	var churners sync.WaitGroup
 	for _, sub := range subscribers {
 		churners.Add(1)
 		go func(sub string) {
 			defer churners.Done()
+			interests := map[string]string{"bs-churn": "fs-" + sub}
 			for i := 0; i < 25; i++ {
 				sNC, cNC := net.Pipe()
 				go func() { _, _ = io.Copy(io.Discard, cNC) }()
 				conn := wsock.NewConn(sNC, false)
-				hub.attach(sub, conn) // replaces (and closes) the previous session
+				hub.attach(sub, conn, interests) // replaces (and closes) the previous session
 				if i%5 == 4 {
 					hub.detach(sub, conn)
 				}
@@ -244,7 +281,7 @@ func TestSessionHubChurn(t *testing.T) {
 			case <-stop:
 				return
 			default:
-				hub.broadcast(ctx, "bs-churn", targets, int64(i))
+				hub.broadcast(ctx, "bs-churn", int64(i))
 			}
 		}
 	}()

@@ -164,10 +164,23 @@ func TestSingleflightCoalescesMisses(t *testing.T) {
 			lens[i], errs[i] = len(objs), err
 		}(i)
 	}
-	// Give the followers time to reach the flight group, then let the
-	// leader's fetch finish. A follower that arrives after release would
-	// start its own fetch and fail the exact-one assertion below.
-	time.Sleep(50 * time.Millisecond)
+	// Wait until every follower has actually joined the in-flight fetch
+	// (the coalesced tally increments as each one registers as a waiter),
+	// then let the leader's fetch finish. A follower that arrived after
+	// release would start its own fetch and fail the exact-one assertion
+	// below; polling the real condition instead of sleeping makes that
+	// impossible no matter how slowly the goroutines schedule.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, coalesced := m.FlightStats(); coalesced >= K-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, coalesced := m.FlightStats()
+			t.Fatalf("only %d of %d followers joined the flight within 5s", coalesced, K-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
 	close(release)
 	wg.Wait()
 

@@ -108,8 +108,16 @@ func TestLivePlayback(t *testing.T) {
 	if elapsed > 30*time.Second {
 		t.Errorf("playback took %v, speedup not applied?", elapsed)
 	}
-	// Give in-flight webhooks and pumps a moment, then drain.
-	time.Sleep(300 * time.Millisecond)
+	// Wait (bounded) for in-flight webhooks and pumps to land — the
+	// playback has finished, so subscriptions and at least one retrieval
+	// must appear once the async tail drains; then close.
+	settled := time.Now().Add(5 * time.Second)
+	for brk.NumFrontendSubs() == 0 || brk.Stats().Requests.Value() == 0 {
+		if time.Now().After(settled) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 	player.Close()
 
 	if brk.NumFrontendSubs() == 0 {

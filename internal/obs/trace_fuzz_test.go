@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceparent drives the W3C traceparent parser with arbitrary
+// header values. Properties: no panic, anything accepted has non-zero
+// trace and span IDs (spec requirement), and an accepted context
+// re-renders to a header that parses back to the identical context —
+// the round trip a span makes crossing broker -> cluster and back.
+func FuzzParseTraceparent(f *testing.F) {
+	seeds := []string{
+		"",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",       // canonical
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00",       // unsampled
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",       // zero trace ID
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",       // zero span ID
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",       // forbidden version
+		"cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra", // future version, longer
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra", // version 00 must be exactly 55
+		"00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01",       // uppercase hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",          // missing flags
+		"00_0af7651916cd43dd8448eb211c80319c_b7ad6b7169203331_01",       // wrong separators
+		"0-af7651916cd43dd8448eb211c80319c0-b7ad6b7169203331-011",       // shifted dashes
+		strings.Repeat("0", 55),
+		strings.Repeat("-", 60),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sc, ok := ParseTraceparent(s)
+		if !ok {
+			return
+		}
+		if !sc.Valid() {
+			t.Fatalf("ParseTraceparent(%q) accepted an invalid context (zero ID): %+v", s, sc)
+		}
+		rendered := sc.Traceparent()
+		back, ok := ParseTraceparent(rendered)
+		if !ok {
+			t.Fatalf("round trip: Traceparent() output %q rejected (from input %q)", rendered, s)
+		}
+		if back != sc {
+			t.Fatalf("round trip: %q -> %+v -> %q -> %+v", s, sc, rendered, back)
+		}
+	})
+}

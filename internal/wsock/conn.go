@@ -60,6 +60,13 @@ func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
 // SetReadDeadline bounds the next read.
 func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
 
+// SetWriteDeadline bounds subsequent writes. The broker's pooled push
+// writers use it so one stalled subscriber socket cannot pin a shared
+// writer indefinitely: a write that outlives the deadline fails and the
+// session is dropped (the client reconnects and catches up via
+// GetResults).
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }
+
 // ReadMessage returns the next complete text or binary message. Control
 // frames are handled transparently: pings are answered with pongs, pongs
 // are skipped, and a close frame completes the close handshake and returns

@@ -26,12 +26,28 @@ type PreparedMessage struct {
 // its unmasked wire form. The payload is copied, so the caller may reuse
 // its buffer.
 func NewPreparedMessage(op Opcode, payload []byte) (*PreparedMessage, error) {
-	if op != OpText && op != OpBinary {
-		return nil, fmt.Errorf("%w: prepared messages need text or binary opcode", ErrProtocol)
+	pm := &PreparedMessage{}
+	if err := pm.Encode(op, payload); err != nil {
+		return nil, err
 	}
-	p := append([]byte(nil), payload...)
-	frame := appendFrame(make([]byte, 0, len(p)+maxHeaderSize), op, p, false, [4]byte{})
-	return &PreparedMessage{op: op, payload: p, frame: frame}, nil
+	return pm, nil
+}
+
+// Encode re-encodes pm in place, reusing its payload and frame buffers.
+// It exists for broadcast hot paths that recycle PreparedMessages through
+// a pool: once every write of the previous encoding has completed, the
+// same PreparedMessage (and its buffers) can carry the next event with
+// zero allocations. The caller owns the proof that no concurrent write is
+// in flight; a PreparedMessage that may still be visible to writers must
+// be treated as immutable exactly as before.
+func (pm *PreparedMessage) Encode(op Opcode, payload []byte) error {
+	if op != OpText && op != OpBinary {
+		return fmt.Errorf("%w: prepared messages need text or binary opcode", ErrProtocol)
+	}
+	pm.op = op
+	pm.payload = append(pm.payload[:0], payload...)
+	pm.frame = appendFrame(pm.frame[:0], op, pm.payload, false, [4]byte{})
+	return nil
 }
 
 // Opcode returns the message's opcode.
