@@ -21,12 +21,14 @@ test:
 	$(GO) test ./...
 
 # Race tier: the packages with concurrent cache paths (sharded manager,
-# singleflight, broker handlers) plus the lock-free measurement and
+# singleflight, broker handlers), the lock-free measurement and
 # exposition primitives — ./internal/obs/... includes the span recorder's
-# concurrent ring. Kept narrow so it stays fast enough to run on every
-# change.
+# concurrent ring — and the cluster's group-evaluation engine
+# (./internal/bdms/...), whose snapshot-handoff eval pipeline races
+# subscribe/unsubscribe against in-flight evaluations. Kept narrow so it
+# stays fast enough to run on every change.
 race:
-	$(GO) test -race ./internal/core/... ./internal/broker/... ./internal/metrics/... ./internal/obs/... ./internal/httpx/...
+	$(GO) test -race ./internal/core/... ./internal/broker/... ./internal/metrics/... ./internal/obs/... ./internal/httpx/... ./internal/bdms/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -39,6 +41,9 @@ bench-json:
 		-benchmem -benchtime=200x -count=3 ./internal/broker ./internal/wsock ./internal/core \
 		| $(GO) run ./cmd/benchjson -note "Fanout is the pooled-writer interest-keyed hub (1000 drained subscribers plus one stalled); goroutine-per-session hub before the pool: 201824ns/57allocs, p99 595609ns. LegacySync is the original synchronous per-subscriber dispatch loop (drained only; it cannot run with a stalled one). objectsInRange pre-change: span=1 4513ns/1alloc, span=16 4963ns/5allocs, span=256 6647ns/9allocs." \
 		> BENCH_fanout.json
+	$(GO) test -run=NONE -bench='BenchmarkIngestEval' -benchmem -count=3 ./internal/bdms \
+		| $(GO) run ./cmd/benchjson -note "Grouped channel evaluation: evals/rec equals signature groups G, not subscriptions S. Per-subscription engine before grouping (same grid, same body): subs=1000/sigs=10 440818ns/op 3118allocs, subs=10000/sigs=100 2476940ns/op 21118allocs, subs=10000/sigs=1000 2363355ns/op 20125allocs — evaluations per record equalled S." \
+		> BENCH_eval.json
 
 # Full soak run: stands up 10k then 100k simulated WebSocket sessions with
 # Zipf-skewed interest and 10% churn, measures RSS/session, dispatch
@@ -63,18 +68,22 @@ bench-smoke:
 # per-session writer goroutines), not scheduler jitter.
 bench-guard:
 	$(GO) run ./cmd/badsoak -sessions 10000 -q -out .soak_check.json
-	$(GO) test -run=NONE -bench='^BenchmarkFanout$$' -benchtime=200x -count=5 ./internal/broker \
+	{ $(GO) test -run=NONE -bench='^BenchmarkFanout$$' -benchtime=200x -count=5 ./internal/broker; \
+	  $(GO) test -run=NONE -bench='^BenchmarkIngestEval/subs=10000/sigs=100$$' -count=3 ./internal/bdms; } \
 		| $(GO) run ./cmd/benchguard \
 			-guard 'baseline=BENCH_fanout.json;bench=BenchmarkFanout;source=stdin;metrics=ns/op:0.20,p99-dispatch-ns:0.50,allocs/op:2' \
-			-guard 'baseline=BENCH_soak.json;bench=Soak/sessions=10000;source=.soak_check.json;metrics=p99-dispatch-ns:1.0,allocs/op:0.5,rss-bytes/session:0.35'
+			-guard 'baseline=BENCH_soak.json;bench=Soak/sessions=10000;source=.soak_check.json;metrics=p99-dispatch-ns:1.0,allocs/op:0.5,rss-bytes/session:0.35' \
+			-guard 'baseline=BENCH_eval.json;bench=BenchmarkIngestEval/subs=10000/sigs=100;source=stdin;metrics=ns/op:0.35,evals/rec:0.01'
 	@rm -f .soak_check.json
 
 # Fuzz smoke: a short bounded run of each native fuzz target (resume-token
-# and traceparent parsing) so CI exercises the corpora plus a few seconds
-# of mutation without turning into a fuzzing farm.
+# and traceparent parsing, parameter-signature canonicalization) so CI
+# exercises the corpora plus a few seconds of mutation without turning
+# into a fuzzing farm.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzParseResumeToken$$' -fuzztime=10s ./internal/broker
 	$(GO) test -run=NONE -fuzz='^FuzzParseTraceparent$$' -fuzztime=10s ./internal/obs
+	$(GO) test -run=NONE -fuzz='^FuzzParamSignature$$' -fuzztime=10s ./internal/bdms
 
 # Chaos tier: the fault-injection harness and every resilience path it
 # drives — retries/breakers (httpx), client wiring, webhook redelivery and

@@ -22,19 +22,20 @@ func main() {
 	unique := flag.Int("unique", 800, "distinct (channel, params) pool size")
 	duration := flag.Duration("duration", time.Hour, "trace duration")
 	publishEvery := flag.Duration("publish-interval", 10*time.Second, "mean publication gap")
+	publishBurst := flag.Int("publish-burst", 1, "max co-timed publications per arrival (replayed via batch ingest; mean rate is preserved)")
 	zipf := flag.Float64("zipf", 1.0, "subscription popularity skew")
 	seed := flag.Int64("seed", 1, "random seed")
 	summarize := flag.String("summarize", "", "summarize an existing JSONL trace instead of generating")
 	flag.Parse()
 
-	if err := run(*subscribers, *subsPer, *unique, *duration, *publishEvery, *zipf, *seed, *summarize); err != nil {
+	if err := run(*subscribers, *subsPer, *unique, *duration, *publishEvery, *publishBurst, *zipf, *seed, *summarize); err != nil {
 		fmt.Fprintln(os.Stderr, "badtrace:", err)
 		os.Exit(1)
 	}
 }
 
 func run(subscribers, subsPer, unique int, duration, publishEvery time.Duration,
-	zipf float64, seed int64, summarize string) error {
+	publishBurst int, zipf float64, seed int64, summarize string) error {
 	if summarize != "" {
 		f, err := os.Open(summarize)
 		if err != nil {
@@ -63,6 +64,7 @@ func run(subscribers, subsPer, unique int, duration, publishEvery time.Duration,
 	cfg.UniqueSubscriptions = unique
 	cfg.Duration = duration
 	cfg.PublishInterval = publishEvery
+	cfg.PublishBurst = publishBurst
 	cfg.ZipfS = zipf
 	tr, err := trace.Generate(cfg)
 	if err != nil {

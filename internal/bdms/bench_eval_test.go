@@ -1,0 +1,84 @@
+package bdms
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchEvalCluster builds a cluster with subs subscriptions spread over
+// sigs distinct parameter signatures on one continuous channel. The body
+// has no equality conjunct, so every signature group is a candidate on
+// every ingest — the worst case the group rework targets: cost per record
+// scales with G (signatures), where the per-subscription engine scaled
+// with S.
+func benchEvalCluster(b *testing.B, subs, sigs int) *Cluster {
+	b.Helper()
+	c := NewCluster()
+	if err := c.CreateDataset("DS", Schema{}); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.DefineChannel(ChannelDef{
+		Name: "Ch", Params: []string{"k", "min"},
+		Body: "select * from DS r where contains(r.k, $k) and r.v >= $min",
+	}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < subs; i++ {
+		sig := i % sigs
+		if _, err := c.Subscribe("Ch", []any{fmt.Sprintf("key-%04d", sig), float64(sig % 5)}, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkIngestEval measures single-record ingest through continuous
+// matching across a subscriptions × signatures grid. evals/rec reports how
+// many channel evaluations each publication cost — with grouping it equals
+// the number of signature groups, not the number of subscriptions.
+func BenchmarkIngestEval(b *testing.B) {
+	for _, grid := range []struct{ subs, sigs int }{
+		{1000, 10},
+		{10000, 100},
+		{10000, 1000},
+	} {
+		b.Run(fmt.Sprintf("subs=%d/sigs=%d", grid.subs, grid.sigs), func(b *testing.B) {
+			c := benchEvalCluster(b, grid.subs, grid.sigs)
+			g0 := c.Stats().EvalGroups.Value()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				_, err := c.Ingest("DS", map[string]any{
+					"k": fmt.Sprintf("key-%04d", n%grid.sigs), "v": float64(n % 10),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric((c.Stats().EvalGroups.Value()-g0)/float64(b.N), "evals/rec")
+		})
+	}
+}
+
+// BenchmarkIngestEvalBatch is the batch path: 32 records per IngestBatch
+// amortize the lock, WAL flush and group evaluations over the batch.
+// ns/op is per record (b.N counts records).
+func BenchmarkIngestEvalBatch(b *testing.B) {
+	const batchSize = 32
+	c := benchEvalCluster(b, 10000, 100)
+	g0 := c.Stats().EvalGroups.Value()
+	batch := make([]map[string]any, batchSize)
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batchSize {
+		for i := range batch {
+			batch[i] = map[string]any{
+				"k": fmt.Sprintf("key-%04d", (n+i)%100), "v": float64((n + i) % 10),
+			}
+		}
+		if _, err := c.IngestBatch("DS", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric((c.Stats().EvalGroups.Value()-g0)/float64(b.N), "evals/rec")
+}

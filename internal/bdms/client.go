@@ -133,6 +133,22 @@ func (c *Client) IngestContext(ctx context.Context, dataset string, data map[str
 	return out, err
 }
 
+// IngestBatch stores a batch of publications in one request; the cluster
+// validates the batch atomically, appends it to the WAL with one flush and
+// evaluates continuous channels once per matching group over the batch.
+func (c *Client) IngestBatch(dataset string, records []map[string]any) (BatchIngestResponse, error) {
+	return c.IngestBatchContext(context.Background(), dataset, records)
+}
+
+// IngestBatchContext is IngestBatch bound to ctx.
+func (c *Client) IngestBatchContext(ctx context.Context, dataset string, records []map[string]any) (BatchIngestResponse, error) {
+	var out BatchIngestResponse
+	err := c.do(ctx, http.MethodPost,
+		fmt.Sprintf("%s/v1/datasets/%s/records:batch", c.base, url.PathEscape(dataset)),
+		BatchIngestRequest{Records: records}, &out, false)
+	return out, err
+}
+
 // DefineChannel registers a channel.
 func (c *Client) DefineChannel(def ChannelDef) error {
 	return c.DefineChannelContext(context.Background(), def)

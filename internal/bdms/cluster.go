@@ -3,7 +3,6 @@ package bdms
 import (
 	"context"
 	"fmt"
-	"reflect"
 	"sort"
 	"sync"
 	"time"
@@ -99,6 +98,9 @@ func WithPushModel() Option {
 type ClusterStats struct {
 	// Ingested counts stored publications.
 	Ingested metrics.Counter
+	// IngestBatches counts batch ingest requests (each storing one or
+	// more publications under a single lock acquisition and WAL flush).
+	IngestBatches metrics.Counter
 	// ResultsProduced counts result objects generated across all
 	// subscriptions.
 	ResultsProduced metrics.Counter
@@ -109,23 +111,34 @@ type ClusterStats struct {
 	Notifications metrics.Counter
 	// FetchedBytes accumulates bytes served through Results calls.
 	FetchedBytes metrics.Counter
+	// EvalGroups counts channel evaluations executed — one per
+	// (channel, parameter signature) group per publication batch or
+	// repetitive tick, NOT one per subscription.
+	EvalGroups metrics.Counter
+	// EvalSubsServed counts the subscriptions those evaluations served;
+	// EvalSubsServed / EvalGroups is the shared-evaluation ratio (how many
+	// subscriptions each channel execution covered on average).
+	EvalSubsServed metrics.Counter
 }
 
 // subscription is one backend subscription: a channel instance bound to
-// parameter values, accumulating results.
+// parameter values, accumulating results. Matching state lives on its
+// evalGroup — every subscription with the same (channel, parameter
+// signature) shares one evaluation.
 type subscription struct {
 	id       string
 	ch       *channel
-	params   map[string]any
+	params   map[string]any // canonicalized bound parameters
 	callback string
+
+	// group membership (guarded by Cluster.mu); memberIdx is the
+	// subscription's slot in group.members for O(1) removal.
+	group     *evalGroup
+	memberIdx int
 
 	results []ResultObject // ordered by Timestamp
 	lastTS  time.Duration
 	seq     uint64
-
-	// repetitive-channel execution state
-	lastSeq uint64
-	nextRun time.Duration
 }
 
 // Cluster is the BAD data cluster engine: datasets + channels +
@@ -142,11 +155,12 @@ type Cluster struct {
 	mu       sync.Mutex
 	datasets map[string]*Dataset
 	channels map[string]*channel
-	// subsByChannel indexes live subscriptions per channel.
-	subsByChannel map[string][]*subscription
-	// contIndex buckets continuous subscriptions by their indexable
+	// groups indexes evaluation groups by channel name, then canonical
+	// parameter signature (see evalgroup.go / signature.go).
+	groups map[string]map[string]*evalGroup
+	// contIndex buckets continuous-channel groups by their indexable
 	// equality value, per channel (see index.go).
-	contIndex map[string]*subIndex
+	contIndex map[string]*groupIndex
 	subs      map[string]*subscription
 	subSeq    uint64
 	epoch     time.Time
@@ -169,13 +183,13 @@ func (c *Cluster) SetTracing(traces *span.Recorder, stages *span.Stages) {
 // NewCluster returns a cluster with the given options applied.
 func NewCluster(opts ...Option) *Cluster {
 	c := &Cluster{
-		numNodes:      3,
-		datasets:      make(map[string]*Dataset),
-		channels:      make(map[string]*channel),
-		subsByChannel: make(map[string][]*subscription),
-		contIndex:     make(map[string]*subIndex),
-		subs:          make(map[string]*subscription),
-		epoch:         time.Now(),
+		numNodes:  3,
+		datasets:  make(map[string]*Dataset),
+		channels:  make(map[string]*channel),
+		groups:    make(map[string]map[string]*evalGroup),
+		contIndex: make(map[string]*groupIndex),
+		subs:      make(map[string]*subscription),
+		epoch:     time.Now(),
 	}
 	c.clock = func() time.Duration { return time.Since(c.epoch) }
 	for _, opt := range opts {
@@ -261,11 +275,11 @@ func (c *Cluster) DeleteChannel(name string) error {
 	if _, ok := c.channels[name]; !ok {
 		return fmt.Errorf("bdms: unknown channel %q", name)
 	}
-	if n := len(c.subsByChannel[name]); n > 0 {
+	if n := c.channelSubCount(name); n > 0 {
 		return fmt.Errorf("bdms: channel %q has %d live subscriptions", name, n)
 	}
 	delete(c.channels, name)
-	delete(c.subsByChannel, name)
+	delete(c.groups, name)
 	delete(c.contIndex, name)
 	return nil
 }
@@ -305,26 +319,13 @@ func (c *Cluster) Channels() []ChannelDef {
 	return out
 }
 
-// paramsEqual reports whether two bound parameter maps match; bound values
-// are JSON scalars, so DeepEqual compares them faithfully.
-func paramsEqual(a, b map[string]any) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k, v := range a {
-		w, ok := b[k]
-		if !ok || !reflect.DeepEqual(v, w) {
-			return false
-		}
-	}
-	return true
-}
-
 // Subscribe creates a backend subscription to a channel with bound
 // parameter values and a callback URL, returning the subscription ID
 // (Section III-A's abstraction: "the data cluster receives subscription
 // requests (channel name and parameter values) and returns a unique
-// subscription identifier").
+// subscription identifier"). Internally the subscription joins the
+// evaluation group of its canonical parameter signature — the channel is
+// evaluated once per group, however many subscriptions join it.
 func (c *Cluster) Subscribe(channelName string, params []any, callback string) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -336,48 +337,46 @@ func (c *Cluster) Subscribe(channelName string, params []any, callback string) (
 	if err != nil {
 		return "", err
 	}
+	canon := canonicalParams(bound)
 	c.subSeq++
 	sub := &subscription{
 		id:       fmt.Sprintf("bsub-%06d", c.subSeq),
 		ch:       ch,
-		params:   bound,
+		params:   canon,
 		callback: callback,
 	}
-	// The (channel, parameter values) pair identifies a logical result
-	// dataset (Section IV): equivalent subscriptions accumulate the same
-	// result stream. Seed the new subscription from an existing equivalent
-	// one so a broker re-subscribing after a failover can range-fetch the
-	// history its predecessor had already pulled — resume tokens keep
-	// addressing real results across broker deaths.
-	for _, eq := range c.subsByChannel[channelName] {
-		if paramsEqual(eq.params, bound) {
-			sub.results = append([]ResultObject(nil), eq.results...)
-			sub.lastTS = eq.lastTS
-			break
+	sig := paramSignature(canon)
+	g := c.group(channelName, sig)
+	if g == nil {
+		g = &evalGroup{ch: ch, sig: sig, params: canon}
+		if !ch.Continuous() {
+			// A repetitive group only sees publications ingested after
+			// its first subscription, and first fires one period later.
+			ds := c.datasets[ch.dataset]
+			g.lastSeq = ds.LastSeq()
+			g.nextRun = c.clock() + ch.def.Period
 		}
+		c.addGroup(g)
+	} else {
+		// The (channel, parameter values) pair identifies a logical result
+		// dataset (Section IV): equivalent subscriptions accumulate the same
+		// result stream. Seed the new subscription from an existing member
+		// so a broker re-subscribing after a failover can range-fetch the
+		// history its predecessor had already pulled — resume tokens keep
+		// addressing real results across broker deaths.
+		eq := g.members[0]
+		sub.results = append([]ResultObject(nil), eq.results...)
+		sub.lastTS = eq.lastTS
 	}
-	if !ch.Continuous() {
-		// A repetitive subscription only sees publications ingested
-		// after it was created, and first fires one period later.
-		ds := c.datasets[ch.dataset]
-		sub.lastSeq = ds.LastSeq()
-		sub.nextRun = c.clock() + ch.def.Period
-	}
+	g.addMember(sub)
 	c.subs[sub.id] = sub
-	c.subsByChannel[channelName] = append(c.subsByChannel[channelName], sub)
-	if ch.Continuous() && ch.index != nil {
-		ix := c.contIndex[channelName]
-		if ix == nil {
-			ix = newSubIndex()
-			c.contIndex[channelName] = ix
-		}
-		key, ok := indexKey(bound[ch.index.param])
-		ix.add(sub, key, ok)
-	}
 	return sub.id, nil
 }
 
-// Unsubscribe removes a backend subscription and its result dataset.
+// Unsubscribe removes a backend subscription and its result dataset. The
+// group index makes removal O(1); an evaluation snapshotted before the
+// removal re-checks liveness before appending, so results never land on a
+// dead subscription.
 func (c *Cluster) Unsubscribe(subID string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -386,15 +385,10 @@ func (c *Cluster) Unsubscribe(subID string) error {
 		return fmt.Errorf("bdms: unknown subscription %q", subID)
 	}
 	delete(c.subs, subID)
-	list := c.subsByChannel[sub.ch.def.Name]
-	for i, s := range list {
-		if s == sub {
-			c.subsByChannel[sub.ch.def.Name] = append(list[:i], list[i+1:]...)
-			break
+	if g := sub.group; g != nil {
+		if g.removeMember(sub) {
+			c.dropGroup(g)
 		}
-	}
-	if ix := c.contIndex[sub.ch.def.Name]; ix != nil {
-		ix.remove(sub)
 	}
 	return nil
 }
@@ -404,6 +398,18 @@ func (c *Cluster) NumSubscriptions() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.subs)
+}
+
+// NumEvalGroups returns the number of live evaluation groups (distinct
+// (channel, parameter signature) pairs with at least one subscription).
+func (c *Cluster) NumEvalGroups() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, bySig := range c.groups {
+		n += len(bySig)
+	}
+	return n
 }
 
 // Ingest stores a publication and runs continuous-channel matching against
@@ -417,9 +423,46 @@ func (c *Cluster) Ingest(dataset string, data map[string]any) (Record, error) {
 // backend-subscription evaluation record as spans of the publication's
 // trace, and every notification it produces is delivered under the same
 // trace, so one publication is one trace end to end.
-func (c *Cluster) IngestContext(ctx context.Context, dataset string, data map[string]any) (rec Record, err error) {
+func (c *Cluster) IngestContext(ctx context.Context, dataset string, data map[string]any) (Record, error) {
+	recs, err := c.ingest(ctx, dataset, []map[string]any{data}, false)
+	if err != nil {
+		return Record{}, err
+	}
+	return recs[0], nil
+}
+
+// IngestBatch stores a batch of publications under one lock acquisition
+// and WAL flush, then evaluates continuous channels once per evaluation
+// group over the whole batch. Validation is atomic: if any record fails,
+// nothing is stored. Returns the assigned records in batch order.
+func (c *Cluster) IngestBatch(dataset string, batch []map[string]any) ([]Record, error) {
+	return c.IngestBatchContext(context.Background(), dataset, batch)
+}
+
+// IngestBatchContext is IngestBatch carrying the caller's trace.
+func (c *Cluster) IngestBatchContext(ctx context.Context, dataset string, batch []map[string]any) ([]Record, error) {
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("bdms: empty batch for dataset %s", dataset)
+	}
+	return c.ingest(ctx, dataset, batch, true)
+}
+
+// ingest is the shared publication pipeline:
+//
+//	lock   : validate all → WAL append (one flush) → insert all →
+//	         snapshot evaluation tasks (one per candidate group)
+//	unlock : evaluate groups in parallel (evalgroup.go worker pool)
+//	lock   : append shared rows to each live member
+//	unlock : deliver notifications
+//
+// The global mutex covers only index/state mutation; the channel queries —
+// the expensive part — run on snapshots outside it.
+func (c *Cluster) ingest(ctx context.Context, dataset string, batch []map[string]any, isBatch bool) (recs []Record, err error) {
 	ctx, sp := c.traces.Start(ctx, "cluster.ingest")
 	sp.SetAttr("dataset", dataset)
+	if isBatch {
+		sp.SetAttr("batch", fmt.Sprintf("%d", len(batch)))
+	}
 	defer func() {
 		sp.SetError(err)
 		sp.End()
@@ -429,115 +472,122 @@ func (c *Cluster) IngestContext(ctx context.Context, dataset string, data map[st
 	ds, ok := c.datasets[dataset]
 	if !ok {
 		c.mu.Unlock()
-		return Record{}, fmt.Errorf("bdms: unknown dataset %q", dataset)
+		return nil, fmt.Errorf("bdms: unknown dataset %q", dataset)
 	}
-	if data == nil {
+	// Validate the whole batch before storing anything: a batch is
+	// accepted or rejected atomically.
+	for i, data := range batch {
+		if data == nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("bdms: nil record at batch index %d for dataset %s", i, dataset)
+		}
+		if err := ds.schema.Validate(data); err != nil {
+			c.mu.Unlock()
+			if isBatch {
+				return nil, fmt.Errorf("bdms: batch index %d: %w", i, err)
+			}
+			return nil, err
+		}
+	}
+	// Log before acknowledging (write-ahead); one flush for the batch.
+	if err := c.logIngestBatch(dataset, batch, now); err != nil {
 		c.mu.Unlock()
-		return Record{}, fmt.Errorf("bdms: nil record for dataset %s", dataset)
+		return nil, err
 	}
-	if err := ds.schema.Validate(data); err != nil {
-		c.mu.Unlock()
-		return Record{}, err
+	recs = make([]Record, len(batch))
+	for i, data := range batch {
+		recs[i] = ds.insertValidated(data, now)
 	}
-	// Log before acknowledging (write-ahead).
-	if err := c.logIngest(dataset, data, now); err != nil {
-		c.mu.Unlock()
-		return Record{}, err
+	c.stats.Ingested.Add(float64(len(batch)))
+	if isBatch {
+		c.stats.IngestBatches.Inc()
 	}
-	rec, err = ds.Insert(data, now)
-	if err != nil {
-		c.mu.Unlock()
-		return Record{}, err
-	}
-	c.stats.Ingested.Inc()
+	tasks := c.collectEvalTasks(dataset, recs)
+	c.mu.Unlock()
 
-	// Continuous matching: evaluate each continuous channel on this
-	// dataset against the new record. Channels with an indexable
-	// equality conjunct only visit the subscriptions whose bound value
-	// matches the record's field (plus the unindexed remainder); the
-	// full predicate still runs per candidate.
-	_, evalSp := c.traces.Start(ctx, "cluster.eval")
-	evalStart := time.Now()
-	var pending []notification
+	if len(tasks) > 0 {
+		_, evalSp := c.traces.Start(ctx, "cluster.eval")
+		evalStart := time.Now()
+		c.runEvalTasks(tasks)
+		pending := c.commitEval(tasks, now)
+		evalSp.SetAttr("groups", fmt.Sprintf("%d", len(tasks)))
+		evalSp.SetAttr("records", fmt.Sprintf("%d", len(recs)))
+		evalSp.SetAttr("matches", fmt.Sprintf("%d", len(pending)))
+		evalSp.End()
+		c.stages.Observe(ctx, span.StageClusterEval, span.OutcomeNone, time.Since(evalStart))
+		c.deliver(ctx, pending)
+	}
+	return recs, nil
+}
+
+// collectEvalTasks snapshots one evaluation task per candidate group for a
+// freshly inserted batch. Channels with an indexable equality conjunct
+// visit only the groups whose bound value matches some record in the batch
+// (plus the unindexed remainder); each group's task carries exactly the
+// records that can match it. Caller holds the lock.
+func (c *Cluster) collectEvalTasks(dataset string, recs []Record) []*evalTask {
+	var tasks []*evalTask
 	for _, ch := range c.channels {
 		if !ch.Continuous() || ch.dataset != dataset {
 			continue
 		}
-		candidates := c.subsByChannel[ch.def.Name]
+		bySig := c.groups[ch.def.Name]
+		if len(bySig) == 0 {
+			continue
+		}
+		var ix *groupIndex
 		if ch.index != nil {
-			if ix := c.contIndex[ch.def.Name]; ix != nil {
-				v := lookupPathParts(rec.Data, ch.index.fieldPath)
-				key, ok := indexKey(v)
-				candidates = ix.candidates(key, ok)
+			ix = c.contIndex[ch.def.Name]
+		}
+		if ix == nil {
+			for _, g := range bySig {
+				tasks = append(tasks, c.newEvalTask(g, recs))
+			}
+			continue
+		}
+		// Per-record pruning: each record contributes itself to its
+		// candidate groups, preserving batch order within each group.
+		perGroup := make(map[*evalGroup][]Record)
+		var order []*evalGroup
+		for _, rec := range recs {
+			v := lookupPathParts(rec.Data, ch.index.fieldPath)
+			key, ok := indexKey(canonicalValue(v))
+			for _, g := range ix.candidates(key, ok) {
+				if _, seen := perGroup[g]; !seen {
+					order = append(order, g)
+				}
+				perGroup[g] = append(perGroup[g], rec)
 			}
 		}
-		for _, sub := range candidates {
-			rows, err := c.matchRecords(ch, sub, []Record{rec})
-			if err != nil || len(rows) == 0 {
-				continue
+		for _, g := range order {
+			tasks = append(tasks, c.newEvalTask(g, perGroup[g]))
+		}
+	}
+	return tasks
+}
+
+// commitEval appends each evaluated group's shared rows to its members'
+// result datasets and collects the notifications to deliver. Members were
+// snapshotted before the evaluation ran, so each is re-checked for
+// liveness — an unsubscribe that raced the evaluation wins.
+func (c *Cluster) commitEval(tasks []*evalTask, now time.Duration) []notification {
+	var pending []notification
+	c.mu.Lock()
+	for _, t := range tasks {
+		if t.err != nil || len(t.rows) == 0 {
+			continue
+		}
+		for _, sub := range t.members {
+			if c.subs[sub.id] != sub {
+				continue // unsubscribed (or replaced) during evaluation
 			}
-			if n, ok := c.appendResult(sub, rows, now); ok {
+			if n, ok := c.appendResult(sub, t.rows, t.size, now); ok {
 				pending = append(pending, n)
 			}
 		}
 	}
 	c.mu.Unlock()
-	evalSp.SetAttr("matches", fmt.Sprintf("%d", len(pending)))
-	evalSp.End()
-	c.stages.Observe(ctx, span.StageClusterEval, span.OutcomeNone, time.Since(evalStart))
-	c.deliver(ctx, pending)
-	return rec, nil
-}
-
-// matchRecords runs a channel query (+enrichments) over candidate records
-// for one subscription. Caller holds the lock.
-func (c *Cluster) matchRecords(ch *channel, sub *subscription, recs []Record) ([]map[string]any, error) {
-	raw := make([]map[string]any, 0, len(recs))
-	for _, r := range recs {
-		raw = append(raw, r.Data)
-	}
-	rows, err := aql.RunQuery(ch.query, raw, sub.params)
-	if err != nil {
-		return nil, err
-	}
-	if len(rows) == 0 || len(ch.enrich) == 0 {
-		return rows, nil
-	}
-	// Enrichment: per matched row, evaluate each secondary query and
-	// embed its rows. Rows are copied before annotation because star
-	// projections alias the stored records.
-	out := make([]map[string]any, 0, len(rows))
-	for _, row := range rows {
-		enriched := make(map[string]any, len(row)+len(ch.enrich))
-		for k, v := range row {
-			enriched[k] = v
-		}
-		for _, e := range ch.enrich {
-			eds, ok := c.datasets[e.query.Dataset]
-			if !ok {
-				continue
-			}
-			params := make(map[string]any, len(sub.params)+len(e.spec.Bind))
-			for k, v := range sub.params {
-				params[k] = v
-			}
-			for p, path := range e.spec.Bind {
-				params[p] = lookupPath(row, path)
-			}
-			all := eds.ScanSince(0)
-			cand := make([]map[string]any, 0, len(all))
-			for _, r := range all {
-				cand = append(cand, r.Data)
-			}
-			erows, err := aql.RunQuery(e.query, cand, params)
-			if err != nil {
-				return nil, err
-			}
-			enriched[e.spec.Name] = erows
-		}
-		out = append(out, enriched)
-	}
-	return out, nil
+	return pending
 }
 
 type notification struct {
@@ -547,8 +597,11 @@ type notification struct {
 }
 
 // appendResult stores a new result object for sub and returns the
-// notification to deliver. Caller holds the lock.
-func (c *Cluster) appendResult(sub *subscription, rows []map[string]any, now time.Duration) (notification, bool) {
+// notification to deliver. The rows slice and its encoded size are shared
+// across every member of the evaluation group (results are immutable once
+// produced, so sharing is safe — no per-member deep copy). Caller holds
+// the lock.
+func (c *Cluster) appendResult(sub *subscription, rows []map[string]any, size int64, now time.Duration) (notification, bool) {
 	ts := now
 	if ts <= sub.lastTS {
 		ts = sub.lastTS + time.Nanosecond
@@ -560,7 +613,7 @@ func (c *Cluster) appendResult(sub *subscription, rows []map[string]any, now tim
 		SubscriptionID: sub.id,
 		Timestamp:      ts,
 		Rows:           rows,
-		Size:           encodeSize(rows),
+		Size:           size,
 	}
 	sub.results = append(sub.results, obj)
 	c.stats.ResultsProduced.Inc()
@@ -593,36 +646,38 @@ func (c *Cluster) deliver(ctx context.Context, pending []notification) {
 	}
 }
 
-// RunRepetitiveDue executes every repetitive subscription whose period has
-// elapsed, evaluating its channel over the publications ingested since its
-// previous execution. It returns the number of executions performed.
-// Callers drive it from a ticker (live) or scheduled events (simulation).
+// RunRepetitiveDue executes every repetitive evaluation group whose period
+// has elapsed, evaluating its channel ONCE over the publications ingested
+// since the group's previous execution — however many subscriptions share
+// the group. It returns the number of group executions performed. Callers
+// drive it from a ticker (live) or scheduled events (simulation).
 func (c *Cluster) RunRepetitiveDue() int {
 	now := c.clock()
 	c.mu.Lock()
-	var pending []notification
+	var tasks []*evalTask
 	executions := 0
-	for _, sub := range c.subs {
-		if sub.ch.Continuous() || now < sub.nextRun {
-			continue
-		}
-		executions++
-		ds := c.datasets[sub.ch.dataset]
-		recs := ds.ScanSince(sub.lastSeq)
-		sub.lastSeq = ds.LastSeq()
-		sub.nextRun = now + sub.ch.def.Period
-		if len(recs) == 0 {
-			continue
-		}
-		rows, err := c.matchRecords(sub.ch, sub, recs)
-		if err != nil || len(rows) == 0 {
-			continue
-		}
-		if n, ok := c.appendResult(sub, rows, now); ok {
-			pending = append(pending, n)
+	for _, bySig := range c.groups {
+		for _, g := range bySig {
+			if g.ch.Continuous() || now < g.nextRun {
+				continue
+			}
+			executions++
+			ds := c.datasets[g.ch.dataset]
+			recs := ds.ScanSince(g.lastSeq)
+			g.lastSeq = ds.LastSeq()
+			g.nextRun = now + g.ch.def.Period
+			if len(recs) == 0 {
+				continue
+			}
+			tasks = append(tasks, c.newEvalTask(g, recs))
 		}
 	}
 	c.mu.Unlock()
+	if len(tasks) == 0 {
+		return executions
+	}
+	c.runEvalTasks(tasks)
+	pending := c.commitEval(tasks, now)
 	if len(pending) > 0 {
 		// Repetitive executions are not tied to any single publication;
 		// they root a trace of their own.
@@ -640,13 +695,15 @@ func (c *Cluster) NextRepetitiveRun() (time.Duration, bool) {
 	defer c.mu.Unlock()
 	var best time.Duration
 	found := false
-	for _, sub := range c.subs {
-		if sub.ch.Continuous() {
-			continue
-		}
-		if !found || sub.nextRun < best {
-			best = sub.nextRun
-			found = true
+	for _, bySig := range c.groups {
+		for _, g := range bySig {
+			if g.ch.Continuous() {
+				continue
+			}
+			if !found || g.nextRun < best {
+				best = g.nextRun
+				found = true
+			}
 		}
 	}
 	return best, found

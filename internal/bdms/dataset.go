@@ -150,13 +150,20 @@ func (d *Dataset) Insert(data map[string]any, at time.Duration) (Record, error) 
 	if err := d.schema.Validate(data); err != nil {
 		return Record{}, err
 	}
+	return d.insertValidated(data, at), nil
+}
+
+// insertValidated stores a publication the caller has already validated
+// against the schema. The batch ingest path validates whole batches up
+// front (atomically) and must not pay per-record re-validation here.
+func (d *Dataset) insertValidated(data map[string]any, at time.Duration) Record {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.nextSq++
 	rec := Record{Seq: d.nextSq, IngestedAt: at, Data: data}
 	node := d.nodes[partition(rec.Seq, len(d.nodes))]
 	node.append(rec)
-	return rec, nil
+	return rec
 }
 
 // Len returns the total number of stored records.

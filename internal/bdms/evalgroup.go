@@ -1,0 +1,265 @@
+package bdms
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"gobad/internal/aql"
+)
+
+// Shared channel evaluation. Subscriptions of one channel are grouped by
+// parameter signature; matching runs once per GROUP per publication batch
+// and the shared rows are appended to every member's result dataset. With
+// S subscriptions over G distinct signatures that turns O(S) channel
+// executions per publication into O(G) — the cluster-side twin of the
+// broker's subscription suppression ("Optimizing Big Active Data
+// Management Systems").
+//
+// Group evaluation also narrows Cluster.mu: the lock now covers only
+// index/state mutation (validate, WAL, insert, snapshot; then append).
+// The matching itself — the expensive part — runs on a snapshot outside
+// the lock, sharded by hash(channel, signature) across a small worker
+// pool.
+
+// evalGroup is the unit of evaluation: one (channel, parameter signature)
+// with its member subscriptions. Params and signature are immutable after
+// creation; members (and the repetitive execution state) are guarded by
+// Cluster.mu.
+type evalGroup struct {
+	ch     *channel
+	sig    string
+	params map[string]any // canonicalized bound parameters
+	// members share one logical result dataset: each gets the same rows
+	// appended. memberIdx on the subscription makes removal O(1).
+	members []*subscription
+
+	// Placement in the channel's equality index (continuous channels with
+	// an indexable conjunct).
+	idxKey string
+	idxOK  bool
+
+	// Repetitive execution state, shared by all members: the group runs
+	// one query per period regardless of how many subscriptions joined.
+	lastSeq uint64
+	nextRun time.Duration
+}
+
+// addMember appends sub to the group. Caller holds Cluster.mu.
+func (g *evalGroup) addMember(sub *subscription) {
+	sub.group = g
+	sub.memberIdx = len(g.members)
+	g.members = append(g.members, sub)
+}
+
+// removeMember swap-removes sub in O(1). Caller holds Cluster.mu. Returns
+// true when the group became empty.
+func (g *evalGroup) removeMember(sub *subscription) bool {
+	last := len(g.members) - 1
+	moved := g.members[last]
+	g.members[sub.memberIdx] = moved
+	moved.memberIdx = sub.memberIdx
+	g.members[last] = nil
+	g.members = g.members[:last]
+	sub.group = nil
+	return last == 0
+}
+
+// evalTask is one group evaluation, snapshotted under Cluster.mu and
+// executed outside it. members is a copy: subscriptions may unsubscribe
+// while the evaluation runs, so the append stage re-checks liveness under
+// the lock before touching any member.
+type evalTask struct {
+	ch      *channel
+	g       *evalGroup
+	members []*subscription
+	recs    []Record
+	// enrichDS snapshots the datasets the channel's enrichments read, so
+	// evaluation never touches the Cluster.datasets map off-lock (Dataset
+	// itself is concurrency-safe).
+	enrichDS map[string]*Dataset
+
+	// outputs
+	rows []map[string]any
+	size int64
+	err  error
+}
+
+// newEvalTask snapshots one group evaluation. Caller holds Cluster.mu.
+func (c *Cluster) newEvalTask(g *evalGroup, recs []Record) *evalTask {
+	t := &evalTask{ch: g.ch, g: g, recs: recs}
+	t.members = append(t.members, g.members...)
+	if len(g.ch.enrich) > 0 {
+		t.enrichDS = make(map[string]*Dataset, len(g.ch.enrich))
+		for _, e := range g.ch.enrich {
+			t.enrichDS[e.query.Dataset] = c.datasets[e.query.Dataset]
+		}
+	}
+	return t
+}
+
+// run evaluates the task's channel once over its candidate records.
+func (t *evalTask) run() {
+	t.rows, t.err = evalChannel(t.ch, t.g.params, t.recs, t.enrichDS)
+	if t.err == nil && len(t.rows) > 0 {
+		// Encoded size is shared by every member's result object; compute
+		// it once, off-lock.
+		t.size = encodeSize(t.rows)
+	}
+}
+
+// evalShardCap bounds the eval worker pool; batches with fewer tasks run
+// one worker per task.
+const evalShardCap = 8
+
+// runEvalTasks executes group evaluations sharded by hash(channel,
+// signature) across a small worker pool. Single-task batches run inline —
+// the common continuous-ingest case must not pay goroutine latency.
+// Caller must NOT hold Cluster.mu.
+func (c *Cluster) runEvalTasks(tasks []*evalTask) {
+	for _, t := range tasks {
+		c.stats.EvalGroups.Inc()
+		c.stats.EvalSubsServed.Add(float64(len(t.members)))
+	}
+	if len(tasks) <= 1 {
+		for _, t := range tasks {
+			t.run()
+		}
+		return
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if nw > evalShardCap {
+		nw = evalShardCap
+	}
+	if nw > len(tasks) {
+		nw = len(tasks)
+	}
+	shards := make([][]*evalTask, nw)
+	for _, t := range tasks {
+		h := fnv.New32a()
+		h.Write([]byte(t.ch.def.Name))
+		h.Write([]byte{0})
+		h.Write([]byte(t.g.sig))
+		s := h.Sum32() % uint32(nw)
+		shards[s] = append(shards[s], t)
+	}
+	var wg sync.WaitGroup
+	for _, shard := range shards {
+		if len(shard) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(shard []*evalTask) {
+			defer wg.Done()
+			for _, t := range shard {
+				t.run()
+			}
+		}(shard)
+	}
+	wg.Wait()
+}
+
+// evalChannel runs a channel query (+enrichments) once over candidate
+// records with one group's parameters. It reads only immutable channel
+// state, the records, and concurrency-safe Datasets, so it is safe to
+// call without Cluster.mu.
+func evalChannel(ch *channel, params map[string]any, recs []Record, enrichDS map[string]*Dataset) ([]map[string]any, error) {
+	raw := make([]map[string]any, 0, len(recs))
+	for _, r := range recs {
+		raw = append(raw, r.Data)
+	}
+	rows, err := aql.RunQuery(ch.query, raw, params)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 || len(ch.enrich) == 0 {
+		return rows, nil
+	}
+	// Enrichment: per matched row, evaluate each secondary query and
+	// embed its rows. Rows are copied before annotation because star
+	// projections alias the stored records.
+	out := make([]map[string]any, 0, len(rows))
+	for _, row := range rows {
+		enriched := make(map[string]any, len(row)+len(ch.enrich))
+		for k, v := range row {
+			enriched[k] = v
+		}
+		for _, e := range ch.enrich {
+			eds := enrichDS[e.query.Dataset]
+			if eds == nil {
+				continue
+			}
+			eparams := make(map[string]any, len(params)+len(e.spec.Bind))
+			for k, v := range params {
+				eparams[k] = v
+			}
+			for p, path := range e.spec.Bind {
+				eparams[p] = lookupPath(row, path)
+			}
+			all := eds.ScanSince(0)
+			cand := make([]map[string]any, 0, len(all))
+			for _, r := range all {
+				cand = append(cand, r.Data)
+			}
+			erows, err := aql.RunQuery(e.query, cand, eparams)
+			if err != nil {
+				return nil, err
+			}
+			enriched[e.spec.Name] = erows
+		}
+		out = append(out, enriched)
+	}
+	return out, nil
+}
+
+// group returns channel ch's group for sig, or nil. Caller holds
+// Cluster.mu.
+func (c *Cluster) group(channelName, sig string) *evalGroup {
+	return c.groups[channelName][sig]
+}
+
+// addGroup registers a fresh group in the signature index (and, for
+// indexed continuous channels, the equality index). Caller holds
+// Cluster.mu.
+func (c *Cluster) addGroup(g *evalGroup) {
+	name := g.ch.def.Name
+	bySig := c.groups[name]
+	if bySig == nil {
+		bySig = make(map[string]*evalGroup)
+		c.groups[name] = bySig
+	}
+	bySig[g.sig] = g
+	if g.ch.Continuous() && g.ch.index != nil {
+		ix := c.contIndex[name]
+		if ix == nil {
+			ix = newGroupIndex()
+			c.contIndex[name] = ix
+		}
+		g.idxKey, g.idxOK = indexKey(canonicalValue(g.params[g.ch.index.param]))
+		ix.add(g)
+	}
+}
+
+// dropGroup removes an empty group from every index. Caller holds
+// Cluster.mu.
+func (c *Cluster) dropGroup(g *evalGroup) {
+	name := g.ch.def.Name
+	delete(c.groups[name], g.sig)
+	if len(c.groups[name]) == 0 {
+		delete(c.groups, name)
+	}
+	if ix := c.contIndex[name]; ix != nil {
+		ix.remove(g)
+	}
+}
+
+// channelSubCount sums live subscriptions across a channel's groups.
+// Caller holds Cluster.mu.
+func (c *Cluster) channelSubCount(channelName string) int {
+	n := 0
+	for _, g := range c.groups[channelName] {
+		n += len(g.members)
+	}
+	return n
+}

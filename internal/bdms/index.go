@@ -7,19 +7,21 @@ import (
 	"gobad/internal/aql"
 )
 
-// Predicate indexing: continuous channels are matched against EVERY
-// subscription on every ingest, which is O(subscriptions) per publication.
-// Most channel bodies, however, contain an equality conjunct that binds a
-// record field to a channel parameter — e.g.
+// Predicate indexing: continuous channels are matched against every
+// parameter-signature group on every ingest, which is O(groups) per
+// publication. Most channel bodies, however, contain an equality conjunct
+// that binds a record field to a channel parameter — e.g.
 //
 //	select * from EmergencyReports r where r.etype = $etype and ...
 //
-// For such channels the cluster maintains an equality index: subscriptions
-// are bucketed by their bound parameter value, and an incoming publication
-// only visits the bucket matching its own field value (plus any
-// subscriptions whose parameters didn't yield an indexable key). The full
-// predicate is still evaluated per candidate, so indexing is purely a
-// pruning step — it never changes matching results.
+// For such channels the cluster maintains an equality index: groups are
+// bucketed by their bound parameter value, and an incoming publication
+// only visits the bucket matching its own field value (plus any groups
+// whose parameters didn't yield an indexable key). The full predicate is
+// still evaluated per candidate group, so indexing is purely a pruning
+// step — it never changes matching results. Since every member of a group
+// binds identical parameters, the group is the natural index entry: one
+// bucket slot covers all of its subscriptions.
 
 // indexSpec describes a channel's indexable equality conjunct.
 type indexSpec struct {
@@ -78,7 +80,8 @@ func pathParamPair(l, r aql.Expr) (aql.Path, aql.Param, bool) {
 
 // indexKey canonicalizes a JSON-model value as a bucket key; ok is false
 // for values that cannot key a bucket (nil or unencodable), which sends
-// the subscription to the unindexed list.
+// the group to the unindexed list. Callers pass canonicalized values so
+// numeric forms agree between the subscription side and the record side.
 func indexKey(v any) (string, bool) {
 	if v == nil {
 		return "", false
@@ -90,54 +93,61 @@ func indexKey(v any) (string, bool) {
 	return string(b), true
 }
 
-// subIndex buckets a channel's continuous subscriptions by their bound
-// equality value.
-type subIndex struct {
-	byKey map[string][]*subscription
-	// unindexed holds subscriptions whose bound value didn't yield a key.
-	unindexed []*subscription
+// groupIndex buckets a channel's continuous evaluation groups by their
+// bound equality value. Groups are added once at creation and removed
+// when their last member unsubscribes; both use the group's recorded
+// idxKey/idxOK placement, so removal is a single bucket scan.
+type groupIndex struct {
+	byKey map[string][]*evalGroup
+	// unindexed holds groups whose bound value didn't yield a key.
+	unindexed []*evalGroup
 }
 
-func newSubIndex() *subIndex {
-	return &subIndex{byKey: make(map[string][]*subscription)}
+func newGroupIndex() *groupIndex {
+	return &groupIndex{byKey: make(map[string][]*evalGroup)}
 }
 
-// add registers a subscription under its bucket.
-func (ix *subIndex) add(sub *subscription, key string, indexed bool) {
-	if indexed {
-		ix.byKey[key] = append(ix.byKey[key], sub)
+// add registers a group under its recorded bucket.
+func (ix *groupIndex) add(g *evalGroup) {
+	if g.idxOK {
+		ix.byKey[g.idxKey] = append(ix.byKey[g.idxKey], g)
 	} else {
-		ix.unindexed = append(ix.unindexed, sub)
+		ix.unindexed = append(ix.unindexed, g)
 	}
 }
 
-// remove unregisters a subscription (searched in both places; cheap at
-// unsubscribe rates).
-func (ix *subIndex) remove(sub *subscription) {
-	for key, list := range ix.byKey {
-		for i, s := range list {
-			if s == sub {
-				ix.byKey[key] = append(list[:i], list[i+1:]...)
-				if len(ix.byKey[key]) == 0 {
-					delete(ix.byKey, key)
-				}
-				return
+// remove unregisters a group from its bucket (swap-remove; buckets hold
+// the few groups sharing one equality value).
+func (ix *groupIndex) remove(g *evalGroup) {
+	list := ix.unindexed
+	if g.idxOK {
+		list = ix.byKey[g.idxKey]
+	}
+	for i, el := range list {
+		if el != g {
+			continue
+		}
+		list[i] = list[len(list)-1]
+		list[len(list)-1] = nil
+		list = list[:len(list)-1]
+		if g.idxOK {
+			if len(list) == 0 {
+				delete(ix.byKey, g.idxKey)
+			} else {
+				ix.byKey[g.idxKey] = list
 			}
+		} else {
+			ix.unindexed = list
 		}
-	}
-	for i, s := range ix.unindexed {
-		if s == sub {
-			ix.unindexed = append(ix.unindexed[:i], ix.unindexed[i+1:]...)
-			return
-		}
+		return
 	}
 }
 
-// candidates returns the subscriptions that could match a record whose
-// indexed field encodes to key (ok=false means the record lacks the field
-// — only unindexed subscriptions can match, because an equality against a
-// missing/null field is false).
-func (ix *subIndex) candidates(key string, ok bool) []*subscription {
+// candidates returns the groups that could match a record whose indexed
+// field encodes to key (ok=false means the record lacks the field — only
+// unindexed groups can match, because an equality against a missing/null
+// field is false).
+func (ix *groupIndex) candidates(key string, ok bool) []*evalGroup {
 	if !ok {
 		return ix.unindexed
 	}
@@ -145,22 +155,28 @@ func (ix *subIndex) candidates(key string, ok bool) []*subscription {
 	if len(ix.unindexed) == 0 {
 		return bucket
 	}
-	out := make([]*subscription, 0, len(bucket)+len(ix.unindexed))
+	out := make([]*evalGroup, 0, len(bucket)+len(ix.unindexed))
 	out = append(out, bucket...)
 	out = append(out, ix.unindexed...)
 	return out
 }
 
-// size reports the indexed and unindexed subscription counts.
-func (ix *subIndex) size() (indexed, unindexed int) {
+// size reports the indexed and unindexed subscription counts (summed over
+// group members, so it still counts subscriptions, not groups).
+func (ix *groupIndex) size() (indexed, unindexed int) {
 	for _, list := range ix.byKey {
-		indexed += len(list)
+		for _, g := range list {
+			indexed += len(g.members)
+		}
 	}
-	return indexed, len(ix.unindexed)
+	for _, g := range ix.unindexed {
+		unindexed += len(g.members)
+	}
+	return indexed, unindexed
 }
 
 // String aids debugging.
-func (ix *subIndex) String() string {
+func (ix *groupIndex) String() string {
 	i, u := ix.size()
-	return fmt.Sprintf("subIndex{buckets=%d indexed=%d unindexed=%d}", len(ix.byKey), i, u)
+	return fmt.Sprintf("groupIndex{buckets=%d indexed=%d unindexed=%d}", len(ix.byKey), i, u)
 }

@@ -58,8 +58,21 @@ func NewServer(cluster *Cluster, opts ...ServerOption) *Server {
 		obs.CounterFunc("bad_cluster_result_bytes_total", "Bytes of result objects produced.", st.ResultBytes.Value),
 		obs.CounterFunc("bad_cluster_notifications_total", "Notifications pushed to broker callbacks.", st.Notifications.Value),
 		obs.CounterFunc("bad_cluster_fetched_bytes_total", "Bytes served to broker result fetches.", st.FetchedBytes.Value),
+		obs.CounterFunc("bad_cluster_ingest_batches_total", "Batch ingest requests accepted.", st.IngestBatches.Value),
+		obs.CounterFunc("bad_cluster_eval_groups_total", "Channel evaluations executed (one per parameter-signature group per batch).", st.EvalGroups.Value),
+		obs.CounterFunc("bad_cluster_eval_subs_served_total", "Subscriptions served by group evaluations.", st.EvalSubsServed.Value),
+		obs.GaugeFunc("bad_cluster_eval_shared_ratio", "Subscriptions served per channel evaluation (shared-evaluation ratio).",
+			func() float64 {
+				groups := st.EvalGroups.Value()
+				if groups == 0 {
+					return 0
+				}
+				return st.EvalSubsServed.Value() / groups
+			}),
 		obs.GaugeFunc("bad_cluster_subscriptions", "Live backend subscriptions.",
 			func() float64 { return float64(cluster.NumSubscriptions()) }),
+		obs.GaugeFunc("bad_cluster_eval_groups", "Live evaluation groups (distinct channel × parameter signatures).",
+			func() float64 { return float64(cluster.NumEvalGroups()) }),
 		obs.GaugeFunc("bad_cluster_datasets", "Datasets defined on the cluster.",
 			func() float64 { return float64(len(cluster.DatasetNames())) }),
 	)
@@ -88,6 +101,7 @@ func (s *Server) routes() {
 	s.route(http.MethodPost, "/v1/datasets", "/api/datasets", s.handleCreateDataset)
 	s.route(http.MethodGet, "/v1/datasets", "/api/datasets", s.handleListDatasets)
 	s.route(http.MethodPost, "/v1/datasets/{name}/records", "/api/datasets/{name}/records", s.handleIngest)
+	s.route(http.MethodPost, "/v1/datasets/{name}/records:batch", "/api/datasets/{name}/records:batch", s.handleIngestBatch)
 	s.route(http.MethodPost, "/v1/channels", "/api/channels", s.handleDefineChannel)
 	s.route(http.MethodGet, "/v1/channels", "/api/channels", s.handleListChannels)
 	s.route(http.MethodDelete, "/v1/channels/{name}", "/api/channels/{name}", s.handleDeleteChannel)
@@ -105,10 +119,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // StatsResponse is the /v1/stats payload.
 type StatsResponse struct {
 	Ingested        float64 `json:"ingested"`
+	IngestBatches   float64 `json:"ingest_batches"`
 	ResultsProduced float64 `json:"results_produced"`
 	ResultBytes     float64 `json:"result_bytes"`
 	Notifications   float64 `json:"notifications"`
 	FetchedBytes    float64 `json:"fetched_bytes"`
+	EvalGroups      float64 `json:"eval_groups"`
+	EvalSubsServed  float64 `json:"eval_subs_served"`
 	Subscriptions   int     `json:"subscriptions"`
 	NowNS           int64   `json:"now_ns"`
 }
@@ -117,10 +134,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.cluster.Stats()
 	httpx.WriteJSON(w, http.StatusOK, StatsResponse{
 		Ingested:        st.Ingested.Value(),
+		IngestBatches:   st.IngestBatches.Value(),
 		ResultsProduced: st.ResultsProduced.Value(),
 		ResultBytes:     st.ResultBytes.Value(),
 		Notifications:   st.Notifications.Value(),
 		FetchedBytes:    st.FetchedBytes.Value(),
+		EvalGroups:      st.EvalGroups.Value(),
+		EvalSubsServed:  st.EvalSubsServed.Value(),
 		Subscriptions:   s.cluster.NumSubscriptions(),
 		NowNS:           int64(s.cluster.Now()),
 	})
@@ -168,6 +188,40 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	httpx.WriteJSON(w, http.StatusCreated, IngestResponse{Seq: rec.Seq, IngestedNS: int64(rec.IngestedAt)})
+}
+
+// BatchIngestRequest is the POST /v1/datasets/{name}/records:batch
+// payload: an ordered list of publications stored atomically — one WAL
+// flush, one evaluation pass per matching group over the whole batch.
+type BatchIngestRequest struct {
+	Records []map[string]any `json:"records"`
+}
+
+// BatchIngestResponse is the batch-ingest reply.
+type BatchIngestResponse struct {
+	// Seqs are the assigned sequence numbers, in request order.
+	Seqs []uint64 `json:"seqs"`
+	// IngestedNS is the shared ingest timestamp of the batch.
+	IngestedNS int64 `json:"ingested_ns"`
+}
+
+func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req BatchIngestRequest
+	if err := httpx.ReadJSON(r, &req); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	recs, err := s.cluster.IngestBatchContext(r.Context(), name, req.Records)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := BatchIngestResponse{Seqs: make([]uint64, len(recs)), IngestedNS: int64(recs[0].IngestedAt)}
+	for i, rec := range recs {
+		resp.Seqs[i] = rec.Seq
+	}
+	httpx.WriteJSON(w, http.StatusCreated, resp)
 }
 
 func (s *Server) handleDefineChannel(w http.ResponseWriter, r *http.Request) {

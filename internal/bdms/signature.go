@@ -1,0 +1,83 @@
+package bdms
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Parameter signatures. The (channel, parameter values) pair identifies a
+// logical result dataset (Section IV): every subscription binding the same
+// values to the same channel sees the same result stream, so the cluster
+// evaluates the channel ONCE per distinct value tuple and distributes the
+// shared result to all members ("Subscribing to Big Data at Scale"). The
+// signature is the canonical string key of that tuple.
+//
+// Canonicalization must match the query evaluator's value semantics
+// (internal/aql), which normalizes every numeric type to float64: two
+// parameter maps that evaluate identically must produce the same
+// signature, and two that can evaluate differently must not collide.
+// json.Marshal provides both halves: it emits object keys sorted, and
+// numerically equal float64s encode to the same text, while values of
+// different JSON types (e.g. the string "3" vs the number 3) never share
+// an encoding.
+
+// canonicalValue normalizes a JSON-model value the way aql evaluation
+// does: every numeric type becomes float64, containers recursively.
+func canonicalValue(v any) any {
+	switch n := v.(type) {
+	case int:
+		return float64(n)
+	case int32:
+		return float64(n)
+	case int64:
+		return float64(n)
+	case float32:
+		return float64(n)
+	case float64:
+		if n == 0 {
+			// Collapse -0 into 0: they compare equal in every predicate
+			// but encode differently ("-0" vs "0"), which would split a
+			// group.
+			return float64(0)
+		}
+		return n
+	case []any:
+		out := make([]any, len(n))
+		for i, el := range n {
+			out[i] = canonicalValue(el)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(n))
+		for k, el := range n {
+			out[k] = canonicalValue(el)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// canonicalParams normalizes a bound parameter map for evaluation and
+// signature computation.
+func canonicalParams(params map[string]any) map[string]any {
+	out := make(map[string]any, len(params))
+	for k, v := range params {
+		out[k] = canonicalValue(v)
+	}
+	return out
+}
+
+// paramSignature returns the canonical signature of an already
+// canonicalized parameter map. Signatures are equal exactly when the maps
+// are evaluation-equivalent.
+func paramSignature(params map[string]any) string {
+	b, err := json.Marshal(params)
+	if err != nil {
+		// Unencodable values (NaN, channels, ...) cannot arrive through
+		// the JSON API; for Go-side callers fall back to a non-canonical
+		// but collision-free rendering rather than failing the subscribe.
+		return fmt.Sprintf("!unencodable:%#v", params)
+	}
+	return string(b)
+}

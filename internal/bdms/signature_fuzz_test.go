@@ -1,0 +1,109 @@
+package bdms
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzParamSignature checks the two halves of the signature contract the
+// group-evaluation engine depends on:
+//
+//  1. no splits — parameter maps that are evaluation-equivalent (equal
+//     after numeric canonicalization, regardless of key order or numeric
+//     form int vs float) produce the SAME signature, so their
+//     subscriptions share one evaluation group;
+//  2. no collisions — maps that are NOT evaluation-equivalent produce
+//     DIFFERENT signatures, so one group never serves subscriptions with
+//     different matching behavior.
+//
+// Inputs are JSON objects (the only way parameters arrive over the API).
+func FuzzParamSignature(f *testing.F) {
+	seedPairs := [][2]string{
+		{`{"a":1,"b":2}`, `{"b":2,"a":1}`},               // key order
+		{`{"min":1}`, `{"min":1.0}`},                     // numeric forms
+		{`{"min":3}`, `{"min":"3"}`},                     // number vs string
+		{`{"k":"fire","min":2}`, `{"k":"fire","min":3}`}, // distinct values
+		{`{"a":{"x":[1,2.0,"s"]}}`, `{"a":{"x":[1.0,2,"s"]}}`},
+		{`{"a":null}`, `{}`},
+		{`{"a":true}`, `{"a":1}`},
+		{`{"a":-0.0}`, `{"a":0}`},
+		{`{"a":1e300}`, `{"a":1e-300}`},
+	}
+	for _, p := range seedPairs {
+		f.Add(p[0], p[1])
+	}
+	f.Fuzz(func(t *testing.T, aJSON, bJSON string) {
+		a, okA := decodeParams(aJSON)
+		b, okB := decodeParams(bJSON)
+		if !okA || !okB {
+			return
+		}
+		ca, cb := canonicalParams(a), canonicalParams(b)
+		sa, sb := paramSignature(ca), paramSignature(cb)
+		if (sa == sb) != reflect.DeepEqual(ca, cb) {
+			t.Fatalf("signature equality diverges from evaluation equality:\n a=%q sig=%q\n b=%q sig=%q\n equal=%v",
+				aJSON, sa, bJSON, sb, reflect.DeepEqual(ca, cb))
+		}
+		// Determinism: re-canonicalizing must not change the signature.
+		if got := paramSignature(canonicalParams(ca)); got != sa {
+			t.Fatalf("signature not idempotent: %q then %q", sa, got)
+		}
+		// Numeric-form invariance: rewriting integral floats as Go int
+		// types (what in-process callers pass) must not split the group.
+		if got := paramSignature(canonicalParams(intVariant(a))); got != sa {
+			t.Fatalf("int-form variant split the group: %q vs %q (input %q)", got, sa, aJSON)
+		}
+	})
+}
+
+// decodeParams parses a JSON object; anything else is out of scope (the
+// subscribe API only delivers objects).
+func decodeParams(s string) (map[string]any, bool) {
+	var m map[string]any
+	if err := json.Unmarshal([]byte(s), &m); err != nil || m == nil {
+		return nil, false
+	}
+	return m, true
+}
+
+// intVariant rewrites integral float64 values as int/int32/int64 — the
+// forms Go-side subscribers naturally pass — cycling through the types so
+// mixed-form maps are exercised too.
+func intVariant(m map[string]any) map[string]any {
+	i := 0
+	var conv func(v any) any
+	conv = func(v any) any {
+		switch n := v.(type) {
+		case float64:
+			if n != math.Trunc(n) || math.Abs(n) > 1<<31 {
+				return n
+			}
+			i++
+			switch i % 3 {
+			case 0:
+				return int(n)
+			case 1:
+				return int32(n)
+			default:
+				return int64(n)
+			}
+		case []any:
+			out := make([]any, len(n))
+			for j, el := range n {
+				out[j] = conv(el)
+			}
+			return out
+		case map[string]any:
+			out := make(map[string]any, len(n))
+			for k, el := range n {
+				out[k] = conv(el)
+			}
+			return out
+		default:
+			return v
+		}
+	}
+	return conv(m).(map[string]any)
+}

@@ -80,6 +80,31 @@ func (w *WAL) append(rec walRecord) error {
 	return nil
 }
 
+// appendBatch writes a batch of records under one lock acquisition with a
+// single flush at the end — the WAL half of the batch-ingest amortization.
+// Each record is still its own JSONL line, so replay (and torn-tail
+// recovery) is unchanged.
+func (w *WAL) appendBatch(recs []walRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("bdms: wal closed")
+	}
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("bdms: wal encode: %w", err)
+		}
+		if _, err := w.w.Write(append(b, '\n')); err != nil {
+			return fmt.Errorf("bdms: wal write: %w", err)
+		}
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("bdms: wal flush: %w", err)
+	}
+	return nil
+}
+
 // Sync forces the log to stable storage.
 func (w *WAL) Sync() error {
 	w.mu.Lock()
@@ -205,4 +230,20 @@ func (c *Cluster) logIngest(dataset string, data map[string]any, at time.Duratio
 		return nil
 	}
 	return c.wal.append(walRecord{Dataset: dataset, Data: data, AtNS: int64(at)})
+}
+
+// logIngestBatch appends a publication batch with one flush (no-op without
+// a WAL). Single-record batches use the plain append path.
+func (c *Cluster) logIngestBatch(dataset string, batch []map[string]any, at time.Duration) error {
+	if c.wal == nil {
+		return nil
+	}
+	if len(batch) == 1 {
+		return c.logIngest(dataset, batch[0], at)
+	}
+	recs := make([]walRecord, len(batch))
+	for i, data := range batch {
+		recs[i] = walRecord{Dataset: dataset, Data: data, AtNS: int64(at)}
+	}
+	return c.wal.appendBatch(recs)
 }

@@ -577,10 +577,14 @@ func (h *sessionHub) drainSession(s *session) {
 		}
 		err := s.deliver(ev)
 		s.wrote()
+		// Copy the span before releasing: the last release recycles the
+		// event (zeroing ev.span), and another session sharing the event
+		// may be that last holder.
+		evSpan := ev.span
 		ev.release()
 		if err != nil {
 			h.stats.failures.Add(1)
-			h.log.WarnContext(obs.ContextWithSpan(context.Background(), ev.span),
+			h.log.WarnContext(obs.ContextWithSpan(context.Background(), evSpan),
 				"push delivery failed; dropping session",
 				slog.String("subscriber", s.subscriber),
 				slog.Any("error", err))

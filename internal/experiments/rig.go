@@ -196,15 +196,21 @@ func (r *Rig) seedCatalog() error {
 		}
 	}
 	shelterRng := workloadRng(r.cfg.Seed)
-	for _, s := range workload.ShelterCatalog(shelterRng, r.cfg.Shelters) {
-		if _, err := r.cluster.Ingest("Shelters", map[string]any{
+	shelters := workload.ShelterCatalog(shelterRng, r.cfg.Shelters)
+	if len(shelters) == 0 {
+		return nil
+	}
+	batch := make([]map[string]any, 0, len(shelters))
+	for _, s := range shelters {
+		batch = append(batch, map[string]any{
 			"shelter_id": s.ShelterID,
 			"name":       s.Name,
 			"capacity":   s.Capacity,
 			"location":   map[string]any{"lat": s.Location.Lat, "lon": s.Location.Lon},
-		}); err != nil {
-			return err
-		}
+		})
+	}
+	if _, err := r.cluster.IngestBatch("Shelters", batch); err != nil {
+		return err
 	}
 	return nil
 }
@@ -357,6 +363,17 @@ func (r *Rig) Unsubscribe(subscriber, channel string, params []any) error {
 // synchronously; online subscribers then retrieve.
 func (r *Rig) Publish(dataset string, data map[string]any) error {
 	if _, err := r.cluster.Ingest(dataset, data); err != nil {
+		return err
+	}
+	r.drainPending()
+	return nil
+}
+
+// PublishBatch implements trace.BatchPublisher: co-timed publications go
+// through the cluster's batch path — one evaluation per matching group
+// over the whole batch — before the triggered retrievals drain.
+func (r *Rig) PublishBatch(dataset string, batch []map[string]any) error {
+	if _, err := r.cluster.IngestBatch(dataset, batch); err != nil {
 		return err
 	}
 	r.drainPending()

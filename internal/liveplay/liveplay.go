@@ -199,6 +199,14 @@ func (p *Player) Publish(dataset string, data map[string]any) error {
 	return err
 }
 
+// PublishBatch implements trace.BatchPublisher: co-timed publications are
+// shipped as one records:batch request, which the cluster stores under a
+// single WAL flush and evaluates once per matching group.
+func (p *Player) PublishBatch(dataset string, batch []map[string]any) error {
+	_, err := p.cfg.Cluster.IngestBatch(dataset, batch)
+	return err
+}
+
 // Close stops every pump and closes every client.
 func (p *Player) Close() {
 	p.mu.Lock()

@@ -29,6 +29,12 @@ type GenConfig struct {
 	ZipfS float64
 	// PublishInterval is the mean gap between publications (~10s).
 	PublishInterval time.Duration
+	// PublishBurst, when > 1, emits publications in bursts: each arrival
+	// carries uniform(1..PublishBurst) co-timed publications and the
+	// arrival rate is scaled down to preserve the mean publication rate.
+	// Co-timed publications replay through the batch-ingest path (see
+	// Play/BatchPublisher). 0 or 1 keeps one publication per arrival.
+	PublishBurst int
 	// PublicationSize draws publication sizes (200-1000 bytes).
 	PublicationSize workload.Dist
 	// OnMean/OffMean parameterize lognormal session durations.
@@ -179,29 +185,42 @@ func Generate(cfg GenConfig) (*Trace, error) {
 		}
 	}
 
-	// Publisher: emergency reports at ~PublishInterval.
+	// Publisher: emergency reports at ~PublishInterval, optionally in
+	// co-timed bursts whose arrival rate is scaled so the mean publication
+	// rate matches the non-bursty configuration.
 	pubRng := rand.New(rand.NewSource(workload.DeriveSeed(cfg.Seed, "publications", 0)))
 	gen := workload.NewReportGenerator(pubRng, cfg.PublicationSize)
-	rate := 1 / cfg.PublishInterval.Seconds()
+	burst := cfg.PublishBurst
+	if burst < 1 {
+		burst = 1
+	}
+	meanBurst := float64(1+burst) / 2
+	rate := 1 / (cfg.PublishInterval.Seconds() * meanBurst)
 	at := time.Duration(0)
 	for {
 		at += secs(pubRng.ExpFloat64() / rate)
 		if at >= cfg.Duration {
 			break
 		}
-		rep := gen.Next()
-		tr.add(at, Activity{
-			Kind:    Publish,
-			Dataset: cfg.Dataset,
-			Data: map[string]any{
-				"report_id": rep.ReportID,
-				"etype":     rep.EType,
-				"severity":  rep.Severity,
-				"location":  map[string]any{"lat": rep.Location.Lat, "lon": rep.Location.Lon},
-				"message":   rep.Message,
-				"padding":   rep.Padding,
-			},
-		})
+		n := 1
+		if burst > 1 {
+			n = 1 + pubRng.Intn(burst)
+		}
+		for i := 0; i < n; i++ {
+			rep := gen.Next()
+			tr.add(at, Activity{
+				Kind:    Publish,
+				Dataset: cfg.Dataset,
+				Data: map[string]any{
+					"report_id": rep.ReportID,
+					"etype":     rep.EType,
+					"severity":  rep.Severity,
+					"location":  map[string]any{"lat": rep.Location.Lat, "lon": rep.Location.Lon},
+					"message":   rep.Message,
+					"padding":   rep.Padding,
+				},
+			})
+		}
 	}
 
 	tr.Sort()

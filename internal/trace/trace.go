@@ -121,9 +121,22 @@ type Target interface {
 	Publish(dataset string, data map[string]any) error
 }
 
-// Play replays the trace against a target in time order.
+// BatchPublisher is the optional batch extension of Target: publications
+// sharing a timestamp and dataset arrive as one batch, letting the target
+// use the cluster's amortized batch-ingest path (one request, one WAL
+// flush, one evaluation per matching group). Targets that don't implement
+// it get the publications one at a time.
+type BatchPublisher interface {
+	PublishBatch(dataset string, batch []map[string]any) error
+}
+
+// Play replays the trace against a target in time order. Consecutive
+// publish activities with the same timestamp and dataset (bursts emitted
+// by GenConfig.PublishBurst, or co-timed publications in recorded traces)
+// are coalesced into one PublishBatch call when the target supports it.
 func Play(t *Trace, target Target) error {
-	for i := range t.Activities {
+	bp, canBatch := target.(BatchPublisher)
+	for i := 0; i < len(t.Activities); i++ {
 		a := &t.Activities[i]
 		target.AdvanceTo(a.At)
 		var err error
@@ -137,7 +150,26 @@ func Play(t *Trace, target Target) error {
 		case Unsubscribe:
 			err = target.Unsubscribe(a.Subscriber, a.Channel, a.Params)
 		case Publish:
-			err = target.Publish(a.Dataset, a.Data)
+			// Extend over the run of same-instant publications to the
+			// same dataset.
+			j := i + 1
+			for canBatch && j < len(t.Activities) {
+				n := &t.Activities[j]
+				if n.Kind != Publish || n.At != a.At || n.Dataset != a.Dataset {
+					break
+				}
+				j++
+			}
+			if j > i+1 {
+				batch := make([]map[string]any, 0, j-i)
+				for _, b := range t.Activities[i:j] {
+					batch = append(batch, b.Data)
+				}
+				err = bp.PublishBatch(a.Dataset, batch)
+				i = j - 1
+			} else {
+				err = target.Publish(a.Dataset, a.Data)
+			}
 		default:
 			err = fmt.Errorf("trace: unknown activity kind %q", a.Kind)
 		}

@@ -221,3 +221,96 @@ func TestPlayUnknownKind(t *testing.T) {
 		t.Error("unknown kind should fail")
 	}
 }
+
+// batchRecordingTarget additionally implements BatchPublisher and records
+// each batch's dataset and size.
+type batchRecordingTarget struct {
+	recordingTarget
+	batches []string
+}
+
+func (r *batchRecordingTarget) PublishBatch(dataset string, batch []map[string]any) error {
+	r.batches = append(r.batches, fmt.Sprintf("%s:%d", dataset, len(batch)))
+	return r.call("publish-batch")
+}
+
+func TestPlayCoalescesCoTimedPublications(t *testing.T) {
+	tr := &Trace{Activities: []Activity{
+		{At: time.Second, Kind: Publish, Dataset: "d", Data: map[string]any{"i": 0.0}},
+		{At: time.Second, Kind: Publish, Dataset: "d", Data: map[string]any{"i": 1.0}},
+		{At: time.Second, Kind: Publish, Dataset: "d", Data: map[string]any{"i": 2.0}},
+		// Different dataset at the same instant breaks the run.
+		{At: time.Second, Kind: Publish, Dataset: "e", Data: map[string]any{"i": 3.0}},
+		// Lone publication at a later instant stays a plain Publish.
+		{At: 2 * time.Second, Kind: Publish, Dataset: "d", Data: map[string]any{"i": 4.0}},
+		// A non-publish activity between co-timed publications breaks the run.
+		{At: 3 * time.Second, Kind: Publish, Dataset: "d", Data: map[string]any{"i": 5.0}},
+		{At: 3 * time.Second, Kind: Login, Subscriber: "a"},
+		{At: 3 * time.Second, Kind: Publish, Dataset: "d", Data: map[string]any{"i": 6.0}},
+	}}
+	target := &batchRecordingTarget{}
+	if err := Play(tr, target); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"publish-batch", string(Publish), string(Publish), string(Publish), string(Login), string(Publish)}
+	if fmt.Sprint(target.calls) != fmt.Sprint(want) {
+		t.Errorf("calls = %v, want %v", target.calls, want)
+	}
+	if fmt.Sprint(target.batches) != "[d:3]" {
+		t.Errorf("batches = %v, want [d:3]", target.batches)
+	}
+}
+
+func TestPlayWithoutBatchPublisherFallsBack(t *testing.T) {
+	tr := &Trace{Activities: []Activity{
+		{At: time.Second, Kind: Publish, Dataset: "d", Data: map[string]any{"i": 0.0}},
+		{At: time.Second, Kind: Publish, Dataset: "d", Data: map[string]any{"i": 1.0}},
+	}}
+	target := &recordingTarget{}
+	if err := Play(tr, target); err != nil {
+		t.Fatal(err)
+	}
+	if len(target.calls) != 2 || target.calls[0] != string(Publish) {
+		t.Errorf("calls = %v, want two plain publishes", target.calls)
+	}
+}
+
+func TestPlayPropagatesBatchErrors(t *testing.T) {
+	tr := &Trace{Activities: []Activity{
+		{At: time.Second, Kind: Publish, Dataset: "d", Data: map[string]any{"i": 0.0}},
+		{At: time.Second, Kind: Publish, Dataset: "d", Data: map[string]any{"i": 1.0}},
+	}}
+	target := &batchRecordingTarget{recordingTarget: recordingTarget{fail: "publish-batch"}}
+	if err := Play(tr, target); err == nil {
+		t.Error("batch failure should propagate")
+	}
+}
+
+func TestGeneratePublishBurst(t *testing.T) {
+	cfg := smallGenConfig()
+	cfg.PublishBurst = 4
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubs, bursts := 0, 0
+	var prevAt time.Duration = -1
+	for _, a := range tr.Activities {
+		if a.Kind != Publish {
+			continue
+		}
+		pubs++
+		if a.At == prevAt {
+			bursts++
+		}
+		prevAt = a.At
+	}
+	if bursts == 0 {
+		t.Error("PublishBurst=4 produced no co-timed publications")
+	}
+	// Arrival rate is scaled by the mean burst size, so the total
+	// publication count should stay near the non-bursty ~120.
+	if pubs < 60 || pubs > 240 {
+		t.Errorf("publications = %d, want ~120 despite bursting", pubs)
+	}
+}
