@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-json bench-smoke bench-guard soak fuzz-smoke chaos verify
+.PHONY: build vet lint test race bench bench-json bench-smoke bench-guard soak fuzz-smoke chaos crash-matrix verify
 
 build:
 	$(GO) build ./...
@@ -77,13 +77,15 @@ bench-guard:
 	@rm -f .soak_check.json
 
 # Fuzz smoke: a short bounded run of each native fuzz target (resume-token
-# and traceparent parsing, parameter-signature canonicalization) so CI
-# exercises the corpora plus a few seconds of mutation without turning
-# into a fuzzing farm.
+# and traceparent parsing, parameter-signature canonicalization, WAL
+# crash-tail recovery, cache-snapshot decoding) so CI exercises the corpora
+# plus a few seconds of mutation without turning into a fuzzing farm.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzParseResumeToken$$' -fuzztime=10s ./internal/broker
 	$(GO) test -run=NONE -fuzz='^FuzzParseTraceparent$$' -fuzztime=10s ./internal/obs
 	$(GO) test -run=NONE -fuzz='^FuzzParamSignature$$' -fuzztime=10s ./internal/bdms
+	$(GO) test -run=NONE -fuzz='^FuzzWALRecord$$' -fuzztime=10s ./internal/bdms
+	$(GO) test -run=NONE -fuzz='^FuzzCacheSnapshot$$' -fuzztime=10s ./internal/bdms
 
 # Chaos tier: the fault-injection harness and every resilience path it
 # drives — retries/breakers (httpx), client wiring, webhook redelivery and
@@ -91,8 +93,10 @@ fuzz-smoke:
 # failover, rolling drain and resume (client, broker), BCS liveness and
 # restart recovery (bcs), the kill-the-cluster simulation scenario, and
 # the fabric scenarios — HRW rebalance-on-join with zero loss (client),
-# peer lookup under a draining/cold/dead owner (broker), and the
-# multi-broker cooperative-caching sim (sim).
+# peer lookup under a draining/cold/dead owner (broker), the multi-broker
+# cooperative-caching sim (sim), and the durability drills — cluster
+# kill -9 mid-batch with byte-identical replay (bdms) and broker restart
+# under 1k resuming sessions with a warm cache handoff (broker).
 # Runs race-enabled, twice and with a shuffled test order, because these
 # tests assert exact deterministic counts: a flake here is a real ordering
 # bug, and -shuffle=on surfaces inter-test order dependence that a fixed
@@ -102,6 +106,13 @@ chaos:
 		./internal/faults/... ./internal/httpx/... ./internal/bdms/... \
 		./internal/core/... ./internal/broker/... ./internal/bcs/... \
 		./internal/client/... ./internal/sim/...
+
+# Exhaustive crash matrix: replays the durability store from a crash at
+# EVERY byte boundary of the WAL (the default test run samples ~16 cut
+# points to stay fast). Each cut must recover to a clean prefix of the
+# full history.
+crash-matrix:
+	CRASH_MATRIX=full $(GO) test -run='^TestStoreCrashMatrix$$' -v ./internal/bdms
 
 # Everything CI runs: build, vet, full test suite, then the race tier.
 # The chaos tier is its own CI step (it re-runs several suites race-enabled

@@ -12,8 +12,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
@@ -42,6 +45,8 @@ func main() {
 	shards := flag.Int("cache-shards", 0, "cache manager lock stripes (0 = default)")
 	pushQueue := flag.Int("push-queue", 0, "per-session outbound notification queue bound (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful drain deadline on SIGTERM: queued pushes are flushed and sessions migrated within this bound")
+	cacheSnapshot := flag.String("cache-snapshot", "", "warm cache snapshot path: written on graceful shutdown and restored (readiness-gated) on the next start (empty = off)")
+	warmupMaxAge := flag.Duration("warmup-max-age", 5*time.Minute, "reject warm cache snapshots older than this")
 	ringRefresh := flag.Duration("ring-refresh", 5*time.Second, "fabric ring refresh interval (requires -bcs; 0 disables the fabric)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and /debug/runtime (empty = off)")
@@ -55,7 +60,7 @@ func main() {
 	flag.BoolVar(&res.staleServe, "stale-serve", true, "serve cached results stale (zero ack marker) when a cluster fetch fails")
 	flag.Parse()
 
-	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval, *shards, *pushQueue, *drainTimeout, *ringRefresh, *logLevel, *debugAddr, *traceOut, res); err != nil {
+	if err := run(*addr, *public, *clusterURL, *bcsURL, *id, *policyName, *budgetStr, *ttlInterval, *shards, *pushQueue, *drainTimeout, *ringRefresh, *cacheSnapshot, *warmupMaxAge, *logLevel, *debugAddr, *traceOut, res); err != nil {
 		fmt.Fprintln(os.Stderr, "badbroker:", err)
 		os.Exit(1)
 	}
@@ -73,7 +78,7 @@ type resilienceFlags struct {
 	staleServe      bool
 }
 
-func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration, shards, pushQueue int, drainTimeout, ringRefresh time.Duration, logLevel, debugAddr, traceOut string, res resilienceFlags) error {
+func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttlInterval time.Duration, shards, pushQueue int, drainTimeout, ringRefresh time.Duration, cacheSnapshot string, warmupMaxAge time.Duration, logLevel, debugAddr, traceOut string, res resilienceFlags) error {
 	observer, err := cliutil.NewObserver("badbroker", logLevel)
 	if err != nil {
 		return err
@@ -139,10 +144,11 @@ func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttl
 	}
 
 	b, err := broker.New(broker.Config{
-		ID:          id,
-		Backend:     bdms.NewClient(clusterURL, nil, clientOpts...),
-		CallbackURL: public + "/v1/callbacks/results",
-		Fabric:      fabricCfg,
+		ID:           id,
+		Backend:      bdms.NewClient(clusterURL, nil, clientOpts...),
+		CallbackURL:  public + "/v1/callbacks/results",
+		Fabric:       fabricCfg,
+		WarmupMaxAge: warmupMaxAge,
 	},
 		broker.WithPolicy(policy),
 		broker.WithCacheBudget(budget),
@@ -176,6 +182,22 @@ func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttl
 				}
 			}
 		}()
+	}
+
+	// Cold-start restore: a warm cache snapshot from the previous run gates
+	// readiness — the broker registers "warming" (excluded from BCS
+	// placement) until the snapshot is installed.
+	var restoreSnap *bdms.CacheSnapshot
+	if cacheSnapshot != "" {
+		snap, rerr := readCacheSnapshot(cacheSnapshot)
+		switch {
+		case rerr == nil:
+			restoreSnap = snap
+			b.SetWarming(true)
+		case !errors.Is(rerr, fs.ErrNotExist):
+			observer.Logger.Warn("cache snapshot unreadable; starting cold",
+				"path", cacheSnapshot, "err", rerr)
+		}
 	}
 
 	var reg *broker.Registration
@@ -228,6 +250,15 @@ func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttl
 	log.Printf("badbroker %s listening on %s (policy %s, budget %s, cluster %s)",
 		id, addr, policy.Name(), budgetStr, clusterURL)
 
+	if restoreSnap != nil {
+		go func() {
+			resp := b.InstallWarmup(context.Background(), *restoreSnap)
+			b.SetWarming(false)
+			log.Printf("badbroker %s: warm snapshot restored (applied %d, stashed %d, dropped %d)",
+				id, resp.Applied, resp.Stashed, resp.Dropped)
+		}()
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
 	defer signal.Stop(sigCh)
@@ -239,6 +270,23 @@ func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttl
 		log.Printf("badbroker %s: %v received; draining sessions", id, sig)
 	}
 	defer cliutil.DumpTraces(traceOut, observer.Traces, observer.Logger)
+
+	// Warm handoff: serialize the result caches' warm entries BEFORE the
+	// drain touches anything, keep a local copy for this broker's own
+	// restart, and ship the snapshot to the successor below.
+	var handoff *bdms.CacheSnapshot
+	if cacheSnapshot != "" || fabricCfg != nil {
+		snap := b.SnapshotCache()
+		handoff = &snap
+		if cacheSnapshot != "" {
+			if werr := writeCacheSnapshot(cacheSnapshot, snap); werr != nil {
+				log.Printf("badbroker %s: cache snapshot write failed: %v", id, werr)
+			} else {
+				log.Printf("badbroker %s: cache snapshot written to %s (%d entries)",
+					id, cacheSnapshot, len(snap.Entries))
+			}
+		}
+	}
 
 	// Graceful drain: leave the BCS first so no new subscribers are routed
 	// here (and the successor Assign below cannot pick this broker), then
@@ -257,10 +305,49 @@ func run(addr, public, clusterURL, bcsURL, id, policyName, budgetStr string, ttl
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
+	if handoff != nil && successor != "" && len(handoff.Entries) > 0 {
+		peers := bdms.NewPeerClient(nil)
+		if fabricCfg != nil {
+			peers = fabricCfg.Peers
+		}
+		if resp, werr := peers.Warmup(ctx, successor, *handoff); werr != nil {
+			log.Printf("badbroker %s: warm handoff to %s failed: %v", id, successor, werr)
+		} else {
+			log.Printf("badbroker %s: warm handoff to %s (applied %d, stashed %d, dropped %d)",
+				id, successor, resp.Applied, resp.Stashed, resp.Dropped)
+		}
+	}
 	migrated := b.Drain(ctx, successor)
 	log.Printf("badbroker %s: migrated %d sessions (successor %q)", id, migrated, successor)
 	if err := srv.Shutdown(ctx); err != nil {
 		return srv.Close()
 	}
 	return nil
+}
+
+// readCacheSnapshot loads a warm cache snapshot written by a previous run.
+func readCacheSnapshot(path string) (*bdms.CacheSnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap bdms.CacheSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// writeCacheSnapshot persists the warm cache snapshot atomically
+// (tmp + rename) so a crash mid-write cannot corrupt the previous one.
+func writeCacheSnapshot(path string, snap bdms.CacheSnapshot) error {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }

@@ -35,20 +35,23 @@ func main() {
 	repTick := flag.Duration("repetitive-tick", time.Second, "how often repetitive channels are polled")
 	webhookAttempts := flag.Int("webhook-attempts", 8, "delivery attempts per webhook notification before it is abandoned")
 	webhookBatch := flag.Duration("webhook-batch-window", 0, "coalesce webhook notifications per (subscription, callback) for this window before one combined POST (0 = immediate)")
-	walPath := flag.String("wal", "", "write-ahead log path for durable publications (empty = in-memory only)")
+	walPath := flag.String("wal", "", "single-file write-ahead log path (empty = in-memory only; prefer -wal-dir)")
+	walDir := flag.String("wal-dir", "", "segmented durability directory: WAL segments + periodic snapshots with log compaction (empty = off)")
+	walSync := flag.String("wal-sync", "interval", "WAL fsync policy: always (fsync per append) or interval (periodic fsync)")
+	snapshotInterval := flag.Duration("snapshot-interval", time.Minute, "how often -wal-dir state is snapshotted and the log compacted (0 = never)")
 	bcsURL := flag.String("bcs", "", "BCS base URL for rerouting webhooks whose broker died (empty = abandon after the attempt budget)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof and /debug/runtime (empty = off)")
 	traceOut := flag.String("trace-out", "", "write retained traces as JSON to this path on shutdown (\"-\" = stdout, empty = off)")
 	flag.Parse()
 
-	if err := run(*addr, *nodes, *emergency, *repTick, *webhookAttempts, *webhookBatch, *walPath, *bcsURL, *logLevel, *debugAddr, *traceOut); err != nil {
+	if err := run(*addr, *nodes, *emergency, *repTick, *webhookAttempts, *webhookBatch, *walPath, *walDir, *walSync, *snapshotInterval, *bcsURL, *logLevel, *debugAddr, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "badcluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, nodes int, emergency bool, repTick time.Duration, webhookAttempts int, webhookBatch time.Duration, walPath, bcsURL, logLevel, debugAddr, traceOut string) error {
+func run(addr string, nodes int, emergency bool, repTick time.Duration, webhookAttempts int, webhookBatch time.Duration, walPath, walDir, walSync string, snapshotInterval time.Duration, bcsURL, logLevel, debugAddr, traceOut string) error {
 	observer, err := cliutil.NewObserver("badcluster", logLevel)
 	if err != nil {
 		return err
@@ -75,14 +78,34 @@ func run(addr string, nodes int, emergency bool, repTick time.Duration, webhookA
 	observer.Registry.MustRegister(notifierStats.Collector())
 	opts := []bdms.Option{bdms.WithNodes(nodes), bdms.WithNotifier(notifier)}
 	var cluster *bdms.Cluster
-	if walPath != "" {
+	var store *bdms.Store
+	switch {
+	case walDir != "":
+		policy, err := bdms.ParseSyncPolicy(walSync)
+		if err != nil {
+			return err
+		}
+		store, err = bdms.OpenStore(walDir, bdms.StoreConfig{
+			Sync:            policy,
+			CompactInterval: snapshotInterval,
+			Logger:          observer.Logger,
+			Traces:          observer.Traces,
+		}, opts...)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		cluster = store.Cluster()
+		log.Printf("recovered store %s (sync=%s): datasets %v, %d subscriptions",
+			walDir, policy, cluster.DatasetNames(), cluster.NumSubscriptions())
+	case walPath != "":
 		var err error
 		cluster, err = bdms.OpenWAL(walPath, opts...)
 		if err != nil {
 			return err
 		}
 		log.Printf("recovered datasets from %s: %v", walPath, cluster.DatasetNames())
-	} else {
+	default:
 		cluster = bdms.NewCluster(opts...)
 	}
 
@@ -92,8 +115,8 @@ func run(addr string, nodes int, emergency bool, repTick time.Duration, webhookA
 		}
 		log.Printf("preloaded emergency catalog: datasets %v", cluster.DatasetNames())
 	} else if emergency {
-		// Datasets recovered from the WAL; channels are runtime state and
-		// are always (re)registered.
+		// Channels may already have been recovered from the WAL/snapshot;
+		// re-registering an identical catalog is then a no-op.
 		if err := preloadChannels(cluster); err != nil {
 			return err
 		}
@@ -115,9 +138,13 @@ func run(addr string, nodes int, emergency bool, repTick time.Duration, webhookA
 		}
 	}()
 
+	serverOpts := []bdms.ServerOption{bdms.WithObserver(observer)}
+	if store != nil {
+		serverOpts = append(serverOpts, bdms.WithStore(store))
+	}
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           bdms.NewServer(cluster, bdms.WithObserver(observer)).Handler(),
+		Handler:           bdms.NewServer(cluster, serverOpts...).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
@@ -163,7 +190,7 @@ func preloadChannels(cluster *bdms.Cluster) error {
 			Body:   spec.Body,
 			Period: spec.Period,
 		})
-		if err != nil {
+		if err != nil && !errors.Is(err, bdms.ErrExists) {
 			return err
 		}
 	}

@@ -22,6 +22,10 @@ type BrokerInfo struct {
 	Address string `json:"address"`
 	// Load is the broker's self-reported subscriber count.
 	Load int `json:"load"`
+	// Warming marks a broker that is up but still restoring warm state
+	// after a restart; it heartbeats (stays registered) yet is excluded
+	// from placement until it reports ready.
+	Warming bool `json:"warming,omitempty"`
 	// RegisteredAt / LastHeartbeat are service-time offsets.
 	RegisteredAt  time.Duration `json:"registered_at"`
 	LastHeartbeat time.Duration `json:"last_heartbeat"`
@@ -107,6 +111,14 @@ func (s *Service) Register(id, address string) error {
 
 // Heartbeat refreshes a broker's liveness and load.
 func (s *Service) Heartbeat(id string, load int) error {
+	return s.HeartbeatState(id, load, false)
+}
+
+// HeartbeatState is Heartbeat with the broker's readiness: warming brokers
+// stay registered and live but are excluded from placement until a
+// heartbeat reports them ready (which bumps the ring epoch via the live-set
+// fingerprint, so cached ring views notice).
+func (s *Service) HeartbeatState(id string, load int, warming bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b, ok := s.brokers[id]
@@ -115,6 +127,7 @@ func (s *Service) Heartbeat(id string, load int) error {
 	}
 	b.LastHeartbeat = s.clock()
 	b.Load = load
+	b.Warming = warming
 	return nil
 }
 
@@ -166,7 +179,11 @@ func (s *Service) ringSnapshot() RingView {
 	now := s.clock()
 	live := make([]BrokerInfo, 0, len(s.brokers))
 	for _, b := range s.brokers {
-		if now-b.LastHeartbeat < s.liveness {
+		// A warming broker is alive but not ready: leaving it out of the
+		// view keeps placement (and drain successors) off it, and its
+		// eventual flip to ready changes the fingerprint below — the epoch
+		// bump is automatic.
+		if now-b.LastHeartbeat < s.liveness && !b.Warming {
 			live = append(live, *b)
 		}
 	}

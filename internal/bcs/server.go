@@ -97,9 +97,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	httpx.WriteJSON(w, http.StatusCreated, nil)
 }
 
-// HeartbeatRequest carries a broker's load report.
+// HeartbeatRequest carries a broker's load report plus its readiness:
+// Warming keeps a restarting broker registered without receiving placement.
 type HeartbeatRequest struct {
-	Load int `json:"load"`
+	Load    int  `json:"load"`
+	Warming bool `json:"warming,omitempty"`
 }
 
 func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -108,7 +110,7 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := s.svc.Heartbeat(r.PathValue("id"), req.Load); err != nil {
+	if err := s.svc.HeartbeatState(r.PathValue("id"), req.Load, req.Warming); err != nil {
 		httpx.WriteError(w, http.StatusNotFound, "%v", err)
 		return
 	}
@@ -206,8 +208,14 @@ func (c *Client) Register(id, address string) error {
 
 // Heartbeat refreshes a broker's liveness.
 func (c *Client) Heartbeat(id string, load int) error {
+	return c.HeartbeatState(id, load, false)
+}
+
+// HeartbeatState is Heartbeat carrying the broker's readiness; warming
+// brokers stay registered but receive no placement.
+func (c *Client) HeartbeatState(id string, load int, warming bool) error {
 	return httpx.DoJSON(c.http, http.MethodPost,
-		c.base+"/v1/brokers/"+id+"/heartbeat", HeartbeatRequest{Load: load}, nil)
+		c.base+"/v1/brokers/"+id+"/heartbeat", HeartbeatRequest{Load: load, Warming: warming}, nil)
 }
 
 // Deregister removes a broker.

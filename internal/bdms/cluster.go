@@ -2,6 +2,7 @@ package bdms
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -201,6 +202,15 @@ func NewCluster(opts ...Option) *Cluster {
 // Stats exposes the cluster's counters.
 func (c *Cluster) Stats() *ClusterStats { return &c.stats }
 
+// WALStats exposes the attached write-ahead log's counters, or nil when
+// the cluster runs without durability.
+func (c *Cluster) WALStats() *WALStats {
+	if c.wal == nil {
+		return nil
+	}
+	return c.wal.stats
+}
+
 // Now returns the current cluster time.
 func (c *Cluster) Now() time.Duration { return c.clock() }
 
@@ -214,7 +224,7 @@ func (c *Cluster) CreateDataset(name string, schema Schema) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.datasets[name]; ok {
-		return fmt.Errorf("bdms: dataset %q already exists", name)
+		return fmt.Errorf("bdms: dataset %q %w", name, ErrExists)
 	}
 	if err := c.logCreateDataset(name, schema, now); err != nil {
 		return err
@@ -242,6 +252,12 @@ func (c *Cluster) DatasetNames() []string {
 	return out
 }
 
+// ErrExists tags "already exists" errors from CreateDataset and
+// DefineChannel so operators re-registering their schema after a
+// WAL/snapshot recovery can treat the collision as success
+// (errors.Is(err, ErrExists)).
+var ErrExists = errors.New("already exists")
+
 // DefineChannel compiles and registers a channel. The channel's body (and
 // its enrichments) must reference existing datasets.
 func (c *Cluster) DefineChannel(def ChannelDef) error {
@@ -249,10 +265,25 @@ func (c *Cluster) DefineChannel(def ChannelDef) error {
 	if err != nil {
 		return err
 	}
+	now := c.clock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkChannelLocked(ch); err != nil {
+		return err
+	}
+	if err := c.logDefineChannel(def, now); err != nil {
+		return err
+	}
+	c.channels[def.Name] = ch
+	return nil
+}
+
+// checkChannelLocked validates a compiled channel against the registered
+// state. Caller holds the lock.
+func (c *Cluster) checkChannelLocked(ch *channel) error {
+	def := ch.def
 	if _, ok := c.channels[def.Name]; ok {
-		return fmt.Errorf("bdms: channel %q already exists", def.Name)
+		return fmt.Errorf("bdms: channel %q %w", def.Name, ErrExists)
 	}
 	if _, ok := c.datasets[ch.dataset]; !ok {
 		return fmt.Errorf("bdms: channel %q reads unknown dataset %q", def.Name, ch.dataset)
@@ -263,13 +294,23 @@ func (c *Cluster) DefineChannel(def ChannelDef) error {
 				def.Name, e.spec.Name, e.query.Dataset)
 		}
 	}
-	c.channels[def.Name] = ch
+	return nil
+}
+
+// registerChannelLocked validates and installs a compiled channel without
+// logging (the replay path). Caller holds the lock.
+func (c *Cluster) registerChannelLocked(ch *channel) error {
+	if err := c.checkChannelLocked(ch); err != nil {
+		return err
+	}
+	c.channels[ch.def.Name] = ch
 	return nil
 }
 
 // DeleteChannel removes a channel definition. Channels with live
 // subscriptions cannot be deleted; unsubscribe them first.
 func (c *Cluster) DeleteChannel(name string) error {
+	now := c.clock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.channels[name]; !ok {
@@ -277,6 +318,9 @@ func (c *Cluster) DeleteChannel(name string) error {
 	}
 	if n := c.channelSubCount(name); n > 0 {
 		return fmt.Errorf("bdms: channel %q has %d live subscriptions", name, n)
+	}
+	if err := c.logDeleteChannel(name, now); err != nil {
+		return err
 	}
 	delete(c.channels, name)
 	delete(c.groups, name)
@@ -327,6 +371,7 @@ func (c *Cluster) Channels() []ChannelDef {
 // evaluation group of its canonical parameter signature — the channel is
 // evaluated once per group, however many subscriptions join it.
 func (c *Cluster) Subscribe(channelName string, params []any, callback string) (string, error) {
+	now := c.clock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ch, ok := c.channels[channelName]
@@ -344,6 +389,12 @@ func (c *Cluster) Subscribe(channelName string, params []any, callback string) (
 		ch:       ch,
 		params:   canon,
 		callback: callback,
+	}
+	// Write-ahead: the registration is durable before the ID is handed
+	// out, so a restarted cluster still knows every subscription a broker
+	// holds a resume token for.
+	if err := c.logSubscribe(sub.id, channelName, params, callback, now); err != nil {
+		return "", err
 	}
 	sig := paramSignature(canon)
 	g := c.group(channelName, sig)
@@ -378,11 +429,15 @@ func (c *Cluster) Subscribe(channelName string, params []any, callback string) (
 // removal re-checks liveness before appending, so results never land on a
 // dead subscription.
 func (c *Cluster) Unsubscribe(subID string) error {
+	now := c.clock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	sub, ok := c.subs[subID]
 	if !ok {
 		return fmt.Errorf("bdms: unknown subscription %q", subID)
+	}
+	if err := c.logUnsubscribe(subID, now); err != nil {
+		return err
 	}
 	delete(c.subs, subID)
 	if g := sub.group; g != nil {
@@ -586,6 +641,10 @@ func (c *Cluster) commitEval(tasks []*evalTask, now time.Duration) []notificatio
 			}
 		}
 	}
+	// Persist the produced result objects before any notification leaves
+	// the cluster: replay rebuilds result datasets from these records
+	// instead of re-running evaluations.
+	c.logResults(pending, now)
 	c.mu.Unlock()
 	return pending
 }
@@ -655,6 +714,7 @@ func (c *Cluster) RunRepetitiveDue() int {
 	now := c.clock()
 	c.mu.Lock()
 	var tasks []*evalTask
+	var ticks []walRecord
 	executions := 0
 	for _, bySig := range c.groups {
 		for _, g := range bySig {
@@ -666,12 +726,22 @@ func (c *Cluster) RunRepetitiveDue() int {
 			recs := ds.ScanSince(g.lastSeq)
 			g.lastSeq = ds.LastSeq()
 			g.nextRun = now + g.ch.def.Period
+			if c.wal != nil {
+				ticks = append(ticks, walRecord{
+					Kind: walKindTick, Name: g.ch.def.Name, Sig: g.sig,
+					LastSeq: g.lastSeq, AtNS: int64(now),
+				})
+			}
 			if len(recs) == 0 {
 				continue
 			}
 			tasks = append(tasks, c.newEvalTask(g, recs))
 		}
 	}
+	// Progress marks are logged before the evaluation commits; on replay
+	// they stop a restarted group from re-evaluating publications whose
+	// results are already in the log.
+	c.logTicks(ticks)
 	c.mu.Unlock()
 	if len(tasks) == 0 {
 		return executions

@@ -166,6 +166,20 @@ func (d *Dataset) insertValidated(data map[string]any, at time.Duration) Record 
 	return rec
 }
 
+// restoreRecords reloads snapshot state: the sequence high-water mark and
+// the stored records, which must be Seq-ordered (snapshots are written
+// from ScanSince, so they are). Partition placement is recomputed from
+// each record's Seq, so a restored dataset scans identically to the
+// original even if the node count changed between runs.
+func (d *Dataset) restoreRecords(nextSeq uint64, recs []Record) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nextSq = nextSeq
+	for _, rec := range recs {
+		d.nodes[partition(rec.Seq, len(d.nodes))].append(rec)
+	}
+}
+
 // Len returns the total number of stored records.
 func (d *Dataset) Len() int {
 	d.mu.RLock()

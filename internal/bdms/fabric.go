@@ -222,3 +222,65 @@ func (c *PeerClient) Results(ctx context.Context, baseURL, fabricKey string, aft
 	}
 	return out, err
 }
+
+// --- warm cache handoff --------------------------------------------------
+
+// CacheWarmObject is one serialized cached result object: enough to
+// reconstruct the successor's cache entry (identity, production timestamp,
+// size, payload rows) plus the fetch latency the predecessor measured (the
+// LSD/LSC policies weigh entries by it).
+type CacheWarmObject struct {
+	ID             string           `json:"id"`
+	TimestampNS    int64            `json:"ts_ns"`
+	Size           int64            `json:"size"`
+	FetchLatencyNS int64            `json:"fetch_latency_ns,omitempty"`
+	Rows           []map[string]any `json:"rows"`
+}
+
+// CacheWarmEntry is the warm state of one backend subscription's result
+// cache: the portable fabric key plus the (channel, params) identity so a
+// successor that has not subscribed yet can still match a future
+// subscribe, the backend timestamp high-water mark, and the cached
+// objects oldest-first.
+type CacheWarmEntry struct {
+	FabricKey string            `json:"fabric_key"`
+	Channel   string            `json:"channel"`
+	Params    []any             `json:"params"`
+	BTSNS     int64             `json:"bts_ns"`
+	Objects   []CacheWarmObject `json:"objects"`
+}
+
+// CacheSnapshot is a broker's serialized warm cache: written to disk on
+// graceful shutdown and shipped to the HRW successor via POST
+// /v1/peer/warmup. TakenUnixNS is wall-clock so staleness filtering
+// survives process restarts (broker-local clocks do not).
+type CacheSnapshot struct {
+	Version     int              `json:"version"`
+	Broker      string           `json:"broker"`
+	TakenUnixNS int64            `json:"taken_unix_ns"`
+	Entries     []CacheWarmEntry `json:"entries"`
+}
+
+// CacheSnapshotVersion is the current CacheSnapshot wire version.
+const CacheSnapshotVersion = 1
+
+// WarmupResponse reports what the receiving broker did with a shipped
+// snapshot: entries applied onto live backend subscriptions, entries
+// stashed for future subscribes, and entries dropped (stale or over
+// budget).
+type WarmupResponse struct {
+	Applied int `json:"applied"`
+	Stashed int `json:"stashed"`
+	Dropped int `json:"dropped"`
+}
+
+// Warmup ships a warm cache snapshot to the broker at baseURL (the HRW
+// successor during a graceful drain). Single shot: a failed handoff only
+// costs the successor cold-start fetches, never correctness.
+func (c *PeerClient) Warmup(ctx context.Context, baseURL string, snap CacheSnapshot) (WarmupResponse, error) {
+	var out WarmupResponse
+	u := baseURL + "/v1/peer/warmup"
+	hdr := http.Header{PeerHopHeader: []string{"1"}}
+	_, _, err := httpx.DoJSONHeader(ctx, c.http, http.MethodPost, u, hdr, snap, &out)
+	return out, err
+}

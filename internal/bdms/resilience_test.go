@@ -268,7 +268,7 @@ func TestClientFaultScenarios(t *testing.T) {
 		wantAttempts uint64
 		wantBackoffs []time.Duration
 		wantFaultDly []time.Duration // latency injected inside faulted calls
-		wantWire     int            // calls that reached the transport (0 = attempts)
+		wantWire     int             // calls that reached the transport (0 = attempts)
 		wantBreaker  httpx.BreakerState
 	}{
 		{

@@ -15,6 +15,7 @@ import (
 // /metrics. Mount Handler() on any net/http server.
 type Server struct {
 	cluster *Cluster
+	store   *Store
 	mux     *http.ServeMux
 	obs     *httpx.Observer
 	stages  *span.Stages
@@ -28,6 +29,12 @@ type ServerOption func(*Server)
 // always works.
 func WithObserver(o *httpx.Observer) ServerOption {
 	return func(s *Server) { s.obs = o }
+}
+
+// WithStore exposes the segmented durability store's snapshot metrics
+// (bad_snapshot_*) alongside the cluster's on /metrics.
+func WithStore(st *Store) ServerOption {
+	return func(s *Server) { s.store = st }
 }
 
 // WithStages shares an externally-built per-stage delivery histogram
@@ -76,6 +83,34 @@ func NewServer(cluster *Cluster, opts ...ServerOption) *Server {
 		obs.GaugeFunc("bad_cluster_datasets", "Datasets defined on the cluster.",
 			func() float64 { return float64(len(cluster.DatasetNames())) }),
 	)
+	if ws := cluster.WALStats(); ws != nil {
+		s.obs.Registry.MustRegister(
+			obs.CounterFunc("bad_wal_appends_total", "WAL append calls (a batch is one append).", ws.Appends.Value),
+			obs.CounterFunc("bad_wal_records_total", "Records appended to the WAL.", ws.Records.Value),
+			obs.CounterFunc("bad_wal_fsyncs_total", "WAL fsyncs (per-append under -wal-sync always, periodic otherwise).", ws.Fsyncs.Value),
+			obs.CounterFunc("bad_wal_append_errors_total", "WAL appends that failed.", ws.AppendErrors.Value),
+			obs.CounterFunc("bad_wal_torn_tail_total", "Torn final WAL records dropped during replay.", ws.TornTails.Value),
+			obs.CounterFunc("bad_wal_replay_records_total", "WAL records applied during startup replay.", ws.ReplayRecords.Value),
+			obs.CounterFunc("bad_wal_replay_seconds_total", "Time spent replaying the WAL at startup.", ws.ReplaySeconds.Value),
+		)
+	}
+	if st := s.store; st != nil {
+		ss := st.Stats()
+		s.obs.Registry.MustRegister(
+			obs.CounterFunc("bad_snapshot_writes_total", "Completed snapshot+compaction cycles.", ss.SnapshotWrites.Value),
+			obs.CounterFunc("bad_snapshot_bytes_total", "Encoded snapshot bytes written.", ss.SnapshotBytes.Value),
+			obs.CounterFunc("bad_snapshot_errors_total", "Failed compaction attempts.", ss.SnapshotErrors.Value),
+			obs.CounterFunc("bad_snapshot_decode_errors_total", "Snapshot files skipped as undecodable during recovery.", ss.BadSnapshots.Value),
+			obs.CounterFunc("bad_snapshot_segments_pruned_total", "WAL segments removed by compaction.", ss.SegmentsPruned.Value),
+			obs.GaugeFunc("bad_snapshot_age_seconds", "Seconds since the last completed snapshot (-1 before the first).",
+				func() float64 {
+					if a := st.SnapshotAge(); a >= 0 {
+						return a.Seconds()
+					}
+					return -1
+				}),
+		)
+	}
 	s.routes()
 	return s
 }

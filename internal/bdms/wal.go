@@ -9,41 +9,145 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"gobad/internal/metrics"
 )
 
-// Durability: the data cluster can persist its publications to a
-// write-ahead log so restarts recover every dataset. AsterixDB — the
-// paper's backend — is a durable storage system; this file provides the
-// equivalent substrate behaviour: every successful Ingest appends one
-// JSONL record to a per-cluster log before it is acknowledged, and
-// OpenWAL replays an existing log into a fresh cluster at startup.
+// Durability: the data cluster persists its state to a write-ahead log so
+// restarts recover every dataset. AsterixDB — the paper's backend — is a
+// durable storage system; this file provides the equivalent substrate
+// behaviour. Coverage is full cluster state, not just publications:
 //
-// Channels and subscriptions are runtime state re-created by brokers and
-// operators on restart (exactly as the BAD prototype does), so only
-// publications are logged.
+//   - dataset creations and ingested publications (the raw data),
+//   - channel definitions and deletions,
+//   - subscription create/remove,
+//   - every produced result object (the per-subscription result datasets),
+//   - repetitive-group progress marks.
+//
+// Each entry is one JSONL record appended before the operation is
+// acknowledged. Replay applies records verbatim — ingests are re-inserted
+// WITHOUT re-running channel evaluation, because the results those
+// evaluations produced are themselves in the log; re-evaluating would
+// double-append them. That makes recovered result datasets byte-identical
+// to the pre-crash state.
+//
+// Snapshot + segment compaction on top of this log lives in store.go.
 
-// walRecord is one persisted log entry.
+// WAL record kinds. Kind is empty on records written before result-dataset
+// coverage existed: those legacy entries are dataset creations when Data is
+// nil and ingests otherwise.
+const (
+	walKindDataset    = "dataset"
+	walKindIngest     = "ingest"
+	walKindChannel    = "channel"
+	walKindDelChannel = "delchannel"
+	walKindSub        = "sub"
+	walKindUnsub      = "unsub"
+	walKindResult     = "result"
+	walKindTick       = "tick"
+)
+
+// walRecord is one persisted log entry. Only the fields of its kind are
+// set; everything is omitempty so the common ingest record stays small.
 type walRecord struct {
-	// Dataset names the target dataset.
-	Dataset string `json:"dataset"`
-	// Schema is set on dataset-creation entries (Data nil).
+	// Kind tags the entry; empty on legacy (publication-only) logs.
+	Kind string `json:"kind,omitempty"`
+	// Dataset names the target dataset (dataset/ingest kinds).
+	Dataset string `json:"dataset,omitempty"`
+	// Schema is set on dataset-creation entries.
 	Schema *Schema `json:"schema,omitempty"`
-	// Data is the publication payload (nil for dataset creation).
+	// Data is the publication payload (ingest kind).
 	Data map[string]any `json:"data,omitempty"`
-	// AtNS is the cluster-time ingest timestamp.
+	// AtNS is the cluster-time timestamp of the operation.
 	AtNS int64 `json:"at_ns"`
+
+	// Channel is the full definition (channel kind) — replay recompiles it.
+	Channel *ChannelDef `json:"channel,omitempty"`
+	// Name is the channel name (delchannel/sub/tick kinds).
+	Name string `json:"name,omitempty"`
+	// Sub is the subscription ID (sub/unsub/result kinds).
+	Sub string `json:"sub,omitempty"`
+	// Params are the positional parameter values of a subscription (sub
+	// kind) or the canonical bound parameters of a repetitive group (tick).
+	Params []any `json:"params,omitempty"`
+	// Callback is the subscription's webhook URL (sub kind).
+	Callback string `json:"callback,omitempty"`
+	// Result is one produced result object (result kind).
+	Result *ResultObject `json:"result,omitempty"`
+	// Sig is the canonical parameter signature naming an evaluation group
+	// (tick kind).
+	Sig string `json:"sig,omitempty"`
+	// LastSeq is the repetitive group's new progress mark (tick kind).
+	LastSeq uint64 `json:"last_seq,omitempty"`
 }
 
-// WAL is an append-only publication log.
+// SyncPolicy selects when WAL appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval flushes every append to the OS and fsyncs periodically
+	// (store.go's ticker) — crash-consistent to the last kernel flush.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs every append before acknowledging; durable through
+	// power loss at the cost of per-record fsync latency.
+	SyncAlways
+)
+
+// ParseSyncPolicy parses the -wal-sync flag values "always" / "interval".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval", "":
+		return SyncInterval, nil
+	}
+	return 0, fmt.Errorf("bdms: unknown wal sync policy %q (want always or interval)", s)
+}
+
+func (p SyncPolicy) String() string {
+	if p == SyncAlways {
+		return "always"
+	}
+	return "interval"
+}
+
+// WALStats counts log activity; shared across segment rotations so the
+// exposed totals are per-process, not per-file.
+type WALStats struct {
+	// Appends counts append calls (a batch is one append).
+	Appends metrics.Counter
+	// Records counts appended records.
+	Records metrics.Counter
+	// Fsyncs counts fsync calls issued by policy or explicit Sync.
+	Fsyncs metrics.Counter
+	// AppendErrors counts appends that failed (encode or I/O).
+	AppendErrors metrics.Counter
+	// TornTails counts truncated final records dropped during replay.
+	TornTails metrics.Counter
+	// ReplayRecords counts records applied during startup replay.
+	ReplayRecords metrics.Counter
+	// ReplaySeconds accumulates time spent replaying at startup.
+	ReplaySeconds metrics.Counter
+}
+
+// WAL is an append-only cluster-state log (one file; store.go rotates
+// across segment files).
 type WAL struct {
-	mu   sync.Mutex
-	f    *os.File
-	w    *bufio.Writer
-	path string
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	path   string
+	policy SyncPolicy
+	stats  *WALStats
 }
 
-// CreateWAL opens (creating if needed) the log file for appending.
+// CreateWAL opens (creating if needed) the log file for appending with the
+// default interval sync policy.
 func CreateWAL(path string) (*WAL, error) {
+	return createWAL(path, SyncInterval, &WALStats{})
+}
+
+func createWAL(path string, policy SyncPolicy, stats *WALStats) (*WAL, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("bdms: wal dir: %w", err)
 	}
@@ -51,42 +155,41 @@ func CreateWAL(path string) (*WAL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bdms: open wal: %w", err)
 	}
-	return &WAL{f: f, w: bufio.NewWriter(f), path: path}, nil
+	if stats == nil {
+		stats = &WALStats{}
+	}
+	return &WAL{f: f, w: bufio.NewWriter(f), path: path, policy: policy, stats: stats}, nil
 }
 
 // Path returns the log file path.
 func (w *WAL) Path() string { return w.path }
 
-// append writes one record and flushes it to the OS.
+// Stats returns the log's counters.
+func (w *WAL) Stats() *WALStats { return w.stats }
+
+// append writes one record and flushes it to the OS (plus fsync under
+// SyncAlways).
 func (w *WAL) append(rec walRecord) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.f == nil {
-		return fmt.Errorf("bdms: wal closed")
-	}
-	b, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("bdms: wal encode: %w", err)
-	}
-	if _, err := w.w.Write(append(b, '\n')); err != nil {
-		return fmt.Errorf("bdms: wal write: %w", err)
-	}
-	// Flush to the kernel on every record; fsync is traded away for
-	// throughput (crash-consistency to the last OS flush), matching
-	// big-data ingest pipelines more than transactional stores.
-	if err := w.w.Flush(); err != nil {
-		return fmt.Errorf("bdms: wal flush: %w", err)
-	}
-	return nil
+	return w.appendBatch([]walRecord{rec})
 }
 
 // appendBatch writes a batch of records under one lock acquisition with a
-// single flush at the end — the WAL half of the batch-ingest amortization.
-// Each record is still its own JSONL line, so replay (and torn-tail
-// recovery) is unchanged.
+// single flush (and, under SyncAlways, a single fsync) at the end — the
+// WAL half of the batch-ingest amortization. Each record is still its own
+// JSONL line, so replay (and torn-tail recovery) is unchanged.
 func (w *WAL) appendBatch(recs []walRecord) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if err := w.appendLocked(recs); err != nil {
+		w.stats.AppendErrors.Inc()
+		return err
+	}
+	w.stats.Appends.Inc()
+	w.stats.Records.Add(float64(len(recs)))
+	return nil
+}
+
+func (w *WAL) appendLocked(recs []walRecord) error {
 	if w.f == nil {
 		return fmt.Errorf("bdms: wal closed")
 	}
@@ -99,8 +202,18 @@ func (w *WAL) appendBatch(recs []walRecord) error {
 			return fmt.Errorf("bdms: wal write: %w", err)
 		}
 	}
+	// Flush to the kernel on every record. Under the default interval
+	// policy fsync is traded away for throughput (crash-consistency to the
+	// last OS flush), matching big-data ingest pipelines more than
+	// transactional stores; -wal-sync always buys full durability instead.
 	if err := w.w.Flush(); err != nil {
 		return fmt.Errorf("bdms: wal flush: %w", err)
+	}
+	if w.policy == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("bdms: wal fsync: %w", err)
+		}
+		w.stats.Fsyncs.Inc()
 	}
 	return nil
 }
@@ -115,7 +228,11 @@ func (w *WAL) Sync() error {
 	if err := w.w.Flush(); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.stats.Fsyncs.Inc()
+	return nil
 }
 
 // Close flushes and closes the log.
@@ -134,86 +251,124 @@ func (w *WAL) Close() error {
 	return closeErr
 }
 
-// WithWAL attaches a write-ahead log to the cluster: dataset creations and
-// ingested publications are appended before being acknowledged.
+// WithWAL attaches a write-ahead log to the cluster: every state mutation
+// is appended before being acknowledged.
 func WithWAL(w *WAL) Option {
 	return func(c *Cluster) { c.wal = w }
 }
 
-// OpenWAL replays the log at path into a new cluster built with opts (the
-// WAL option is added automatically, so subsequent ingests keep
-// appending). Missing files yield an empty, ready cluster.
+// OpenWAL replays the single-file log at path into a new cluster built
+// with opts (the WAL option is added automatically, so subsequent
+// operations keep appending). Missing files yield an empty, ready cluster.
+// A torn final record — a crash mid-append — is dropped with the file
+// truncated back to the last complete record, so the next append starts on
+// a clean line. For the segmented snapshot+compaction store use OpenStore.
 func OpenWAL(path string, opts ...Option) (*Cluster, error) {
-	var recs []walRecord
-	f, err := os.Open(path)
-	switch {
-	case os.IsNotExist(err):
-		// Fresh start.
-	case err != nil:
-		return nil, fmt.Errorf("bdms: open wal for replay: %w", err)
-	default:
-		recs, err = readWAL(f)
-		closeErr := f.Close()
-		if err != nil {
-			return nil, err
-		}
-		if closeErr != nil {
-			return nil, fmt.Errorf("bdms: close wal after replay: %w", closeErr)
-		}
+	stats := &WALStats{}
+	start := time.Now()
+	recs, err := readWALFile(path, stats, true)
+	if err != nil {
+		return nil, err
 	}
-
-	wal, err := CreateWAL(path)
+	wal, err := createWAL(path, SyncInterval, stats)
 	if err != nil {
 		return nil, err
 	}
 	cluster := NewCluster(opts...)
-	// Replay without re-appending.
-	for i, rec := range recs {
-		if rec.Data == nil {
-			schema := Schema{}
-			if rec.Schema != nil {
-				schema = *rec.Schema
-			}
-			if err := cluster.CreateDataset(rec.Dataset, schema); err != nil {
-				return nil, fmt.Errorf("bdms: wal replay entry %d: %w", i, err)
-			}
-			continue
-		}
-		if _, err := cluster.Ingest(rec.Dataset, rec.Data); err != nil {
-			return nil, fmt.Errorf("bdms: wal replay entry %d: %w", i, err)
-		}
+	if err := cluster.replayWAL(recs); err != nil {
+		return nil, err
 	}
+	stats.ReplayRecords.Add(float64(len(recs)))
+	stats.ReplaySeconds.Add(time.Since(start).Seconds())
 	cluster.wal = wal
 	return cluster, nil
 }
 
-// readWAL parses every complete record; a torn final line (crash mid-
-// append) is tolerated and dropped.
-func readWAL(r io.Reader) ([]walRecord, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
-	var out []walRecord
+// readWALFile parses every complete record of one log file. A torn final
+// line (crash mid-append) is tolerated only when allowTorn is set — the
+// line is dropped with a WARN-worthy counter bump and the file is
+// truncated back to the end of the last complete record, because
+// appending after an unterminated line would merge two records into one
+// corrupt line. Missing files yield no records.
+func readWALFile(path string, stats *WALStats, allowTorn bool) ([]walRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bdms: open wal for replay: %w", err)
+	}
+	recs, goodOff, torn, err := readWAL(f)
+	closeErr := f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if closeErr != nil {
+		return nil, fmt.Errorf("bdms: close wal after replay: %w", closeErr)
+	}
+	if torn {
+		if !allowTorn {
+			return nil, fmt.Errorf("bdms: wal %s: torn record before end of log", path)
+		}
+		stats.TornTails.Inc()
+		if err := os.Truncate(path, goodOff); err != nil {
+			return nil, fmt.Errorf("bdms: truncate torn wal tail: %w", err)
+		}
+	}
+	return recs, nil
+}
+
+// readWAL parses every complete record, returning the byte offset of the
+// end of the last complete record and whether a torn final line was
+// dropped. Only the final line may fail (crash mid-append); anything
+// earlier is corruption worth surfacing. A final line without its
+// terminating newline is torn even when it happens to decode: the append
+// path writes record+newline in one call, so an unterminated record was
+// never acknowledged — and keeping it would let the next append glue two
+// records into one corrupt line.
+func readWAL(r io.Reader) (recs []walRecord, goodOff int64, torn bool, err error) {
+	br := bufio.NewReaderSize(r, 64<<10)
 	line := 0
-	for sc.Scan() {
+	badLine := 0
+	var badErr error
+	for {
+		chunk, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, 0, false, fmt.Errorf("bdms: wal read: %w", rerr)
+		}
+		terminated := rerr == nil
+		if len(chunk) == 0 {
+			break // clean EOF
+		}
 		line++
-		if len(sc.Bytes()) == 0 {
-			continue
+		payload := chunk
+		if terminated {
+			payload = chunk[:len(chunk)-1]
 		}
-		var rec walRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			// Only the final line may be torn; anything earlier is
-			// corruption worth surfacing.
-			if !sc.Scan() {
-				return out, nil
+		if badErr != nil {
+			// Any line AFTER the bad one means the failure was mid-file,
+			// not a torn tail.
+			return nil, 0, false, fmt.Errorf("bdms: wal corrupt at line %d: %w", badLine, badErr)
+		}
+		switch {
+		case len(payload) == 0 && terminated:
+			goodOff += int64(len(chunk)) // blank line, harmless
+		case !terminated:
+			badLine, badErr = line, fmt.Errorf("unterminated record")
+		default:
+			var rec walRecord
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				badLine, badErr = line, err
+				continue
 			}
-			return nil, fmt.Errorf("bdms: wal corrupt at line %d: %w", line, err)
+			goodOff += int64(len(chunk))
+			recs = append(recs, rec)
 		}
-		out = append(out, rec)
+		if !terminated {
+			break
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("bdms: wal read: %w", err)
-	}
-	return out, nil
+	return recs, goodOff, badErr != nil, nil
 }
 
 // logCreateDataset appends a dataset-creation entry (no-op without a WAL).
@@ -221,7 +376,7 @@ func (c *Cluster) logCreateDataset(name string, schema Schema, at time.Duration)
 	if c.wal == nil {
 		return nil
 	}
-	return c.wal.append(walRecord{Dataset: name, Schema: &schema, AtNS: int64(at)})
+	return c.wal.append(walRecord{Kind: walKindDataset, Dataset: name, Schema: &schema, AtNS: int64(at)})
 }
 
 // logIngest appends a publication entry (no-op without a WAL).
@@ -229,7 +384,7 @@ func (c *Cluster) logIngest(dataset string, data map[string]any, at time.Duratio
 	if c.wal == nil {
 		return nil
 	}
-	return c.wal.append(walRecord{Dataset: dataset, Data: data, AtNS: int64(at)})
+	return c.wal.append(walRecord{Kind: walKindIngest, Dataset: dataset, Data: data, AtNS: int64(at)})
 }
 
 // logIngestBatch appends a publication batch with one flush (no-op without
@@ -243,7 +398,69 @@ func (c *Cluster) logIngestBatch(dataset string, batch []map[string]any, at time
 	}
 	recs := make([]walRecord, len(batch))
 	for i, data := range batch {
-		recs[i] = walRecord{Dataset: dataset, Data: data, AtNS: int64(at)}
+		recs[i] = walRecord{Kind: walKindIngest, Dataset: dataset, Data: data, AtNS: int64(at)}
 	}
 	return c.wal.appendBatch(recs)
+}
+
+// logDefineChannel appends a channel definition (no-op without a WAL).
+func (c *Cluster) logDefineChannel(def ChannelDef, at time.Duration) error {
+	if c.wal == nil {
+		return nil
+	}
+	d := def
+	return c.wal.append(walRecord{Kind: walKindChannel, Channel: &d, AtNS: int64(at)})
+}
+
+// logDeleteChannel appends a channel deletion (no-op without a WAL).
+func (c *Cluster) logDeleteChannel(name string, at time.Duration) error {
+	if c.wal == nil {
+		return nil
+	}
+	return c.wal.append(walRecord{Kind: walKindDelChannel, Name: name, AtNS: int64(at)})
+}
+
+// logSubscribe appends a subscription registration with its positional
+// parameter values (no-op without a WAL).
+func (c *Cluster) logSubscribe(subID, channel string, params []any, callback string, at time.Duration) error {
+	if c.wal == nil {
+		return nil
+	}
+	return c.wal.append(walRecord{
+		Kind: walKindSub, Sub: subID, Name: channel,
+		Params: params, Callback: callback, AtNS: int64(at),
+	})
+}
+
+// logUnsubscribe appends a subscription removal (no-op without a WAL).
+func (c *Cluster) logUnsubscribe(subID string, at time.Duration) error {
+	if c.wal == nil {
+		return nil
+	}
+	return c.wal.append(walRecord{Kind: walKindUnsub, Sub: subID, AtNS: int64(at)})
+}
+
+// logResults appends the result objects a commit produced, one record per
+// (subscription, result) so per-subscription result datasets replay
+// exactly. Best-effort by design: the in-memory state is the source of
+// truth for live traffic, so a failed append degrades durability, not
+// delivery — the failure is still visible through AppendErrors.
+func (c *Cluster) logResults(pending []notification, at time.Duration) {
+	if c.wal == nil || len(pending) == 0 {
+		return
+	}
+	recs := make([]walRecord, len(pending))
+	for i, n := range pending {
+		obj := n.obj
+		recs[i] = walRecord{Kind: walKindResult, Sub: n.subID, Result: &obj, AtNS: int64(at)}
+	}
+	_ = c.wal.appendBatch(recs)
+}
+
+// logTicks appends repetitive-group progress marks (no-op without a WAL).
+func (c *Cluster) logTicks(recs []walRecord) {
+	if c.wal == nil || len(recs) == 0 {
+		return
+	}
+	_ = c.wal.appendBatch(recs)
 }

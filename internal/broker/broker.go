@@ -121,6 +121,13 @@ type Config struct {
 	// placement, session rebalance and broker-to-broker peer lookup on
 	// cache misses. nil runs the broker standalone.
 	Fabric *FabricConfig
+	// WarmupMaxBytes bounds the warm cache snapshot shipped on drain and
+	// the intake stash of not-yet-consumed warm entries; <= 0 selects
+	// DefaultWarmupMaxBytes.
+	WarmupMaxBytes int64
+	// WarmupMaxAge is how stale an incoming warm snapshot may be before
+	// it is rejected wholesale; <= 0 selects DefaultWarmupMaxAge.
+	WarmupMaxAge time.Duration
 }
 
 // Broker is a BAD broker node.
@@ -167,6 +174,20 @@ type Broker struct {
 	// nil outside a fabric (single-broker mode).
 	fabric *fabric
 
+	// subFlights singleflights backend-subscription creation per key: K
+	// concurrent resumes of the same (channel, params) yield one cluster
+	// subscribe, the rest wait and share it.
+	subFlights map[string]*subFlight
+	// warm is the bounded stash of handed-off cache entries awaiting a
+	// matching subscribe; warmupStats tallies hits/misses/intake.
+	warm         *warmStore
+	warmupStats  WarmupStats
+	warmupMaxAge time.Duration
+	// warming is the cold-start readiness state: true while the broker is
+	// still restoring warm state, reported on /v1/healthz and excluded
+	// from BCS placement.
+	warming atomic.Bool
+
 	// traces/stages are the delivery-tracing hooks (nil-safe; set once
 	// via SetTracing before traffic flows).
 	traces *span.Recorder
@@ -203,6 +224,12 @@ type backendSub struct {
 	// pullMu serializes webhook-triggered pulls for this subscription so
 	// concurrent notifications cannot interleave out-of-order Puts.
 	pullMu sync.Mutex
+}
+
+// subFlight is one in-progress backend-subscription creation; waiters
+// block on done and re-read the map once the leader finishes.
+type subFlight struct {
+	done chan struct{}
 }
 
 // frontendSub is one subscriber's subscription through this broker.
@@ -255,6 +282,12 @@ func New(cfg Config, opts ...Option) (*Broker, error) {
 		log:         obs.WrapLogger(cfg.Logger),
 		slowFetch:   cfg.SlowFetchThreshold,
 		failover:    &obs.FailoverStats{},
+		subFlights:  make(map[string]*subFlight),
+		warm:        newWarmStore(cfg.WarmupMaxBytes),
+	}
+	b.warmupMaxAge = cfg.WarmupMaxAge
+	if b.warmupMaxAge <= 0 {
+		b.warmupMaxAge = DefaultWarmupMaxAge
 	}
 	b.sessions = newSessionHub(cfg.PushQueue, &b.stats.Delivered, b.log)
 	if cfg.PushWriters > 0 {
@@ -432,26 +465,37 @@ func (b *Broker) SubscribeResume(ctx context.Context, subscriber, channel string
 	now := b.clock()
 	b.mu.Lock()
 	key := subKey(channel, params)
-	bs, ok := b.backendSubs[key]
-	if ok {
-		if fsID, dup := bs.attached[subscriber]; dup {
-			fs := b.frontend[fsID]
-			if resume >= 0 && resume < fs.fts {
-				fs.fts = resume
-			}
-			b.mu.Unlock()
-			if resume >= 0 {
-				b.finishResume(ctx, bs, fsID)
-			}
-			return fsID, nil
+	bs := b.backendSubs[key]
+	// Singleflight: while another goroutine is creating the backend
+	// subscription for this key, wait for it instead of racing a duplicate
+	// cluster subscribe — K concurrent resumes of one key collapse to one
+	// cluster round trip.
+	for bs == nil {
+		fl := b.subFlights[key]
+		if fl == nil {
+			break // no flight in progress: this goroutine leads
 		}
-	} else {
+		b.mu.Unlock()
+		<-fl.done
+		b.mu.Lock()
+		bs = b.backendSubs[key]
+		// A failed leader leaves the map empty; loop to lead (or wait on
+		// a newer flight).
+	}
+	created := false
+	if bs == nil {
 		// First frontend subscription for this (channel, params):
 		// subscribe at the data cluster. Release the lock across the
-		// network calls.
+		// network calls; the flight entry keeps followers parked.
+		fl := &subFlight{done: make(chan struct{})}
+		b.subFlights[key] = fl
 		b.mu.Unlock()
 		backendID, err := b.backend.Subscribe(channel, params, b.callbackURL)
 		if err != nil {
+			b.mu.Lock()
+			delete(b.subFlights, key)
+			close(fl.done)
+			b.mu.Unlock()
 			return "", fmt.Errorf("broker: backend subscribe: %w", err)
 		}
 		// The (channel, params) result dataset outlives brokers, so the
@@ -470,24 +514,16 @@ func (b *Broker) SubscribeResume(ctx context.Context, subscriber, channel string
 			start = resume
 		}
 		b.mu.Lock()
-		// Re-check: a concurrent Subscribe may have raced us.
-		bs, ok = b.backendSubs[key]
-		if ok {
+		delete(b.subFlights, key)
+		// Re-check: belt and braces against a Subscribe that slipped past
+		// the flight (e.g. an older code path).
+		if existing := b.backendSubs[key]; existing != nil {
 			// Lost the race: withdraw our duplicate backend sub.
+			close(fl.done)
 			b.mu.Unlock()
 			_ = b.backend.Unsubscribe(backendID)
 			b.mu.Lock()
-			if fsID, dup := bs.attached[subscriber]; dup {
-				fs := b.frontend[fsID]
-				if resume >= 0 && resume < fs.fts {
-					fs.fts = resume
-				}
-				b.mu.Unlock()
-				if resume >= 0 {
-					b.finishResume(ctx, bs, fsID)
-				}
-				return fsID, nil
-			}
+			bs = existing
 		} else {
 			bs = &backendSub{
 				key: key, id: backendID, fkey: fabricHash(key),
@@ -498,7 +534,20 @@ func (b *Broker) SubscribeResume(ctx context.Context, subscriber, channel string
 			b.backendSubs[key] = bs
 			b.backendByID[backendID] = bs
 			b.byFabric[bs.fkey] = bs
+			created = true
+			close(fl.done)
 		}
+	}
+	if fsID, dup := bs.attached[subscriber]; dup {
+		fs := b.frontend[fsID]
+		if resume >= 0 && resume < fs.fts {
+			fs.fts = resume
+		}
+		b.mu.Unlock()
+		if resume >= 0 {
+			b.finishResume(ctx, bs, fsID)
+		}
+		return fsID, nil
 	}
 	b.fsSeq++
 	fs := &frontendSub{
@@ -525,6 +574,12 @@ func (b *Broker) SubscribeResume(ctx context.Context, subscriber, channel string
 	// reach it without a reconnect (no-op while the subscriber is offline).
 	b.sessions.register(subscriber, bs.id, fs.id)
 	b.manager.Subscribe(bs.id, subscriber, now)
+	if created {
+		// A warm handoff may have left this key's cache contents in the
+		// stash; seed them before any backfill so the resume range fetch
+		// finds nothing left to pull.
+		b.consumeWarm(ctx, bs)
+	}
 	if resume >= 0 {
 		b.finishResume(ctx, bs, fs.id)
 	}

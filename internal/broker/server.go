@@ -75,6 +75,22 @@ func NewServer(b *Broker, opts ...ServerOption) *Server {
 		// Failover pipeline: resume/backfill/drain counters plus the (client
 		// side, zero here) reconnect-latency summary.
 		b.failover.Collector(),
+		// Warm cache handoff: hit/miss on fresh backend subscriptions plus
+		// snapshot intake accounting and the pending stash depth.
+		obs.CounterFunc("bad_warmup_hits_total", "Fresh backend subscriptions seeded from a warm handoff.",
+			func() float64 { return b.warmupStats.Hits.Value() }),
+		obs.CounterFunc("bad_warmup_misses_total", "Fresh backend subscriptions that started cold.",
+			func() float64 { return b.warmupStats.Misses.Value() }),
+		obs.CounterFunc("bad_warmup_objects_total", "Cache objects restored from warm handoff entries.",
+			func() float64 { return b.warmupStats.ObjectsLoaded.Value() }),
+		obs.CounterFunc("bad_warmup_entries_applied_total", "Warm entries applied onto live subscriptions at intake.",
+			func() float64 { return b.warmupStats.EntriesApplied.Value() }),
+		obs.CounterFunc("bad_warmup_entries_stashed_total", "Warm entries parked for a future matching subscribe.",
+			func() float64 { return b.warmupStats.EntriesStashed.Value() }),
+		obs.CounterFunc("bad_warmup_entries_dropped_total", "Warm entries rejected (stale snapshot or stash budget).",
+			func() float64 { return b.warmupStats.EntriesDropped.Value() }),
+		obs.GaugeFunc("bad_warmup_stash_entries", "Warm entries awaiting a matching subscribe.",
+			func() float64 { return float64(b.WarmStashSize()) }),
 	)
 	if b.FabricEnabled() {
 		s.obs.Registry.MustRegister(b.FabricCollector())
@@ -112,11 +128,24 @@ func (s *Server) routes() {
 	s.route(http.MethodPost, "/v1/callbacks/results", "/callbacks/results", s.handleCallback)
 	// Fabric peer protocol: new in /v1, no pre-v1 alias.
 	s.route(http.MethodGet, "/v1/peer/results/{key}", "", s.handlePeerResults)
+	s.route(http.MethodPost, "/v1/peer/warmup", "", s.handlePeerWarmup)
+	// Versioned health: same handler, reachable under /v1 for fabric peers.
+	s.mux.HandleFunc("GET /v1/healthz", s.obs.Wrap("/healthz", s.handleHealth))
 }
 
+// handleHealth reports liveness plus readiness: "warming" while the broker
+// is still restoring warm state (BCS placement excludes it), "draining"
+// during graceful shutdown, "ok" otherwise.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	switch {
+	case s.broker.Draining():
+		status = "draining"
+	case s.broker.Warming():
+		status = "warming"
+	}
 	httpx.WriteJSON(w, http.StatusOK, map[string]string{
-		"status": "ok", "broker": s.broker.ID(),
+		"status": status, "broker": s.broker.ID(),
 	})
 }
 
@@ -364,4 +393,24 @@ func (s *Server) handlePeerResults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	httpx.WriteJSON(w, http.StatusOK, resp)
+}
+
+// handlePeerWarmup ingests a draining predecessor's warm cache snapshot
+// (fabric peer protocol). The body is size-capped; a draining receiver
+// refuses — it is about to hand its own state off and must not absorb
+// more. Stale snapshots are dropped inside InstallWarmup.
+func (s *Server) handlePeerWarmup(w http.ResponseWriter, r *http.Request) {
+	if s.broker.Draining() {
+		w.Header().Set("Retry-After", "1")
+		httpx.WriteErrorCode(w, http.StatusServiceUnavailable, bdms.CodePeerDraining,
+			"broker %s is draining", s.broker.ID())
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, 2*DefaultWarmupMaxBytes)
+	var snap bdms.CacheSnapshot
+	if err := httpx.ReadJSON(r, &snap); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, s.broker.InstallWarmup(r.Context(), snap))
 }

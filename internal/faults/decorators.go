@@ -2,6 +2,7 @@ package faults
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 
 	"gobad/internal/bdms"
@@ -119,3 +120,62 @@ func (b *FaultyBackend) LatestTimestamp(subID string) (time.Duration, error) {
 	}
 	return b.next.LatestTimestamp(subID)
 }
+
+// CountingBackend counts calls per Backend method on the way through —
+// chaos tests wrap the cluster with it to prove claims like "a warm
+// handoff keeps the successor's range fetches under N". Counters are
+// atomics; read them with the accessor methods.
+type CountingBackend struct {
+	next                                     Backend
+	subscribes, unsubscribes, results, lates atomic.Int64
+}
+
+// Count decorates next with per-method call counters.
+func Count(next Backend) *CountingBackend {
+	return &CountingBackend{next: next}
+}
+
+// Subscribe implements Backend.
+func (b *CountingBackend) Subscribe(channel string, params []any, callback string) (string, error) {
+	b.subscribes.Add(1)
+	return b.next.Subscribe(channel, params, callback)
+}
+
+// Unsubscribe implements Backend.
+func (b *CountingBackend) Unsubscribe(subID string) error {
+	b.unsubscribes.Add(1)
+	return b.next.Unsubscribe(subID)
+}
+
+// Results implements Backend.
+func (b *CountingBackend) Results(subID string, from, to time.Duration, inclusiveTo bool) ([]bdms.ResultObject, error) {
+	b.results.Add(1)
+	return b.next.Results(subID, from, to, inclusiveTo)
+}
+
+// ResultsContext counts under the same tally as Results.
+func (b *CountingBackend) ResultsContext(ctx context.Context, subID string, from, to time.Duration, inclusiveTo bool) ([]bdms.ResultObject, error) {
+	b.results.Add(1)
+	if rc, ok := b.next.(resultsBackendContext); ok {
+		return rc.ResultsContext(ctx, subID, from, to, inclusiveTo)
+	}
+	return b.next.Results(subID, from, to, inclusiveTo)
+}
+
+// LatestTimestamp implements Backend.
+func (b *CountingBackend) LatestTimestamp(subID string) (time.Duration, error) {
+	b.lates.Add(1)
+	return b.next.LatestTimestamp(subID)
+}
+
+// Subscribes returns the Subscribe call count.
+func (b *CountingBackend) Subscribes() int64 { return b.subscribes.Load() }
+
+// Unsubscribes returns the Unsubscribe call count.
+func (b *CountingBackend) Unsubscribes() int64 { return b.unsubscribes.Load() }
+
+// ResultFetches returns the Results/ResultsContext call count.
+func (b *CountingBackend) ResultFetches() int64 { return b.results.Load() }
+
+// LatestProbes returns the LatestTimestamp call count.
+func (b *CountingBackend) LatestProbes() int64 { return b.lates.Load() }
